@@ -1,0 +1,46 @@
+//! Table III ablation: measured scaling of the three dimension-reduction
+//! transforms against their analytic complexities.
+//!
+//! | method  | complexity (paper)     |
+//! |---------|------------------------|
+//! | PCA     | O(mn² + n³)            |
+//! | SVD     | O(m²n + mn² + n³)      |
+//! | Wavelet | O(4 m n² log n)        |
+//!
+//! The bench sweeps the column count `n` at fixed `m` and prints measured
+//! times; PCA/SVD should grow superlinearly in `n`, Wavelet roughly
+//! n·log n per element — confirming the table's ordering empirically.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lrm_linalg::{svd, Matrix, Pca};
+use lrm_wavelet::WaveletModel;
+
+fn test_matrix(m: usize, n: usize) -> Matrix {
+    Matrix::from_fn(m, n, |r, c| {
+        ((r as f64) * 0.11).sin() * ((c as f64) * 0.07).cos()
+            + 0.1 * (((r * 31 + c * 17) % 97) as f64 / 97.0)
+    })
+}
+
+fn bench(c: &mut Criterion) {
+    let m = 512;
+    let mut g = c.benchmark_group("table3_scaling");
+    g.sample_size(10);
+    for &n in &[16usize, 32, 64] {
+        let mat = test_matrix(m, n);
+        g.bench_with_input(BenchmarkId::new("pca_fit", n), &mat, |b, mat| {
+            b.iter(|| Pca::fit(std::hint::black_box(mat)))
+        });
+        g.bench_with_input(BenchmarkId::new("svd", n), &mat, |b, mat| {
+            b.iter(|| svd(std::hint::black_box(mat)))
+        });
+        let flat = mat.as_slice().to_vec();
+        g.bench_with_input(BenchmarkId::new("wavelet_fit", n), &flat, |b, flat| {
+            b.iter(|| WaveletModel::fit(std::hint::black_box(flat), m, n, 0.05))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Ablation for the paper's future work #1: partitioned-matrix PCA/SVD.
+//!
+//! Measures how the block count trades compression overhead (wall time)
+//! against compression ratio. The paper hypothesizes partitioning
+//! "further reduce[s] the compression overhead"; this bench quantifies
+//! it: the SVD's O(m²n) term shrinks by the block count and the blocks
+//! run in parallel, while the ratio degrades only mildly because each
+//! block keeps its own basis.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lrm_core::{precondition_and_compress, PipelineConfig, ReducedModelKind};
+use lrm_datasets::{generate, DatasetKind, SizeClass};
+use std::time::Instant;
+
+fn print_reproduction() {
+    println!("\n=== Partitioned dimension reduction ablation (size = Small) ===");
+    println!(
+        "{:<14} {:<14} {:>7} {:>10} {:>10}",
+        "dataset", "method", "blocks", "ratio", "time (s)"
+    );
+    for kind in [DatasetKind::Heat3d, DatasetKind::Yf17Temp] {
+        let field = generate(kind, SizeClass::Small).full;
+        type MakeModel = fn(usize) -> ReducedModelKind;
+        let methods: [(&str, MakeModel); 2] = [
+            ("PCA-blocked", ReducedModelKind::PcaBlocked),
+            ("SVD-blocked", ReducedModelKind::SvdBlocked),
+        ];
+        for (label, mk) in methods {
+            for blocks in [1usize, 2, 4, 8, 16] {
+                let cfg = PipelineConfig::sz(mk(blocks)).with_scan_1d(true);
+                let t0 = Instant::now();
+                let art = precondition_and_compress(&field, &cfg);
+                let dt = t0.elapsed().as_secs_f64();
+                println!(
+                    "{:<14} {:<14} {:>7} {:>10.2} {:>10.4}",
+                    kind.name(),
+                    label,
+                    blocks,
+                    art.report.ratio(),
+                    dt
+                );
+            }
+        }
+        // The sketch-based fast path for comparison.
+        let cfg = PipelineConfig::sz(ReducedModelKind::SvdRandomized).with_scan_1d(true);
+        let t0 = Instant::now();
+        let art = precondition_and_compress(&field, &cfg);
+        let dt = t0.elapsed().as_secs_f64();
+        println!(
+            "{:<14} {:<14} {:>7} {:>10.2} {:>10.4}",
+            kind.name(),
+            "SVD-randomized",
+            "-",
+            art.report.ratio(),
+            dt
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_reproduction();
+    let field = generate(DatasetKind::Yf17Temp, SizeClass::Small).full;
+    let mut g = c.benchmark_group("partitioned");
+    g.sample_size(10);
+    for blocks in [1usize, 4, 16] {
+        let cfg = PipelineConfig::sz(ReducedModelKind::SvdBlocked(blocks)).with_scan_1d(true);
+        g.bench_with_input(BenchmarkId::new("svd_blocked", blocks), &cfg, |b, cfg| {
+            b.iter(|| precondition_and_compress(std::hint::black_box(&field), cfg))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

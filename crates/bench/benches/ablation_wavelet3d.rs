@@ -1,0 +1,55 @@
+//! Ablation: 2-D (matrix-view) vs 3-D Haar wavelet reduced models on the
+//! volumetric datasets. An extension beyond the paper: the paper flattens
+//! every field into a matrix before the wavelet transform, discarding
+//! z-correlation that the separable 3-D transform keeps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lrm_datasets::{generate, DatasetKind, SizeClass};
+use lrm_stats::rmse;
+use lrm_wavelet::{WaveletModel, WaveletModel3d};
+
+fn print_reproduction() {
+    println!("\n=== Wavelet 2-D (paper) vs 3-D (extension) on volumetric data ===");
+    println!(
+        "{:<12} {:>10} {:>10} {:>12} {:>12} {:>12} {:>12}",
+        "dataset", "nnz(2D)", "nnz(3D)", "bytes(2D)", "bytes(3D)", "rmse(2D)", "rmse(3D)"
+    );
+    for kind in [DatasetKind::Heat3d, DatasetKind::Astro, DatasetKind::SedovPres, DatasetKind::Yf17Temp] {
+        let field = generate(kind, SizeClass::Small).full;
+        let [nx, ny, nz] = field.shape.dims;
+        let (m, n) = field.matrix_dims();
+        let m2 = WaveletModel::fit(&field.data, m, n, 0.05);
+        let m3 = WaveletModel3d::fit(&field.data, nx, ny, nz, 0.05);
+        let r2 = rmse(&field.data, &m2.reconstruct());
+        let r3 = rmse(&field.data, &m3.reconstruct());
+        println!(
+            "{:<12} {:>10} {:>10} {:>12} {:>12} {:>12.3e} {:>12.3e}",
+            kind.name(),
+            m2.coeffs.nnz(),
+            m3.coeffs.nnz(),
+            m2.representation_bytes(),
+            m3.representation_bytes(),
+            r2,
+            r3
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_reproduction();
+    let field = generate(DatasetKind::Astro, SizeClass::Small).full;
+    let [nx, ny, nz] = field.shape.dims;
+    let (m, n) = field.matrix_dims();
+    let mut g = c.benchmark_group("wavelet_dims");
+    g.sample_size(10);
+    g.bench_function("fit_2d", |b| {
+        b.iter(|| WaveletModel::fit(std::hint::black_box(&field.data), m, n, 0.05))
+    });
+    g.bench_function("fit_3d", |b| {
+        b.iter(|| WaveletModel3d::fit(std::hint::black_box(&field.data), nx, ny, nz, 0.05))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

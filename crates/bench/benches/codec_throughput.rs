@@ -1,0 +1,51 @@
+//! Codec microbenchmarks: raw compress/decompress throughput of the
+//! SZ-like, ZFP-like, and FPC substrates on a realistic field. These are
+//! not paper figures; they document the substrate's absolute speeds,
+//! which Table IV(b)'s calibration consumes.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use lrm_compress::{Codec, Fpc, Sz, Zfp};
+use lrm_datasets::{generate, DatasetKind, SizeClass};
+
+fn bench(c: &mut Criterion) {
+    let field = generate(DatasetKind::Astro, SizeClass::Small).full;
+    let shape = field.shape;
+    let data = &field.data;
+
+    let mut g = c.benchmark_group("codec_compress");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(field.nbytes() as u64));
+    let sz = Sz::block_rel(1e-5);
+    let zfp = Zfp::fixed_precision(16);
+    let fpc = Fpc::new(20);
+    g.bench_function("sz_blockrel_1e5", |b| {
+        b.iter(|| sz.compress(std::hint::black_box(data), shape))
+    });
+    g.bench_function("zfp_fp16", |b| {
+        b.iter(|| zfp.compress(std::hint::black_box(data), shape))
+    });
+    g.bench_function("fpc_l20", |b| {
+        b.iter(|| fpc.compress(std::hint::black_box(data), shape))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("codec_decompress");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(field.nbytes() as u64));
+    let cs = sz.compress(data, shape);
+    let cz = zfp.compress(data, shape);
+    let cf = fpc.compress(data, shape);
+    g.bench_function("sz_blockrel_1e5", |b| {
+        b.iter(|| sz.decompress(std::hint::black_box(&cs), shape))
+    });
+    g.bench_function("zfp_fp16", |b| {
+        b.iter(|| zfp.decompress(std::hint::black_box(&cz), shape))
+    });
+    g.bench_function("fpc_l20", |b| {
+        b.iter(|| fpc.decompress(std::hint::black_box(&cf), shape))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Fig. 11 bench: regenerates the ratio-vs-RMSE sweep (ZFP precision 8
+//! to 32) and times one sweep point.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lrm_cli::experiments::rate_distortion::fig11_datasets;
+use lrm_core::{precondition_and_compress, LossyCodec, PipelineConfig, ReducedModelKind};
+use lrm_datasets::{generate, DatasetKind, SizeClass};
+
+fn print_reproduction() {
+    println!("\n=== Fig. 11 reproduction (size = Small) ===");
+    println!(
+        "{:<14} {:<9} {:>5} {:>12} {:>8}",
+        "dataset", "method", "prec", "RMSE", "ratio"
+    );
+    // The paper shows all nine; print the four panels with the clearest
+    // crossovers plus Fish (the counter-example) to keep output readable.
+    for kind in [
+        DatasetKind::Heat3d,
+        DatasetKind::Laplace,
+        DatasetKind::Astro,
+        DatasetKind::SedovPres,
+        DatasetKind::Fish,
+    ] {
+        for p in fig11_datasets(SizeClass::Small, &[kind]) {
+            println!(
+                "{:<14} {:<9} {:>5} {:>12.3e} {:>8.2}",
+                p.dataset, p.method, p.precision, p.rmse, p.ratio
+            );
+        }
+        println!();
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_reproduction();
+    let field = generate(DatasetKind::Laplace, SizeClass::Small).full;
+    let cfg = PipelineConfig {
+        model: ReducedModelKind::Pca,
+        orig: LossyCodec::ZfpPrecision(16),
+        delta: LossyCodec::ZfpPrecision(8),
+        variance_fraction: 0.95,
+        theta_fraction: 0.05,
+        scan_1d: true,
+    };
+    let mut g = c.benchmark_group("fig11");
+    g.sample_size(10);
+    g.bench_function("pca_zfp16_laplace_small", |b| {
+        b.iter(|| precondition_and_compress(std::hint::black_box(&field), &cfg))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Fig. 12 bench: compression/decompression overhead of the
+//! preconditioners, measured with Criterion (the statistically careful
+//! version of the Fig. 12 bars).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lrm_cli::experiments::overhead::fig12;
+use lrm_core::{precondition_and_compress, reconstruct, PipelineConfig, ReducedModelKind};
+use lrm_datasets::{generate, DatasetKind, SizeClass};
+
+fn print_reproduction() {
+    println!("\n=== Fig. 12 reproduction (size = Small, avg over 9 datasets) ===");
+    println!(
+        "{:<10} {:>13} {:>9} {:>15} {:>9}",
+        "method", "compress (s)", "x vs ZFP", "decompress (s)", "x vs ZFP"
+    );
+    for r in fig12(SizeClass::Small) {
+        println!(
+            "{:<10} {:>13.4} {:>9.2} {:>15.4} {:>9.2}",
+            r.method, r.compress_s, r.compress_rel, r.decompress_s, r.decompress_rel
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_reproduction();
+    let field = generate(DatasetKind::Yf17Temp, SizeClass::Small).full;
+    let mut g = c.benchmark_group("fig12");
+    g.sample_size(10);
+    g.throughput(criterion::Throughput::Bytes(field.nbytes() as u64));
+    for (name, model) in [
+        ("compress_direct_zfp", ReducedModelKind::Direct),
+        ("compress_pca_zfp", ReducedModelKind::Pca),
+        ("compress_svd_zfp", ReducedModelKind::Svd),
+        ("compress_wavelet_zfp", ReducedModelKind::Wavelet),
+    ] {
+        let cfg = PipelineConfig::zfp(model);
+        g.bench_function(name, |b| {
+            b.iter(|| precondition_and_compress(std::hint::black_box(&field), &cfg))
+        });
+    }
+    // Decompression side.
+    for (name, model) in [
+        ("decompress_direct_zfp", ReducedModelKind::Direct),
+        ("decompress_pca_zfp", ReducedModelKind::Pca),
+    ] {
+        let art = precondition_and_compress(&field, &PipelineConfig::zfp(model));
+        g.bench_function(name, |b| {
+            b.iter(|| reconstruct(std::hint::black_box(&art.bytes)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Fig. 1 + Table II bench: regenerates the full/reduced data
+//! characteristics and times the statistics pipeline.
+//!
+//! The printed block is the reproduction record for Fig. 1 (see
+//! EXPERIMENTS.md); the timed section measures the characteristics
+//! computation itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lrm_cli::experiments::characteristics::{fig1, table2};
+use lrm_datasets::{generate, DatasetKind, SizeClass};
+use lrm_stats::DataCharacteristics;
+
+fn print_reproduction() {
+    println!("\n=== Fig. 1 reproduction (size = Small) ===");
+    println!(
+        "{:<14} {:>9} {:>9} {:>10} {:>10} {:>10} {:>10} {:>6}",
+        "dataset", "ent(full)", "ent(red)", "mean(full)", "mean(red)", "corr(full)", "corr(red)", "KS"
+    );
+    for r in fig1(SizeClass::Small) {
+        println!(
+            "{:<14} {:>9.3} {:>9.3} {:>10.2} {:>10.2} {:>10.3} {:>10.3} {:>6.3}",
+            r.dataset,
+            r.full.byte_entropy,
+            r.reduced.byte_entropy,
+            r.full.byte_mean,
+            r.reduced.byte_mean,
+            r.full.serial_correlation,
+            r.reduced.serial_correlation,
+            r.ks
+        );
+    }
+    let t = table2(SizeClass::Small);
+    println!("\n=== Table II reproduction (size = Small) ===");
+    println!(
+        "full:    n={}³ steps={} dt={:.3e} ent={:.4} mean={:.2} corr={:.4}",
+        t.full_n, t.full_steps, t.full_dt, t.full_stats.byte_entropy, t.full_stats.byte_mean,
+        t.full_stats.serial_correlation
+    );
+    println!(
+        "reduced: n={}² steps={} dt={:.3e} ent={:.4} mean={:.2} corr={:.4}",
+        t.reduced_n, t.reduced_steps, t.reduced_dt, t.reduced_stats.byte_entropy,
+        t.reduced_stats.byte_mean, t.reduced_stats.serial_correlation
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_reproduction();
+    let field = generate(DatasetKind::Astro, SizeClass::Small).full;
+    let mut g = c.benchmark_group("fig1");
+    g.sample_size(20);
+    g.bench_function("data_characteristics_astro_small", |b| {
+        b.iter(|| DataCharacteristics::of(std::hint::black_box(&field.data)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

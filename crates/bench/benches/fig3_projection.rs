@@ -1,0 +1,45 @@
+//! Fig. 3 + Fig. 4 bench: regenerates the projection-method compression
+//! ratios and times the one-base pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lrm_cli::experiments::projection::{fig3, fig4};
+use lrm_core::{precondition_and_compress, PipelineConfig, ReducedModelKind};
+use lrm_datasets::{generate, DatasetKind, SizeClass};
+
+fn print_reproduction() {
+    println!("\n=== Fig. 3 reproduction (size = Small, 10 outputs) ===");
+    println!("{:<8} {:<10} {:<11} {:>8}", "dataset", "compressor", "method", "ratio");
+    for r in fig3(SizeClass::Small, 10) {
+        println!(
+            "{:<8} {:<10} {:<11} {:>8.2}",
+            r.dataset, r.compressor, r.method, r.ratio
+        );
+    }
+    println!("\n=== Fig. 4 reproduction (improvement vs compressibility) ===");
+    println!("{:<8} {:>16} {:>14}", "dataset", "ZFP ratio (orig)", "improvement");
+    for p in fig4(SizeClass::Small, 10) {
+        println!("{:<8} {:>16.2} {:>14.2}", p.dataset, p.zfp_ratio, p.improvement);
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_reproduction();
+    let field = generate(DatasetKind::Heat3d, SizeClass::Small).full;
+    let mut g = c.benchmark_group("fig3");
+    g.sample_size(10);
+    g.throughput(criterion::Throughput::Bytes(field.nbytes() as u64));
+    for (name, model) in [
+        ("direct_sz", ReducedModelKind::Direct),
+        ("one_base_sz", ReducedModelKind::OneBase),
+        ("multi_base_sz", ReducedModelKind::MultiBase(4)),
+    ] {
+        let cfg = PipelineConfig::sz(model).with_scan_1d(true);
+        g.bench_function(name, |b| {
+            b.iter(|| precondition_and_compress(std::hint::black_box(&field), &cfg))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

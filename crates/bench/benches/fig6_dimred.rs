@@ -1,0 +1,54 @@
+//! Fig. 6 / 7 / 8 / 9 / 10 bench: regenerates the dimension-reduction
+//! grid (ratios, representation sizes, RMSE, spectra) and times PCA and
+//! SVD preconditioning.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lrm_cli::experiments::dimred::{dimred_grid, fig7, fig8};
+use lrm_core::{precondition_and_compress, PipelineConfig, ReducedModelKind};
+use lrm_datasets::{generate, DatasetKind, SizeClass};
+
+fn print_reproduction() {
+    println!("\n=== Fig. 6 / 9 / 10 reproduction (size = Small) ===");
+    println!(
+        "{:<14} {:<9} {:<5} {:>8} {:>11} {:>12} {:>4}",
+        "dataset", "method", "codec", "ratio", "rep bytes", "RMSE", "k"
+    );
+    for r in dimred_grid(SizeClass::Small) {
+        println!(
+            "{:<14} {:<9} {:<5} {:>8.2} {:>11} {:>12.3e} {:>4}",
+            r.dataset, r.method, r.codec, r.ratio, r.rep_bytes, r.rmse, r.k
+        );
+    }
+    println!("\n=== Fig. 7 (PCA variance proportions) ===");
+    for r in fig7(SizeClass::Small) {
+        let p: Vec<String> = r.proportions.iter().map(|v| format!("{v:.3}")).collect();
+        println!("{:<14} [{}] k95={}", r.dataset, p.join(", "), r.k95);
+    }
+    println!("\n=== Fig. 8 (SVD singular-value proportions) ===");
+    for r in fig8(SizeClass::Small) {
+        let p: Vec<String> = r.proportions.iter().map(|v| format!("{v:.3}")).collect();
+        println!("{:<14} [{}] k95={}", r.dataset, p.join(", "), r.k95);
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_reproduction();
+    let field = generate(DatasetKind::Laplace, SizeClass::Small).full;
+    let mut g = c.benchmark_group("fig6");
+    g.sample_size(10);
+    g.throughput(criterion::Throughput::Bytes(field.nbytes() as u64));
+    for (name, model) in [
+        ("pca_sz", ReducedModelKind::Pca),
+        ("svd_sz", ReducedModelKind::Svd),
+        ("wavelet_sz", ReducedModelKind::Wavelet),
+    ] {
+        let cfg = PipelineConfig::sz(model).with_scan_1d(true);
+        g.bench_function(name, |b| {
+            b.iter(|| precondition_and_compress(std::hint::black_box(&field), &cfg))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

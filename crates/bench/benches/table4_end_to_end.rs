@@ -1,0 +1,53 @@
+//! Table IV bench: the end-to-end compression + I/O accounting (modeled
+//! and measured variants) plus a live run of the staging pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lrm_cli::experiments::end_to_end::{staging_demo, table4_measured, table4_modeled};
+use lrm_datasets::SizeClass;
+
+fn print_reproduction() {
+    println!("\n=== Table IV (a): paper inputs through the storage model ===");
+    println!("{:<28} {:>12} {:>10} {:>10}", "Method", "Compr (s)", "I/O (s)", "Total (s)");
+    for r in table4_modeled() {
+        println!(
+            "{:<28} {:>12} {:>10.2} {:>10.2}",
+            r.label,
+            r.compression_time
+                .map(|t| format!("{t:.2}"))
+                .unwrap_or_else(|| "N/A".into()),
+            r.io_time,
+            r.total()
+        );
+    }
+    println!("\n=== Table IV (b): measured codecs, Titan-ratio-calibrated I/O model ===");
+    println!("{:<28} {:>12} {:>10} {:>10}", "Method", "Compr (s)", "I/O (s)", "Total (s)");
+    for r in table4_measured(SizeClass::Small, 64) {
+        println!(
+            "{:<28} {:>12} {:>10.4} {:>10.4}",
+            r.label,
+            r.compression_time
+                .map(|t| format!("{t:.4}"))
+                .unwrap_or_else(|| "N/A".into()),
+            r.io_time,
+            r.total()
+        );
+    }
+    let demo = staging_demo(SizeClass::Small, 4);
+    println!(
+        "\nlive staging: {} snapshots, app blocked {:.4}s of {:.4}s, {} -> {} bytes",
+        demo.snapshots, demo.app_blocked_s, demo.staging_total_s, demo.raw_bytes, demo.stored_bytes
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_reproduction();
+    let mut g = c.benchmark_group("table4");
+    g.sample_size(10);
+    g.bench_function("staging_pipeline_tiny_x4", |b| {
+        b.iter(|| staging_demo(SizeClass::Tiny, 4))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

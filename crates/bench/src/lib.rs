@@ -1,0 +1,3 @@
+//! Benchmark harness crate: all content lives in `benches/`, one file
+//! per paper table/figure plus codec microbenches and the Table III
+//! scaling ablation. Run `cargo bench --workspace`.

@@ -1,0 +1,258 @@
+//! Fig. 3 (projection-method compression ratios on Heat3d and Laplace)
+//! and Fig. 4 (improvement vs compressibility).
+
+use lrm_compress::{Codec, Shape};
+use lrm_core::projection::upsample;
+use lrm_core::{
+    fpc_paper, precondition_and_compress, precondition_and_compress_with_aux, PipelineConfig,
+    ReducedModelKind,
+};
+use lrm_datasets::{reduced_snapshots, snapshots, DatasetKind, Field, SizeClass};
+
+/// The four methods of Fig. 3's bar groups.
+pub const METHODS: [ReducedModelKind; 4] = [
+    ReducedModelKind::Direct,
+    ReducedModelKind::OneBase,
+    ReducedModelKind::MultiBase(4),
+    ReducedModelKind::DuoModel,
+];
+
+/// One Fig. 3 bar: average compression ratio of a (dataset, compressor,
+/// method) combination over the snapshot series.
+#[derive(Debug, Clone)]
+pub struct Fig3Row {
+    /// Dataset name.
+    pub dataset: &'static str,
+    /// Compressor name (SZ / ZFP / FPC).
+    pub compressor: &'static str,
+    /// Method name (original / one-base / multi-base / DuoModel).
+    pub method: &'static str,
+    /// Average compression ratio over the snapshots.
+    pub ratio: f64,
+}
+
+/// Splits a field's length into the blocks multi-base uses by default.
+const MULTI_BASE_BLOCKS: usize = 4;
+
+/// FPC-based (lossless) preconditioned sizes: the base is exact, so the
+/// stored object is `FPC(base) + FPC(field - base)`.
+fn fpc_method_bytes(field: &Field, coarse: &Field, method: ReducedModelKind) -> usize {
+    let fpc = fpc_paper();
+    let [nx, ny, nz] = field.shape.dims;
+    match method {
+        ReducedModelKind::Direct => fpc.compress(&field.data, field.shape).len(),
+        ReducedModelKind::OneBase => {
+            let (base, delta) = if field.shape.ndims() == 2 {
+                let mid = ny / 2;
+                let row: Vec<f64> = (0..nx).map(|x| field.at(x, mid, 0)).collect();
+                let delta: Vec<f64> = (0..field.len())
+                    .map(|i| field.data[i] - row[i % nx])
+                    .collect();
+                ((row, Shape::d1(nx)), delta)
+            } else {
+                let mid = nz / 2;
+                let plane = field.plane_z(mid);
+                let mut delta = Vec::with_capacity(field.len());
+                for z in 0..nz {
+                    for y in 0..ny {
+                        for x in 0..nx {
+                            delta.push(field.at(x, y, z) - plane.data[y * nx + x]);
+                        }
+                    }
+                }
+                ((plane.data, Shape::d2(nx, ny)), delta)
+            };
+            fpc.compress(&base.0, base.1).len() + fpc.compress(&delta, field.shape).len()
+        }
+        ReducedModelKind::MultiBase(_) | ReducedModelKind::DuoModel
+            if method == ReducedModelKind::DuoModel =>
+        {
+            let up = upsample(&coarse.data, coarse.shape, field.shape);
+            let delta: Vec<f64> = field.data.iter().zip(&up).map(|(a, b)| a - b).collect();
+            fpc.compress(&coarse.data, coarse.shape).len()
+                + fpc.compress(&delta, field.shape).len()
+        }
+        ReducedModelKind::MultiBase(g) => {
+            // Exact per-block bases along the slowest dimension.
+            let (bases, base_shape, delta) = if field.shape.ndims() == 2 {
+                let g = g.clamp(1, ny);
+                let mut rows = Vec::with_capacity(nx * g);
+                for b in 0..g {
+                    let ym = (b * ny / g + (b + 1) * ny / g) / 2;
+                    for x in 0..nx {
+                        rows.push(field.at(x, ym, 0));
+                    }
+                }
+                let mut delta = Vec::with_capacity(field.len());
+                for y in 0..ny {
+                    let b = (y * g / ny).min(g - 1);
+                    for x in 0..nx {
+                        delta.push(field.at(x, y, 0) - rows[b * nx + x]);
+                    }
+                }
+                (rows, Shape::d2(nx, g), delta)
+            } else {
+                let g = g.clamp(1, nz);
+                let mut planes = Vec::with_capacity(nx * ny * g);
+                for b in 0..g {
+                    let zm = (b * nz / g + (b + 1) * nz / g) / 2;
+                    for y in 0..ny {
+                        for x in 0..nx {
+                            planes.push(field.at(x, y, zm));
+                        }
+                    }
+                }
+                let mut delta = Vec::with_capacity(field.len());
+                for z in 0..nz {
+                    let b = (z * g / nz).min(g - 1);
+                    for y in 0..ny {
+                        for x in 0..nx {
+                            delta.push(field.at(x, y, z) - planes[(b * ny + y) * nx + x]);
+                        }
+                    }
+                }
+                (planes, Shape::d3(nx, ny, g), delta)
+            };
+            fpc.compress(&bases, base_shape).len() + fpc.compress(&delta, field.shape).len()
+        }
+        other => panic!("fpc_method_bytes: unsupported method {other:?}"),
+    }
+}
+
+/// Computes Fig. 3: Heat3d and Laplace, {SZ, ZFP, FPC} × four methods,
+/// averaged over `outputs` snapshots.
+pub fn fig3(size: SizeClass, outputs: usize) -> Vec<Fig3Row> {
+    let mut rows = Vec::new();
+    for kind in [DatasetKind::Heat3d, DatasetKind::Laplace] {
+        let fulls = snapshots(kind, outputs, size);
+        let coarses = reduced_snapshots(kind, outputs, size);
+        // Bounds follow the paper's dual-bound methodology (Section V-B:
+        // the delta takes the looser bound). Section IV-B's text lists a
+        // single bound, but a point-wise relative bound applied verbatim
+        // to near-zero deltas over-spends bits — the very issue Section
+        // V-B raises — so the dual bounds are used consistently here and
+        // the choice is recorded in EXPERIMENTS.md.
+        for (comp_name, make_cfg) in [
+            ("SZ", PipelineConfig::sz as fn(ReducedModelKind) -> PipelineConfig),
+            ("ZFP", PipelineConfig::zfp as fn(ReducedModelKind) -> PipelineConfig),
+        ] {
+            for method in METHODS {
+                let mut acc = 0.0;
+                for (f, c) in fulls.iter().zip(&coarses) {
+                    // The paper feeds outputs to the compressor CLIs as
+                    // flat streams; mirror that for data and delta alike.
+                    let cfg = make_cfg(method).with_scan_1d(true);
+                    let art = if method == ReducedModelKind::DuoModel {
+                        precondition_and_compress_with_aux(f, c, &cfg)
+                    } else {
+                        precondition_and_compress(f, &cfg)
+                    };
+                    acc += art.report.ratio();
+                }
+                rows.push(Fig3Row {
+                    dataset: kind.name(),
+                    compressor: comp_name,
+                    method: method.name(),
+                    ratio: acc / fulls.len() as f64,
+                });
+            }
+        }
+        // FPC (lossless) bars.
+        for method in METHODS {
+            let mut acc = 0.0;
+            for (f, c) in fulls.iter().zip(&coarses) {
+                let bytes = fpc_method_bytes(f, c, method);
+                acc += f.nbytes() as f64 / bytes.max(1) as f64;
+            }
+            rows.push(Fig3Row {
+                dataset: kind.name(),
+                compressor: "FPC",
+                method: method.name(),
+                ratio: acc / fulls.len() as f64,
+            });
+        }
+    }
+    let _ = MULTI_BASE_BLOCKS;
+    rows
+}
+
+/// One Fig. 4 point: compressibility of a snapshot (direct ZFP ratio) vs
+/// the improvement one-base brings.
+#[derive(Debug, Clone)]
+pub struct Fig4Point {
+    /// Dataset name.
+    pub dataset: &'static str,
+    /// Direct ZFP compression ratio of the snapshot (the x axis).
+    pub zfp_ratio: f64,
+    /// one-base ZFP ratio divided by the direct ratio (the y axis).
+    pub improvement: f64,
+}
+
+/// Computes Fig. 4 over `outputs` snapshots each of Heat3d and Laplace.
+pub fn fig4(size: SizeClass, outputs: usize) -> Vec<Fig4Point> {
+    let mut points = Vec::new();
+    for kind in [DatasetKind::Heat3d, DatasetKind::Laplace] {
+        for f in snapshots(kind, outputs, size) {
+            let direct = precondition_and_compress(
+                &f,
+                &PipelineConfig::zfp(ReducedModelKind::Direct).with_scan_1d(true),
+            );
+            let onebase = precondition_and_compress(
+                &f,
+                &PipelineConfig::zfp(ReducedModelKind::OneBase).with_scan_1d(true),
+            );
+            points.push(Fig4Point {
+                dataset: kind.name(),
+                zfp_ratio: direct.report.ratio(),
+                improvement: onebase.report.ratio() / direct.report.ratio(),
+            });
+        }
+    }
+    points.sort_by(|a, b| a.zfp_ratio.partial_cmp(&b.zfp_ratio).expect("finite"));
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_produces_all_combinations() {
+        let rows = fig3(SizeClass::Tiny, 2);
+        // 2 datasets x 3 compressors x 4 methods.
+        assert_eq!(rows.len(), 24);
+        for r in &rows {
+            assert!(r.ratio > 0.0, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn fig3_preconditioning_improves_lossy_ratios_on_heat3d() {
+        let rows = fig3(SizeClass::Tiny, 2);
+        let get = |comp: &str, method: &str| {
+            rows.iter()
+                .find(|r| r.dataset == "Heat3d" && r.compressor == comp && r.method == method)
+                .map(|r| r.ratio)
+                .expect("row present")
+        };
+        // The paper's headline: one-base and multi-base beat original for
+        // SZ and ZFP.
+        for comp in ["SZ", "ZFP"] {
+            assert!(
+                get(comp, "one-base") > get(comp, "original"),
+                "{comp}: {} vs {}",
+                get(comp, "one-base"),
+                get(comp, "original")
+            );
+        }
+    }
+
+    #[test]
+    fn fig4_points_are_sorted_by_compressibility() {
+        let pts = fig4(SizeClass::Tiny, 3);
+        assert_eq!(pts.len(), 6);
+        for w in pts.windows(2) {
+            assert!(w[1].zfp_ratio >= w[0].zfp_ratio);
+        }
+    }
+}

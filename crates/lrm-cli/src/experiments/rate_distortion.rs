@@ -1,0 +1,103 @@
+//! Fig. 11: compression ratio at equal RMSE — the ZFP precision sweep.
+//!
+//! The paper varies ZFP's precision from 8 to 32 bits and plots ratio vs
+//! RMSE for direct compression, PCA, and SVD, asking whether the
+//! preconditioners can win *at the same information loss*.
+
+use lrm_core::{
+    precondition_and_compress, reconstruct, LossyCodec, PipelineConfig, ReducedModelKind,
+};
+use lrm_datasets::{generate, DatasetKind, SizeClass};
+use lrm_stats::rmse;
+
+/// One point of a Fig. 11 curve.
+#[derive(Debug, Clone)]
+pub struct RatePoint {
+    /// Dataset name.
+    pub dataset: &'static str,
+    /// Method name (original / PCA / SVD).
+    pub method: &'static str,
+    /// ZFP precision used (bits).
+    pub precision: u32,
+    /// Measured RMSE of the roundtrip.
+    pub rmse: f64,
+    /// Measured compression ratio.
+    pub ratio: f64,
+}
+
+/// The precision grid the sweep visits (the paper's 8..=32 range).
+pub const PRECISIONS: [u32; 7] = [8, 12, 16, 20, 24, 28, 32];
+
+/// Runs the sweep for every dataset.
+pub fn fig11(size: SizeClass) -> Vec<RatePoint> {
+    fig11_datasets(size, &DatasetKind::ALL)
+}
+
+/// Runs the sweep for selected datasets.
+pub fn fig11_datasets(size: SizeClass, kinds: &[DatasetKind]) -> Vec<RatePoint> {
+    let mut out = Vec::new();
+    for &kind in kinds {
+        let field = generate(kind, size).full;
+        for method in [
+            ReducedModelKind::Direct,
+            ReducedModelKind::Pca,
+            ReducedModelKind::Svd,
+        ] {
+            for &p in &PRECISIONS {
+                let cfg = PipelineConfig {
+                    model: method,
+                    orig: LossyCodec::ZfpPrecision(p),
+                    // The delta keeps the paper's 2:1 precision split.
+                    delta: LossyCodec::ZfpPrecision((p / 2).max(4)),
+                    variance_fraction: 0.95,
+                    theta_fraction: 0.05,
+                    scan_1d: true,
+                };
+                let art = precondition_and_compress(&field, &cfg);
+                let (rec, _) = reconstruct(&art.bytes);
+                out.push(RatePoint {
+                    dataset: kind.name(),
+                    method: method.name(),
+                    precision: p,
+                    rmse: rmse(&field.data, &rec),
+                    ratio: art.report.ratio(),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_grid() {
+        let pts = fig11_datasets(SizeClass::Tiny, &[DatasetKind::Laplace]);
+        assert_eq!(pts.len(), 3 * PRECISIONS.len());
+    }
+
+    #[test]
+    fn higher_precision_means_lower_rmse_for_direct() {
+        let pts = fig11_datasets(SizeClass::Tiny, &[DatasetKind::Heat3d]);
+        let direct: Vec<&RatePoint> = pts.iter().filter(|p| p.method == "original").collect();
+        for w in direct.windows(2) {
+            assert!(
+                w[1].rmse <= w[0].rmse * 1.1 + 1e-12,
+                "precision {} rmse {} vs precision {} rmse {}",
+                w[1].precision,
+                w[1].rmse,
+                w[0].precision,
+                w[0].rmse
+            );
+        }
+    }
+
+    #[test]
+    fn ratio_decreases_with_precision() {
+        let pts = fig11_datasets(SizeClass::Tiny, &[DatasetKind::Laplace]);
+        let direct: Vec<&RatePoint> = pts.iter().filter(|p| p.method == "original").collect();
+        assert!(direct.first().expect("pts").ratio > direct.last().expect("pts").ratio);
+    }
+}

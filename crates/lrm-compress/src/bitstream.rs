@@ -1,0 +1,234 @@
+//! Bit-level I/O used by every entropy coder in this crate.
+//!
+//! Bits are packed LSB-first into bytes, matching the convention of ZFP's
+//! stream layer: the first bit written becomes bit 0 of byte 0.
+
+/// Append-only bit writer.
+#[derive(Debug, Default, Clone)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Number of valid bits in the final partial byte (0..8; 0 = none).
+    bit_pos: u32,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a writer with pre-reserved capacity for `bits` bits.
+    pub fn with_capacity_bits(bits: usize) -> Self {
+        Self {
+            bytes: Vec::with_capacity(bits / 8 + 1),
+            bit_pos: 0,
+        }
+    }
+
+    /// Writes a single bit (the LSB of `bit`).
+    #[inline]
+    pub fn write_bit(&mut self, bit: u64) {
+        if self.bit_pos == 0 {
+            self.bytes.push(0);
+        }
+        if bit & 1 != 0 {
+            *self.bytes.last_mut().expect("pushed above") |= 1 << self.bit_pos;
+        }
+        self.bit_pos = (self.bit_pos + 1) % 8;
+    }
+
+    /// Writes the low `n` bits of `value`, LSB first. `n` must be <= 64.
+    #[inline]
+    pub fn write_bits(&mut self, value: u64, n: u32) {
+        debug_assert!(n <= 64);
+        for i in 0..n {
+            self.write_bit((value >> i) & 1);
+        }
+    }
+
+    /// Total number of bits written so far.
+    pub fn len_bits(&self) -> usize {
+        if self.bit_pos == 0 {
+            self.bytes.len() * 8
+        } else {
+            (self.bytes.len() - 1) * 8 + self.bit_pos as usize
+        }
+    }
+
+    /// Appends every bit of `other` to this writer (bit-exact, no
+    /// padding between the streams). This is what lets blocks be encoded
+    /// in parallel into private writers and stitched into one contiguous
+    /// stream afterwards.
+    pub fn append(&mut self, other: &BitWriter) {
+        let total = other.len_bits();
+        let mut remaining = total;
+        for (i, &byte) in other.bytes.iter().enumerate() {
+            let bits = if remaining >= 8 { 8 } else { remaining as u32 };
+            let _ = i;
+            self.write_bits(byte as u64, bits);
+            remaining = remaining.saturating_sub(8);
+            if remaining == 0 {
+                break;
+            }
+        }
+    }
+
+    /// Finishes the stream, zero-padding the last byte.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// Borrow of the byte buffer (last byte may be partial).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+/// Bit reader over a byte slice, LSB-first (mirror of [`BitWriter`]).
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize, // absolute bit position
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader positioned at the first bit.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    /// Reads one bit; returns 0 past the end of the stream (ZFP stream
+    /// semantics: reads beyond the end yield zeros, which lets a
+    /// fixed-precision decoder stop early safely).
+    #[inline]
+    pub fn read_bit(&mut self) -> u64 {
+        let byte = self.pos / 8;
+        let bit = self.pos % 8;
+        self.pos += 1;
+        if byte >= self.bytes.len() {
+            return 0;
+        }
+        ((self.bytes[byte] >> bit) & 1) as u64
+    }
+
+    /// Reads `n` bits (LSB first), zero-extended.
+    #[inline]
+    pub fn read_bits(&mut self, n: u32) -> u64 {
+        debug_assert!(n <= 64);
+        let mut v = 0u64;
+        for i in 0..n {
+            v |= self.read_bit() << i;
+        }
+        v
+    }
+
+    /// Absolute bit position.
+    pub fn bit_pos(&self) -> usize {
+        self.pos
+    }
+
+    /// True when every real bit has been consumed (padding may remain).
+    pub fn is_exhausted(&self) -> bool {
+        self.pos >= self.bytes.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_single_bits() {
+        let mut w = BitWriter::new();
+        let pattern = [1u64, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1];
+        for &b in &pattern {
+            w.write_bit(b);
+        }
+        assert_eq!(w.len_bits(), pattern.len());
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &b in &pattern {
+            assert_eq!(r.read_bit(), b);
+        }
+    }
+
+    #[test]
+    fn roundtrip_multi_bit_values() {
+        let mut w = BitWriter::new();
+        w.write_bits(0xDEADBEEF, 32);
+        w.write_bits(0x3, 2);
+        w.write_bits(u64::MAX, 64);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(32), 0xDEADBEEF);
+        assert_eq!(r.read_bits(2), 0x3);
+        assert_eq!(r.read_bits(64), u64::MAX);
+    }
+
+    #[test]
+    fn reads_past_end_are_zero() {
+        let mut r = BitReader::new(&[0xFF]);
+        assert_eq!(r.read_bits(8), 0xFF);
+        assert_eq!(r.read_bits(16), 0);
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn zero_bit_write_is_noop() {
+        let mut w = BitWriter::new();
+        w.write_bits(123, 0);
+        assert_eq!(w.len_bits(), 0);
+        assert!(w.into_bytes().is_empty());
+    }
+
+    #[test]
+    fn lsb_first_layout() {
+        let mut w = BitWriter::new();
+        w.write_bit(1); // bit 0 of byte 0
+        w.write_bits(0, 6);
+        w.write_bit(1); // bit 7 of byte 0
+        assert_eq!(w.into_bytes(), vec![0b1000_0001]);
+    }
+
+    #[test]
+    fn append_is_bit_exact_across_alignments() {
+        for head_bits in 0..17u32 {
+            let mut a = BitWriter::new();
+            a.write_bits(0x5A5A, head_bits.min(16));
+            let mut b = BitWriter::new();
+            b.write_bits(0xDEADBEEFCAFE, 48);
+            b.write_bit(1);
+            let b_len = b.len_bits();
+            let mut joined = BitWriter::new();
+            joined.write_bits(0x5A5A, head_bits.min(16));
+            joined.append(&b);
+            assert_eq!(joined.len_bits(), head_bits.min(16) as usize + b_len);
+            let bytes = joined.into_bytes();
+            let mut r = BitReader::new(&bytes);
+            let hb = head_bits.min(16);
+            let mask = if hb == 0 { 0 } else { (1u64 << hb) - 1 };
+            assert_eq!(r.read_bits(hb), 0x5A5A & mask);
+            assert_eq!(r.read_bits(48), 0xDEADBEEFCAFE);
+            assert_eq!(r.read_bit(), 1);
+        }
+    }
+
+    #[test]
+    fn append_empty_is_noop() {
+        let mut a = BitWriter::new();
+        a.write_bits(7, 3);
+        let before = a.len_bits();
+        a.append(&BitWriter::new());
+        assert_eq!(a.len_bits(), before);
+    }
+
+    #[test]
+    fn len_bits_tracks_partial_bytes() {
+        let mut w = BitWriter::new();
+        assert_eq!(w.len_bits(), 0);
+        w.write_bits(0, 9);
+        assert_eq!(w.len_bits(), 9);
+        w.write_bits(0, 7);
+        assert_eq!(w.len_bits(), 16);
+    }
+}

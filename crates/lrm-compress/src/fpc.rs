@@ -1,0 +1,293 @@
+//! FPC: lossless compressor for IEEE-754 doubles.
+//!
+//! Reimplements Burtscher & Ratanaworabhan (IEEE TC 2009): each double is
+//! predicted by two hash-table predictors — **FCM** (finite context on
+//! recent values) and **DFCM** (finite context on recent deltas) — the
+//! closer prediction is XORed with the true value, and the residual is
+//! stored as a 4-bit header (1 predictor-selector bit + 3-bit
+//! leading-zero-byte count) plus the non-zero low bytes.
+//!
+//! The paper runs FPC at *level 20 with a 2^24-byte table*; [`Fpc::new`]
+//! takes the same level parameter (log2 of table entries).
+
+use crate::{Codec, Shape};
+
+/// FPC codec with a configurable table size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fpc {
+    /// log2 of the number of entries in each predictor table.
+    level: u32,
+}
+
+impl Default for Fpc {
+    fn default() -> Self {
+        Self::new(20)
+    }
+}
+
+impl Fpc {
+    /// Creates an FPC codec. `level` is the log2 of predictor-table
+    /// entries, clamped to 4..=24 (level 20 matches the paper's setup:
+    /// 2^20 entries x 8 bytes = 2^23 bytes per table, two tables = 2^24
+    /// bytes total).
+    pub fn new(level: u32) -> Self {
+        Self {
+            level: level.clamp(4, 24),
+        }
+    }
+
+    fn table_entries(&self) -> usize {
+        1usize << self.level
+    }
+}
+
+struct Predictors {
+    fcm: Vec<u64>,
+    dfcm: Vec<u64>,
+    fcm_hash: usize,
+    dfcm_hash: usize,
+    last: u64,
+    mask: usize,
+}
+
+impl Predictors {
+    fn new(entries: usize) -> Self {
+        Self {
+            fcm: vec![0; entries],
+            dfcm: vec![0; entries],
+            fcm_hash: 0,
+            dfcm_hash: 0,
+            last: 0,
+            mask: entries - 1,
+        }
+    }
+
+    /// Returns (fcm prediction, dfcm prediction) for the next value.
+    #[inline]
+    fn predict(&self) -> (u64, u64) {
+        (
+            self.fcm[self.fcm_hash],
+            self.dfcm[self.dfcm_hash].wrapping_add(self.last),
+        )
+    }
+
+    /// Feeds the true value through both predictors (identical on encode
+    /// and decode paths).
+    #[inline]
+    fn update(&mut self, val: u64) {
+        self.fcm[self.fcm_hash] = val;
+        self.fcm_hash = ((self.fcm_hash << 6) ^ (val >> 48) as usize) & self.mask;
+        let delta = val.wrapping_sub(self.last);
+        self.dfcm[self.dfcm_hash] = delta;
+        self.dfcm_hash = ((self.dfcm_hash << 2) ^ (delta >> 40) as usize) & self.mask;
+        self.last = val;
+    }
+}
+
+/// Encodes a leading-zero-byte count (0..=8, 4 excluded) into 3 bits.
+#[inline]
+fn encode_lzb(cnt: u32) -> u32 {
+    let cnt = if cnt == 4 { 3 } else { cnt };
+    if cnt > 4 {
+        cnt - 1
+    } else {
+        cnt
+    }
+}
+
+/// Inverse of [`encode_lzb`].
+#[inline]
+fn decode_lzb(code: u32) -> u32 {
+    if code > 3 {
+        code + 1
+    } else {
+        code
+    }
+}
+
+impl Codec for Fpc {
+    fn name(&self) -> &'static str {
+        "FPC"
+    }
+
+    fn compress(&self, data: &[f64], shape: Shape) -> Vec<u8> {
+        assert_eq!(data.len(), shape.len(), "fpc: data/shape mismatch");
+        let n = data.len();
+        let mut pred = Predictors::new(self.table_entries());
+
+        let header_len = n.div_ceil(2);
+        let mut headers = vec![0u8; header_len];
+        let mut residuals: Vec<u8> = Vec::with_capacity(n * 4);
+
+        for (i, &v) in data.iter().enumerate() {
+            let val = v.to_bits();
+            let (p1, p2) = pred.predict();
+            let x1 = val ^ p1;
+            let x2 = val ^ p2;
+            let (sel, xor) = if x1 <= x2 { (0u8, x1) } else { (1u8, x2) };
+            let lzb = (xor.leading_zeros() / 8).min(8);
+            let code = encode_lzb(lzb);
+            let nbytes = 8 - decode_lzb(code); // bytes actually stored
+            let nibble = (sel << 3) | code as u8;
+            if i % 2 == 0 {
+                headers[i / 2] = nibble << 4;
+            } else {
+                headers[i / 2] |= nibble;
+            }
+            // Store the low `nbytes` bytes, most significant first.
+            for b in (0..nbytes).rev() {
+                residuals.push((xor >> (8 * b)) as u8);
+            }
+            pred.update(val);
+        }
+
+        let mut out = Vec::with_capacity(8 + headers.len() + residuals.len());
+        out.extend_from_slice(&(n as u64).to_le_bytes());
+        out.extend_from_slice(&headers);
+        out.extend_from_slice(&residuals);
+        out
+    }
+
+    fn decompress(&self, bytes: &[u8], shape: Shape) -> Vec<f64> {
+        let n = u64::from_le_bytes(bytes[..8].try_into().expect("fpc: truncated")) as usize;
+        assert_eq!(n, shape.len(), "fpc: stream/shape mismatch");
+        let header_len = n.div_ceil(2);
+        let headers = &bytes[8..8 + header_len];
+        let mut rpos = 8 + header_len;
+
+        let mut pred = Predictors::new(self.table_entries());
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let nibble = if i % 2 == 0 {
+                headers[i / 2] >> 4
+            } else {
+                headers[i / 2] & 0xf
+            };
+            let sel = (nibble >> 3) & 1;
+            let code = (nibble & 0x7) as u32;
+            let nbytes = (8 - decode_lzb(code)) as usize;
+            let mut xor = 0u64;
+            for _ in 0..nbytes {
+                xor = (xor << 8) | bytes[rpos] as u64;
+                rpos += 1;
+            }
+            let (p1, p2) = pred.predict();
+            let p = if sel == 0 { p1 } else { p2 };
+            let val = xor ^ p;
+            out.push(f64::from_bits(val));
+            pred.update(val);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[f64]) {
+        let shape = Shape::d1(data.len());
+        let f = Fpc::new(16);
+        let c = f.compress(data, shape);
+        let d = f.decompress(&c, shape);
+        assert_eq!(d.len(), data.len());
+        for (a, b) in data.iter().zip(&d) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_bit_exact_on_smooth_data() {
+        let data: Vec<f64> = (0..5000).map(|i| (i as f64 * 0.001).sin() * 100.0).collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn roundtrip_handles_special_values() {
+        roundtrip(&[
+            0.0,
+            -0.0,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NAN,
+            f64::MIN_POSITIVE,
+            1e-310, // subnormal
+            f64::MAX,
+        ]);
+    }
+
+    #[test]
+    fn roundtrip_empty_and_single() {
+        roundtrip(&[]);
+        roundtrip(&[42.0]);
+    }
+
+    #[test]
+    fn roundtrip_random_bits() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let data: Vec<f64> = (0..2000).map(|_| f64::from_bits(rng.gen())).collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn repetitive_data_compresses() {
+        let data: Vec<f64> = (0..8000).map(|i| (i % 16) as f64).collect();
+        let f = Fpc::new(16);
+        let ratio = f.ratio(&data, Shape::d1(data.len()));
+        assert!(ratio > 2.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn random_data_does_not_explode() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(14);
+        let data: Vec<f64> = (0..4000).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let f = Fpc::default();
+        let c = f.compress(&data, Shape::d1(data.len()));
+        // Worst case: 0.5 header byte + 8 residual bytes per value + 8.
+        assert!(c.len() <= data.len() * 9 + 8);
+    }
+
+    #[test]
+    fn lzb_code_roundtrip() {
+        for cnt in [0u32, 1, 2, 3, 5, 6, 7, 8] {
+            assert_eq!(decode_lzb(encode_lzb(cnt)), cnt);
+        }
+        // Count 4 is stored as 3 (one extra zero byte stored).
+        assert_eq!(decode_lzb(encode_lzb(4)), 3);
+    }
+
+    #[test]
+    fn level_is_clamped() {
+        assert_eq!(Fpc::new(0).table_entries(), 16);
+        assert_eq!(Fpc::new(99).table_entries(), 1 << 24);
+        assert_eq!(Fpc::new(20).table_entries(), 1 << 20);
+    }
+
+    #[test]
+    fn smoother_deltas_compress_better() {
+        // Constant-step ramp: DFCM predicts perfectly after warm-up.
+        let ramp: Vec<f64> = (0..4000).map(|i| i as f64).collect();
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(15);
+        let noise: Vec<f64> = (0..4000).map(|_| rng.gen_range(0.0..4000.0)).collect();
+        let f = Fpc::new(18);
+        let shape = Shape::d1(4000);
+        assert!(f.ratio(&ramp, shape) > 1.5 * f.ratio(&noise, shape));
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_bit_exact_roundtrip(
+            data in proptest::collection::vec(proptest::num::f64::ANY, 0..500)
+        ) {
+            let shape = Shape::d1(data.len());
+            let f = Fpc::new(12);
+            let d = f.decompress(&f.compress(&data, shape), shape);
+            for (a, b) in data.iter().zip(&d) {
+                proptest::prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+}

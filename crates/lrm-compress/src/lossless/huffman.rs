@@ -1,0 +1,299 @@
+//! Canonical Huffman coding over `u64` symbol streams.
+//!
+//! SZ encodes its quantization factors with Huffman coding; the alphabet is
+//! sparse (most codes cluster around the zero-delta bin), so we build the
+//! tree only over observed symbols and ship a compact (symbol, code-length)
+//! table in the header.
+
+use super::varint::{decode_uvarint, encode_uvarint};
+use crate::bitstream::{BitReader, BitWriter};
+use std::collections::BinaryHeap;
+use std::collections::HashMap;
+
+/// Maximum admitted code length. Frequencies are flattened and the tree is
+/// rebuilt if this depth is exceeded (only possible for pathological
+/// distributions over huge alphabets).
+const MAX_CODE_LEN: u32 = 48;
+
+/// Computes Huffman code lengths for `freqs` (symbol → count) using a
+/// standard two-queue/heap construction.
+fn code_lengths(freqs: &HashMap<u64, u64>) -> HashMap<u64, u32> {
+    #[derive(PartialEq, Eq)]
+    struct Node {
+        weight: u64,
+        // Tie-break on id for determinism.
+        id: usize,
+        kind: NodeKind,
+    }
+    #[derive(PartialEq, Eq)]
+    enum NodeKind {
+        Leaf(u64),
+        Internal(Box<Node>, Box<Node>),
+    }
+    impl Ord for Node {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            // BinaryHeap is a max-heap; invert for min-heap behaviour.
+            other
+                .weight
+                .cmp(&self.weight)
+                .then_with(|| other.id.cmp(&self.id))
+        }
+    }
+    impl PartialOrd for Node {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    let mut lengths = HashMap::new();
+    if freqs.is_empty() {
+        return lengths;
+    }
+    if freqs.len() == 1 {
+        lengths.insert(*freqs.keys().next().expect("one key"), 1);
+        return lengths;
+    }
+
+    let mut scale = 0u32;
+    loop {
+        let mut heap: BinaryHeap<Node> = BinaryHeap::new();
+        let mut id = 0;
+        let mut syms: Vec<(&u64, &u64)> = freqs.iter().collect();
+        syms.sort(); // determinism across HashMap orderings
+        for (&s, &w) in syms {
+            heap.push(Node {
+                weight: (w >> scale).max(1),
+                id,
+                kind: NodeKind::Leaf(s),
+            });
+            id += 1;
+        }
+        while heap.len() > 1 {
+            let a = heap.pop().expect("len > 1");
+            let b = heap.pop().expect("len > 1");
+            heap.push(Node {
+                weight: a.weight + b.weight,
+                id,
+                kind: NodeKind::Internal(Box::new(a), Box::new(b)),
+            });
+            id += 1;
+        }
+        let root = heap.pop().expect("non-empty");
+        lengths.clear();
+        let mut max_depth = 0;
+        // Iterative DFS to assign depths.
+        let mut stack = vec![(&root, 0u32)];
+        while let Some((node, depth)) = stack.pop() {
+            match &node.kind {
+                NodeKind::Leaf(s) => {
+                    lengths.insert(*s, depth.max(1));
+                    max_depth = max_depth.max(depth);
+                }
+                NodeKind::Internal(a, b) => {
+                    stack.push((a, depth + 1));
+                    stack.push((b, depth + 1));
+                }
+            }
+        }
+        if max_depth <= MAX_CODE_LEN {
+            return lengths;
+        }
+        scale += 4; // flatten the distribution and retry
+    }
+}
+
+/// Canonical code table: for each symbol its (code, length), with codes
+/// assigned in (length, symbol) order.
+fn canonical_codes(lengths: &HashMap<u64, u32>) -> Vec<(u64, u64, u32)> {
+    let mut entries: Vec<(u64, u32)> = lengths.iter().map(|(&s, &l)| (s, l)).collect();
+    entries.sort_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)));
+    let mut out = Vec::with_capacity(entries.len());
+    let mut code = 0u64;
+    let mut prev_len = 0u32;
+    for (sym, len) in entries {
+        code <<= len - prev_len;
+        out.push((sym, code, len));
+        code += 1;
+        prev_len = len;
+    }
+    out
+}
+
+/// Encodes `symbols` into a self-describing Huffman stream.
+///
+/// Layout: `nsyms` uvarint, then `nsyms` × (symbol uvarint, length uvarint),
+/// then `count` uvarint, then the bit-packed code stream.
+pub fn huffman_encode(symbols: &[u64]) -> Vec<u8> {
+    let mut freqs: HashMap<u64, u64> = HashMap::new();
+    for &s in symbols {
+        *freqs.entry(s).or_insert(0) += 1;
+    }
+    let lengths = code_lengths(&freqs);
+    let table = canonical_codes(&lengths);
+    let codemap: HashMap<u64, (u64, u32)> =
+        table.iter().map(|&(s, c, l)| (s, (c, l))).collect();
+
+    let mut out = Vec::new();
+    encode_uvarint(table.len() as u64, &mut out);
+    for &(sym, _, len) in &table {
+        encode_uvarint(sym, &mut out);
+        encode_uvarint(len as u64, &mut out);
+    }
+    encode_uvarint(symbols.len() as u64, &mut out);
+
+    let mut bits = BitWriter::new();
+    for s in symbols {
+        let &(code, len) = codemap.get(s).expect("symbol in table");
+        // Emit MSB-first so canonical decoding can walk bit by bit.
+        for i in (0..len).rev() {
+            bits.write_bit((code >> i) & 1);
+        }
+    }
+    let payload = bits.into_bytes();
+    encode_uvarint(payload.len() as u64, &mut out);
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Decodes a stream produced by [`huffman_encode`]. Returns `None` on
+/// corrupt input.
+pub fn huffman_decode(data: &[u8]) -> Option<Vec<u64>> {
+    let mut pos = 0;
+    let nsyms = decode_uvarint(data, &mut pos)? as usize;
+    let mut lengths: HashMap<u64, u32> = HashMap::with_capacity(nsyms);
+    for _ in 0..nsyms {
+        let sym = decode_uvarint(data, &mut pos)?;
+        let len = decode_uvarint(data, &mut pos)? as u32;
+        if len == 0 || len > MAX_CODE_LEN {
+            return None;
+        }
+        lengths.insert(sym, len);
+    }
+    let count = decode_uvarint(data, &mut pos)? as usize;
+    let payload_len = decode_uvarint(data, &mut pos)? as usize;
+    let payload = data.get(pos..pos + payload_len)?;
+
+    if count == 0 {
+        return Some(Vec::new());
+    }
+    if nsyms == 0 {
+        return None;
+    }
+
+    let table = canonical_codes(&lengths);
+    // Group by length for canonical decoding: first_code and symbols per len.
+    let max_len = table.iter().map(|&(_, _, l)| l).max().expect("nonempty");
+    let mut first_code = vec![0u64; (max_len + 2) as usize];
+    let mut first_index = vec![0usize; (max_len + 2) as usize];
+    let mut counts = vec![0usize; (max_len + 2) as usize];
+    for &(_, _, l) in &table {
+        counts[l as usize] += 1;
+    }
+    {
+        let mut code = 0u64;
+        let mut index = 0usize;
+        for l in 1..=max_len {
+            first_code[l as usize] = code;
+            first_index[l as usize] = index;
+            code = (code + counts[l as usize] as u64) << 1;
+            index += counts[l as usize];
+        }
+    }
+    let symbols_in_order: Vec<u64> = table.iter().map(|&(s, _, _)| s).collect();
+
+    let mut reader = BitReader::new(payload);
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let mut code = 0u64;
+        let mut len = 0u32;
+        loop {
+            code = (code << 1) | reader.read_bit();
+            len += 1;
+            if len > max_len {
+                return None;
+            }
+            let l = len as usize;
+            if counts[l] > 0 && code >= first_code[l] {
+                let offset = (code - first_code[l]) as usize;
+                if offset < counts[l] {
+                    out.push(symbols_in_order[first_index[l] + offset]);
+                    break;
+                }
+            }
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_skewed_distribution() {
+        // SZ-like: mostly the central bin with occasional excursions.
+        let mut s = vec![32768u64; 5000];
+        for i in 0..200 {
+            s[i * 25] = 32768 + (i % 7) as u64 - 3;
+        }
+        let e = huffman_encode(&s);
+        assert_eq!(huffman_decode(&e), Some(s.clone()));
+        // Should beat 2 bytes/symbol trivially.
+        assert!(e.len() < s.len());
+    }
+
+    #[test]
+    fn roundtrip_single_symbol() {
+        let s = vec![7u64; 1000];
+        let e = huffman_encode(&s);
+        assert_eq!(huffman_decode(&e), Some(s.clone()));
+        assert!(e.len() < 200, "single-symbol stream should be ~bits: {}", e.len());
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        let e = huffman_encode(&[]);
+        assert_eq!(huffman_decode(&e), Some(vec![]));
+    }
+
+    #[test]
+    fn roundtrip_uniform_alphabet() {
+        let s: Vec<u64> = (0..4096).map(|i| i % 256).collect();
+        assert_eq!(huffman_decode(&huffman_encode(&s)), Some(s));
+    }
+
+    #[test]
+    fn roundtrip_large_symbol_values() {
+        let s = vec![u64::MAX, 0, u64::MAX / 2, u64::MAX, 1];
+        assert_eq!(huffman_decode(&huffman_encode(&s)), Some(s));
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let s: Vec<u64> = (0..100).collect();
+        let e = huffman_encode(&s);
+        assert_eq!(huffman_decode(&e[..3]), None);
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let s: Vec<u64> = (0..1000).map(|i| (i * i) % 50).collect();
+        assert_eq!(huffman_encode(&s), huffman_encode(&s));
+    }
+
+    #[test]
+    fn two_symbol_alphabet_uses_one_bit_each() {
+        let s: Vec<u64> = (0..8000).map(|i| i % 2).collect();
+        let e = huffman_encode(&s);
+        // ~1000 bytes payload + small header.
+        assert!(e.len() < 1100, "got {}", e.len());
+        assert_eq!(huffman_decode(&e), Some(s));
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_roundtrip(s in proptest::collection::vec(0u64..500, 0..2000)) {
+            proptest::prop_assert_eq!(huffman_decode(&huffman_encode(&s)), Some(s));
+        }
+    }
+}

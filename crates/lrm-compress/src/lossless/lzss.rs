@@ -1,0 +1,193 @@
+//! LZSS dictionary compression (the LZ77 stage of SZ's pipeline).
+//!
+//! Byte-oriented, 64 KiB sliding window, greedy hash-chain matching.
+//! Token format: groups of 8 tokens share a flag byte (bit i set = token i
+//! is a match). A literal is one byte; a match is a little-endian `u16`
+//! offset (1-based distance) followed by a length byte storing
+//! `length - MIN_MATCH`.
+
+const WINDOW: usize = 1 << 16;
+const MIN_MATCH: usize = 4;
+const MAX_MATCH: usize = MIN_MATCH + 255;
+const MAX_CHAIN: usize = 64;
+const HASH_BITS: u32 = 15;
+
+#[inline]
+fn hash4(data: &[u8], i: usize) -> usize {
+    let v = u32::from_le_bytes([data[i], data[i + 1], data[i + 2], data[i + 3]]);
+    ((v.wrapping_mul(0x9E37_79B1)) >> (32 - HASH_BITS)) as usize
+}
+
+/// Compresses `data`. The output begins with the original length as a
+/// little-endian `u32`.
+pub fn lzss_compress(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 2 + 16);
+    out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+
+    let mut head = vec![usize::MAX; 1 << HASH_BITS];
+    let mut prev = vec![usize::MAX; data.len()];
+
+    let mut i = 0;
+    let mut flags_pos = out.len();
+    out.push(0);
+    let mut flag_bit = 0u32;
+
+    macro_rules! bump_flags {
+        () => {
+            flag_bit += 1;
+            if flag_bit == 8 {
+                flag_bit = 0;
+                flags_pos = out.len();
+                out.push(0);
+            }
+        };
+    }
+
+    while i < data.len() {
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        if i + MIN_MATCH <= data.len() {
+            let h = hash4(data, i);
+            let mut cand = head[h];
+            let mut chain = 0;
+            while cand != usize::MAX && i - cand <= WINDOW && chain < MAX_CHAIN {
+                let limit = (data.len() - i).min(MAX_MATCH);
+                let mut l = 0;
+                while l < limit && data[cand + l] == data[i + l] {
+                    l += 1;
+                }
+                if l > best_len {
+                    best_len = l;
+                    best_dist = i - cand;
+                    if l == limit {
+                        break;
+                    }
+                }
+                cand = prev[cand];
+                chain += 1;
+            }
+            // Insert current position into the chain.
+            prev[i] = head[h];
+            head[h] = i;
+        }
+
+        if best_len >= MIN_MATCH {
+            out[flags_pos] |= 1 << flag_bit;
+            out.extend_from_slice(&(best_dist as u16).to_le_bytes());
+            out.push((best_len - MIN_MATCH) as u8);
+            // Index the skipped positions so later matches can refer back.
+            let end = (i + best_len).min(data.len().saturating_sub(MIN_MATCH - 1));
+            let mut j = i + 1;
+            while j < end {
+                let h = hash4(data, j);
+                prev[j] = head[h];
+                head[h] = j;
+                j += 1;
+            }
+            i += best_len;
+        } else {
+            out.push(data[i]);
+            i += 1;
+        }
+        bump_flags!();
+    }
+    out
+}
+
+/// Inverse of [`lzss_compress`].
+///
+/// # Panics
+/// Panics on corrupt input (out-of-range offsets or truncated stream).
+pub fn lzss_decompress(data: &[u8]) -> Vec<u8> {
+    assert!(data.len() >= 4, "lzss: truncated header");
+    let n = u32::from_le_bytes([data[0], data[1], data[2], data[3]]) as usize;
+    let mut out = Vec::with_capacity(n);
+    let mut pos = 4;
+    let mut flags = 0u8;
+    let mut flag_bit = 8u32; // force read of first flag byte
+    while out.len() < n {
+        if flag_bit == 8 {
+            flags = data[pos];
+            pos += 1;
+            flag_bit = 0;
+        }
+        if flags & (1 << flag_bit) != 0 {
+            let dist = u16::from_le_bytes([data[pos], data[pos + 1]]) as usize;
+            let len = data[pos + 2] as usize + MIN_MATCH;
+            pos += 3;
+            assert!(dist >= 1 && dist <= out.len(), "lzss: bad offset");
+            let start = out.len() - dist;
+            for k in 0..len {
+                let b = out[start + k];
+                out.push(b);
+            }
+        } else {
+            out.push(data[pos]);
+            pos += 1;
+        }
+        flag_bit += 1;
+    }
+    assert_eq!(out.len(), n, "lzss: length mismatch");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_repetitive() {
+        let data: Vec<u8> = b"abcabcabcabcabcabc".repeat(100);
+        let c = lzss_compress(&data);
+        assert!(c.len() < data.len() / 4);
+        assert_eq!(lzss_decompress(&c), data);
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        let c = lzss_compress(&[]);
+        assert_eq!(lzss_decompress(&c), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn roundtrip_short_inputs() {
+        for n in 0..16usize {
+            let data: Vec<u8> = (0..n as u8).collect();
+            assert_eq!(lzss_decompress(&lzss_compress(&data)), data);
+        }
+    }
+
+    #[test]
+    fn roundtrip_random() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let data: Vec<u8> = (0..50_000).map(|_| rng.gen()).collect();
+        assert_eq!(lzss_decompress(&lzss_compress(&data)), data);
+    }
+
+    #[test]
+    fn roundtrip_overlapping_match() {
+        // Runs force overlapping copies (dist < len).
+        let data = vec![7u8; 1000];
+        let c = lzss_compress(&data);
+        assert!(c.len() < 40);
+        assert_eq!(lzss_decompress(&c), data);
+    }
+
+    #[test]
+    fn roundtrip_long_range_match() {
+        let mut data = vec![0u8; 40_000];
+        for i in 0..1000 {
+            data[i] = (i % 251) as u8;
+            data[30_000 + i] = (i % 251) as u8;
+        }
+        assert_eq!(lzss_decompress(&lzss_compress(&data)), data);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_roundtrip(data in proptest::collection::vec(0u8..8, 0..4000)) {
+            proptest::prop_assert_eq!(lzss_decompress(&lzss_compress(&data)), data);
+        }
+    }
+}

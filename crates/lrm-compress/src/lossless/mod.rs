@@ -1,0 +1,76 @@
+//! Shared lossless substrate: entropy coding and dictionary compression.
+//!
+//! SZ 1.4 post-processes its quantization codes with Huffman coding and a
+//! dictionary compressor; this module provides both stages plus the small
+//! primitives (varints, zigzag, run-length) the codecs share.
+
+pub mod huffman;
+pub mod lzss;
+pub mod rle;
+pub mod varint;
+
+pub use huffman::{huffman_decode, huffman_encode};
+pub use lzss::{lzss_compress, lzss_decompress};
+pub use rle::{rle_decode_zeros, rle_encode_zeros};
+pub use varint::{decode_uvarint, encode_uvarint, zigzag_decode, zigzag_encode};
+
+/// Compresses a byte buffer with the full lossless pipeline used as SZ's
+/// final stage: LZSS dictionary compression. Returns whichever of
+/// {raw, lzss} is smaller, prefixed with a 1-byte tag.
+pub fn pipeline_compress(data: &[u8]) -> Vec<u8> {
+    let lz = lzss_compress(data);
+    if lz.len() + 1 < data.len() + 1 {
+        let mut out = Vec::with_capacity(lz.len() + 1);
+        out.push(1u8);
+        out.extend_from_slice(&lz);
+        out
+    } else {
+        let mut out = Vec::with_capacity(data.len() + 1);
+        out.push(0u8);
+        out.extend_from_slice(data);
+        out
+    }
+}
+
+/// Inverse of [`pipeline_compress`].
+///
+/// # Panics
+/// Panics on an empty buffer or unknown tag (corrupt stream).
+pub fn pipeline_decompress(data: &[u8]) -> Vec<u8> {
+    let (&tag, rest) = data.split_first().expect("pipeline: empty stream");
+    match tag {
+        0 => rest.to_vec(),
+        1 => lzss_decompress(rest),
+        t => panic!("pipeline: unknown tag {t}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_roundtrip_compressible() {
+        let data: Vec<u8> = (0..10_000).map(|i| (i % 7) as u8).collect();
+        let c = pipeline_compress(&data);
+        assert!(c.len() < data.len());
+        assert_eq!(pipeline_decompress(&c), data);
+    }
+
+    #[test]
+    fn pipeline_roundtrip_incompressible() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let data: Vec<u8> = (0..4096).map(|_| rng.gen()).collect();
+        let c = pipeline_compress(&data);
+        assert_eq!(pipeline_decompress(&c), data);
+        // Never expands by more than the tag byte plus LZSS worst case guard.
+        assert!(c.len() <= data.len() + 1);
+    }
+
+    #[test]
+    fn pipeline_roundtrip_empty() {
+        let c = pipeline_compress(&[]);
+        assert_eq!(pipeline_decompress(&c), Vec::<u8>::new());
+    }
+}

@@ -1,0 +1,178 @@
+//! Gather/scatter of 4^d blocks from row-major fields, with edge padding.
+//!
+//! ZFP partitions a d-dimensional array into blocks of 4^d values and
+//! compresses each block independently. Fields whose extents are not
+//! multiples of 4 are padded by replicating the last in-range sample,
+//! which keeps padded coefficients smooth (cheap to encode).
+
+use crate::Shape;
+
+/// Number of blocks along each dimension for `shape` (ceil(n/4), min 1 for
+/// real dimensions).
+pub fn block_grid(shape: Shape) -> [usize; 3] {
+    let f = |n: usize| n.div_ceil(4).max(1);
+    match shape.ndims() {
+        1 => [f(shape.dims[0]), 1, 1],
+        2 => [f(shape.dims[0]), f(shape.dims[1]), 1],
+        _ => [f(shape.dims[0]), f(shape.dims[1]), f(shape.dims[2])],
+    }
+}
+
+/// Total number of blocks in the field.
+pub fn block_count(shape: Shape) -> usize {
+    let g = block_grid(shape);
+    g[0] * g[1] * g[2]
+}
+
+/// Extracts block `(bx, by, bz)` into `out` (length 4^d), replicating edge
+/// samples where the block sticks out of the field.
+pub fn gather(data: &[f64], shape: Shape, b: [usize; 3], out: &mut [f64]) {
+    let ndims = shape.ndims();
+    let n = 1usize << (2 * ndims);
+    debug_assert_eq!(out.len(), n);
+    let clamp = |v: usize, max: usize| v.min(max - 1);
+    match ndims {
+        1 => {
+            for i in 0..4 {
+                let x = clamp(b[0] * 4 + i, shape.dims[0]);
+                out[i] = data[x];
+            }
+        }
+        2 => {
+            for j in 0..4 {
+                let y = clamp(b[1] * 4 + j, shape.dims[1]);
+                for i in 0..4 {
+                    let x = clamp(b[0] * 4 + i, shape.dims[0]);
+                    out[4 * j + i] = data[shape.idx(x, y, 0)];
+                }
+            }
+        }
+        _ => {
+            for k in 0..4 {
+                let z = clamp(b[2] * 4 + k, shape.dims[2]);
+                for j in 0..4 {
+                    let y = clamp(b[1] * 4 + j, shape.dims[1]);
+                    for i in 0..4 {
+                        let x = clamp(b[0] * 4 + i, shape.dims[0]);
+                        out[16 * k + 4 * j + i] = data[shape.idx(x, y, z)];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Writes block `(bx, by, bz)` back into `data`, skipping padded samples.
+pub fn scatter(block: &[f64], shape: Shape, b: [usize; 3], data: &mut [f64]) {
+    let ndims = shape.ndims();
+    match ndims {
+        1 => {
+            for i in 0..4 {
+                let x = b[0] * 4 + i;
+                if x < shape.dims[0] {
+                    data[x] = block[i];
+                }
+            }
+        }
+        2 => {
+            for j in 0..4 {
+                let y = b[1] * 4 + j;
+                if y >= shape.dims[1] {
+                    continue;
+                }
+                for i in 0..4 {
+                    let x = b[0] * 4 + i;
+                    if x < shape.dims[0] {
+                        data[shape.idx(x, y, 0)] = block[4 * j + i];
+                    }
+                }
+            }
+        }
+        _ => {
+            for k in 0..4 {
+                let z = b[2] * 4 + k;
+                if z >= shape.dims[2] {
+                    continue;
+                }
+                for j in 0..4 {
+                    let y = b[1] * 4 + j;
+                    if y >= shape.dims[1] {
+                        continue;
+                    }
+                    for i in 0..4 {
+                        let x = b[0] * 4 + i;
+                        if x < shape.dims[0] {
+                            data[shape.idx(x, y, z)] = block[16 * k + 4 * j + i];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Iterates block coordinates in encode order (x fastest).
+pub fn block_coords(shape: Shape) -> impl Iterator<Item = [usize; 3]> {
+    let g = block_grid(shape);
+    (0..g[2]).flat_map(move |bz| {
+        (0..g[1]).flat_map(move |by| (0..g[0]).map(move |bx| [bx, by, bz]))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_counts() {
+        assert_eq!(block_grid(Shape::d1(9)), [3, 1, 1]);
+        assert_eq!(block_grid(Shape::d2(8, 5)), [2, 2, 1]);
+        assert_eq!(block_grid(Shape::d3(4, 4, 4)), [1, 1, 1]);
+        assert_eq!(block_count(Shape::d3(5, 5, 5)), 8);
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip_aligned() {
+        let shape = Shape::d2(8, 8);
+        let data: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        let mut out = vec![0.0; 64];
+        let mut block = vec![0.0; 16];
+        for b in block_coords(shape) {
+            gather(&data, shape, b, &mut block);
+            scatter(&block, shape, b, &mut out);
+        }
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip_unaligned_3d() {
+        let shape = Shape::d3(5, 6, 7);
+        let data: Vec<f64> = (0..shape.len()).map(|i| (i as f64).sin()).collect();
+        let mut out = vec![0.0; shape.len()];
+        let mut block = vec![0.0; 64];
+        for b in block_coords(shape) {
+            gather(&data, shape, b, &mut block);
+            scatter(&block, shape, b, &mut out);
+        }
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn gather_pads_by_replication() {
+        let shape = Shape::d1(2);
+        let data = [10.0, 20.0];
+        let mut block = vec![0.0; 4];
+        gather(&data, shape, [0, 0, 0], &mut block);
+        assert_eq!(block, vec![10.0, 20.0, 20.0, 20.0]);
+    }
+
+    #[test]
+    fn block_coords_order_and_count() {
+        let shape = Shape::d2(5, 5);
+        let coords: Vec<_> = block_coords(shape).collect();
+        assert_eq!(coords.len(), 4);
+        assert_eq!(coords[0], [0, 0, 0]);
+        assert_eq!(coords[1], [1, 0, 0]); // x fastest
+        assert_eq!(coords[2], [0, 1, 0]);
+    }
+}

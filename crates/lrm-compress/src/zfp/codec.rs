@@ -1,0 +1,426 @@
+//! Per-block coefficient coding: block-floating-point conversion,
+//! negabinary mapping, and embedded (group-tested) bit-plane coding.
+//!
+//! This mirrors ZFP's `encode_ints`/`decode_ints`: coefficients are coded
+//! one bit plane at a time from most to least significant; within a plane,
+//! already-significant coefficients emit verbatim bits and the remainder
+//! are covered by a unary run-length "any ones left?" test. Truncating the
+//! stream after `p` planes yields the fixed-precision mode the paper uses.
+
+use super::transform::{fwd_xform, inv_xform, sequency_perm};
+use crate::bitstream::{BitReader, BitWriter};
+
+/// Bits in the integer representation.
+pub const INT_PREC: u32 = 64;
+/// Negabinary conversion mask (alternating bits).
+const NBMASK: u64 = 0xaaaa_aaaa_aaaa_aaaa;
+/// Bias applied to the per-block exponent before storage.
+const E_BIAS: i32 = 1100;
+/// Bits used to store the biased block exponent.
+const E_BITS: u32 = 12;
+
+/// Maps a two's-complement integer to negabinary (sign-free) form.
+#[inline]
+pub fn int2uint(x: i64) -> u64 {
+    ((x as u64).wrapping_add(NBMASK)) ^ NBMASK
+}
+
+/// Inverse of [`int2uint`].
+#[inline]
+pub fn uint2int(u: u64) -> i64 {
+    ((u ^ NBMASK).wrapping_sub(NBMASK)) as i64
+}
+
+/// `x * 2^e` without intermediate overflow (ldexp). Splits the exponent so
+/// each factor stays representable even for the extreme block exponents of
+/// subnormal data.
+#[inline]
+pub fn ldexp(x: f64, e: i32) -> f64 {
+    let a = e / 2;
+    let b = e - a;
+    x * pow2_small(a) * pow2_small(b)
+}
+
+/// `2^e` for |e| <= 1023 via exponent-field construction.
+#[inline]
+fn pow2_small(e: i32) -> f64 {
+    debug_assert!((-1022..=1023).contains(&e), "pow2_small out of range: {e}");
+    f64::from_bits(((e + 1023) as u64) << 52)
+}
+
+/// Exponent of `x` in the frexp sense: smallest `e` with `|x| <= 2^e` and
+/// `|x| > 2^(e-1)`... precisely, `x = f * 2^e` with `f` in `[0.5, 1)`.
+/// Returns `i32::MIN` for zero.
+fn exponent(x: f64) -> i32 {
+    if x == 0.0 {
+        return i32::MIN;
+    }
+    let bits = x.abs().to_bits();
+    let raw_exp = ((bits >> 52) & 0x7ff) as i32;
+    if raw_exp == 0 {
+        // Subnormal: value = mantissa * 2^-1074, top set bit decides.
+        let mantissa = bits & 0xf_ffff_ffff_ffff;
+        let top = 63 - mantissa.leading_zeros() as i32;
+        return top - 1074 + 1;
+    }
+    raw_exp - 1022
+}
+
+/// Largest frexp exponent over a block; `None` when all values are zero or
+/// any value is non-finite (such blocks are stored as all-zero).
+fn block_exponent(block: &[f64]) -> Option<i32> {
+    let mut emax = i32::MIN;
+    for &v in block {
+        if !v.is_finite() {
+            return None;
+        }
+        if v != 0.0 {
+            emax = emax.max(exponent(v));
+        }
+    }
+    if emax == i32::MIN {
+        None
+    } else {
+        Some(emax)
+    }
+}
+
+/// Encodes one 4^d block of doubles at `maxprec` bit planes.
+pub fn encode_block(block: &[f64], ndims: usize, maxprec: u32, out: &mut BitWriter) {
+    let n = 1usize << (2 * ndims);
+    debug_assert_eq!(block.len(), n);
+    let Some(emax) = block_exponent(block) else {
+        out.write_bit(0); // all-zero (or non-finite) block
+        return;
+    };
+    out.write_bit(1);
+    out.write_bits((emax + E_BIAS) as u64, E_BITS);
+
+    // Block-floating-point: scale values (|v| < 2^emax) up to |i| < 2^62,
+    // leaving two headroom bits for transform growth.
+    let shift = INT_PREC as i32 - 2 - emax;
+    let mut ints = [0i64; 64];
+    for (i, &v) in block.iter().enumerate() {
+        ints[i] = ldexp(v, shift) as i64;
+    }
+    fwd_xform(&mut ints[..n], ndims);
+
+    // Negabinary in sequency order.
+    let perm = sequency_perm(ndims);
+    let mut uints = [0u64; 64];
+    for i in 0..n {
+        uints[i] = int2uint(ints[perm[i]]);
+    }
+
+    encode_ints(&uints[..n], maxprec, out);
+}
+
+/// Decodes one block previously produced by [`encode_block`].
+pub fn decode_block(ndims: usize, maxprec: u32, input: &mut BitReader<'_>, block: &mut [f64]) {
+    let n = 1usize << (2 * ndims);
+    debug_assert_eq!(block.len(), n);
+    if input.read_bit() == 0 {
+        block.fill(0.0);
+        return;
+    }
+    let emax = input.read_bits(E_BITS) as i32 - E_BIAS;
+
+    let mut uints = [0u64; 64];
+    decode_ints(&mut uints[..n], maxprec, input);
+
+    let perm = sequency_perm(ndims);
+    let mut ints = [0i64; 64];
+    for i in 0..n {
+        ints[perm[i]] = uint2int(uints[i]);
+    }
+    inv_xform(&mut ints[..n], ndims);
+
+    let shift = emax - (INT_PREC as i32 - 2);
+    for (i, v) in block.iter_mut().enumerate() {
+        *v = ldexp(ints[i] as f64, shift);
+    }
+}
+
+/// Length of the prefix of coefficients holding any set bit at plane `k`
+/// or above. Encoder and decoder both derive `n` from this, keeping the
+/// verbatim/run-length split in lock-step across planes.
+fn significant_prefix(uints: &[u64], k: u32) -> usize {
+    let mut n = 0;
+    for (i, &u) in uints.iter().enumerate() {
+        if u >> k != 0 {
+            n = i + 1;
+        }
+    }
+    n
+}
+
+/// Embedded coding of negabinary coefficients, `maxprec` planes from the
+/// top.
+fn encode_ints(uints: &[u64], maxprec: u32, out: &mut BitWriter) {
+    let size = uints.len();
+    let kmin = INT_PREC.saturating_sub(maxprec);
+    let mut n = 0usize;
+    for k in (kmin..INT_PREC).rev() {
+        // Step 1: gather bit plane k (bit i of x = plane bit of coeff i).
+        let mut x: u64 = 0;
+        for (i, &u) in uints.iter().enumerate() {
+            x |= ((u >> k) & 1) << i;
+        }
+        // Step 2: verbatim bits of already-significant coefficients.
+        out.write_bits(x, n as u32);
+        x = if n >= 64 { 0 } else { x >> n };
+        // Step 3: unary run-length encode the remainder.
+        let mut m = n;
+        while m < size {
+            let any = x != 0;
+            out.write_bit(any as u64);
+            if !any {
+                break;
+            }
+            loop {
+                if m == size - 1 {
+                    // Only one coefficient remains and the group test said
+                    // a one exists: its bit is implied.
+                    m = size;
+                    break;
+                }
+                let bit = x & 1;
+                x >>= 1;
+                m += 1;
+                out.write_bit(bit);
+                if bit == 1 {
+                    break;
+                }
+            }
+        }
+        n = significant_prefix(uints, k);
+    }
+}
+
+/// Inverse of [`encode_ints`].
+fn decode_ints(uints: &mut [u64], maxprec: u32, input: &mut BitReader<'_>) {
+    let size = uints.len();
+    uints.fill(0);
+    let kmin = INT_PREC.saturating_sub(maxprec);
+    let mut n = 0usize;
+    for k in (kmin..INT_PREC).rev() {
+        let mut x = input.read_bits(n as u32);
+        let mut m = n;
+        while m < size {
+            if input.read_bit() == 0 {
+                break;
+            }
+            loop {
+                if m == size - 1 {
+                    x |= 1 << m;
+                    m = size;
+                    break;
+                }
+                let bit = input.read_bit();
+                if bit == 1 {
+                    x |= 1 << m;
+                    m += 1;
+                    break;
+                }
+                m += 1;
+            }
+        }
+        for i in 0..size {
+            uints[i] |= ((x >> i) & 1) << k;
+        }
+        n = significant_prefix(uints, k);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_ints(uints: &[u64], maxprec: u32) -> Vec<u64> {
+        let mut w = BitWriter::new();
+        encode_ints(uints, maxprec, &mut w);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        let mut out = vec![0u64; uints.len()];
+        decode_ints(&mut out, maxprec, &mut r);
+        out
+    }
+
+    #[test]
+    fn ints_roundtrip_full_precision() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        for _ in 0..50 {
+            let uints: Vec<u64> = (0..16).map(|_| rng.gen::<u64>() >> 2).collect();
+            assert_eq!(roundtrip_ints(&uints, 64), uints);
+        }
+    }
+
+    #[test]
+    fn ints_roundtrip_truncated_zeroes_low_planes() {
+        let uints = vec![0xFFFF_FFFF_FFFF_FFFCu64 >> 2; 4];
+        let out = roundtrip_ints(&uints, 8);
+        for (a, b) in uints.iter().zip(&out) {
+            // Top 8 planes (bits 63..56) must match exactly.
+            assert_eq!(a >> 56, b >> 56);
+            // Lower planes are zeroed.
+            assert_eq!(b & ((1 << 56) - 1), 0);
+        }
+    }
+
+    #[test]
+    fn ints_roundtrip_sparse() {
+        let mut uints = vec![0u64; 64];
+        uints[63] = 1 << 40; // only the final coefficient is significant
+        assert_eq!(roundtrip_ints(&uints, 64), uints);
+        uints[0] = u64::MAX >> 2;
+        assert_eq!(roundtrip_ints(&uints, 64), uints);
+    }
+
+    #[test]
+    fn ints_all_zero_is_compact() {
+        let uints = vec![0u64; 64];
+        let mut w = BitWriter::new();
+        encode_ints(&uints, 16, &mut w);
+        // One group-test zero bit per plane.
+        assert_eq!(w.len_bits(), 16);
+        assert_eq!(roundtrip_ints(&uints, 16), uints);
+    }
+
+    #[test]
+    fn negabinary_roundtrip() {
+        for x in [0i64, 1, -1, 42, -42, i64::MAX / 4, i64::MIN / 4] {
+            assert_eq!(uint2int(int2uint(x)), x);
+        }
+    }
+
+    #[test]
+    fn negabinary_small_magnitudes_have_few_bits() {
+        assert_eq!(int2uint(0), 0);
+        assert!(int2uint(1).leading_zeros() >= 60);
+        assert!(int2uint(-1).leading_zeros() >= 60);
+    }
+
+    #[test]
+    fn ldexp_extreme_exponents() {
+        assert_eq!(ldexp(1.0, 10), 1024.0);
+        assert_eq!(ldexp(1.0, 0), 1.0);
+        assert_eq!(ldexp(4.0, -2), 1.0);
+        // Would overflow if computed as x * 2^e in one step.
+        let v = ldexp(1e-300, 1135);
+        assert!(v.is_finite() && v > 0.0);
+        assert!((ldexp(v, -1135) - 1e-300).abs() < 1e-310);
+    }
+
+    #[test]
+    fn exponent_matches_frexp_semantics() {
+        assert_eq!(exponent(1.0), 1); // 1.0 = 0.5 * 2^1
+        assert_eq!(exponent(0.5), 0);
+        assert_eq!(exponent(0.75), 0);
+        assert_eq!(exponent(2.0), 2);
+        assert_eq!(exponent(3.0), 2);
+        assert_eq!(exponent(-4.0), 3);
+        assert_eq!(exponent(0.0), i32::MIN);
+    }
+
+    #[test]
+    fn full_precision_block_roundtrip_is_near_lossless() {
+        let block: Vec<f64> = (0..16).map(|i| (i as f64 * 0.7).sin()).collect();
+        let mut w = BitWriter::new();
+        encode_block(&block, 2, 64, &mut w);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        let mut out = vec![0.0; 16];
+        decode_block(2, 64, &mut r, &mut out);
+        for (a, b) in block.iter().zip(&out) {
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn zero_block_is_one_bit() {
+        let block = vec![0.0; 64];
+        let mut w = BitWriter::new();
+        encode_block(&block, 3, 16, &mut w);
+        assert_eq!(w.len_bits(), 1);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        let mut out = vec![1.0; 64];
+        decode_block(3, 16, &mut r, &mut out);
+        assert!(out.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn precision_controls_error() {
+        let block: Vec<f64> = (0..64)
+            .map(|i| 100.0 * ((i % 4) as f64 * 0.31).cos() * ((i / 16) as f64 - 1.5))
+            .collect();
+        let mut errs = Vec::new();
+        for &prec in &[8u32, 16, 32] {
+            let mut w = BitWriter::new();
+            encode_block(&block, 3, prec, &mut w);
+            let bytes = w.into_bytes();
+            let mut r = BitReader::new(&bytes);
+            let mut out = vec![0.0; 64];
+            decode_block(3, prec, &mut r, &mut out);
+            let e: f64 = block
+                .iter()
+                .zip(&out)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max);
+            errs.push(e);
+        }
+        assert!(errs[0] >= errs[1] && errs[1] >= errs[2], "errors {errs:?}");
+        assert!(errs[2] < 1e-3);
+    }
+
+    #[test]
+    fn nonfinite_block_decodes_to_zeros() {
+        let mut block = vec![1.0; 16];
+        block[3] = f64::NAN;
+        let mut w = BitWriter::new();
+        encode_block(&block, 2, 16, &mut w);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        let mut out = vec![9.0; 16];
+        decode_block(2, 16, &mut r, &mut out);
+        assert!(out.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn subnormal_block_roundtrips() {
+        let block = vec![1e-310f64, -2e-310, 3e-310, 0.0];
+        let mut w = BitWriter::new();
+        encode_block(&block, 1, 64, &mut w);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        let mut out = vec![0.0; 4];
+        decode_block(1, 64, &mut r, &mut out);
+        for (a, b) in block.iter().zip(&out) {
+            assert!((a - b).abs() < 1e-320, "{a} vs {b}");
+        }
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_ints_roundtrip(vals in proptest::collection::vec(0u64..(1u64<<62), 16)) {
+            proptest::prop_assert_eq!(roundtrip_ints(&vals, 64), vals);
+        }
+
+        #[test]
+        fn prop_block_roundtrip_bounded_error(
+            vals in proptest::collection::vec(-1000.0f64..1000.0, 64)
+        ) {
+            let mut w = BitWriter::new();
+            encode_block(&vals, 3, 40, &mut w);
+            let bytes = w.into_bytes();
+            let mut r = BitReader::new(&bytes);
+            let mut out = vec![0.0; 64];
+            decode_block(3, 40, &mut r, &mut out);
+            let maxv = vals.iter().fold(0.0f64, |a, &b| a.max(b.abs()));
+            for (a, b) in vals.iter().zip(&out) {
+                proptest::prop_assert!((a - b).abs() <= maxv * 1e-9 + 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! ZFP's reversible integer lifting transform and sequency ordering.
+//!
+//! The forward transform decorrelates a 4-element vector (applied along
+//! each dimension of a 4^d block); it is the integer-lifted approximation
+//! of a DCT-like orthogonal basis from Lindstrom's paper. The inverse
+//! reverses each lifting step exactly, so transform+inverse is lossless
+//! over `i64` coefficients.
+
+/// Forward decorrelating lifting transform on one 4-vector.
+///
+/// Arithmetic wraps (as in the C reference) so that coefficients
+/// reconstructed from truncated bit planes can never panic; in-range data
+/// never actually wraps thanks to the two headroom bits the codec
+/// reserves.
+#[inline]
+pub fn fwd_lift(p: &mut [i64], stride: usize) {
+    let (mut x, mut y, mut z, mut w) = (p[0], p[stride], p[2 * stride], p[3 * stride]);
+    // Non-orthogonal transform (ZFP):
+    //        ( 4  4  4  4) (x)
+    // 1/16 * ( 5  1 -1 -5) (y)
+    //        (-4  4  4 -4) (z)
+    //        (-2  6 -6  2) (w)
+    x = x.wrapping_add(w);
+    x >>= 1;
+    w = w.wrapping_sub(x);
+    z = z.wrapping_add(y);
+    z >>= 1;
+    y = y.wrapping_sub(z);
+    x = x.wrapping_add(z);
+    x >>= 1;
+    z = z.wrapping_sub(x);
+    w = w.wrapping_add(y);
+    w >>= 1;
+    y = y.wrapping_sub(w);
+    w = w.wrapping_add(y >> 1);
+    y = y.wrapping_sub(w >> 1);
+    p[0] = x;
+    p[stride] = y;
+    p[2 * stride] = z;
+    p[3 * stride] = w;
+}
+
+/// Inverse of [`fwd_lift`] up to the truncation of its `>> 1` steps (the
+/// transform is near-lossless: a forward/inverse roundtrip may perturb
+/// each coefficient by a few units in the last place, exactly as in ZFP).
+#[inline]
+pub fn inv_lift(p: &mut [i64], stride: usize) {
+    let (mut x, mut y, mut z, mut w) = (p[0], p[stride], p[2 * stride], p[3 * stride]);
+    y = y.wrapping_add(w >> 1);
+    w = w.wrapping_sub(y >> 1);
+    y = y.wrapping_add(w);
+    w = w.wrapping_shl(1);
+    w = w.wrapping_sub(y);
+    z = z.wrapping_add(x);
+    x = x.wrapping_shl(1);
+    x = x.wrapping_sub(z);
+    y = y.wrapping_add(z);
+    z = z.wrapping_shl(1);
+    z = z.wrapping_sub(y);
+    w = w.wrapping_add(x);
+    x = x.wrapping_shl(1);
+    x = x.wrapping_sub(w);
+    p[0] = x;
+    p[stride] = y;
+    p[2 * stride] = z;
+    p[3 * stride] = w;
+}
+
+/// Forward transform of a full 4^d block (d = 1, 2, 3), in place.
+pub fn fwd_xform(block: &mut [i64], ndims: usize) {
+    match ndims {
+        1 => fwd_lift(block, 1),
+        2 => {
+            for y in 0..4 {
+                fwd_lift(&mut block[4 * y..], 1);
+            }
+            for x in 0..4 {
+                fwd_lift(&mut block[x..], 4);
+            }
+        }
+        3 => {
+            for z in 0..4 {
+                for y in 0..4 {
+                    fwd_lift(&mut block[16 * z + 4 * y..], 1);
+                }
+            }
+            for z in 0..4 {
+                for x in 0..4 {
+                    fwd_lift(&mut block[16 * z + x..], 4);
+                }
+            }
+            for y in 0..4 {
+                for x in 0..4 {
+                    fwd_lift(&mut block[4 * y + x..], 16);
+                }
+            }
+        }
+        d => panic!("zfp transform: unsupported dimensionality {d}"),
+    }
+}
+
+/// Inverse transform of a full 4^d block, in place (reverse order of
+/// [`fwd_xform`]).
+pub fn inv_xform(block: &mut [i64], ndims: usize) {
+    match ndims {
+        1 => inv_lift(block, 1),
+        2 => {
+            for x in 0..4 {
+                inv_lift(&mut block[x..], 4);
+            }
+            for y in 0..4 {
+                inv_lift(&mut block[4 * y..], 1);
+            }
+        }
+        3 => {
+            for y in 0..4 {
+                for x in 0..4 {
+                    inv_lift(&mut block[4 * y + x..], 16);
+                }
+            }
+            for z in 0..4 {
+                for x in 0..4 {
+                    inv_lift(&mut block[16 * z + x..], 4);
+                }
+            }
+            for z in 0..4 {
+                for y in 0..4 {
+                    inv_lift(&mut block[16 * z + 4 * y..], 1);
+                }
+            }
+        }
+        d => panic!("zfp transform: unsupported dimensionality {d}"),
+    }
+}
+
+/// Sequency permutation: coefficient indices ordered by total frequency
+/// (sum of per-dimension indices), lowest first, matching ZFP's embedded
+/// coding order. `perm[i]` is the block index of the i-th coefficient to
+/// encode.
+pub fn sequency_perm(ndims: usize) -> &'static [usize] {
+    use std::sync::OnceLock;
+    static P1: OnceLock<Vec<usize>> = OnceLock::new();
+    static P2: OnceLock<Vec<usize>> = OnceLock::new();
+    static P3: OnceLock<Vec<usize>> = OnceLock::new();
+    let build = |d: usize| -> Vec<usize> {
+        let n = 1usize << (2 * d);
+        let mut idx: Vec<usize> = (0..n).collect();
+        let key = move |i: usize| -> (usize, usize) {
+            let (x, y, z) = (i % 4, (i / 4) % 4, i / 16);
+            (x + y + z, i)
+        };
+        idx.sort_by_key(|&i| key(i));
+        idx
+    };
+    match ndims {
+        1 => P1.get_or_init(|| build(1)),
+        2 => P2.get_or_init(|| build(2)),
+        3 => P3.get_or_init(|| build(3)),
+        d => panic!("zfp perm: unsupported dimensionality {d}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn lift_roundtrip_near_lossless() {
+        // The lifted transform truncates one bit per `>> 1` step, so a
+        // forward/inverse roundtrip may perturb coefficients by a few ULPs
+        // of the fixed-point representation (exactly as in ZFP).
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let orig: Vec<i64> = (0..4).map(|_| rng.gen_range(-(1i64 << 50)..(1i64 << 50))).collect();
+            let mut v = orig.clone();
+            fwd_lift(&mut v, 1);
+            inv_lift(&mut v, 1);
+            for (a, b) in orig.iter().zip(&v) {
+                assert!((a - b).abs() <= 8, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn xform_roundtrip_near_lossless_2d_3d() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        for &d in &[1usize, 2, 3] {
+            let n = 1usize << (2 * d);
+            let orig: Vec<i64> = (0..n).map(|_| rng.gen_range(-(1i64 << 50)..(1i64 << 50))).collect();
+            let mut v = orig.clone();
+            fwd_xform(&mut v, d);
+            inv_xform(&mut v, d);
+            for (a, b) in orig.iter().zip(&v) {
+                let tol = 8i64 << (2 * d); // truncation compounds per pass
+                assert!((a - b).abs() <= tol, "dim {d}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn transform_decorrelates_smooth_ramp() {
+        // A linear ramp should concentrate energy in low-sequency coeffs.
+        let mut v: Vec<i64> = (0..4).map(|i| (i as i64) * 1000).collect();
+        fwd_lift(&mut v, 1);
+        // DC coefficient dominates; highest-frequency is small.
+        assert!(v[0].abs() > v[3].abs());
+    }
+
+    #[test]
+    fn perm_is_a_permutation() {
+        for &d in &[1usize, 2, 3] {
+            let p = sequency_perm(d);
+            let n = 1usize << (2 * d);
+            assert_eq!(p.len(), n);
+            let mut seen = vec![false; n];
+            for &i in p {
+                assert!(!seen[i]);
+                seen[i] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn perm_starts_with_dc() {
+        assert_eq!(sequency_perm(1)[0], 0);
+        assert_eq!(sequency_perm(2)[0], 0);
+        assert_eq!(sequency_perm(3)[0], 0);
+        // 2D: next two are the two sequency-1 coefficients (1,0) and (0,1).
+        let p2 = sequency_perm(2);
+        assert_eq!(&p2[1..3], &[1, 4]);
+    }
+
+    #[test]
+    fn lift_bounded_growth() {
+        // Values below 2^60 must not wrap through the 3-D transform (the
+        // codec reserves 2 headroom bits; verify a safety margin).
+        let mut v = vec![(1i64 << 60) - 1; 64];
+        for (i, x) in v.iter_mut().enumerate() {
+            if i % 2 == 0 {
+                *x = -*x;
+            }
+        }
+        let orig = v.clone();
+        fwd_xform(&mut v, 3);
+        inv_xform(&mut v, 3);
+        for (a, b) in orig.iter().zip(&v) {
+            assert!((a - b).abs() <= 8 << 6, "{a} vs {b}");
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Cross-codec property tests: every codec honors its contract on
+//! arbitrary shaped data, including adversarial shapes.
+
+use lrm_compress::{Codec, Fpc, Shape, Sz, Zfp};
+use proptest::prelude::*;
+
+fn arb_shaped_data() -> impl Strategy<Value = (Vec<f64>, Shape)> {
+    prop_oneof![
+        // 1-D
+        (1usize..400).prop_flat_map(|n| {
+            proptest::collection::vec(-1e4f64..1e4, n).prop_map(move |v| (v, Shape::d1(n)))
+        }),
+        // 2-D
+        (1usize..24, 1usize..24).prop_flat_map(|(nx, ny)| {
+            proptest::collection::vec(-1e4f64..1e4, nx * ny)
+                .prop_map(move |v| (v, Shape::d2(nx, ny)))
+        }),
+        // 3-D
+        (1usize..10, 1usize..10, 2usize..10).prop_flat_map(|(nx, ny, nz)| {
+            proptest::collection::vec(-1e4f64..1e4, nx * ny * nz)
+                .prop_map(move |v| (v, Shape::d3(nx, ny, nz)))
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn fpc_is_lossless_on_any_shape((data, shape) in arb_shaped_data()) {
+        let f = Fpc::new(12);
+        let d = f.decompress(&f.compress(&data, shape), shape);
+        for (a, b) in data.iter().zip(&d) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn sz_abs_bound_holds_on_any_shape((data, shape) in arb_shaped_data()) {
+        let sz = Sz::absolute(1e-2);
+        let d = sz.decompress(&sz.compress(&data, shape), shape);
+        for (a, b) in data.iter().zip(&d) {
+            prop_assert!((a - b).abs() <= 1e-2 * 1.000001, "{} vs {}", a, b);
+        }
+    }
+
+    #[test]
+    fn zfp_error_scales_with_magnitude_on_any_shape((data, shape) in arb_shaped_data()) {
+        let z = Zfp::fixed_precision(40);
+        let d = z.decompress(&z.compress(&data, shape), shape);
+        let maxv = data.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+        for (a, b) in data.iter().zip(&d) {
+            prop_assert!((a - b).abs() <= maxv * 1e-8 + 1e-12, "{} vs {}", a, b);
+        }
+    }
+
+    #[test]
+    fn compressed_sizes_are_deterministic((data, shape) in arb_shaped_data()) {
+        let sz = Sz::block_rel(1e-4);
+        prop_assert_eq!(sz.compress(&data, shape), sz.compress(&data, shape));
+        let z = Zfp::fixed_precision(16);
+        prop_assert_eq!(z.compress(&data, shape), z.compress(&data, shape));
+    }
+}
+
+#[test]
+fn all_codecs_handle_single_value_fields() {
+    let shape = Shape::d1(1);
+    let data = [42.125f64];
+    for c in [
+        Box::new(Sz::absolute(1e-6)) as Box<dyn Codec>,
+        Box::new(Sz::block_rel(1e-6)),
+        Box::new(Sz::pointwise_rel(1e-6)),
+        Box::new(Zfp::fixed_precision(52)),
+        Box::new(Fpc::new(8)),
+    ] {
+        let d = c.decompress(&c.compress(&data, shape), shape);
+        assert!((d[0] - 42.125).abs() < 1e-3, "{}: {}", c.name(), d[0]);
+    }
+}
+
+#[test]
+fn all_codecs_handle_all_zero_fields() {
+    let shape = Shape::d3(6, 5, 4);
+    let data = vec![0.0f64; shape.len()];
+    for c in [
+        Box::new(Sz::absolute(1e-6)) as Box<dyn Codec>,
+        Box::new(Sz::block_rel(1e-6)),
+        Box::new(Sz::pointwise_rel(1e-6)),
+        Box::new(Zfp::fixed_precision(16)),
+        Box::new(Fpc::new(8)),
+    ] {
+        let bytes = c.compress(&data, shape);
+        let d = c.decompress(&bytes, shape);
+        assert!(d.iter().all(|&v| v == 0.0), "{}", c.name());
+        assert!(bytes.len() < data.len(), "{} did not compress zeros", c.name());
+    }
+}
+
+#[test]
+fn mixed_magnitudes_respect_block_rel_semantics() {
+    // A field spanning 12 orders of magnitude: each scan block's error
+    // must key off its own maximum, not the global one.
+    let n = 2048usize;
+    let shape = Shape::d1(n);
+    let data: Vec<f64> = (0..n)
+        .map(|i| {
+            let block = i / 256;
+            10f64.powi(block as i32 - 6) * ((i % 256) as f64 * 0.1).sin()
+        })
+        .collect();
+    let sz = Sz::block_rel(1e-4);
+    let d = sz.decompress(&sz.compress(&data, shape), shape);
+    for (b, chunk) in data.chunks(256).enumerate() {
+        let maxv = chunk.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+        for (j, &a) in chunk.iter().enumerate() {
+            let got = d[b * 256 + j];
+            assert!(
+                (a - got).abs() <= 1e-4 * maxv * 1.01,
+                "block {b}: {a} vs {got} (max {maxv})"
+            );
+        }
+    }
+}

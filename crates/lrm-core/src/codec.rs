@@ -1,0 +1,149 @@
+//! Lossy-codec selection with the paper's dual error bounds.
+//!
+//! Section V-B: "different relative error bounds are applied to the
+//! original data and delta" — the delta is much smaller in magnitude, so
+//! holding it to the original's relative bound would over-spend bits.
+//! The paper's settings, reproduced by the constructors here:
+//!
+//! * SZ — point-wise relative `1e-5` for original data / reduced
+//!   representations, `1e-3` for deltas;
+//! * ZFP — fixed precision 16 bits for original data, 8 bits for deltas.
+
+use lrm_compress::{Codec, Fpc, Shape, Sz, Zfp};
+
+/// A concrete lossy-codec configuration, serializable into artifact
+/// metadata.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LossyCodec {
+    /// SZ with the paper's (block-based) point-wise relative bound.
+    SzRel(f64),
+    /// SZ with an absolute bound.
+    SzAbs(f64),
+    /// ZFP in fixed-precision mode.
+    ZfpPrecision(u32),
+}
+
+impl LossyCodec {
+    /// Compresses `data` under this codec.
+    pub fn compress(&self, data: &[f64], shape: Shape) -> Vec<u8> {
+        match *self {
+            LossyCodec::SzRel(rel) => Sz::block_rel(rel).compress(data, shape),
+            LossyCodec::SzAbs(abs) => Sz::absolute(abs).compress(data, shape),
+            LossyCodec::ZfpPrecision(p) => Zfp::fixed_precision(p).compress(data, shape),
+        }
+    }
+
+    /// Decompresses a buffer produced by [`LossyCodec::compress`].
+    pub fn decompress(&self, bytes: &[u8], shape: Shape) -> Vec<f64> {
+        match *self {
+            LossyCodec::SzRel(rel) => Sz::block_rel(rel).decompress(bytes, shape),
+            LossyCodec::SzAbs(abs) => Sz::absolute(abs).decompress(bytes, shape),
+            LossyCodec::ZfpPrecision(p) => Zfp::fixed_precision(p).decompress(bytes, shape),
+        }
+    }
+
+    /// Short display name for experiment tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LossyCodec::SzRel(_) | LossyCodec::SzAbs(_) => "SZ",
+            LossyCodec::ZfpPrecision(_) => "ZFP",
+        }
+    }
+
+    /// Serializes into 9 bytes (tag + parameter).
+    pub fn to_bytes(&self) -> [u8; 9] {
+        let mut out = [0u8; 9];
+        match *self {
+            LossyCodec::SzRel(r) => {
+                out[0] = 0;
+                out[1..].copy_from_slice(&r.to_le_bytes());
+            }
+            LossyCodec::SzAbs(a) => {
+                out[0] = 1;
+                out[1..].copy_from_slice(&a.to_le_bytes());
+            }
+            LossyCodec::ZfpPrecision(p) => {
+                out[0] = 2;
+                out[1..9].copy_from_slice(&(p as u64).to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Inverse of [`LossyCodec::to_bytes`].
+    pub fn from_bytes(b: &[u8]) -> Option<Self> {
+        if b.len() < 9 {
+            return None;
+        }
+        let param = f64::from_le_bytes(b[1..9].try_into().ok()?);
+        match b[0] {
+            0 => Some(LossyCodec::SzRel(param)),
+            1 => Some(LossyCodec::SzAbs(param)),
+            2 => Some(LossyCodec::ZfpPrecision(u64::from_le_bytes(
+                b[1..9].try_into().ok()?,
+            ) as u32)),
+            _ => None,
+        }
+    }
+}
+
+/// The paper's SZ setting: rel `1e-5` for originals/representations,
+/// rel `1e-3` for deltas.
+pub fn sz_paper_bounds() -> (LossyCodec, LossyCodec) {
+    (LossyCodec::SzRel(1e-5), LossyCodec::SzRel(1e-3))
+}
+
+/// The paper's ZFP setting: 16-bit precision for originals, 8-bit for
+/// deltas.
+pub fn zfp_paper_bounds() -> (LossyCodec, LossyCodec) {
+    (LossyCodec::ZfpPrecision(16), LossyCodec::ZfpPrecision(8))
+}
+
+/// Lossless FPC at the paper's level-20 setting, for the Fig. 3 FPC bars.
+pub fn fpc_paper() -> Fpc {
+    Fpc::new(20)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codec_bytes_roundtrip() {
+        for c in [
+            LossyCodec::SzRel(1e-5),
+            LossyCodec::SzAbs(0.25),
+            LossyCodec::ZfpPrecision(16),
+        ] {
+            assert_eq!(LossyCodec::from_bytes(&c.to_bytes()), Some(c));
+        }
+        assert_eq!(LossyCodec::from_bytes(&[9; 9]), None);
+        assert_eq!(LossyCodec::from_bytes(&[0]), None);
+    }
+
+    #[test]
+    fn compress_decompress_dispatches() {
+        let shape = Shape::d1(100);
+        let data: Vec<f64> = (0..100).map(|i| (i as f64 * 0.1).sin() + 2.0).collect();
+        for c in [
+            LossyCodec::SzRel(1e-4),
+            LossyCodec::SzAbs(1e-4),
+            LossyCodec::ZfpPrecision(32),
+        ] {
+            let d = c.decompress(&c.compress(&data, shape), shape);
+            for (a, b) in data.iter().zip(&d) {
+                assert!((a - b).abs() < 1e-3, "{c:?}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_bounds_are_as_published() {
+        let (o, d) = sz_paper_bounds();
+        assert_eq!(o, LossyCodec::SzRel(1e-5));
+        assert_eq!(d, LossyCodec::SzRel(1e-3));
+        let (o, d) = zfp_paper_bounds();
+        assert_eq!(o, LossyCodec::ZfpPrecision(16));
+        assert_eq!(d, LossyCodec::ZfpPrecision(8));
+    }
+}

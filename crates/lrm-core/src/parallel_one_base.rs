@@ -1,0 +1,161 @@
+//! Algorithm 1 over the rank simulator: distributed one-base delta.
+//!
+//! The paper's one-base scheme runs on an MPI decomposition: the ranks
+//! owning the global mid-plane contribute it, the plane is broadcast,
+//! every rank subtracts it locally, and the deltas are gathered. This
+//! module executes that exact pattern on `lrm-parallel`'s thread ranks,
+//! returning both the assembled delta and the per-rank communication
+//! volumes (the quantity *multi-base* exists to avoid).
+
+use lrm_datasets::Field;
+use lrm_parallel::{run_ranks, Decomposition};
+
+/// Result of a distributed one-base preconditioning.
+#[derive(Debug, Clone)]
+pub struct DistributedDelta {
+    /// The assembled global delta (same layout as the input field).
+    pub delta: Vec<f64>,
+    /// The broadcast mid-plane.
+    pub plane: Vec<f64>,
+    /// Bytes each rank sent during the exchange (broadcast + gather).
+    pub bytes_sent_per_rank: Vec<usize>,
+}
+
+/// Runs Algorithm 1 on `grid` ranks over `field` (must be 3-D).
+pub fn distributed_one_base(field: &Field, grid: [usize; 3]) -> DistributedDelta {
+    let [nx, ny, nz] = field.shape.dims;
+    assert!(nz >= 2, "distributed one-base: field must be 3-D");
+    let d = Decomposition::new([nx, ny, nz], grid);
+    let mid_z = nz / 2;
+
+    let results = run_ranks(d.num_ranks(), |ctx| {
+        let mut sent = 0usize;
+        let local = d.extract(ctx.rank(), &field.data);
+        let sd = d.subdomain(ctx.rank());
+        let [lx, ly, _] = sd.dims();
+
+        // Owners contribute their (x,y) patch of the global mid-plane.
+        let patch: Vec<f64> = if sd.contains_z(mid_z) {
+            let zl = mid_z - sd.z.0;
+            local[zl * lx * ly..(zl + 1) * lx * ly].to_vec()
+        } else {
+            Vec::new()
+        };
+        if ctx.rank() != 0 {
+            sent += patch.len() * 8;
+        }
+        let gathered = ctx.gather(0, patch);
+
+        // Rank 0 assembles the plane and broadcasts it (Algorithm 1's
+        // "Broadcast the plane to all other ranks").
+        let plane = if ctx.rank() == 0 {
+            let mut plane = vec![0.0; nx * ny];
+            for (r, part) in gathered.expect("root").iter().enumerate() {
+                if part.is_empty() {
+                    continue;
+                }
+                let psd = d.subdomain(r);
+                let mut i = 0;
+                for y in psd.y.0..psd.y.1 {
+                    for x in psd.x.0..psd.x.1 {
+                        plane[y * nx + x] = part[i];
+                        i += 1;
+                    }
+                }
+            }
+            sent += plane.len() * 8 * (ctx.size() - 1);
+            plane
+        } else {
+            Vec::new()
+        };
+        let plane = ctx.broadcast(0, plane);
+
+        // Local delta (Algorithm 1's loop over z levels).
+        let mut delta = Vec::with_capacity(local.len());
+        let mut i = 0;
+        for _z in sd.z.0..sd.z.1 {
+            for y in sd.y.0..sd.y.1 {
+                for x in sd.x.0..sd.x.1 {
+                    delta.push(local[i] - plane[y * nx + x]);
+                    i += 1;
+                }
+            }
+        }
+        if ctx.rank() != 0 {
+            sent += delta.len() * 8;
+        }
+        let gathered_delta = ctx.gather(0, delta);
+        (gathered_delta, plane, sent)
+    });
+
+    // Assemble at "rank 0".
+    let (gathered, plane, _) = &results[0];
+    let mut delta = vec![0.0; field.len()];
+    for (r, part) in gathered.as_ref().expect("root gathered").iter().enumerate() {
+        d.insert(r, part, &mut delta);
+    }
+    DistributedDelta {
+        delta,
+        plane: plane.clone(),
+        bytes_sent_per_rank: results.iter().map(|(_, _, s)| *s).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrm_compress::Shape;
+
+    fn field_8() -> Field {
+        let shape = Shape::d3(8, 8, 8);
+        let data: Vec<f64> = (0..512).map(|i| (i as f64 * 0.05).cos() * 10.0).collect();
+        Field::new("f", data, shape)
+    }
+
+    #[test]
+    fn distributed_matches_serial_one_base_delta() {
+        let f = field_8();
+        let out = distributed_one_base(&f, [2, 2, 2]);
+        let mid = 4;
+        for z in 0..8 {
+            for y in 0..8 {
+                for x in 0..8 {
+                    let want = f.at(x, y, z) - f.at(x, y, mid);
+                    let got = out.delta[f.shape.idx(x, y, z)];
+                    assert!((got - want).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plane_is_the_global_mid_plane() {
+        let f = field_8();
+        let out = distributed_one_base(&f, [2, 2, 2]);
+        for y in 0..8 {
+            for x in 0..8 {
+                assert_eq!(out.plane[y * 8 + x], f.at(x, y, 4));
+            }
+        }
+    }
+
+    #[test]
+    fn communication_volume_is_accounted() {
+        let f = field_8();
+        let out = distributed_one_base(&f, [2, 2, 2]);
+        assert_eq!(out.bytes_sent_per_rank.len(), 8);
+        // Root broadcasts the plane to 7 peers.
+        assert!(out.bytes_sent_per_rank[0] >= 7 * 64 * 8);
+        // Non-root ranks at least send their deltas.
+        for &s in &out.bytes_sent_per_rank[1..] {
+            assert!(s >= 64 * 8);
+        }
+    }
+
+    #[test]
+    fn single_rank_grid_works() {
+        let f = field_8();
+        let out = distributed_one_base(&f, [1, 1, 1]);
+        assert_eq!(out.delta.len(), 512);
+    }
+}

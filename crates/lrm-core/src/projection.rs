@@ -1,0 +1,460 @@
+//! Projection-based reduced models (Section IV): *one-base*,
+//! *multi-base*, and *DuoModel*.
+//!
+//! All three identify a small reference ("base") inside or beside the
+//! full-model output, compress the reference, and precondition the field
+//! by subtracting the reference's *reconstruction* — so the final error
+//! is governed solely by the delta codec's bound.
+
+use crate::codec::LossyCodec;
+use lrm_compress::Shape;
+use lrm_datasets::Field;
+
+/// The reduced representation plus the preconditioned delta, before
+/// entropy packaging. `base_recon` is what the decoder will also see.
+pub struct ProjectionOutput {
+    /// Compressed reduced representation.
+    pub rep_bytes: Vec<u8>,
+    /// The delta field (original − reconstructed base), same shape as the
+    /// input.
+    pub delta: Vec<f64>,
+    /// Shape of the stored representation (needed to decompress it).
+    pub rep_shape: Shape,
+}
+
+/// *One-base* (Algorithm 1): the mid-plane along the slowest dimension is
+/// the reduced model; every plane of the field subtracts it. On a 3-D
+/// field the base is the mid z-plane; on a 2-D field it is the mid y-row
+/// (the paper applies the same scheme to the 2-D Laplace output).
+pub fn one_base_precondition(field: &Field, orig_codec: &LossyCodec) -> ProjectionOutput {
+    let [nx, ny, nz] = field.shape.dims;
+    assert!(
+        field.shape.ndims() >= 2,
+        "one-base: field must be at least 2-D"
+    );
+    if field.shape.ndims() == 2 {
+        // Base = mid row; subtract it from every row.
+        let mid = ny / 2;
+        let rep_shape = Shape::d1(nx);
+        let row: Vec<f64> = (0..nx).map(|x| field.at(x, mid, 0)).collect();
+        let rep_bytes = orig_codec.compress(&row, rep_shape);
+        let row_recon = orig_codec.decompress(&rep_bytes, rep_shape);
+        let mut delta = Vec::with_capacity(field.len());
+        for y in 0..ny {
+            for x in 0..nx {
+                delta.push(field.at(x, y, 0) - row_recon[x]);
+            }
+        }
+        return ProjectionOutput {
+            rep_bytes,
+            delta,
+            rep_shape,
+        };
+    }
+    let mid = nz / 2;
+    let plane = field.plane_z(mid);
+    let rep_shape = Shape::d2(nx, ny);
+    let rep_bytes = orig_codec.compress(&plane.data, rep_shape);
+    let plane_recon = orig_codec.decompress(&rep_bytes, rep_shape);
+
+    let mut delta = Vec::with_capacity(field.len());
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                delta.push(field.at(x, y, z) - plane_recon[y * nx + x]);
+            }
+        }
+    }
+    ProjectionOutput {
+        rep_bytes,
+        delta,
+        rep_shape,
+    }
+}
+
+/// Reconstructs a field from the one-base representation and a decoded
+/// delta.
+pub fn one_base_reconstruct(
+    rep_bytes: &[u8],
+    delta: &[f64],
+    shape: Shape,
+    orig_codec: &LossyCodec,
+) -> Vec<f64> {
+    let [nx, ny, nz] = shape.dims;
+    if shape.ndims() == 2 {
+        let row = orig_codec.decompress(rep_bytes, Shape::d1(nx));
+        let mut out = Vec::with_capacity(shape.len());
+        for y in 0..ny {
+            for x in 0..nx {
+                out.push(delta[shape.idx(x, y, 0)] + row[x]);
+            }
+        }
+        return out;
+    }
+    let plane = orig_codec.decompress(rep_bytes, Shape::d2(nx, ny));
+    let mut out = Vec::with_capacity(shape.len());
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                out.push(delta[shape.idx(x, y, z)] + plane[y * nx + x]);
+            }
+        }
+    }
+    out
+}
+
+/// *Multi-base*: the field is split into `gz` z-blocks (the paper's
+/// per-subdomain view collapsed onto the z axis, which is the only axis
+/// the base planes vary along); each block's local mid-plane is part of
+/// the reduced model and is subtracted only within its block. The
+/// representation is a `nx × ny × gz` stack of planes.
+pub fn multi_base_precondition(
+    field: &Field,
+    gz: usize,
+    orig_codec: &LossyCodec,
+) -> ProjectionOutput {
+    let [nx, ny, nz] = field.shape.dims;
+    assert!(
+        field.shape.ndims() >= 2,
+        "multi-base: field must be at least 2-D"
+    );
+    if field.shape.ndims() == 2 {
+        // 2-D: blocks along y, one mid-row base per block.
+        let g = gz.clamp(1, ny);
+        let block_range = |b: usize| (b * ny / g, (b + 1) * ny / g);
+        let mut rows = Vec::with_capacity(nx * g);
+        for b in 0..g {
+            let (y0, y1) = block_range(b);
+            let ym = (y0 + y1) / 2;
+            for x in 0..nx {
+                rows.push(field.at(x, ym, 0));
+            }
+        }
+        let rep_shape = Shape::d2(nx, g);
+        let rep_bytes = orig_codec.compress(&rows, rep_shape);
+        let rows_recon = orig_codec.decompress(&rep_bytes, rep_shape);
+        let mut delta = Vec::with_capacity(field.len());
+        for y in 0..ny {
+            let b = (y * g / ny).min(g - 1);
+            for x in 0..nx {
+                delta.push(field.at(x, y, 0) - rows_recon[b * nx + x]);
+            }
+        }
+        return ProjectionOutput {
+            rep_bytes,
+            delta,
+            rep_shape,
+        };
+    }
+    let gz = gz.clamp(1, nz);
+
+    // Block b covers z in [b*nz/gz, (b+1)*nz/gz); its base is the middle
+    // plane of that range.
+    let block_range = |b: usize| (b * nz / gz, (b + 1) * nz / gz);
+    let mut planes = Vec::with_capacity(nx * ny * gz);
+    for b in 0..gz {
+        let (z0, z1) = block_range(b);
+        let zm = (z0 + z1) / 2;
+        for y in 0..ny {
+            for x in 0..nx {
+                planes.push(field.at(x, y, zm));
+            }
+        }
+    }
+    let rep_shape = Shape::d3(nx, ny, gz);
+    let rep_bytes = orig_codec.compress(&planes, rep_shape);
+    let planes_recon = orig_codec.decompress(&rep_bytes, rep_shape);
+
+    let mut delta = Vec::with_capacity(field.len());
+    for z in 0..nz {
+        let b = (z * gz / nz).min(gz - 1);
+        for y in 0..ny {
+            for x in 0..nx {
+                delta.push(field.at(x, y, z) - planes_recon[(b * ny + y) * nx + x]);
+            }
+        }
+    }
+    ProjectionOutput {
+        rep_bytes,
+        delta,
+        rep_shape,
+    }
+}
+
+/// Inverse of [`multi_base_precondition`].
+pub fn multi_base_reconstruct(
+    rep_bytes: &[u8],
+    delta: &[f64],
+    shape: Shape,
+    gz: usize,
+    orig_codec: &LossyCodec,
+) -> Vec<f64> {
+    let [nx, ny, nz] = shape.dims;
+    if shape.ndims() == 2 {
+        let g = gz.clamp(1, ny);
+        let rows = orig_codec.decompress(rep_bytes, Shape::d2(nx, g));
+        let mut out = Vec::with_capacity(shape.len());
+        for y in 0..ny {
+            let b = (y * g / ny).min(g - 1);
+            for x in 0..nx {
+                out.push(delta[shape.idx(x, y, 0)] + rows[b * nx + x]);
+            }
+        }
+        return out;
+    }
+    let gz = gz.clamp(1, nz);
+    let planes = orig_codec.decompress(rep_bytes, Shape::d3(nx, ny, gz));
+    let mut out = Vec::with_capacity(shape.len());
+    for z in 0..nz {
+        let b = (z * gz / nz).min(gz - 1);
+        for y in 0..ny {
+            for x in 0..nx {
+                out.push(delta[shape.idx(x, y, z)] + planes[(b * ny + y) * nx + x]);
+            }
+        }
+    }
+    out
+}
+
+/// Trilinear upsampling of a coarse field onto `target` extents
+/// (DuoModel's "linear constructed data").
+pub fn upsample(coarse: &[f64], cshape: Shape, target: Shape) -> Vec<f64> {
+    let [cx, cy, cz] = cshape.dims;
+    let [tx, ty, tz] = target.dims;
+    let mut out = Vec::with_capacity(target.len());
+    let scale = |t: usize, tn: usize, cn: usize| -> (usize, usize, f64) {
+        if tn <= 1 || cn <= 1 {
+            return (0, 0, 0.0);
+        }
+        let f = t as f64 * (cn - 1) as f64 / (tn - 1) as f64;
+        let i0 = f.floor() as usize;
+        let i1 = (i0 + 1).min(cn - 1);
+        (i0, i1, f - i0 as f64)
+    };
+    for z in 0..tz {
+        let (z0, z1, fz) = scale(z, tz, cz);
+        for y in 0..ty {
+            let (y0, y1, fy) = scale(y, ty, cy);
+            for x in 0..tx {
+                let (x0, x1, fx) = scale(x, tx, cx);
+                let g = |xi: usize, yi: usize, zi: usize| coarse[cshape.idx(xi, yi, zi)];
+                let c00 = g(x0, y0, z0) * (1.0 - fx) + g(x1, y0, z0) * fx;
+                let c10 = g(x0, y1, z0) * (1.0 - fx) + g(x1, y1, z0) * fx;
+                let c01 = g(x0, y0, z1) * (1.0 - fx) + g(x1, y0, z1) * fx;
+                let c11 = g(x0, y1, z1) * (1.0 - fx) + g(x1, y1, z1) * fx;
+                let c0 = c00 * (1.0 - fy) + c10 * fy;
+                let c1 = c01 * (1.0 - fy) + c11 * fy;
+                out.push(c0 * (1.0 - fz) + c1 * fz);
+            }
+        }
+    }
+    out
+}
+
+/// *DuoModel*: the reduced model is a separately-simulated coarse run;
+/// the delta is against its (compressed) trilinear upsampling.
+pub fn duo_model_precondition(
+    field: &Field,
+    coarse: &Field,
+    orig_codec: &LossyCodec,
+) -> ProjectionOutput {
+    let rep_bytes = orig_codec.compress(&coarse.data, coarse.shape);
+    let coarse_recon = orig_codec.decompress(&rep_bytes, coarse.shape);
+    let up = upsample(&coarse_recon, coarse.shape, field.shape);
+    let delta: Vec<f64> = field.data.iter().zip(&up).map(|(a, b)| a - b).collect();
+    ProjectionOutput {
+        rep_bytes,
+        delta,
+        rep_shape: coarse.shape,
+    }
+}
+
+/// Inverse of [`duo_model_precondition`].
+pub fn duo_model_reconstruct(
+    rep_bytes: &[u8],
+    delta: &[f64],
+    shape: Shape,
+    coarse_shape: Shape,
+    orig_codec: &LossyCodec,
+) -> Vec<f64> {
+    let coarse = orig_codec.decompress(rep_bytes, coarse_shape);
+    let up = upsample(&coarse, coarse_shape, shape);
+    delta.iter().zip(&up).map(|(d, b)| d + b).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn heat_like_field(n: usize) -> Field {
+        // Smooth in z with a symmetric profile: one-base's sweet spot.
+        let shape = Shape::d3(n, n, n);
+        let mut data = Vec::with_capacity(shape.len());
+        for z in 0..n {
+            for y in 0..n {
+                for x in 0..n {
+                    let zf = z as f64 / (n - 1) as f64;
+                    data.push(
+                        100.0 * (std::f64::consts::PI * zf).sin()
+                            + (x as f64 * 0.2).sin() * 3.0
+                            + (y as f64 * 0.15).cos() * 2.0,
+                    );
+                }
+            }
+        }
+        Field::new("heatlike", data, shape)
+    }
+
+    #[test]
+    fn one_base_roundtrip_is_lossless_with_lossless_delta() {
+        let f = heat_like_field(12);
+        let codec = LossyCodec::SzRel(1e-6);
+        let out = one_base_precondition(&f, &codec);
+        // Reconstruct with the exact delta: error must be zero.
+        let rec = one_base_reconstruct(&out.rep_bytes, &out.delta, f.shape, &codec);
+        for (a, b) in f.data.iter().zip(&rec) {
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn one_base_delta_is_smoother_than_original() {
+        // The paper's premise: variations in the delta are smaller than in
+        // the raw field, making it more compressible.
+        let f = heat_like_field(16);
+        let codec = LossyCodec::SzRel(1e-6);
+        let out = one_base_precondition(&f, &codec);
+        let spread = |d: &[f64]| {
+            let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+            for &v in d {
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            hi - lo
+        };
+        assert!(spread(&out.delta) < spread(&f.data));
+    }
+
+    #[test]
+    fn multi_base_roundtrip() {
+        let f = heat_like_field(12);
+        let codec = LossyCodec::ZfpPrecision(40);
+        let out = multi_base_precondition(&f, 3, &codec);
+        let rec = multi_base_reconstruct(&out.rep_bytes, &out.delta, f.shape, 3, &codec);
+        for (a, b) in f.data.iter().zip(&rec) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn multi_base_deltas_are_smaller_than_one_base() {
+        // Bases closer to every plane -> smaller absolute deltas.
+        let f = heat_like_field(16);
+        let codec = LossyCodec::SzRel(1e-6);
+        let one = one_base_precondition(&f, &codec);
+        let multi = multi_base_precondition(&f, 4, &codec);
+        let energy = |d: &[f64]| d.iter().map(|v| v * v).sum::<f64>();
+        assert!(energy(&multi.delta) < energy(&one.delta));
+    }
+
+    #[test]
+    fn multi_base_rep_is_larger_than_one_base() {
+        // The paper's explanation of why multi-base doesn't dominate:
+        // more planes to store offset the smaller deltas.
+        let f = heat_like_field(16);
+        let codec = LossyCodec::SzRel(1e-6);
+        let one = one_base_precondition(&f, &codec);
+        let multi = multi_base_precondition(&f, 4, &codec);
+        assert!(multi.rep_bytes.len() > one.rep_bytes.len());
+    }
+
+    #[test]
+    fn upsample_reproduces_linear_fields_exactly() {
+        let cshape = Shape::d3(3, 3, 3);
+        let coarse: Vec<f64> = (0..27)
+            .map(|i| {
+                let (x, y, z) = (i % 3, (i / 3) % 3, i / 9);
+                1.0 + x as f64 * 2.0 + y as f64 * 3.0 + z as f64 * 4.0
+            })
+            .collect();
+        let tshape = Shape::d3(5, 5, 5);
+        let up = upsample(&coarse, cshape, tshape);
+        for z in 0..5 {
+            for y in 0..5 {
+                for x in 0..5 {
+                    let want = 1.0 + x as f64 + y as f64 * 1.5 + z as f64 * 2.0;
+                    let got = up[tshape.idx(x, y, z)];
+                    assert!((got - want).abs() < 1e-12, "({x},{y},{z}): {got} vs {want}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn upsample_identity_when_shapes_match() {
+        let shape = Shape::d2(4, 3);
+        let data: Vec<f64> = (0..12).map(|i| i as f64).collect();
+        assert_eq!(upsample(&data, shape, shape), data);
+    }
+
+    #[test]
+    fn duo_model_roundtrip() {
+        let f = heat_like_field(12);
+        // Coarse variant: sample every other point (a stand-in for a
+        // coarse simulation).
+        let cshape = Shape::d3(6, 6, 6);
+        let mut coarse = Vec::with_capacity(cshape.len());
+        for z in 0..6 {
+            for y in 0..6 {
+                for x in 0..6 {
+                    coarse.push(f.at(x * 2, y * 2, z * 2));
+                }
+            }
+        }
+        let cf = Field::new("coarse", coarse, cshape);
+        let codec = LossyCodec::SzRel(1e-6);
+        let out = duo_model_precondition(&f, &cf, &codec);
+        let rec = duo_model_reconstruct(&out.rep_bytes, &out.delta, f.shape, cshape, &codec);
+        for (a, b) in f.data.iter().zip(&rec) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2-D")]
+    fn one_base_rejects_1d() {
+        let f = Field::new("line", vec![0.0; 16], Shape::d1(16));
+        one_base_precondition(&f, &LossyCodec::SzRel(1e-5));
+    }
+
+    #[test]
+    fn one_base_2d_roundtrip() {
+        let shape = Shape::d2(12, 10);
+        let mut data = Vec::with_capacity(shape.len());
+        for y in 0..10 {
+            for x in 0..12 {
+                data.push((x as f64 * 0.4).sin() * 5.0 + y as f64);
+            }
+        }
+        let f = Field::new("lap", data, shape);
+        let codec = LossyCodec::SzRel(1e-6);
+        let out = one_base_precondition(&f, &codec);
+        let rec = one_base_reconstruct(&out.rep_bytes, &out.delta, shape, &codec);
+        for (a, b) in f.data.iter().zip(&rec) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn multi_base_2d_roundtrip() {
+        let shape = Shape::d2(16, 12);
+        let data: Vec<f64> = (0..shape.len()).map(|i| (i as f64 * 0.17).cos() * 3.0).collect();
+        let f = Field::new("lap", data, shape);
+        let codec = LossyCodec::ZfpPrecision(48);
+        let out = multi_base_precondition(&f, 3, &codec);
+        let rec = multi_base_reconstruct(&out.rep_bytes, &out.delta, shape, 3, &codec);
+        for (a, b) in f.data.iter().zip(&rec) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Automatic model selection — the paper's stated future work.
+//!
+//! "We notice that there is no single reduced method that is the best of
+//! all datasets. Therefore, it is motivated to propose a model selection
+//! strategy that selects the best model prior to data reduction."
+//! [`select_best_model`] implements the straightforward strategy: run
+//! every candidate on a (sub)sample of the data and keep the one with the
+//! best compression ratio. For fields where preconditioning hurts (e.g.
+//! the zero-dominated *Fish*), the `Direct` candidate wins and the
+//! selector correctly refuses to precondition.
+
+use crate::pipeline::{
+    precondition_and_compress, CompressionReport, PipelineConfig, ReducedModelKind,
+};
+use lrm_datasets::Field;
+
+/// Outcome of one candidate trial.
+#[derive(Debug, Clone)]
+pub struct CandidateResult {
+    /// The model tried.
+    pub model: ReducedModelKind,
+    /// Its size report.
+    pub report: CompressionReport,
+}
+
+/// Tries every candidate model on `field` and returns the winner (by
+/// compression ratio) along with every trial's report, sorted best-first.
+///
+/// `base` supplies the codecs/bounds; its `model` field is ignored.
+/// Candidates that cannot apply (e.g. one-base on a 1-D field) are
+/// skipped.
+pub fn select_best_model(
+    field: &Field,
+    candidates: &[ReducedModelKind],
+    base: &PipelineConfig,
+) -> (ReducedModelKind, Vec<CandidateResult>) {
+    let mut results: Vec<CandidateResult> = Vec::new();
+    for &model in candidates {
+        // Skip inapplicable combinations rather than panic.
+        let applicable = match model {
+            ReducedModelKind::OneBase | ReducedModelKind::MultiBase(_) => {
+                field.shape.ndims() >= 2
+            }
+            ReducedModelKind::DuoModel => false, // needs an aux field
+            _ => true,
+        };
+        if !applicable {
+            continue;
+        }
+        let cfg = PipelineConfig { model, ..*base };
+        let art = precondition_and_compress(field, &cfg);
+        results.push(CandidateResult {
+            model,
+            report: art.report,
+        });
+    }
+    assert!(
+        !results.is_empty(),
+        "select_best_model: no applicable candidate"
+    );
+    results.sort_by(|a, b| {
+        b.report
+            .ratio()
+            .partial_cmp(&a.report.ratio())
+            .expect("finite ratios")
+    });
+    (results[0].model, results)
+}
+
+/// The default candidate set: direct plus every self-contained reduced
+/// model.
+pub fn default_candidates() -> Vec<ReducedModelKind> {
+    vec![
+        ReducedModelKind::Direct,
+        ReducedModelKind::OneBase,
+        ReducedModelKind::MultiBase(4),
+        ReducedModelKind::Pca,
+        ReducedModelKind::Svd,
+        ReducedModelKind::Wavelet,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrm_compress::Shape;
+
+    #[test]
+    fn selector_prefers_preconditioning_on_symmetric_3d_data() {
+        let n = 12;
+        let shape = Shape::d3(n, n, n);
+        let mut data = Vec::with_capacity(shape.len());
+        for z in 0..n {
+            for y in 0..n {
+                for x in 0..n {
+                    let zf = z as f64 / (n - 1) as f64;
+                    data.push(100.0 * (std::f64::consts::PI * zf).sin()
+                        + 0.5 * ((x + y) as f64 * 0.4).sin());
+                }
+            }
+        }
+        let f = Field::new("sym", data, shape);
+        let base = PipelineConfig::sz(ReducedModelKind::Direct);
+        let (winner, results) = select_best_model(&f, &default_candidates(), &base);
+        assert_ne!(winner, ReducedModelKind::Wavelet);
+        assert!(results.len() >= 4);
+        // Results are sorted best-first.
+        for w in results.windows(2) {
+            assert!(w[0].report.ratio() >= w[1].report.ratio());
+        }
+    }
+
+    #[test]
+    fn selector_falls_back_to_direct_on_zero_dominated_data() {
+        // Fish-like: mostly exact zeros. Preconditioners smear the zeros;
+        // direct SZ keeps them free.
+        let shape = Shape::d2(32, 32);
+        let mut data = vec![0.0; shape.len()];
+        for i in (0..shape.len()).step_by(17) {
+            data[i] = (i as f64 * 0.3).sin() + 2.0;
+        }
+        let f = Field::new("fishy", data, shape);
+        let base = PipelineConfig::sz(ReducedModelKind::Direct);
+        let (winner, _) = select_best_model(&f, &default_candidates(), &base);
+        assert_eq!(winner, ReducedModelKind::Direct);
+    }
+
+    #[test]
+    fn inapplicable_candidates_are_skipped() {
+        let shape = Shape::d1(64);
+        let data: Vec<f64> = (0..64).map(|i| (i as f64 * 0.2).sin()).collect();
+        let f = Field::new("line", data, shape);
+        let base = PipelineConfig::sz(ReducedModelKind::Direct);
+        let (_, results) = select_best_model(&f, &default_candidates(), &base);
+        assert!(results
+            .iter()
+            .all(|r| !matches!(r.model, ReducedModelKind::OneBase)));
+    }
+
+    #[test]
+    #[should_panic(expected = "no applicable candidate")]
+    fn empty_candidate_set_panics() {
+        let f = Field::new("x", vec![0.0; 4], Shape::d1(4));
+        let base = PipelineConfig::sz(ReducedModelKind::Direct);
+        select_best_model(&f, &[ReducedModelKind::DuoModel], &base);
+    }
+}

@@ -1,0 +1,229 @@
+//! Temporal preconditioning — an extension beyond the paper.
+//!
+//! The paper's reduced models are *spatial* (a plane, a basis, a sparse
+//! transform). Simulation campaigns also have a time axis: consecutive
+//! snapshots differ slowly, so the previous snapshot's *reconstruction*
+//! is itself a latent reduced model for the next one. This module
+//! compresses a snapshot series that way: the first snapshot directly,
+//! every later one as a delta against its predecessor's reconstruction
+//! (chaining against reconstructions, not originals, prevents error
+//! drift — the same discipline the spatial pipeline applies).
+
+use crate::codec::LossyCodec;
+use lrm_compress::Shape;
+use lrm_datasets::Field;
+use lrm_io::Artifact;
+
+/// A compressed snapshot series.
+#[derive(Debug, Clone)]
+pub struct TemporalSeries {
+    /// Serialized container: one section per snapshot.
+    pub bytes: Vec<u8>,
+    /// Raw input bytes across the series.
+    pub raw_bytes: usize,
+    /// Per-snapshot compressed sizes.
+    pub snapshot_bytes: Vec<usize>,
+}
+
+impl TemporalSeries {
+    /// Series compression ratio.
+    pub fn ratio(&self) -> f64 {
+        let total: usize = self.snapshot_bytes.iter().sum();
+        self.raw_bytes as f64 / total.max(1) as f64
+    }
+}
+
+/// Compresses `fields` (a time-ordered snapshot series over one grid)
+/// with temporal-delta preconditioning.
+///
+/// # Panics
+/// Panics if the series is empty or shapes differ between snapshots.
+pub fn compress_series(
+    fields: &[Field],
+    base_codec: &LossyCodec,
+    delta_codec: &LossyCodec,
+) -> TemporalSeries {
+    assert!(!fields.is_empty(), "temporal: empty series");
+    let shape = fields[0].shape;
+    for f in fields {
+        assert_eq!(f.shape, shape, "temporal: inconsistent shapes");
+    }
+
+    let mut artifact = Artifact::new();
+    // Header section: shape + codecs.
+    let mut meta = Vec::new();
+    for d in shape.dims {
+        meta.extend_from_slice(&(d as u32).to_le_bytes());
+    }
+    meta.extend_from_slice(&base_codec.to_bytes());
+    meta.extend_from_slice(&delta_codec.to_bytes());
+    meta.extend_from_slice(&(fields.len() as u32).to_le_bytes());
+    artifact.push("meta", meta);
+
+    let mut prev_recon: Option<Vec<f64>> = None;
+    let mut snapshot_bytes = Vec::with_capacity(fields.len());
+    for (i, f) in fields.iter().enumerate() {
+        let bytes = match &prev_recon {
+            None => base_codec.compress(&f.data, shape),
+            Some(prev) => {
+                let delta: Vec<f64> =
+                    f.data.iter().zip(prev).map(|(a, b)| a - b).collect();
+                delta_codec.compress(&delta, shape)
+            }
+        };
+        snapshot_bytes.push(bytes.len());
+        // Track the decoder's view.
+        let recon = match &prev_recon {
+            None => base_codec.decompress(&bytes, shape),
+            Some(prev) => {
+                let d = delta_codec.decompress(&bytes, shape);
+                d.iter().zip(prev).map(|(d, p)| d + p).collect()
+            }
+        };
+        artifact.push(format!("t{i}"), bytes);
+        prev_recon = Some(recon);
+    }
+
+    TemporalSeries {
+        bytes: artifact.to_bytes(),
+        raw_bytes: fields.iter().map(|f| f.nbytes()).sum(),
+        snapshot_bytes,
+    }
+}
+
+/// Decompresses a series produced by [`compress_series`]. Returns the
+/// snapshots in time order plus their shape.
+pub fn reconstruct_series(bytes: &[u8]) -> (Vec<Vec<f64>>, Shape) {
+    let artifact = Artifact::from_bytes(bytes).expect("temporal: corrupt container");
+    let meta = artifact.get("meta").expect("temporal: missing meta");
+    let dim = |i: usize| -> usize {
+        u32::from_le_bytes(meta[4 * i..4 * i + 4].try_into().expect("dims")) as usize
+    };
+    let shape = Shape {
+        dims: [dim(0), dim(1), dim(2)],
+    };
+    let base_codec = LossyCodec::from_bytes(&meta[12..21]).expect("temporal: base codec");
+    let delta_codec = LossyCodec::from_bytes(&meta[21..30]).expect("temporal: delta codec");
+    let count = u32::from_le_bytes(meta[30..34].try_into().expect("count")) as usize;
+
+    let mut out: Vec<Vec<f64>> = Vec::with_capacity(count);
+    for i in 0..count {
+        let section = artifact
+            .get(&format!("t{i}"))
+            .expect("temporal: missing snapshot section");
+        let snap = if i == 0 {
+            base_codec.decompress(section, shape)
+        } else {
+            let d = delta_codec.decompress(section, shape);
+            d.iter()
+                .zip(&out[i - 1])
+                .map(|(d, p)| d + p)
+                .collect()
+        };
+        out.push(snap);
+    }
+    (out, shape)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrm_stats::nrmse;
+
+    fn drifting_series(count: usize) -> Vec<Field> {
+        let shape = Shape::d2(24, 24);
+        (0..count)
+            .map(|t| {
+                let data: Vec<f64> = (0..shape.len())
+                    .map(|i| {
+                        let x = (i % 24) as f64;
+                        let y = (i / 24) as f64;
+                        100.0 + 10.0 * (x * 0.3).sin() * (y * 0.2).cos()
+                            + 0.2 * t as f64 * (x * 0.1).cos()
+                    })
+                    .collect();
+                Field::new(format!("t{t}"), data, shape)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn series_roundtrips_within_bounds() {
+        let fields = drifting_series(6);
+        let s = compress_series(
+            &fields,
+            &LossyCodec::SzRel(1e-5),
+            &LossyCodec::SzRel(1e-3),
+        );
+        let (rec, shape) = reconstruct_series(&s.bytes);
+        assert_eq!(shape, fields[0].shape);
+        assert_eq!(rec.len(), 6);
+        for (f, r) in fields.iter().zip(&rec) {
+            assert!(nrmse(&f.data, r) < 0.01, "snapshot {}", f.name);
+        }
+    }
+
+    #[test]
+    fn temporal_deltas_shrink_later_snapshots() {
+        let fields = drifting_series(8);
+        let s = compress_series(
+            &fields,
+            &LossyCodec::SzRel(1e-5),
+            &LossyCodec::SzRel(1e-3),
+        );
+        let first = s.snapshot_bytes[0];
+        let later_avg: f64 = s.snapshot_bytes[1..]
+            .iter()
+            .map(|&b| b as f64)
+            .sum::<f64>()
+            / (s.snapshot_bytes.len() - 1) as f64;
+        assert!(
+            later_avg < first as f64,
+            "later {later_avg} vs first {first}"
+        );
+        assert!(s.ratio() > 1.0);
+    }
+
+    #[test]
+    fn errors_do_not_accumulate_down_the_chain() {
+        // Chaining against reconstructions keeps every snapshot within its
+        // own bound; verify the last one is no worse than the first by an
+        // order of magnitude.
+        let fields = drifting_series(10);
+        let s = compress_series(
+            &fields,
+            &LossyCodec::SzRel(1e-5),
+            &LossyCodec::SzRel(1e-4),
+        );
+        let (rec, _) = reconstruct_series(&s.bytes);
+        let e_first = nrmse(&fields[0].data, &rec[0]);
+        let e_last = nrmse(&fields[9].data, &rec[9]);
+        assert!(e_last < 10.0 * e_first + 1e-6, "{e_first} -> {e_last}");
+    }
+
+    #[test]
+    fn single_snapshot_series_works() {
+        let fields = drifting_series(1);
+        let s = compress_series(
+            &fields,
+            &LossyCodec::SzRel(1e-5),
+            &LossyCodec::SzRel(1e-3),
+        );
+        let (rec, _) = reconstruct_series(&s.bytes);
+        assert_eq!(rec.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty series")]
+    fn empty_series_rejected() {
+        compress_series(&[], &LossyCodec::SzRel(1e-5), &LossyCodec::SzRel(1e-3));
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent shapes")]
+    fn mismatched_shapes_rejected() {
+        let a = Field::new("a", vec![0.0; 4], Shape::d2(2, 2));
+        let b = Field::new("b", vec![0.0; 6], Shape::d2(3, 2));
+        compress_series(&[a, b], &LossyCodec::SzRel(1e-5), &LossyCodec::SzRel(1e-3));
+    }
+}

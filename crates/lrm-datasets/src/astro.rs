@@ -1,0 +1,164 @@
+//! Astro: velocity magnitude in a supernova simulation.
+//!
+//! The paper's *Astro* dataset is the velocity magnitude of a supernova
+//! run. We synthesize the same structure from the physics it captures: a
+//! spherically expanding blast with a sharp shock front, a post-shock
+//! velocity profile that rises roughly linearly with radius (homologous
+//! expansion), and multi-scale turbulent perturbations behind the shock.
+//! The reduced model shrinks the computational volume and evaluates at an
+//! earlier time, as Section III-A describes for this dataset family.
+
+use crate::field::Field;
+use lrm_compress::Shape;
+
+/// Configuration of the synthetic supernova field.
+#[derive(Debug, Clone, Copy)]
+pub struct Astro {
+    /// Grid points per edge.
+    pub n: usize,
+    /// Domain half-width in code units.
+    pub half_width: f64,
+    /// Evaluation time (controls the shock radius).
+    pub time: f64,
+    /// Peak ejecta velocity.
+    pub v_max: f64,
+    /// Turbulence amplitude relative to the local velocity.
+    pub turbulence: f64,
+}
+
+impl Default for Astro {
+    fn default() -> Self {
+        Self {
+            n: 64,
+            half_width: 1.0,
+            time: 0.8,
+            v_max: 3.0e3,
+            turbulence: 0.08,
+        }
+    }
+}
+
+impl Astro {
+    /// Shock radius at the configured time (self-similar `t^0.4` growth,
+    /// Sedov scaling).
+    pub fn shock_radius(&self) -> f64 {
+        0.9 * self.half_width * self.time.powf(0.4)
+    }
+
+    /// Generates the 3-D velocity-magnitude field.
+    pub fn solve(&self) -> Field {
+        let n = self.n;
+        let shape = Shape::d3(n, n, n);
+        let r_shock = self.shock_radius();
+        let mut data = Vec::with_capacity(shape.len());
+        for z in 0..n {
+            for y in 0..n {
+                for x in 0..n {
+                    let fx = (x as f64 / (n - 1) as f64 - 0.5) * 2.0 * self.half_width;
+                    let fy = (y as f64 / (n - 1) as f64 - 0.5) * 2.0 * self.half_width;
+                    let fz = (z as f64 / (n - 1) as f64 - 0.5) * 2.0 * self.half_width;
+                    let r = (fx * fx + fy * fy + fz * fz).sqrt();
+                    let v = if r < r_shock {
+                        // Homologous interior: v ∝ r, with deterministic
+                        // multi-scale "turbulence" from superposed modes.
+                        let base = self.v_max * r / r_shock;
+                        let turb = (fx * 21.0).sin() * (fy * 17.0).cos() * (fz * 13.0).sin()
+                            + 0.5 * (fx * 41.0).cos() * (fy * 37.0).sin()
+                            + 0.25 * (fz * 71.0).sin() * (fx * 67.0).cos();
+                        base * (1.0 + self.turbulence * turb)
+                    } else {
+                        // Ambient medium: exponentially decaying precursor.
+                        let d = (r - r_shock) / (0.05 * self.half_width);
+                        self.v_max * 0.02 * (-d).exp()
+                    };
+                    data.push(v.max(0.0));
+                }
+            }
+        }
+        Field::new(
+            format!("astro/n={n}/t={}", self.time),
+            data,
+            shape,
+        )
+    }
+
+    /// Reduced model: half-size volume observed at an earlier time
+    /// (paper: smaller computational domain, shorter physical time).
+    pub fn reduced(&self) -> Astro {
+        Astro {
+            n: (self.n / 2).max(8),
+            half_width: self.half_width * 0.5,
+            time: self.time * 0.5,
+            ..*self
+        }
+    }
+
+    /// Snapshots at `count` uniformly spaced times up to `self.time`.
+    pub fn snapshots(&self, count: usize) -> Vec<Field> {
+        assert!(count >= 1, "astro: need at least one snapshot");
+        (1..=count)
+            .map(|i| {
+                Astro {
+                    time: self.time * i as f64 / count as f64,
+                    ..*self
+                }
+                .solve()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn velocity_is_nonnegative_and_finite() {
+        let f = Astro { n: 24, ..Default::default() }.solve();
+        assert!(f.data.iter().all(|v| v.is_finite() && *v >= 0.0));
+    }
+
+    #[test]
+    fn shock_front_separates_fast_and_slow() {
+        let a = Astro { n: 32, ..Default::default() };
+        let f = a.solve();
+        // Center is slow (v ∝ r), mid-radius inside the shock is fast,
+        // corner (outside) is near ambient.
+        let c = f.at(16, 16, 16);
+        let mid = f.at(26, 16, 16);
+        let corner = f.at(0, 0, 0);
+        assert!(mid > c, "mid {mid} vs center {c}");
+        assert!(corner < 0.1 * mid, "corner {corner} vs mid {mid}");
+    }
+
+    #[test]
+    fn shock_radius_grows_with_time() {
+        let early = Astro { time: 0.2, ..Default::default() };
+        let late = Astro { time: 0.9, ..Default::default() };
+        assert!(late.shock_radius() > early.shock_radius());
+    }
+
+    #[test]
+    fn reduced_model_shrinks_domain_and_time() {
+        let a = Astro::default();
+        let r = a.reduced();
+        assert_eq!(r.n, 32);
+        assert!(r.half_width < a.half_width && r.time < a.time);
+    }
+
+    #[test]
+    fn snapshots_show_expansion() {
+        let a = Astro { n: 24, ..Default::default() };
+        let snaps = a.snapshots(3);
+        assert_eq!(snaps.len(), 3);
+        // More cells are moving fast at later times.
+        let moving = |f: &Field| f.data.iter().filter(|v| **v > 100.0).count();
+        assert!(moving(&snaps[2]) >= moving(&snaps[0]));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Astro { n: 16, ..Default::default() };
+        assert_eq!(a.solve().data, a.solve().data);
+    }
+}

@@ -1,0 +1,159 @@
+//! Laplace: 2-D steady-state solver (Jacobi iteration).
+//!
+//! Solves `∇²u = 0` on the unit square with fixed boundary values — the
+//! paper's "description of steady state situations of values
+//! distributions". Snapshots are intermediate Jacobi iterates, which is
+//! what a simulation would write while converging; the reduced model uses
+//! a scaled-down problem size, exactly as in Section III-A.
+
+use crate::field::Field;
+use lrm_compress::Shape;
+
+/// Configuration of the Laplace solve.
+#[derive(Debug, Clone, Copy)]
+pub struct Laplace {
+    /// Grid points per edge.
+    pub n: usize,
+    /// Number of Jacobi iterations.
+    pub iterations: usize,
+    /// Peak boundary value.
+    pub amplitude: f64,
+}
+
+impl Default for Laplace {
+    fn default() -> Self {
+        Self {
+            n: 64,
+            iterations: 2000,
+            amplitude: 100.0,
+        }
+    }
+}
+
+impl Laplace {
+    fn init(&self) -> Vec<f64> {
+        let n = self.n;
+        let shape = Shape::d2(n, n);
+        let mut u = vec![0.0; shape.len()];
+        // Top edge: sinusoidal hot profile; bottom edge: linear ramp;
+        // sides grounded. This gives a smooth harmonic interior.
+        for x in 0..n {
+            let t = x as f64 / (n - 1) as f64;
+            u[shape.idx(x, n - 1, 0)] = self.amplitude * (std::f64::consts::PI * t).sin();
+            u[shape.idx(x, 0, 0)] = 0.25 * self.amplitude * t;
+        }
+        u
+    }
+
+    /// Runs to the configured iteration count, returning the final iterate.
+    pub fn solve(&self) -> Field {
+        self.snapshots(1).pop().expect("one snapshot requested")
+    }
+
+    /// Captures `count` iterates uniformly spaced over the run.
+    pub fn snapshots(&self, count: usize) -> Vec<Field> {
+        assert!(count >= 1, "laplace: need at least one snapshot");
+        let n = self.n;
+        let shape = Shape::d2(n, n);
+        let mut u = self.init();
+        let mut next = u.clone();
+        let mut out = Vec::with_capacity(count);
+        for it in 1..=self.iterations {
+            for y in 1..n - 1 {
+                for x in 1..n - 1 {
+                    let i = shape.idx(x, y, 0);
+                    next[i] = 0.25 * (u[i + 1] + u[i - 1] + u[i + n] + u[i - n]);
+                }
+            }
+            std::mem::swap(&mut u, &mut next);
+            let due = it * count / self.iterations;
+            let prev_due = (it - 1) * count / self.iterations;
+            if due > prev_due {
+                out.push(Field::new(
+                    format!("laplace/n={n}/iter={it}"),
+                    u.clone(),
+                    shape,
+                ));
+            }
+        }
+        if out.len() < count {
+            out.push(Field::new(
+                format!("laplace/n={n}/iter={}", self.iterations),
+                u,
+                shape,
+            ));
+        }
+        out
+    }
+
+    /// Reduced model: the problem at `1/factor` resolution (and
+    /// proportionally fewer iterations, since Jacobi converges in O(n²)).
+    pub fn coarse(&self, factor: usize) -> Laplace {
+        Laplace {
+            n: (self.n / factor).max(4),
+            iterations: (self.iterations / (factor * factor)).max(1),
+            amplitude: self.amplitude,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solution_respects_maximum_principle() {
+        let f = Laplace { n: 32, iterations: 500, amplitude: 10.0 }.solve();
+        let (lo, hi) = f.min_max();
+        assert!(lo >= -1e-9 && hi <= 10.0 + 1e-9, "({lo}, {hi})");
+    }
+
+    #[test]
+    fn interior_approaches_harmonicity() {
+        let cfg = Laplace { n: 24, iterations: 3000, amplitude: 1.0 };
+        let f = cfg.solve();
+        // Residual of the 5-point stencil should be tiny after convergence.
+        let n = cfg.n;
+        let mut worst = 0.0f64;
+        for y in 1..n - 1 {
+            for x in 1..n - 1 {
+                let r = 0.25
+                    * (f.at(x + 1, y, 0) + f.at(x - 1, y, 0) + f.at(x, y + 1, 0)
+                        + f.at(x, y - 1, 0))
+                    - f.at(x, y, 0);
+                worst = worst.max(r.abs());
+            }
+        }
+        assert!(worst < 1e-4, "residual {worst}");
+    }
+
+    #[test]
+    fn snapshots_converge_monotonically_in_residual() {
+        let cfg = Laplace { n: 24, iterations: 1000, amplitude: 5.0 };
+        let snaps = cfg.snapshots(4);
+        assert_eq!(snaps.len(), 4);
+        let res = |f: &Field| {
+            let n = cfg.n;
+            let mut s = 0.0;
+            for y in 1..n - 1 {
+                for x in 1..n - 1 {
+                    let r = 0.25
+                        * (f.at(x + 1, y, 0) + f.at(x - 1, y, 0) + f.at(x, y + 1, 0)
+                            + f.at(x, y - 1, 0))
+                        - f.at(x, y, 0);
+                    s += r * r;
+                }
+            }
+            s
+        };
+        assert!(res(&snaps[3]) <= res(&snaps[0]));
+    }
+
+    #[test]
+    fn coarse_reduces_work() {
+        let full = Laplace::default();
+        let red = full.coarse(4);
+        assert_eq!(red.n, 16);
+        assert!(red.iterations < full.iterations);
+    }
+}

@@ -1,0 +1,447 @@
+//! Molecular dynamics generators standing in for the paper's Gromacs
+//! runs (*Umbrella* and *Virtual_sites*).
+//!
+//! A velocity-Verlet Lennard-Jones fluid in a periodic box provides the
+//! trajectory data; the two variants add the features their namesakes
+//! exercise:
+//!
+//! * [`Umbrella`] — a harmonic *umbrella bias* tethers a tagged particle
+//!   to a reference point along a reaction coordinate, as in umbrella
+//!   sampling free-energy runs.
+//! * [`VirtualSites`] — every third particle carries a massless virtual
+//!   interaction site placed deterministically from its neighbors'
+//!   geometry (the construction Gromacs uses for e.g. TIP4P water); the
+//!   site coordinates are part of the output.
+//!
+//! The output field is the flattened coordinate trajectory (x,y,z per
+//! site), which is what Gromacs writes and what the paper compresses.
+//! The reduced model lowers the number of atoms (paper: 1 960 → 490).
+
+use crate::field::Field;
+use lrm_compress::Shape;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Shared MD engine parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct MdConfig {
+    /// Number of (real) particles (paper full model: 1 960).
+    pub n_atoms: usize,
+    /// Integration steps.
+    pub steps: usize,
+    /// Time step in reduced LJ units.
+    pub dt: f64,
+    /// Box edge length in reduced units.
+    pub box_len: f64,
+    /// RNG seed for initial velocities.
+    pub seed: u64,
+}
+
+impl Default for MdConfig {
+    fn default() -> Self {
+        Self {
+            n_atoms: 490,
+            steps: 200,
+            dt: 0.002,
+            box_len: 12.0,
+            seed: 42,
+        }
+    }
+}
+
+/// State of an MD run.
+struct MdState {
+    pos: Vec<[f64; 3]>,
+    vel: Vec<[f64; 3]>,
+    force: Vec<[f64; 3]>,
+    box_len: f64,
+}
+
+impl MdState {
+    fn new(cfg: &MdConfig) -> Self {
+        let n = cfg.n_atoms;
+        // Lattice initial positions: simple cubic filling of the box.
+        let per_edge = (n as f64).cbrt().ceil() as usize;
+        let spacing = cfg.box_len / per_edge as f64;
+        let mut pos = Vec::with_capacity(n);
+        'fill: for z in 0..per_edge {
+            for y in 0..per_edge {
+                for x in 0..per_edge {
+                    if pos.len() == n {
+                        break 'fill;
+                    }
+                    pos.push([
+                        (x as f64 + 0.5) * spacing,
+                        (y as f64 + 0.5) * spacing,
+                        (z as f64 + 0.5) * spacing,
+                    ]);
+                }
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let vel: Vec<[f64; 3]> = (0..n)
+            .map(|_| {
+                [
+                    rng.gen_range(-0.5..0.5),
+                    rng.gen_range(-0.5..0.5),
+                    rng.gen_range(-0.5..0.5),
+                ]
+            })
+            .collect();
+        Self {
+            pos,
+            vel,
+            force: vec![[0.0; 3]; n],
+            box_len: cfg.box_len,
+        }
+    }
+
+    /// Minimum-image displacement from `a` to `b`.
+    #[inline]
+    fn min_image(&self, a: [f64; 3], b: [f64; 3]) -> [f64; 3] {
+        let l = self.box_len;
+        let mut d = [0.0; 3];
+        for k in 0..3 {
+            let mut x = b[k] - a[k];
+            if x > l / 2.0 {
+                x -= l;
+            } else if x < -l / 2.0 {
+                x += l;
+            }
+            d[k] = x;
+        }
+        d
+    }
+
+    /// Lennard-Jones forces with cutoff 2.5σ (σ = 1, ε = 1).
+    fn compute_forces(&mut self) {
+        let n = self.pos.len();
+        let cutoff2 = 2.5f64 * 2.5;
+        for f in self.force.iter_mut() {
+            *f = [0.0; 3];
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = self.min_image(self.pos[i], self.pos[j]);
+                let r2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
+                if r2 > cutoff2 || r2 < 1e-12 {
+                    continue;
+                }
+                let inv2 = 1.0 / r2;
+                let inv6 = inv2 * inv2 * inv2;
+                // F/r = 24ε (2 (σ/r)^12 − (σ/r)^6) / r².
+                let fr = 24.0 * (2.0 * inv6 * inv6 - inv6) * inv2;
+                for k in 0..3 {
+                    self.force[i][k] -= fr * d[k];
+                    self.force[j][k] += fr * d[k];
+                }
+            }
+        }
+    }
+
+    /// One velocity-Verlet step; `extra_force(i, pos) -> [f; 3]` injects
+    /// per-particle bias forces (the umbrella potential).
+    fn step(&mut self, dt: f64, extra_force: &dyn Fn(usize, [f64; 3]) -> [f64; 3]) {
+        let n = self.pos.len();
+        for i in 0..n {
+            let ef = extra_force(i, self.pos[i]);
+            for k in 0..3 {
+                self.vel[i][k] += 0.5 * dt * (self.force[i][k] + ef[k]);
+                self.pos[i][k] += dt * self.vel[i][k];
+                // Wrap into the periodic box.
+                self.pos[i][k] = self.pos[i][k].rem_euclid(self.box_len);
+            }
+        }
+        self.compute_forces();
+        for i in 0..n {
+            let ef = extra_force(i, self.pos[i]);
+            for k in 0..3 {
+                self.vel[i][k] += 0.5 * dt * (self.force[i][k] + ef[k]);
+            }
+        }
+        // Mild velocity rescale keeps the tiny systems from heating up
+        // (a crude Berendsen thermostat).
+        let ke: f64 = self
+            .vel
+            .iter()
+            .map(|v| v[0] * v[0] + v[1] * v[1] + v[2] * v[2])
+            .sum();
+        let target = 0.75 * 3.0 * n as f64;
+        if ke > 1e-12 {
+            let lambda = (target / ke).sqrt().clamp(0.95, 1.05);
+            for v in self.vel.iter_mut() {
+                for k in 0..3 {
+                    v[k] *= lambda;
+                }
+            }
+        }
+    }
+}
+
+/// Umbrella-sampling MD run.
+#[derive(Debug, Clone, Copy)]
+pub struct Umbrella {
+    /// Engine parameters.
+    pub md: MdConfig,
+    /// Umbrella spring constant.
+    pub k_spring: f64,
+}
+
+impl Default for Umbrella {
+    fn default() -> Self {
+        Self {
+            md: MdConfig::default(),
+            k_spring: 50.0,
+        }
+    }
+}
+
+impl Umbrella {
+    /// Runs the simulation and returns the final coordinate snapshot as a
+    /// flat field (3 doubles per atom).
+    pub fn solve(&self) -> Field {
+        self.snapshots(1).pop().expect("one snapshot requested")
+    }
+
+    /// Captures `count` coordinate snapshots uniformly over the run.
+    pub fn snapshots(&self, count: usize) -> Vec<Field> {
+        assert!(count >= 1, "umbrella: need at least one snapshot");
+        let cfg = &self.md;
+        let mut st = MdState::new(cfg);
+        st.compute_forces();
+        let anchor = [cfg.box_len / 2.0; 3];
+        let k = self.k_spring;
+        let bias = move |i: usize, p: [f64; 3]| -> [f64; 3] {
+            if i != 0 {
+                return [0.0; 3];
+            }
+            // Harmonic tether on the tagged particle.
+            [
+                -k * (p[0] - anchor[0]),
+                -k * (p[1] - anchor[1]),
+                -k * (p[2] - anchor[2]),
+            ]
+        };
+        let mut out = Vec::with_capacity(count);
+        for step in 1..=cfg.steps {
+            st.step(cfg.dt, &bias);
+            let due = step * count / cfg.steps;
+            let prev_due = (step - 1) * count / cfg.steps;
+            if due > prev_due {
+                out.push(coords_field(
+                    format!("umbrella/n={}/step={step}", cfg.n_atoms),
+                    &st.pos,
+                ));
+            }
+        }
+        while out.len() < count {
+            out.push(coords_field(
+                format!("umbrella/n={}/end", cfg.n_atoms),
+                &st.pos,
+            ));
+        }
+        out
+    }
+
+    /// Reduced model: fewer atoms (paper: 1 960 → 490 is `factor = 4`).
+    pub fn coarse(&self, factor: usize) -> Umbrella {
+        Umbrella {
+            md: MdConfig {
+                n_atoms: (self.md.n_atoms / factor).max(8),
+                ..self.md
+            },
+            ..*self
+        }
+    }
+}
+
+/// Virtual-sites MD run: every third real particle gets a massless
+/// interaction site placed at a fixed offset along the bisector of its
+/// two lattice neighbors.
+#[derive(Debug, Clone, Copy)]
+pub struct VirtualSites {
+    /// Engine parameters.
+    pub md: MdConfig,
+    /// Virtual-site offset distance.
+    pub offset: f64,
+}
+
+impl Default for VirtualSites {
+    fn default() -> Self {
+        Self {
+            md: MdConfig::default(),
+            offset: 0.15,
+        }
+    }
+}
+
+impl VirtualSites {
+    /// Runs the simulation; the output interleaves real coordinates with
+    /// the constructed virtual-site coordinates.
+    pub fn solve(&self) -> Field {
+        self.snapshots(1).pop().expect("one snapshot requested")
+    }
+
+    /// Captures `count` snapshots uniformly over the run.
+    pub fn snapshots(&self, count: usize) -> Vec<Field> {
+        assert!(count >= 1, "virtual_sites: need at least one snapshot");
+        let cfg = &self.md;
+        let mut st = MdState::new(cfg);
+        st.compute_forces();
+        let no_bias = |_: usize, _: [f64; 3]| [0.0f64; 3];
+        let mut out = Vec::with_capacity(count);
+        for step in 1..=cfg.steps {
+            st.step(cfg.dt, &no_bias);
+            let due = step * count / cfg.steps;
+            let prev_due = (step - 1) * count / cfg.steps;
+            if due > prev_due {
+                out.push(self.emit(&st, step));
+            }
+        }
+        while out.len() < count {
+            out.push(self.emit(&st, cfg.steps));
+        }
+        out
+    }
+
+    fn emit(&self, st: &MdState, step: usize) -> Field {
+        let n = st.pos.len();
+        let mut coords: Vec<f64> = Vec::with_capacity(n * 3 + n); // + virtual sites
+        for p in &st.pos {
+            coords.extend_from_slice(p);
+        }
+        // Virtual site for particles i ≡ 0 (mod 3) with neighbors i+1, i+2:
+        // site = p_i + offset * unit(bisector(p_{i+1}-p_i, p_{i+2}-p_i)).
+        let mut i = 0;
+        while i + 2 < n {
+            let a = st.pos[i];
+            let d1 = st.min_image(a, st.pos[i + 1]);
+            let d2 = st.min_image(a, st.pos[i + 2]);
+            let mut b = [d1[0] + d2[0], d1[1] + d2[1], d1[2] + d2[2]];
+            let norm = (b[0] * b[0] + b[1] * b[1] + b[2] * b[2]).sqrt();
+            if norm > 1e-12 {
+                for k in &mut b {
+                    *k /= norm;
+                }
+            }
+            coords.push(a[0] + self.offset * b[0]);
+            coords.push(a[1] + self.offset * b[1]);
+            coords.push(a[2] + self.offset * b[2]);
+            i += 3;
+        }
+        let len = coords.len();
+        Field::new(
+            format!("virtual_sites/n={n}/step={step}"),
+            coords,
+            Shape::d1(len),
+        )
+    }
+
+    /// Reduced model: fewer atoms.
+    pub fn coarse(&self, factor: usize) -> VirtualSites {
+        VirtualSites {
+            md: MdConfig {
+                n_atoms: (self.md.n_atoms / factor).max(9),
+                ..self.md
+            },
+            ..*self
+        }
+    }
+}
+
+fn coords_field(name: String, pos: &[[f64; 3]]) -> Field {
+    let mut coords = Vec::with_capacity(pos.len() * 3);
+    for p in pos {
+        coords.extend_from_slice(p);
+    }
+    let len = coords.len();
+    Field::new(name, coords, Shape::d1(len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_md() -> MdConfig {
+        MdConfig {
+            n_atoms: 27,
+            steps: 20,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn umbrella_output_has_expected_size() {
+        let u = Umbrella { md: tiny_md(), ..Default::default() };
+        let f = u.solve();
+        assert_eq!(f.len(), 27 * 3);
+    }
+
+    #[test]
+    fn positions_stay_in_box() {
+        let u = Umbrella { md: tiny_md(), ..Default::default() };
+        let f = u.solve();
+        for &c in &f.data {
+            assert!((0.0..=12.0).contains(&c), "coordinate {c} escaped the box");
+        }
+    }
+
+    #[test]
+    fn tagged_particle_stays_near_anchor() {
+        let mut cfg = tiny_md();
+        cfg.steps = 100;
+        let u = Umbrella { md: cfg, k_spring: 200.0 };
+        let f = u.solve();
+        let anchor = 6.0;
+        // Particle 0 is tethered to the box center by a stiff spring.
+        for k in 0..3 {
+            let d = (f.data[k] - anchor).abs().min(12.0 - (f.data[k] - anchor).abs());
+            assert!(d < 3.0, "tagged particle drifted: axis {k}, dist {d}");
+        }
+    }
+
+    #[test]
+    fn virtual_sites_adds_one_site_per_triplet() {
+        let v = VirtualSites { md: tiny_md(), ..Default::default() };
+        let f = v.solve();
+        assert_eq!(f.len(), 27 * 3 + 9 * 3);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let u = Umbrella { md: tiny_md(), ..Default::default() };
+        assert_eq!(u.solve().data, u.solve().data);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = tiny_md();
+        a.seed = 1;
+        let mut b = tiny_md();
+        b.seed = 2;
+        let fa = Umbrella { md: a, ..Default::default() }.solve();
+        let fb = Umbrella { md: b, ..Default::default() }.solve();
+        assert_ne!(fa.data, fb.data);
+    }
+
+    #[test]
+    fn coarse_reduces_atom_count() {
+        let u = Umbrella::default();
+        assert_eq!(u.coarse(4).md.n_atoms, 122);
+        let v = VirtualSites::default();
+        assert_eq!(v.coarse(4).md.n_atoms, 122);
+    }
+
+    #[test]
+    fn energies_stay_finite() {
+        let u = Umbrella { md: tiny_md(), ..Default::default() };
+        let f = u.solve();
+        assert!(f.data.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn snapshots_count() {
+        let u = Umbrella { md: tiny_md(), ..Default::default() };
+        assert_eq!(u.snapshots(5).len(), 5);
+    }
+}

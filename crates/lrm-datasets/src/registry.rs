@@ -1,0 +1,339 @@
+//! Uniform access to the nine datasets of Table I.
+//!
+//! Experiments iterate over [`DatasetKind::ALL`] and ask for a
+//! full/reduced [`ModelPair`] or a series of snapshots at one of three
+//! [`SizeClass`]es: `Tiny` keeps unit tests fast, `Small` drives the
+//! benchmark harness at laptop scale, and `Paper` approaches the paper's
+//! setup (192³ Heat3d, 1 960-atom MD, …).
+
+use crate::astro::Astro;
+use crate::field::Field;
+use crate::fish::Fish;
+use crate::heat3d::Heat3d;
+use crate::laplace::Laplace;
+use crate::md::{MdConfig, Umbrella, VirtualSites};
+use crate::sedov::Sedov;
+use crate::wave::Wave;
+use crate::yf17::Yf17;
+
+/// The nine datasets of the paper's Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetKind {
+    /// Distribution of heat in a region over time (3-D PDE).
+    Heat3d,
+    /// Steady-state value distributions (2-D PDE).
+    Laplace,
+    /// Hyperbolic PDE describing waves (1-D).
+    Wave,
+    /// MD umbrella-sampling trajectory.
+    Umbrella,
+    /// MD with virtual interaction sites.
+    VirtualSites,
+    /// Supernova velocity magnitude.
+    Astro,
+    /// Mixing-tank cooling-jet velocity magnitude (many exact zeros).
+    Fish,
+    /// Strong-shock hydrodynamics pressure.
+    SedovPres,
+    /// CFD temperature around an airframe.
+    Yf17Temp,
+}
+
+impl DatasetKind {
+    /// All nine, in Table I order.
+    pub const ALL: [DatasetKind; 9] = [
+        DatasetKind::Heat3d,
+        DatasetKind::Laplace,
+        DatasetKind::Wave,
+        DatasetKind::Umbrella,
+        DatasetKind::VirtualSites,
+        DatasetKind::Astro,
+        DatasetKind::Fish,
+        DatasetKind::SedovPres,
+        DatasetKind::Yf17Temp,
+    ];
+
+    /// The paper's dataset name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DatasetKind::Heat3d => "Heat3d",
+            DatasetKind::Laplace => "Laplace",
+            DatasetKind::Wave => "Wave",
+            DatasetKind::Umbrella => "Umbrella",
+            DatasetKind::VirtualSites => "Virtual_sites",
+            DatasetKind::Astro => "Astro",
+            DatasetKind::Fish => "Fish",
+            DatasetKind::SedovPres => "Sedov_pres",
+            DatasetKind::Yf17Temp => "Yf17_temp",
+        }
+    }
+
+    /// Parses a (case-insensitive) dataset name.
+    pub fn parse(s: &str) -> Option<DatasetKind> {
+        let l = s.to_ascii_lowercase();
+        DatasetKind::ALL
+            .into_iter()
+            .find(|k| k.name().to_ascii_lowercase() == l)
+    }
+}
+
+/// Problem-size selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SizeClass {
+    /// Seconds-fast sizes for unit tests.
+    Tiny,
+    /// Laptop-scale sizes for the benchmark harness.
+    Small,
+    /// Sizes approaching the paper's setup.
+    Paper,
+}
+
+/// A full-model field paired with its reduced-model counterpart
+/// (the object Fig. 1 compares).
+#[derive(Debug, Clone)]
+pub struct ModelPair {
+    /// The full-model output.
+    pub full: Field,
+    /// The reduced-model output (smaller grid / fewer atoms / smaller
+    /// domain, per Section III-A).
+    pub reduced: Field,
+}
+
+fn heat3d_cfg(size: SizeClass) -> Heat3d {
+    match size {
+        // dt_factor mirrors the paper's conservative (min h)³/8κ time
+        // step, ~0.004 of the stability limit: 50 000 such steps integrate
+        // a short physical time, so the fine-scale initial structure is
+        // still present in every snapshot (exactly the regime the paper's
+        // Table II statistics show).
+        SizeClass::Tiny => Heat3d { n: 16, steps: 400, dt_factor: 0.02, ..Default::default() },
+        SizeClass::Small => Heat3d { n: 48, steps: 4000, dt_factor: 0.004, ..Default::default() },
+        SizeClass::Paper => Heat3d { n: 192, steps: 50_000, dt_factor: 0.004, ..Default::default() },
+    }
+}
+
+fn laplace_cfg(size: SizeClass) -> Laplace {
+    match size {
+        SizeClass::Tiny => Laplace { n: 16, iterations: 60, ..Default::default() },
+        SizeClass::Small => Laplace { n: 64, iterations: 1500, ..Default::default() },
+        SizeClass::Paper => Laplace { n: 192, iterations: 12_000, ..Default::default() },
+    }
+}
+
+fn wave_cfg(size: SizeClass) -> Wave {
+    match size {
+        SizeClass::Tiny => Wave { n: 128, steps: 60, ..Default::default() },
+        SizeClass::Small => Wave { n: 4096, steps: 1500, ..Default::default() },
+        SizeClass::Paper => Wave { n: 65_536, steps: 20_000, ..Default::default() },
+    }
+}
+
+fn md_cfg(size: SizeClass) -> MdConfig {
+    match size {
+        SizeClass::Tiny => MdConfig { n_atoms: 27, steps: 15, ..Default::default() },
+        SizeClass::Small => MdConfig { n_atoms: 490, steps: 60, ..Default::default() },
+        SizeClass::Paper => MdConfig { n_atoms: 1960, steps: 200, ..Default::default() },
+    }
+}
+
+fn astro_cfg(size: SizeClass) -> Astro {
+    match size {
+        SizeClass::Tiny => Astro { n: 16, ..Default::default() },
+        SizeClass::Small => Astro { n: 64, ..Default::default() },
+        SizeClass::Paper => Astro { n: 128, ..Default::default() },
+    }
+}
+
+fn fish_cfg(size: SizeClass) -> Fish {
+    match size {
+        SizeClass::Tiny => Fish { nx: 24, ny: 16, ..Default::default() },
+        SizeClass::Small => Fish { nx: 128, ny: 96, ..Default::default() },
+        SizeClass::Paper => Fish { nx: 512, ny: 384, ..Default::default() },
+    }
+}
+
+fn sedov_cfg(size: SizeClass) -> Sedov {
+    match size {
+        SizeClass::Tiny => Sedov { n: 16, ..Default::default() },
+        SizeClass::Small => Sedov { n: 64, ..Default::default() },
+        SizeClass::Paper => Sedov { n: 128, ..Default::default() },
+    }
+}
+
+fn yf17_cfg(size: SizeClass) -> Yf17 {
+    match size {
+        SizeClass::Tiny => Yf17 { nx: 24, ny: 12, nz: 8, ..Default::default() },
+        SizeClass::Small => Yf17::default(),
+        SizeClass::Paper => Yf17 { nx: 192, ny: 96, nz: 64, ..Default::default() },
+    }
+}
+
+/// Generates the full-model and reduced-model outputs for `kind`.
+///
+/// The reduction follows Section III-A: PDE datasets scale down the
+/// problem size (factor 4 per dimension for Heat3d, matching 192³→48³),
+/// the MD datasets lower the atom count 4×, and the remaining datasets
+/// halve the computational domain and physical time.
+pub fn generate(kind: DatasetKind, size: SizeClass) -> ModelPair {
+    match kind {
+        DatasetKind::Heat3d => {
+            let cfg = heat3d_cfg(size);
+            ModelPair {
+                full: cfg.solve(),
+                reduced: cfg.coarse(4).solve(),
+            }
+        }
+        DatasetKind::Laplace => {
+            let cfg = laplace_cfg(size);
+            ModelPair {
+                full: cfg.solve(),
+                reduced: cfg.coarse(4).solve(),
+            }
+        }
+        DatasetKind::Wave => {
+            let cfg = wave_cfg(size);
+            ModelPair {
+                full: cfg.solve(),
+                reduced: cfg.coarse(4).solve(),
+            }
+        }
+        DatasetKind::Umbrella => {
+            let u = Umbrella { md: md_cfg(size), ..Default::default() };
+            ModelPair {
+                full: u.solve(),
+                reduced: u.coarse(4).solve(),
+            }
+        }
+        DatasetKind::VirtualSites => {
+            let v = VirtualSites { md: md_cfg(size), ..Default::default() };
+            ModelPair {
+                full: v.solve(),
+                reduced: v.coarse(4).solve(),
+            }
+        }
+        DatasetKind::Astro => {
+            let a = astro_cfg(size);
+            ModelPair {
+                full: a.solve(),
+                reduced: a.reduced().solve(),
+            }
+        }
+        DatasetKind::Fish => {
+            let f = fish_cfg(size);
+            ModelPair {
+                full: f.solve(),
+                reduced: f.reduced().solve(),
+            }
+        }
+        DatasetKind::SedovPres => {
+            let s = sedov_cfg(size);
+            ModelPair {
+                full: s.solve(),
+                reduced: s.reduced().solve(),
+            }
+        }
+        DatasetKind::Yf17Temp => {
+            let y = yf17_cfg(size);
+            ModelPair {
+                full: y.solve(),
+                reduced: y.reduced().solve(),
+            }
+        }
+    }
+}
+
+/// Generates `count` *reduced-model* snapshots over the run's lifetime,
+/// time-aligned with [`snapshots`] — the coarse companions DuoModel
+/// preconditions against.
+pub fn reduced_snapshots(kind: DatasetKind, count: usize, size: SizeClass) -> Vec<Field> {
+    match kind {
+        DatasetKind::Heat3d => heat3d_cfg(size).coarse(4).snapshots(count),
+        DatasetKind::Laplace => laplace_cfg(size).coarse(4).snapshots(count),
+        DatasetKind::Wave => wave_cfg(size).coarse(4).snapshots(count),
+        DatasetKind::Umbrella => Umbrella { md: md_cfg(size), ..Default::default() }
+            .coarse(4)
+            .snapshots(count),
+        DatasetKind::VirtualSites => VirtualSites { md: md_cfg(size), ..Default::default() }
+            .coarse(4)
+            .snapshots(count),
+        DatasetKind::Astro => astro_cfg(size).reduced().snapshots(count),
+        DatasetKind::Fish => fish_cfg(size).reduced().snapshots(count),
+        DatasetKind::SedovPres => sedov_cfg(size).reduced().snapshots(count),
+        DatasetKind::Yf17Temp => yf17_cfg(size).reduced().snapshots(count),
+    }
+}
+
+/// Generates `count` full-model snapshots over the run's lifetime (the
+/// "20 outputs of each application" the paper averages over).
+pub fn snapshots(kind: DatasetKind, count: usize, size: SizeClass) -> Vec<Field> {
+    match kind {
+        DatasetKind::Heat3d => heat3d_cfg(size).snapshots(count),
+        DatasetKind::Laplace => laplace_cfg(size).snapshots(count),
+        DatasetKind::Wave => wave_cfg(size).snapshots(count),
+        DatasetKind::Umbrella => {
+            Umbrella { md: md_cfg(size), ..Default::default() }.snapshots(count)
+        }
+        DatasetKind::VirtualSites => {
+            VirtualSites { md: md_cfg(size), ..Default::default() }.snapshots(count)
+        }
+        DatasetKind::Astro => astro_cfg(size).snapshots(count),
+        DatasetKind::Fish => fish_cfg(size).snapshots(count),
+        DatasetKind::SedovPres => sedov_cfg(size).snapshots(count),
+        DatasetKind::Yf17Temp => yf17_cfg(size).snapshots(count),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_nine_datasets_generate_tiny_pairs() {
+        for kind in DatasetKind::ALL {
+            let pair = generate(kind, SizeClass::Tiny);
+            assert!(!pair.full.is_empty(), "{:?} full empty", kind);
+            assert!(!pair.reduced.is_empty(), "{:?} reduced empty", kind);
+            assert!(
+                pair.reduced.len() < pair.full.len(),
+                "{:?}: reduced ({}) must be smaller than full ({})",
+                kind,
+                pair.reduced.len(),
+                pair.full.len()
+            );
+            assert!(pair.full.data.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn names_roundtrip_through_parse() {
+        for kind in DatasetKind::ALL {
+            assert_eq!(DatasetKind::parse(kind.name()), Some(kind));
+            assert_eq!(DatasetKind::parse(&kind.name().to_uppercase()), Some(kind));
+        }
+        assert_eq!(DatasetKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn snapshots_counts_match() {
+        for kind in DatasetKind::ALL {
+            let s = snapshots(kind, 3, SizeClass::Tiny);
+            assert_eq!(s.len(), 3, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn reduction_is_substantial() {
+        // Requirement 3 of Section II-B: the reduced model must be
+        // substantially cheaper. Check >= 4x smaller output everywhere.
+        for kind in DatasetKind::ALL {
+            let pair = generate(kind, SizeClass::Tiny);
+            assert!(
+                pair.full.len() >= 3 * pair.reduced.len(),
+                "{:?}: {} vs {}",
+                kind,
+                pair.full.len(),
+                pair.reduced.len()
+            );
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Sedov_pres: pressure of strong shocks in a hydrodynamical simulation.
+//!
+//! Reproduces the pressure field of the Sedov–Taylor point-explosion
+//! problem (the standard strong-shock benchmark in FLASH-style hydro
+//! codes). The self-similar solution puts the shock at
+//! `R(t) = ξ₀ (E t² / ρ)^(1/5)`; we use the well-known approximation to
+//! the interior profile: pressure peaks at the shock front by the
+//! Rankine–Hugoniot jump and falls to a finite central plateau
+//! (`p_c ≈ 0.306 p_shock` for γ = 1.4).
+//!
+//! The paper's setup (Section III-A): full model on a `(1,1,1)` volume
+//! with 20 000 steps; reduced model on `(0.5,0.5,0.5)` with 10 000 steps,
+//! both honoring the CFL condition — i.e. the reduced model sees the blast
+//! at half the physical time in half the domain.
+
+use crate::field::Field;
+use lrm_compress::Shape;
+
+/// Configuration of the Sedov–Taylor pressure field.
+#[derive(Debug, Clone, Copy)]
+pub struct Sedov {
+    /// Grid points per edge.
+    pub n: usize,
+    /// Domain edge length (paper full model: 1.0).
+    pub domain: f64,
+    /// Number of hydro steps (paper: 20 000); with a fixed CFL time step
+    /// this sets the physical evaluation time.
+    pub steps: usize,
+    /// CFL-limited time step.
+    pub dt: f64,
+    /// Explosion energy.
+    pub energy: f64,
+    /// Ambient density.
+    pub rho0: f64,
+    /// Ambient pressure.
+    pub p_ambient: f64,
+    /// Adiabatic index.
+    pub gamma: f64,
+}
+
+impl Default for Sedov {
+    fn default() -> Self {
+        Self {
+            n: 64,
+            domain: 1.0,
+            steps: 20_000,
+            dt: 1.0e-5,
+            energy: 1.0,
+            rho0: 1.0,
+            p_ambient: 1e-5,
+            gamma: 1.4,
+        }
+    }
+}
+
+impl Sedov {
+    /// Physical time reached after the configured steps.
+    pub fn time(&self) -> f64 {
+        self.steps as f64 * self.dt
+    }
+
+    /// Self-similar shock radius `ξ₀ (E t²/ρ)^{1/5}` (ξ₀ ≈ 1.15 for
+    /// γ = 1.4).
+    pub fn shock_radius(&self) -> f64 {
+        let t = self.time();
+        1.15 * (self.energy * t * t / self.rho0).powf(0.2)
+    }
+
+    /// Post-shock (Rankine–Hugoniot) pressure for a strong shock.
+    pub fn shock_pressure(&self) -> f64 {
+        let t = self.time();
+        let r = self.shock_radius();
+        if t <= 0.0 || r <= 0.0 {
+            return self.p_ambient;
+        }
+        let us = 0.4 * r / t; // dR/dt of the self-similar solution
+        2.0 / (self.gamma + 1.0) * self.rho0 * us * us
+    }
+
+    /// Generates the 3-D pressure field with the explosion at the domain
+    /// corner (octant symmetry, as FLASH's sedov setup uses).
+    pub fn solve(&self) -> Field {
+        let n = self.n;
+        let shape = Shape::d3(n, n, n);
+        let r_s = self.shock_radius();
+        let p_s = self.shock_pressure();
+        let pc_frac = 0.306; // central plateau fraction for gamma = 1.4
+        let h = self.domain / (n - 1) as f64;
+        let mut data = Vec::with_capacity(shape.len());
+        for z in 0..n {
+            for y in 0..n {
+                for x in 0..n {
+                    let r = ((x as f64 * h).powi(2)
+                        + (y as f64 * h).powi(2)
+                        + (z as f64 * h).powi(2))
+                    .sqrt();
+                    let p = if r < r_s {
+                        // Interior profile: plateau at the center rising
+                        // steeply (≈ (r/R)^{3γ}) toward the front.
+                        let xi = (r / r_s).max(1e-9);
+                        p_s * (pc_frac + (1.0 - pc_frac) * xi.powf(3.0 * self.gamma))
+                    } else {
+                        // Smeared shock front into the ambient medium
+                        // (finite-volume codes smear it over a few cells).
+                        let d = (r - r_s) / (2.0 * h);
+                        self.p_ambient + (p_s - self.p_ambient) * (-d * d).exp()
+                    };
+                    data.push(p);
+                }
+            }
+        }
+        Field::new(
+            format!("sedov_pres/n={n}/steps={}", self.steps),
+            data,
+            shape,
+        )
+    }
+
+    /// The paper's reduced model: half the domain, half the steps.
+    ///
+    /// The explosion energy is scaled by 1/8 so the reduced blast is
+    /// self-similar to the full one: with `t → t/2` and `E → E/8`,
+    /// `R ∝ (E t²)^{1/5}` halves along with the domain and the post-shock
+    /// pressure `∝ (R/t)²` is unchanged — which is why the full and
+    /// reduced CDFs coincide in Fig. 1.
+    pub fn reduced(&self) -> Sedov {
+        Sedov {
+            n: (self.n / 2).max(8),
+            domain: self.domain * 0.5,
+            steps: self.steps / 2,
+            energy: self.energy / 8.0,
+            ..*self
+        }
+    }
+
+    /// Snapshots at `count` uniformly spaced step counts.
+    pub fn snapshots(&self, count: usize) -> Vec<Field> {
+        assert!(count >= 1, "sedov: need at least one snapshot");
+        (1..=count)
+            .map(|i| {
+                Sedov {
+                    steps: (self.steps * i / count).max(1),
+                    ..*self
+                }
+                .solve()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pressure_is_positive_and_finite() {
+        let f = Sedov { n: 24, ..Default::default() }.solve();
+        assert!(f.data.iter().all(|&p| p.is_finite() && p > 0.0));
+    }
+
+    #[test]
+    fn peak_pressure_sits_at_the_shock() {
+        let s = Sedov { n: 48, ..Default::default() };
+        let f = s.solve();
+        let (_, hi) = f.min_max();
+        // The peak is the Rankine–Hugoniot value (up to front smearing).
+        assert!(hi <= s.shock_pressure() * 1.01);
+        assert!(hi >= s.shock_pressure() * 0.5);
+    }
+
+    #[test]
+    fn center_is_a_plateau_below_the_front() {
+        let s = Sedov { n: 48, ..Default::default() };
+        let f = s.solve();
+        let center = f.at(0, 0, 0);
+        let (_, hi) = f.min_max();
+        assert!(center < hi, "plateau {center} must lie below peak {hi}");
+        assert!(center > 0.2 * hi, "plateau {center} should be a sizable fraction of {hi}");
+    }
+
+    #[test]
+    fn ambient_region_is_near_ambient_pressure() {
+        let s = Sedov { n: 32, steps: 2000, ..Default::default() };
+        let f = s.solve();
+        let corner = f.at(31, 31, 31);
+        assert!(corner < 10.0 * s.p_ambient + s.shock_pressure() * 1e-3);
+    }
+
+    #[test]
+    fn shock_expands_with_steps() {
+        let a = Sedov { steps: 5000, ..Default::default() };
+        let b = Sedov { steps: 20_000, ..Default::default() };
+        assert!(b.shock_radius() > a.shock_radius());
+    }
+
+    #[test]
+    fn reduced_model_is_half_domain_half_steps() {
+        let s = Sedov::default();
+        let r = s.reduced();
+        assert_eq!(r.steps, 10_000);
+        assert!((r.domain - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshots_are_ordered_in_time() {
+        let snaps = Sedov { n: 16, ..Default::default() }.snapshots(3);
+        assert_eq!(snaps.len(), 3);
+    }
+}

@@ -1,0 +1,162 @@
+//! Wave: 1-D wave equation (hyperbolic PDE), leapfrog scheme.
+//!
+//! `∂²u/∂t² = c² ∂²u/∂x²` with fixed ends and a Gaussian initial
+//! displacement. The paper lists *Wave* among the classical PDE datasets
+//! and notes it is one-dimensional (which is why it is excluded from the
+//! projection experiments of Fig. 3 but included in the dimension
+//! reduction study of Fig. 6, where the 1-D output is reshaped).
+
+use crate::field::Field;
+use lrm_compress::Shape;
+
+/// Configuration of the wave solve.
+#[derive(Debug, Clone, Copy)]
+pub struct Wave {
+    /// Grid points.
+    pub n: usize,
+    /// Wave speed.
+    pub c: f64,
+    /// Time steps.
+    pub steps: usize,
+    /// Initial pulse amplitude.
+    pub amplitude: f64,
+}
+
+impl Default for Wave {
+    fn default() -> Self {
+        Self {
+            n: 4096,
+            c: 1.0,
+            steps: 2000,
+            amplitude: 1.0,
+        }
+    }
+}
+
+impl Wave {
+    /// CFL-stable time step (Courant number 0.9).
+    pub fn stable_dt(&self) -> f64 {
+        let h = 1.0 / (self.n.max(2) - 1) as f64;
+        0.9 * h / self.c
+    }
+
+    fn init(&self) -> Vec<f64> {
+        let n = self.n;
+        (0..n)
+            .map(|i| {
+                let x = i as f64 / (n - 1) as f64;
+                // Gaussian pulse at x = 0.3 plus a weaker one at x = 0.7.
+                self.amplitude
+                    * ((-((x - 0.3) / 0.05).powi(2)).exp()
+                        + 0.4 * (-((x - 0.7) / 0.08).powi(2)).exp())
+            })
+            .collect()
+    }
+
+    /// Runs the solve to completion and returns the final displacement.
+    pub fn solve(&self) -> Field {
+        self.snapshots(1).pop().expect("one snapshot requested")
+    }
+
+    /// Captures `count` snapshots uniformly spaced over the run.
+    pub fn snapshots(&self, count: usize) -> Vec<Field> {
+        assert!(count >= 1, "wave: need at least one snapshot");
+        let n = self.n;
+        let shape = Shape::d1(n);
+        let h = 1.0 / (n - 1) as f64;
+        let dt = self.stable_dt();
+        let r2 = (self.c * dt / h).powi(2);
+
+        let mut prev = self.init();
+        // First step from rest (zero initial velocity): Taylor expansion.
+        let mut cur = prev.clone();
+        for x in 1..n - 1 {
+            cur[x] = prev[x] + 0.5 * r2 * (prev[x + 1] - 2.0 * prev[x] + prev[x - 1]);
+        }
+        let mut out = Vec::with_capacity(count);
+        let mut next = vec![0.0; n];
+        for step in 1..=self.steps {
+            for x in 1..n - 1 {
+                next[x] = 2.0 * cur[x] - prev[x] + r2 * (cur[x + 1] - 2.0 * cur[x] + cur[x - 1]);
+            }
+            next[0] = 0.0;
+            next[n - 1] = 0.0;
+            std::mem::swap(&mut prev, &mut cur);
+            std::mem::swap(&mut cur, &mut next);
+            let due = step * count / self.steps;
+            let prev_due = (step - 1) * count / self.steps;
+            if due > prev_due {
+                out.push(Field::new(
+                    format!("wave/n={n}/step={step}"),
+                    cur.clone(),
+                    shape,
+                ));
+            }
+        }
+        if out.len() < count {
+            out.push(Field::new(format!("wave/n={n}/step={}", self.steps), cur, shape));
+        }
+        out
+    }
+
+    /// Reduced model: smaller grid and proportionally fewer steps.
+    pub fn coarse(&self, factor: usize) -> Wave {
+        Wave {
+            n: (self.n / factor).max(8),
+            steps: (self.steps / factor).max(1),
+            ..*self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displacement_stays_bounded() {
+        // A stable leapfrog solve conserves (discrete) energy; the
+        // amplitude must not blow up.
+        let f = Wave { n: 512, steps: 1500, ..Default::default() }.solve();
+        let (lo, hi) = f.min_max();
+        assert!(hi < 2.0 && lo > -2.0, "({lo}, {hi})");
+    }
+
+    #[test]
+    fn pulse_propagates() {
+        let cfg = Wave { n: 512, steps: 200, ..Default::default() };
+        let snaps = cfg.snapshots(2);
+        // The pulse peak must move from its initial location.
+        let peak_at = |f: &Field| {
+            f.data
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).expect("finite"))
+                .expect("non-empty")
+                .0
+        };
+        let p0 = (0.3 * 511.0) as usize;
+        let p1 = peak_at(&snaps[1]);
+        assert_ne!(p0, p1, "pulse did not move");
+    }
+
+    #[test]
+    fn boundaries_stay_fixed() {
+        let f = Wave { n: 256, steps: 777, ..Default::default() }.solve();
+        assert_eq!(f.data[0], 0.0);
+        assert_eq!(f.data[255], 0.0);
+    }
+
+    #[test]
+    fn snapshot_count_is_exact() {
+        let snaps = Wave { n: 128, steps: 37, ..Default::default() }.snapshots(7);
+        assert_eq!(snaps.len(), 7);
+    }
+
+    #[test]
+    fn coarse_shrinks() {
+        let r = Wave::default().coarse(4);
+        assert_eq!(r.n, 1024);
+        assert_eq!(r.steps, 500);
+    }
+}

@@ -1,0 +1,169 @@
+//! Yf17_temp: temperature in a CFD calculation around an aircraft.
+//!
+//! The paper's *Yf17_temp* dataset is the temperature field of a
+//! computational fluid dynamics run around a YF-17 airframe. We
+//! synthesize the same structure: freestream temperature with compressive
+//! heating ahead of the body (stagnation), a hot boundary layer on an
+//! ellipsoidal fuselage, a cooling expansion over the wing region, and a
+//! warm decaying wake. The reduced model shrinks the computational domain
+//! per Section III-A.
+
+use crate::field::Field;
+use lrm_compress::Shape;
+
+/// Configuration of the synthetic airframe temperature field.
+#[derive(Debug, Clone, Copy)]
+pub struct Yf17 {
+    /// Grid points in x (streamwise).
+    pub nx: usize,
+    /// Grid points in y (spanwise).
+    pub ny: usize,
+    /// Grid points in z (vertical).
+    pub nz: usize,
+    /// Freestream temperature (K).
+    pub t_inf: f64,
+    /// Stagnation temperature rise (K).
+    pub t_stag: f64,
+}
+
+impl Default for Yf17 {
+    fn default() -> Self {
+        Self {
+            nx: 96,
+            ny: 48,
+            nz: 32,
+            t_inf: 288.0,
+            t_stag: 60.0,
+        }
+    }
+}
+
+impl Yf17 {
+    /// Generates the 3-D temperature field.
+    pub fn solve(&self) -> Field {
+        let (nx, ny, nz) = (self.nx, self.ny, self.nz);
+        let shape = Shape::d3(nx, ny, nz);
+        let mut data = Vec::with_capacity(shape.len());
+        // Fuselage: ellipsoid centered at 35% chord, mid-span, mid-height.
+        let (cx, cy, cz) = (0.35, 0.5, 0.5);
+        let (ax, ay, az) = (0.22, 0.06, 0.06);
+        for z in 0..nz {
+            for y in 0..ny {
+                for x in 0..nx {
+                    let fx = x as f64 / (nx - 1) as f64;
+                    let fy = y as f64 / (ny - 1) as f64;
+                    let fz = z as f64 / (nz - 1) as f64;
+                    // Signed ellipsoid distance (<1 inside).
+                    let e = ((fx - cx) / ax).powi(2) + ((fy - cy) / ay).powi(2)
+                        + ((fz - cz) / az).powi(2);
+                    let d = e.sqrt() - 1.0; // ~ normalized wall distance
+                    let mut t = self.t_inf;
+                    // Boundary-layer heating decays away from the skin.
+                    if d > 0.0 {
+                        t += self.t_stag * (-3.0 * d).exp();
+                    } else {
+                        t += self.t_stag; // body surface temperature
+                    }
+                    // Stagnation lobe ahead of the nose.
+                    let nose = ((fx - (cx - ax)) / 0.05).powi(2)
+                        + ((fy - cy) / 0.08).powi(2)
+                        + ((fz - cz) / 0.08).powi(2);
+                    t += 0.5 * self.t_stag * (-nose).exp();
+                    // Expansion cooling over the wing (above the body,
+                    // mid-chord): a shallow cold pocket.
+                    let wing = ((fx - 0.45) / 0.12).powi(2)
+                        + ((fy - cy) / 0.3).powi(2)
+                        + ((fz - (cz + 0.12)) / 0.06).powi(2);
+                    t -= 0.35 * self.t_stag * (-wing).exp();
+                    // Warm wake decaying downstream of the tail.
+                    if fx > cx + ax {
+                        let wx = (fx - (cx + ax)) / 0.3;
+                        let wr = ((fy - cy) / 0.08).powi(2) + ((fz - cz) / 0.08).powi(2);
+                        t += 0.4 * self.t_stag * (-wx).exp() * (-wr).exp();
+                    }
+                    data.push(t);
+                }
+            }
+        }
+        Field::new(format!("yf17_temp/{nx}x{ny}x{nz}"), data, shape)
+    }
+
+    /// Reduced model: half-size computational domain.
+    pub fn reduced(&self) -> Yf17 {
+        Yf17 {
+            nx: (self.nx / 2).max(8),
+            ny: (self.ny / 2).max(8),
+            nz: (self.nz / 2).max(8),
+            ..*self
+        }
+    }
+
+    /// Snapshots with the airframe progressively heating (transient warm-up).
+    pub fn snapshots(&self, count: usize) -> Vec<Field> {
+        assert!(count >= 1, "yf17: need at least one snapshot");
+        (1..=count)
+            .map(|i| {
+                Yf17 {
+                    t_stag: self.t_stag * i as f64 / count as f64,
+                    ..*self
+                }
+                .solve()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn temperatures_are_physical() {
+        let f = Yf17 { nx: 32, ny: 16, nz: 12, ..Default::default() }.solve();
+        for &t in &f.data {
+            assert!(t.is_finite() && t > 200.0 && t < 400.0, "T = {t}");
+        }
+    }
+
+    #[test]
+    fn body_is_hotter_than_freestream() {
+        let cfg = Yf17::default();
+        let f = cfg.solve();
+        // Point on the fuselage center vs far-field corner.
+        let body = f.at(33, 24, 16);
+        let far = f.at(0, 0, 0);
+        assert!(body > far + 0.5 * cfg.t_stag, "body {body} vs far {far}");
+    }
+
+    #[test]
+    fn wake_decays_downstream() {
+        let cfg = Yf17::default();
+        let f = cfg.solve();
+        let near_tail = f.at(60, 24, 16);
+        let downstream = f.at(95, 24, 16);
+        assert!(near_tail > downstream, "{near_tail} vs {downstream}");
+    }
+
+    #[test]
+    fn wing_pocket_is_cool() {
+        let cfg = Yf17::default();
+        let f = cfg.solve();
+        // The expansion pocket sits above the mid-chord.
+        let pocket = f.at(43, 24, 22);
+        let symmetric_below = f.at(43, 24, 10);
+        assert!(pocket < symmetric_below, "{pocket} vs {symmetric_below}");
+    }
+
+    #[test]
+    fn reduced_model_halves_extents() {
+        let r = Yf17::default().reduced();
+        assert_eq!((r.nx, r.ny, r.nz), (48, 24, 16));
+    }
+
+    #[test]
+    fn warmup_snapshots_increase_peak() {
+        let snaps = Yf17 { nx: 24, ny: 12, nz: 8, ..Default::default() }.snapshots(3);
+        let peak = |f: &Field| f.min_max().1;
+        assert!(peak(&snaps[2]) > peak(&snaps[0]));
+    }
+}

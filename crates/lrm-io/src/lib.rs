@@ -1,0 +1,25 @@
+//! Storage substrate: artifact container, parallel-I/O timing model, and
+//! an asynchronous staging pipeline.
+//!
+//! Together these reproduce the infrastructure behind Table IV of the
+//! paper:
+//!
+//! * [`artifact::Artifact`] — the on-disk format for a preconditioned
+//!   snapshot (reduced representation + compressed delta + metadata).
+//! * [`storage::StorageModel`] / [`storage::InterconnectModel`] — the
+//!   parametric timing model for Titan-style Lustre N-to-N writes and the
+//!   staging interconnect (substitution documented in DESIGN.md).
+//! * [`staging::StagingPipeline`] — a real producer/consumer staging
+//!   implementation over crossbeam channels, demonstrating that a slow
+//!   preconditioner costs the application almost nothing once staging
+//!   absorbs it.
+
+pub mod artifact;
+pub mod disk;
+pub mod staging;
+pub mod storage;
+
+pub use artifact::Artifact;
+pub use disk::{DiskStore, WriteReceipt};
+pub use staging::{StagedResult, StagingPipeline};
+pub use storage::{table4_rows, EndToEndRow, InterconnectModel, StorageModel};

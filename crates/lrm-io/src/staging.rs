@@ -1,0 +1,198 @@
+//! Asynchronous data staging: a real producer/consumer pipeline.
+//!
+//! The last row of Table IV offloads compression and I/O to a staging
+//! node so the simulation only blocks for the interconnect transfer.
+//! [`StagingPipeline`] reproduces that architecture in-process: the
+//! application thread `submit`s raw snapshots into a bounded crossbeam
+//! channel (the "interconnect"), a staging thread drains it, applies a
+//! caller-supplied processing closure (compression) and "writes" the
+//! result to an in-memory store guarded by a parking_lot mutex. The
+//! application-visible cost of a submit is just the channel hand-off,
+//! exactly like the paper's staging row.
+
+use crossbeam::channel::{bounded, Sender};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// A snapshot handed to the staging node.
+pub struct StagedItem {
+    /// Logical name (e.g. the field name).
+    pub name: String,
+    /// Raw payload.
+    pub data: Vec<f64>,
+}
+
+/// Result of staging one item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StagedResult {
+    /// Logical name.
+    pub name: String,
+    /// Raw input bytes.
+    pub raw_bytes: usize,
+    /// Bytes after the processing stage.
+    pub stored_bytes: usize,
+}
+
+/// Handle to a running staging pipeline.
+pub struct StagingPipeline {
+    tx: Option<Sender<StagedItem>>,
+    worker: Option<JoinHandle<()>>,
+    store: Arc<Mutex<Vec<StagedResult>>>,
+    submit_time: Arc<Mutex<Duration>>,
+}
+
+impl StagingPipeline {
+    /// Spawns the staging worker. `capacity` bounds the in-flight queue
+    /// (the interconnect buffer); `process` maps raw doubles to stored
+    /// bytes (the compression the staging node runs).
+    pub fn start<F>(capacity: usize, process: F) -> Self
+    where
+        F: Fn(&str, &[f64]) -> Vec<u8> + Send + 'static,
+    {
+        let (tx, rx) = bounded::<StagedItem>(capacity.max(1));
+        let store: Arc<Mutex<Vec<StagedResult>>> = Arc::new(Mutex::new(Vec::new()));
+        let store2 = Arc::clone(&store);
+        let worker = std::thread::spawn(move || {
+            for item in rx {
+                let out = process(&item.name, &item.data);
+                store2.lock().push(StagedResult {
+                    name: item.name,
+                    raw_bytes: item.data.len() * 8,
+                    stored_bytes: out.len(),
+                });
+            }
+        });
+        Self {
+            tx: Some(tx),
+            worker: Some(worker),
+            store,
+            submit_time: Arc::new(Mutex::new(Duration::ZERO)),
+        }
+    }
+
+    /// Submits a snapshot; blocks only while the queue is full (back
+    /// pressure), which is the application-visible staging cost.
+    pub fn submit(&self, name: impl Into<String>, data: Vec<f64>) {
+        let t0 = Instant::now();
+        self.tx
+            .as_ref()
+            .expect("pipeline already shut down")
+            .send(StagedItem {
+                name: name.into(),
+                data,
+            })
+            .expect("staging worker died");
+        *self.submit_time.lock() += t0.elapsed();
+    }
+
+    /// Cumulative time the application spent blocked in `submit`.
+    pub fn application_blocked_time(&self) -> Duration {
+        *self.submit_time.lock()
+    }
+
+    /// Shuts down: waits for the staging node to drain the queue and
+    /// returns everything it stored, in completion order.
+    pub fn finish(mut self) -> Vec<StagedResult> {
+        drop(self.tx.take());
+        if let Some(w) = self.worker.take() {
+            w.join().expect("staging worker panicked");
+        }
+        let results = self.store.lock().clone();
+        results
+    }
+}
+
+impl Drop for StagingPipeline {
+    fn drop(&mut self) {
+        drop(self.tx.take());
+        if let Some(w) = self.worker.take() {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_processes_everything_submitted() {
+        let p = StagingPipeline::start(4, |_, data| vec![0u8; data.len()]);
+        for i in 0..10 {
+            p.submit(format!("snap{i}"), vec![i as f64; 100]);
+        }
+        let results = p.finish();
+        assert_eq!(results.len(), 10);
+        for r in &results {
+            assert_eq!(r.raw_bytes, 800);
+            assert_eq!(r.stored_bytes, 100);
+        }
+    }
+
+    #[test]
+    fn results_preserve_names() {
+        let p = StagingPipeline::start(2, |name, _| name.as_bytes().to_vec());
+        p.submit("alpha", vec![1.0]);
+        p.submit("beta", vec![2.0]);
+        let results = p.finish();
+        let names: Vec<&str> = results.iter().map(|r| r.name.as_str()).collect();
+        assert!(names.contains(&"alpha") && names.contains(&"beta"));
+    }
+
+    #[test]
+    fn submit_is_cheap_when_processing_is_slow() {
+        // The staging premise: a slow compressor must not block the app
+        // (until back pressure kicks in).
+        let p = StagingPipeline::start(16, |_, data| {
+            std::thread::sleep(Duration::from_millis(20));
+            vec![0u8; data.len() / 10]
+        });
+        let t0 = Instant::now();
+        for i in 0..5 {
+            p.submit(format!("s{i}"), vec![0.0; 1000]);
+        }
+        let submit_elapsed = t0.elapsed();
+        let results = p.finish();
+        assert_eq!(results.len(), 5);
+        // 5 submits must cost far less than 5 x 20 ms of processing.
+        assert!(
+            submit_elapsed < Duration::from_millis(50),
+            "submits took {submit_elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn bounded_queue_applies_back_pressure() {
+        let p = StagingPipeline::start(1, |_, _| {
+            std::thread::sleep(Duration::from_millis(10));
+            Vec::new()
+        });
+        let t0 = Instant::now();
+        for i in 0..4 {
+            p.submit(format!("s{i}"), vec![0.0; 10]);
+        }
+        // With capacity 1 and 10 ms processing, some submits must block.
+        assert!(t0.elapsed() >= Duration::from_millis(15));
+        p.finish();
+    }
+
+    #[test]
+    fn finish_drains_the_queue() {
+        let p = StagingPipeline::start(64, |_, d| vec![1u8; d.len()]);
+        for i in 0..50 {
+            p.submit(format!("s{i}"), vec![0.0; 8]);
+        }
+        assert_eq!(p.finish().len(), 50);
+    }
+
+    #[test]
+    fn blocked_time_is_tracked() {
+        let p = StagingPipeline::start(8, |_, _| Vec::new());
+        p.submit("x", vec![0.0; 10]);
+        let t = p.application_blocked_time();
+        assert!(t < Duration::from_millis(50));
+        p.finish();
+    }
+}

@@ -1,0 +1,180 @@
+//! Symmetric eigendecomposition by the cyclic Jacobi method.
+//!
+//! PCA needs the eigenpairs of an `n × n` covariance matrix where `n` is a
+//! grid extent (tens to a few hundred), well inside Jacobi's sweet spot.
+//! The method applies Givens rotations to annihilate off-diagonal entries
+//! until the off-diagonal Frobenius norm is negligible; it is
+//! unconditionally stable for symmetric input.
+
+use crate::matrix::Matrix;
+
+/// Result of a symmetric eigendecomposition: `a = V diag(λ) Vᵀ` with
+/// eigenvalues sorted in descending order and eigenvectors as the columns
+/// of `vectors` in matching order.
+#[derive(Debug, Clone)]
+pub struct EigenDecomposition {
+    /// Eigenvalues, descending.
+    pub values: Vec<f64>,
+    /// Orthonormal eigenvectors (column i pairs with `values[i]`).
+    pub vectors: Matrix,
+}
+
+/// Computes the eigendecomposition of a symmetric matrix.
+///
+/// # Panics
+/// Panics if `a` is not square or not (numerically) symmetric.
+pub fn symmetric_eigen(a: &Matrix) -> EigenDecomposition {
+    let n = a.rows();
+    assert_eq!(n, a.cols(), "eigen: matrix must be square");
+    let scale = a.fro_norm().max(1.0);
+    for r in 0..n {
+        for c in (r + 1)..n {
+            assert!(
+                (a.get(r, c) - a.get(c, r)).abs() <= 1e-8 * scale,
+                "eigen: matrix must be symmetric"
+            );
+        }
+    }
+
+    let mut m = a.clone();
+    let mut v = Matrix::identity(n);
+    let max_sweeps = 64;
+    let tol = 1e-14 * scale;
+
+    for _sweep in 0..max_sweeps {
+        let mut off = 0.0f64;
+        for r in 0..n {
+            for c in (r + 1)..n {
+                off += m.get(r, c) * m.get(r, c);
+            }
+        }
+        if off.sqrt() <= tol {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m.get(p, q);
+                if apq.abs() <= tol / (n as f64) {
+                    continue;
+                }
+                let app = m.get(p, p);
+                let aqq = m.get(q, q);
+                // Rotation angle: tan(2θ) = 2 a_pq / (a_pp - a_qq).
+                let theta = 0.5 * (2.0 * apq).atan2(app - aqq);
+                let (s, c) = theta.sin_cos();
+                // Apply Jᵀ M J on rows/cols p and q.
+                for k in 0..n {
+                    let mkp = m.get(k, p);
+                    let mkq = m.get(k, q);
+                    m.set(k, p, c * mkp + s * mkq);
+                    m.set(k, q, -s * mkp + c * mkq);
+                }
+                for k in 0..n {
+                    let mpk = m.get(p, k);
+                    let mqk = m.get(q, k);
+                    m.set(p, k, c * mpk + s * mqk);
+                    m.set(q, k, -s * mpk + c * mqk);
+                }
+                for k in 0..n {
+                    let vkp = v.get(k, p);
+                    let vkq = v.get(k, q);
+                    v.set(k, p, c * vkp + s * vkq);
+                    v.set(k, q, -s * vkp + c * vkq);
+                }
+            }
+        }
+    }
+
+    // Extract eigenpairs and sort by descending eigenvalue.
+    let mut pairs: Vec<(f64, usize)> = (0..n).map(|i| (m.get(i, i), i)).collect();
+    pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite eigenvalues"));
+    let values: Vec<f64> = pairs.iter().map(|&(l, _)| l).collect();
+    let vectors = Matrix::from_fn(n, n, |r, c| v.get(r, pairs[c].1));
+    EigenDecomposition { values, vectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reconstruct(e: &EigenDecomposition) -> Matrix {
+        let n = e.values.len();
+        let d = Matrix::from_fn(n, n, |r, c| if r == c { e.values[r] } else { 0.0 });
+        e.vectors.matmul(&d).matmul(&e.vectors.transpose())
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues_are_sorted_entries() {
+        let a = Matrix::from_fn(3, 3, |r, c| {
+            if r == c {
+                [2.0, 5.0, 1.0][r]
+            } else {
+                0.0
+            }
+        });
+        let e = symmetric_eigen(&a);
+        assert!((e.values[0] - 5.0).abs() < 1e-12);
+        assert!((e.values[1] - 2.0).abs() < 1e-12);
+        assert!((e.values[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = Matrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 2.0]);
+        let e = symmetric_eigen(&a);
+        assert!((e.values[0] - 3.0).abs() < 1e-12);
+        assert!((e.values[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconstruction_matches_input() {
+        let a = Matrix::from_fn(8, 8, |r, c| {
+            let x = (r as f64 - c as f64).abs();
+            (-x / 3.0).exp() + if r == c { 2.0 } else { 0.0 }
+        });
+        let e = symmetric_eigen(&a);
+        let r = reconstruct(&e);
+        assert!(a.sub(&r).fro_norm() < 1e-9 * a.fro_norm());
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let a = Matrix::from_fn(6, 6, |r, c| ((r * c) as f64 * 0.3).sin() + ((c * r) as f64 * 0.3).sin());
+        let e = symmetric_eigen(&a);
+        let vtv = e.vectors.transpose().matmul(&e.vectors);
+        let i = Matrix::identity(6);
+        assert!(vtv.sub(&i).fro_norm() < 1e-9);
+    }
+
+    #[test]
+    fn eigenvalues_descend() {
+        let a = Matrix::from_fn(10, 10, |r, c| 1.0 / (1.0 + (r as f64 - c as f64).abs()));
+        let e = symmetric_eigen(&a);
+        for w in e.values.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn trace_is_preserved() {
+        let a = Matrix::from_fn(7, 7, |r, c| if r == c { r as f64 + 1.0 } else { 0.1 });
+        let e = symmetric_eigen(&a);
+        let trace: f64 = (0..7).map(|i| a.get(i, i)).sum();
+        let sum: f64 = e.values.iter().sum();
+        assert!((trace - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be symmetric")]
+    fn rejects_asymmetric_input() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        symmetric_eigen(&a);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be square")]
+    fn rejects_non_square() {
+        symmetric_eigen(&Matrix::zeros(2, 3));
+    }
+}

@@ -1,0 +1,51 @@
+//! Dense linear algebra for the dimension-reduction preconditioners.
+//!
+//! The paper's PCA and SVD reduced models (Section V) need:
+//!
+//! * a dense [`Matrix`] with parallel products,
+//! * a symmetric eigensolver ([`eigen::symmetric_eigen`], cyclic Jacobi)
+//!   for PCA's covariance matrices,
+//! * a singular value decomposition ([`svd::svd`], one-sided Jacobi) for
+//!   the SVD preconditioner,
+//! * [`pca::Pca`] tying them together with the 95 %-variance component
+//!   rule the paper uses to select `k`.
+
+pub mod eigen;
+pub mod matrix;
+pub mod pca;
+pub mod qr;
+pub mod rsvd;
+pub mod svd;
+
+pub use eigen::{symmetric_eigen, EigenDecomposition};
+pub use matrix::Matrix;
+pub use pca::Pca;
+pub use qr::qr;
+pub use rsvd::{randomized_svd, RsvdConfig};
+pub use svd::{svd, Svd};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pca_and_svd_agree_on_dominant_subspace() {
+        // For centered data, PCA eigenvalues = (singular values)^2 / (m-1).
+        let m = 40;
+        let data = Matrix::from_fn(m, 5, |r, c| {
+            ((r as f64) * 0.21).sin() * (c as f64 + 1.0) + 0.05 * ((r * c) as f64).cos()
+        });
+        let pca = Pca::fit(&data);
+        let centered = Matrix::from_fn(m, 5, |r, c| data.get(r, c) - pca.means[c]);
+        let s = svd(&centered);
+        for i in 0..5 {
+            let from_svd = s.sigma[i] * s.sigma[i] / (m as f64 - 1.0);
+            assert!(
+                (pca.variances[i] - from_svd).abs() < 1e-9 * (1.0 + from_svd),
+                "component {i}: {} vs {}",
+                pca.variances[i],
+                from_svd
+            );
+        }
+    }
+}

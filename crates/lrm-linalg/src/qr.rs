@@ -1,0 +1,121 @@
+//! Thin QR factorization by modified Gram–Schmidt.
+//!
+//! The randomized SVD needs an orthonormal basis of a sketch matrix's
+//! column space; MGS is numerically adequate for the well-conditioned
+//! Gaussian sketches it is applied to and keeps the implementation
+//! dependency-free.
+
+use crate::matrix::Matrix;
+
+/// Thin QR: `a = Q · R` with `Q` (m×n) column-orthonormal and `R` (n×n)
+/// upper triangular. Rank-deficient columns yield zero columns in `Q`
+/// (and zero rows in `R`), which downstream truncation tolerates.
+pub fn qr(a: &Matrix) -> (Matrix, Matrix) {
+    let (m, n) = (a.rows(), a.cols());
+    let mut q = a.clone();
+    let mut r = Matrix::zeros(n, n);
+    for j in 0..n {
+        let orig_norm: f64 = (0..m).map(|row| q.get(row, j).powi(2)).sum::<f64>().sqrt();
+        // Orthogonalize column j against the previous ones; a second pass
+        // ("twice is enough") keeps Q orthonormal even when columns are
+        // nearly dependent, which Gaussian sketches of low-rank matrices
+        // routinely produce.
+        for _pass in 0..2 {
+            for i in 0..j {
+                let mut dot = 0.0;
+                for row in 0..m {
+                    dot += q.get(row, i) * q.get(row, j);
+                }
+                r.set(i, j, r.get(i, j) + dot);
+                for row in 0..m {
+                    let v = q.get(row, j) - dot * q.get(row, i);
+                    q.set(row, j, v);
+                }
+            }
+        }
+        let norm: f64 = (0..m).map(|row| q.get(row, j).powi(2)).sum::<f64>().sqrt();
+        // Rank test relative to the column's original magnitude: what is
+        // left after projection must be a real new direction, not noise.
+        if norm > 1e-10 * orig_norm.max(1e-300) {
+            r.set(j, j, norm);
+            for row in 0..m {
+                let v = q.get(row, j) / norm;
+                q.set(row, j, v);
+            }
+        } else {
+            r.set(j, j, 0.0);
+            for row in 0..m {
+                q.set(row, j, 0.0);
+            }
+        }
+    }
+    (q, r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qr_reconstructs_input() {
+        let a = Matrix::from_fn(8, 5, |r, c| ((r * 3 + c * 7) as f64 * 0.19).sin() + 0.1);
+        let (q, r) = qr(&a);
+        let rec = q.matmul(&r);
+        assert!(a.sub(&rec).fro_norm() < 1e-10 * (1.0 + a.fro_norm()));
+    }
+
+    #[test]
+    fn q_is_column_orthonormal() {
+        // Full-rank: distinct frequencies per column.
+        let a = Matrix::from_fn(10, 4, |r, c| ((r as f64 + 1.0) * (c as f64 + 1.0) * 0.37).cos());
+        let (q, _) = qr(&a);
+        let qtq = q.transpose().matmul(&q);
+        assert!(qtq.sub(&Matrix::identity(4)).fro_norm() < 1e-10);
+    }
+
+    #[test]
+    fn nearly_dependent_columns_stay_orthonormal_or_zero() {
+        // Columns spanning a rank-2 space: surviving columns must be
+        // orthonormal; the rest exactly zero.
+        let a = Matrix::from_fn(12, 5, |r, c| (r as f64 - 2.0 * c as f64).cos());
+        let (q, _) = qr(&a);
+        let qtq = q.transpose().matmul(&q);
+        for i in 0..5 {
+            for j in 0..5 {
+                let v = qtq.get(i, j);
+                let want_one = i == j && qtq.get(i, i) > 0.5;
+                if want_one {
+                    assert!((v - 1.0).abs() < 1e-10, "({i},{j}) = {v}");
+                } else if i != j {
+                    assert!(v.abs() < 1e-10, "({i},{j}) = {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let a = Matrix::from_fn(6, 6, |r, c| ((r + c * 2) as f64).sqrt() + 1.0);
+        let (_, r) = qr(&a);
+        for i in 1..6 {
+            for j in 0..i {
+                assert_eq!(r.get(i, j), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn rank_deficient_columns_become_zero() {
+        // Third column = first + second.
+        let a = Matrix::from_fn(5, 3, |r, c| match c {
+            0 => r as f64,
+            1 => 1.0,
+            _ => r as f64 + 1.0,
+        });
+        let (q, r) = qr(&a);
+        assert!(r.get(2, 2).abs() < 1e-10);
+        // Reconstruction still holds.
+        let rec = q.matmul(&r);
+        assert!(a.sub(&rec).fro_norm() < 1e-9);
+    }
+}

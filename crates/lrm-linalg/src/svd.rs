@@ -1,0 +1,265 @@
+//! Singular value decomposition by one-sided Jacobi.
+//!
+//! The SVD preconditioner (Section V-A2 of the paper) retains the `k`
+//! largest singular values together with the matching `k` columns of `U`
+//! and rows of `Vᵀ`. One-sided Jacobi orthogonalizes the columns of `A`
+//! in place; it is accurate for the tall skinny matrices our reshaped
+//! fields produce (rows = ny·nz, cols = nx).
+
+use crate::matrix::Matrix;
+
+/// `A = U · diag(σ) · Vᵀ` with `σ` descending, `U` (m×r) and `V` (n×r)
+/// column-orthonormal, `r = min(m, n)`.
+#[derive(Debug, Clone)]
+pub struct Svd {
+    /// Left singular vectors (m × r).
+    pub u: Matrix,
+    /// Singular values, descending (length r).
+    pub sigma: Vec<f64>,
+    /// Right singular vectors (n × r); `Vᵀ` rows pair with `σ`.
+    pub v: Matrix,
+}
+
+impl Svd {
+    /// Reconstructs the (possibly truncated) product `U Σ Vᵀ` using the
+    /// top `k` singular triplets.
+    pub fn reconstruct(&self, k: usize) -> Matrix {
+        let k = k.min(self.sigma.len());
+        let m = self.u.rows();
+        let n = self.v.rows();
+        let mut out = Matrix::zeros(m, n);
+        for t in 0..k {
+            let s = self.sigma[t];
+            if s == 0.0 {
+                continue;
+            }
+            for r in 0..m {
+                let us = self.u.get(r, t) * s;
+                if us == 0.0 {
+                    continue;
+                }
+                for c in 0..n {
+                    out.set(r, c, out.get(r, c) + us * self.v.get(c, t));
+                }
+            }
+        }
+        out
+    }
+
+    /// Smallest `k` with `Σ_{i<k} σᵢ / Σ σᵢ >= fraction` (the paper's 95 %
+    /// rule, applied to singular values). Returns at least 1 when any
+    /// singular value is nonzero.
+    pub fn rank_for_energy(&self, fraction: f64) -> usize {
+        let total: f64 = self.sigma.iter().sum();
+        if total <= 0.0 {
+            return 0;
+        }
+        let mut acc = 0.0;
+        for (i, &s) in self.sigma.iter().enumerate() {
+            acc += s;
+            if acc / total >= fraction {
+                return i + 1;
+            }
+        }
+        self.sigma.len()
+    }
+
+    /// Proportions `σᵢ / Σ σⱼ` (the series Fig. 8 plots).
+    pub fn proportions(&self) -> Vec<f64> {
+        let total: f64 = self.sigma.iter().sum();
+        if total <= 0.0 {
+            return vec![0.0; self.sigma.len()];
+        }
+        self.sigma.iter().map(|&s| s / total).collect()
+    }
+}
+
+/// Computes the thin SVD of `a` by one-sided Jacobi.
+pub fn svd(a: &Matrix) -> Svd {
+    if a.rows() < a.cols() {
+        // Work on the transpose and swap the factors back.
+        let t = svd(&a.transpose());
+        return Svd {
+            u: t.v,
+            sigma: t.sigma,
+            v: t.u,
+        };
+    }
+    let (m, n) = (a.rows(), a.cols());
+    let mut w = a.clone(); // columns will be orthogonalized in place
+    let mut v = Matrix::identity(n);
+    let eps = 1e-15;
+    let max_sweeps = 60;
+
+    for _ in 0..max_sweeps {
+        let mut rotated = false;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let mut alpha = 0.0;
+                let mut beta = 0.0;
+                let mut gamma = 0.0;
+                for r in 0..m {
+                    let wp = w.get(r, p);
+                    let wq = w.get(r, q);
+                    alpha += wp * wp;
+                    beta += wq * wq;
+                    gamma += wp * wq;
+                }
+                if gamma.abs() <= eps * (alpha * beta).sqrt() || gamma == 0.0 {
+                    continue;
+                }
+                rotated = true;
+                let zeta = (beta - alpha) / (2.0 * gamma);
+                let t = zeta.signum() / (zeta.abs() + (1.0 + zeta * zeta).sqrt());
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                for r in 0..m {
+                    let wp = w.get(r, p);
+                    let wq = w.get(r, q);
+                    w.set(r, p, c * wp - s * wq);
+                    w.set(r, q, s * wp + c * wq);
+                }
+                for r in 0..n {
+                    let vp = v.get(r, p);
+                    let vq = v.get(r, q);
+                    v.set(r, p, c * vp - s * vq);
+                    v.set(r, q, s * vp + c * vq);
+                }
+            }
+        }
+        if !rotated {
+            break;
+        }
+    }
+
+    // Column norms are the singular values.
+    let mut triplets: Vec<(f64, usize)> = (0..n)
+        .map(|c| {
+            let norm: f64 = (0..m).map(|r| w.get(r, c) * w.get(r, c)).sum::<f64>().sqrt();
+            (norm, c)
+        })
+        .collect();
+    triplets.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite norms"));
+
+    let sigma: Vec<f64> = triplets.iter().map(|&(s, _)| s).collect();
+    let u = Matrix::from_fn(m, n, |r, c| {
+        let (s, col) = triplets[c];
+        if s > 0.0 {
+            w.get(r, col) / s
+        } else {
+            0.0
+        }
+    });
+    let vv = Matrix::from_fn(n, n, |r, c| v.get(r, triplets[c].1));
+    Svd { u, sigma, v: vv }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &Matrix, b: &Matrix, tol: f64) {
+        assert!(
+            a.sub(b).fro_norm() <= tol * a.fro_norm().max(1.0),
+            "matrices differ: {} vs tol {tol}",
+            a.sub(b).fro_norm()
+        );
+    }
+
+    #[test]
+    fn full_reconstruction_is_exact() {
+        let a = Matrix::from_fn(10, 4, |r, c| ((r * 3 + c * 5) as f64 * 0.17).sin());
+        let d = svd(&a);
+        assert_close(&a, &d.reconstruct(4), 1e-10);
+    }
+
+    #[test]
+    fn wide_matrix_via_transpose() {
+        let a = Matrix::from_fn(3, 8, |r, c| (r as f64 + 1.0) * (c as f64 - 3.0));
+        let d = svd(&a);
+        assert_eq!(d.u.rows(), 3);
+        assert_eq!(d.v.rows(), 8);
+        assert_close(&a, &d.reconstruct(3), 1e-10);
+    }
+
+    #[test]
+    fn singular_values_descend_and_match_known_case() {
+        // diag(3, 2) embedded in a 4x2: singular values 3, 2.
+        let mut a = Matrix::zeros(4, 2);
+        a.set(0, 0, 3.0);
+        a.set(1, 1, 2.0);
+        let d = svd(&a);
+        assert!((d.sigma[0] - 3.0).abs() < 1e-12);
+        assert!((d.sigma[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank1_matrix_has_one_singular_value() {
+        let a = Matrix::from_fn(6, 5, |r, c| (r as f64 + 1.0) * (c as f64 + 1.0));
+        let d = svd(&a);
+        assert!(d.sigma[0] > 1.0);
+        for &s in &d.sigma[1..] {
+            assert!(s < 1e-10 * d.sigma[0], "sigma {s}");
+        }
+        // Rank-1 truncation reconstructs exactly.
+        assert_close(&a, &d.reconstruct(1), 1e-10);
+    }
+
+    #[test]
+    fn u_and_v_are_column_orthonormal() {
+        let a = Matrix::from_fn(9, 5, |r, c| ((r * r + 2 * c) as f64).sqrt());
+        let d = svd(&a);
+        let utu = d.u.transpose().matmul(&d.u);
+        let vtv = d.v.transpose().matmul(&d.v);
+        assert_close(&utu, &Matrix::identity(5), 1e-9);
+        assert_close(&vtv, &Matrix::identity(5), 1e-9);
+    }
+
+    #[test]
+    fn truncation_error_decreases_with_k() {
+        let a = Matrix::from_fn(20, 10, |r, c| {
+            ((r as f64) * 0.3).sin() * ((c as f64) * 0.2).cos()
+                + 0.1 * ((r * c) as f64 * 0.05).sin()
+        });
+        let d = svd(&a);
+        let mut last = f64::INFINITY;
+        for k in 1..=10 {
+            let e = a.sub(&d.reconstruct(k)).fro_norm();
+            assert!(e <= last + 1e-12, "k={k}");
+            last = e;
+        }
+        assert!(last < 1e-10);
+    }
+
+    #[test]
+    fn energy_rule_selects_dominant_rank() {
+        // One dominant direction (99% energy) -> k = 1 at 95%.
+        let mut a = Matrix::zeros(8, 3);
+        a.set(0, 0, 100.0);
+        a.set(1, 1, 1.0);
+        a.set(2, 2, 0.5);
+        let d = svd(&a);
+        assert_eq!(d.rank_for_energy(0.95), 1);
+        assert_eq!(d.rank_for_energy(0.999), 3);
+    }
+
+    #[test]
+    fn proportions_sum_to_one() {
+        let a = Matrix::from_fn(12, 6, |r, c| ((r + 2 * c) as f64 * 0.21).cos());
+        let d = svd(&a);
+        let p = d.proportions();
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        for w in p.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn zero_matrix_is_handled() {
+        let a = Matrix::zeros(5, 3);
+        let d = svd(&a);
+        assert!(d.sigma.iter().all(|&s| s == 0.0));
+        assert_eq!(d.rank_for_energy(0.95), 0);
+        assert_close(&a, &d.reconstruct(3), 1e-15);
+    }
+}

@@ -1,0 +1,164 @@
+//! Byte-stream statistics over the IEEE-754 encoding of `f64` data.
+//!
+//! The paper characterizes datasets by treating their on-disk byte stream
+//! as a sequence of `u8` symbols (as the classic `ent` tool does) and
+//! reporting Shannon entropy, arithmetic mean, and lag-1 serial
+//! correlation. These three quantities are what Fig. 1 and Table II show.
+
+/// Converts a slice of doubles into its little-endian byte stream, i.e. the
+/// exact bytes that would be written to disk in native HPC output.
+pub fn bytes_of(data: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() * 8);
+    for v in data {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Shannon entropy of a byte stream, in bits per byte.
+///
+/// Ranges in `[0, 8]`; the closer to 8, the closer the stream is to
+/// uniformly random. Returns 0 for an empty stream.
+pub fn byte_entropy(bytes: &[u8]) -> f64 {
+    if bytes.is_empty() {
+        return 0.0;
+    }
+    let mut counts = [0u64; 256];
+    for &b in bytes {
+        counts[b as usize] += 1;
+    }
+    let n = bytes.len() as f64;
+    let mut h = 0.0;
+    for &c in &counts {
+        if c > 0 {
+            let p = c as f64 / n;
+            h -= p * p.log2();
+        }
+    }
+    h
+}
+
+/// Arithmetic mean of a byte stream.
+///
+/// "This is simply the result of summing all the bytes of a dataset and
+/// dividing by the file length" — close to 127.5 for random data; a
+/// consistent deviation means the values are consistently high or low.
+pub fn byte_mean(bytes: &[u8]) -> f64 {
+    if bytes.is_empty() {
+        return 0.0;
+    }
+    let sum: u64 = bytes.iter().map(|&b| b as u64).sum();
+    sum as f64 / bytes.len() as f64
+}
+
+/// Lag-1 serial correlation coefficient of a byte stream.
+///
+/// Measures the extent to which each byte depends on the previous byte.
+/// Ranges in `[-1, 1]`; near 0 for uncorrelated data. Returns 0 when the
+/// stream has fewer than two bytes or zero variance.
+pub fn serial_correlation(bytes: &[u8]) -> f64 {
+    let n = bytes.len();
+    if n < 2 {
+        return 0.0;
+    }
+    // Pearson correlation between (b[0..n-1]) and (b[1..n]).
+    let xs = &bytes[..n - 1];
+    let ys = &bytes[1..];
+    let m = xs.len() as f64;
+    let mean_x: f64 = xs.iter().map(|&b| b as f64).sum::<f64>() / m;
+    let mean_y: f64 = ys.iter().map(|&b| b as f64).sum::<f64>() / m;
+    let mut cov = 0.0;
+    let mut var_x = 0.0;
+    let mut var_y = 0.0;
+    for i in 0..xs.len() {
+        let dx = xs[i] as f64 - mean_x;
+        let dy = ys[i] as f64 - mean_y;
+        cov += dx * dy;
+        var_x += dx * dx;
+        var_y += dy * dy;
+    }
+    let denom = (var_x * var_y).sqrt();
+    if denom == 0.0 {
+        0.0
+    } else {
+        cov / denom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_of_roundtrips_length() {
+        let d = [1.0f64, 2.0, -3.5];
+        assert_eq!(bytes_of(&d).len(), 24);
+    }
+
+    #[test]
+    fn bytes_of_is_little_endian() {
+        let b = bytes_of(&[1.0f64]);
+        assert_eq!(b, 1.0f64.to_le_bytes());
+    }
+
+    #[test]
+    fn entropy_of_empty_is_zero() {
+        assert_eq!(byte_entropy(&[]), 0.0);
+    }
+
+    #[test]
+    fn entropy_of_single_symbol_is_zero() {
+        assert_eq!(byte_entropy(&[42u8; 1000]), 0.0);
+    }
+
+    #[test]
+    fn entropy_of_uniform_bytes_is_eight() {
+        let all: Vec<u8> = (0..=255u8).collect();
+        let h = byte_entropy(&all);
+        assert!((h - 8.0).abs() < 1e-12, "h = {h}");
+    }
+
+    #[test]
+    fn entropy_of_two_symbols_is_one() {
+        let b: Vec<u8> = (0..1000).map(|i| (i % 2) as u8).collect();
+        assert!((byte_entropy(&b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn byte_mean_of_uniform_is_center() {
+        let all: Vec<u8> = (0..=255u8).collect();
+        assert!((byte_mean(&all) - 127.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn byte_mean_of_empty_is_zero() {
+        assert_eq!(byte_mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn serial_correlation_of_ramp_is_high() {
+        // A slowly-incrementing ramp has strong positive lag-1 correlation.
+        let b: Vec<u8> = (0..2000).map(|i| (i / 16) as u8).collect();
+        assert!(serial_correlation(&b) > 0.9);
+    }
+
+    #[test]
+    fn serial_correlation_of_alternating_is_negative() {
+        let b: Vec<u8> = (0..1000).map(|i| if i % 2 == 0 { 0 } else { 255 }).collect();
+        assert!(serial_correlation(&b) < -0.99);
+    }
+
+    #[test]
+    fn serial_correlation_of_constant_is_zero() {
+        assert_eq!(serial_correlation(&[9u8; 100]), 0.0);
+    }
+
+    #[test]
+    fn serial_correlation_bounds() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let b: Vec<u8> = (0..10_000).map(|_| rng.gen()).collect();
+        let c = serial_correlation(&b);
+        assert!(c.abs() < 0.05, "random bytes should be ~uncorrelated: {c}");
+    }
+}

@@ -1,0 +1,169 @@
+//! Empirical cumulative distribution functions.
+//!
+//! Fig. 1 of the paper overlays the CDFs of full-model and reduced-model
+//! data to show they are "nearly identical". [`EmpiricalCdf`] supports
+//! evaluation at arbitrary points, quantiles, and a Kolmogorov–Smirnov
+//! distance for quantifying that similarity.
+
+/// An empirical CDF built from a sample. Non-finite values are dropped.
+#[derive(Debug, Clone)]
+pub struct EmpiricalCdf {
+    sorted: Vec<f64>,
+}
+
+impl EmpiricalCdf {
+    /// Builds the CDF from a sample, sorting a private copy.
+    pub fn new(sample: &[f64]) -> Self {
+        let mut sorted: Vec<f64> = sample.iter().copied().filter(|v| v.is_finite()).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        Self { sorted }
+    }
+
+    /// Number of (finite) points the CDF was built from.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when the CDF holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// F(x): fraction of sample values `<= x`. Returns 0 for an empty CDF.
+    pub fn eval(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Inverse CDF: smallest sample value `v` with `F(v) >= p`.
+    ///
+    /// `p` is clamped to `[0, 1]`. Returns `None` for an empty CDF.
+    pub fn quantile(&self, p: f64) -> Option<f64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let p = p.clamp(0.0, 1.0);
+        let n = self.sorted.len();
+        let idx = ((p * n as f64).ceil() as usize).saturating_sub(1).min(n - 1);
+        Some(self.sorted[idx])
+    }
+
+    /// Samples `n` evenly-spaced (value, F(value)) points for plotting, the
+    /// series Fig. 1 draws.
+    pub fn curve(&self, n: usize) -> Vec<(f64, f64)> {
+        if self.sorted.is_empty() || n == 0 {
+            return Vec::new();
+        }
+        let lo = self.sorted[0];
+        let hi = *self.sorted.last().expect("non-empty");
+        (0..n)
+            .map(|i| {
+                let x = if n == 1 {
+                    hi
+                } else {
+                    lo + (hi - lo) * i as f64 / (n - 1) as f64
+                };
+                (x, self.eval(x))
+            })
+            .collect()
+    }
+
+    /// Immutable view of the sorted sample.
+    pub fn sorted_values(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+/// Two-sample Kolmogorov–Smirnov statistic: `sup_x |F_a(x) - F_b(x)|`.
+///
+/// 0 means identical empirical distributions; 1 means disjoint supports.
+/// This is the quantitative form of Fig. 1's "nearly identical CDFs".
+pub fn ks_distance(a: &[f64], b: &[f64]) -> f64 {
+    let fa = EmpiricalCdf::new(a);
+    let fb = EmpiricalCdf::new(b);
+    if fa.is_empty() || fb.is_empty() {
+        return if fa.is_empty() && fb.is_empty() { 0.0 } else { 1.0 };
+    }
+    // The supremum is attained at a sample point of either distribution.
+    let mut d: f64 = 0.0;
+    for &x in fa.sorted_values().iter().chain(fb.sorted_values()) {
+        d = d.max((fa.eval(x) - fb.eval(x)).abs());
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_steps_through_sample() {
+        let cdf = EmpiricalCdf::new(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(cdf.eval(0.5), 0.0);
+        assert_eq!(cdf.eval(1.0), 0.25);
+        assert_eq!(cdf.eval(2.5), 0.5);
+        assert_eq!(cdf.eval(4.0), 1.0);
+        assert_eq!(cdf.eval(100.0), 1.0);
+    }
+
+    #[test]
+    fn non_finite_values_are_dropped() {
+        let cdf = EmpiricalCdf::new(&[f64::NAN, 1.0, f64::INFINITY, 2.0]);
+        assert_eq!(cdf.len(), 2);
+    }
+
+    #[test]
+    fn quantile_median() {
+        let cdf = EmpiricalCdf::new(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(cdf.quantile(0.5), Some(3.0));
+        assert_eq!(cdf.quantile(0.0), Some(1.0));
+        assert_eq!(cdf.quantile(1.0), Some(5.0));
+    }
+
+    #[test]
+    fn quantile_of_empty_is_none() {
+        assert_eq!(EmpiricalCdf::new(&[]).quantile(0.5), None);
+    }
+
+    #[test]
+    fn curve_is_monotone() {
+        let d: Vec<f64> = (0..100).map(|i| ((i * 37) % 100) as f64).collect();
+        let c = EmpiricalCdf::new(&d).curve(33);
+        for w in c.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+            assert!(w[1].0 >= w[0].0);
+        }
+        assert_eq!(c.len(), 33);
+    }
+
+    #[test]
+    fn ks_identical_samples_is_zero() {
+        let d: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        assert_eq!(ks_distance(&d, &d), 0.0);
+    }
+
+    #[test]
+    fn ks_disjoint_samples_is_one() {
+        let a = [0.0, 1.0, 2.0];
+        let b = [10.0, 11.0];
+        assert_eq!(ks_distance(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn ks_is_symmetric() {
+        let a: Vec<f64> = (0..50).map(|i| (i as f64).sqrt()).collect();
+        let b: Vec<f64> = (0..80).map(|i| (i as f64).ln_1p()).collect();
+        assert!((ks_distance(&a, &b) - ks_distance(&b, &a)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn ks_detects_shift() {
+        let a: Vec<f64> = (0..100).map(|i| i as f64 / 100.0).collect();
+        let b: Vec<f64> = (0..100).map(|i| i as f64 / 100.0 + 0.5).collect();
+        let d = ks_distance(&a, &b);
+        assert!(d > 0.4 && d < 0.6, "d = {d}");
+    }
+}

@@ -1,0 +1,157 @@
+//! Reconstruction-error metrics.
+//!
+//! The paper assesses compression quality with RMSE (Fig. 10) and sweeps
+//! rate–distortion curves of compression ratio vs RMSE (Fig. 11). Error
+//! bounds for the SZ-like codec are *pointwise relative*, which
+//! [`max_pointwise_rel_error`] verifies.
+
+/// Mean squared error between `a` and `b`.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn mse(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "mse: length mismatch");
+    if a.is_empty() {
+        return 0.0;
+    }
+    let s: f64 = a
+        .iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum();
+    s / a.len() as f64
+}
+
+/// Root mean squared error between `a` and `b`.
+pub fn rmse(a: &[f64], b: &[f64]) -> f64 {
+    mse(a, b).sqrt()
+}
+
+/// RMSE normalized by the value range of `a` (the reference data).
+/// Returns plain RMSE when the range is zero.
+pub fn nrmse(a: &[f64], b: &[f64]) -> f64 {
+    let r = rmse(a, b);
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &v in a {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    let range = hi - lo;
+    if range > 0.0 {
+        r / range
+    } else {
+        r
+    }
+}
+
+/// Peak signal-to-noise ratio in dB, with the peak taken as the value
+/// range of the reference `a`. Returns `f64::INFINITY` for identical data.
+pub fn psnr(a: &[f64], b: &[f64]) -> f64 {
+    let m = mse(a, b);
+    if m == 0.0 {
+        return f64::INFINITY;
+    }
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &v in a {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    let peak = hi - lo;
+    20.0 * peak.log10() - 10.0 * m.log10()
+}
+
+/// Maximum absolute pointwise error.
+pub fn max_abs_error(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "max_abs_error: length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Maximum pointwise *relative* error `|a_i - b_i| / |a_i|`, skipping
+/// reference points whose magnitude is below `floor` (where relative error
+/// is ill-defined). This is the error semantics of SZ's point-wise relative
+/// bound mode used throughout the paper's evaluation.
+pub fn max_pointwise_rel_error(a: &[f64], b: &[f64], floor: f64) -> f64 {
+    assert_eq!(a.len(), b.len(), "max_pointwise_rel_error: length mismatch");
+    let mut worst: f64 = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        if x.abs() > floor {
+            worst = worst.max((x - y).abs() / x.abs());
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_of_identical_is_zero() {
+        let d = [1.0, -2.0, 3.0];
+        assert_eq!(mse(&d, &d), 0.0);
+        assert_eq!(rmse(&d, &d), 0.0);
+    }
+
+    #[test]
+    fn mse_known_value() {
+        let a = [0.0, 0.0];
+        let b = [3.0, 4.0];
+        assert!((mse(&a, &b) - 12.5).abs() < 1e-15);
+        assert!((rmse(&a, &b) - 12.5f64.sqrt()).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mse_length_mismatch_panics() {
+        mse(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn nrmse_normalizes_by_range() {
+        let a = [0.0, 10.0];
+        let b = [1.0, 10.0];
+        // rmse = sqrt(0.5), range = 10
+        assert!((nrmse(&a, &b) - (0.5f64.sqrt() / 10.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn psnr_of_identical_is_infinite() {
+        let d = [1.0, 2.0];
+        assert_eq!(psnr(&d, &d), f64::INFINITY);
+    }
+
+    #[test]
+    fn psnr_decreases_with_error() {
+        let a: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let small: Vec<f64> = a.iter().map(|v| v + 0.01).collect();
+        let big: Vec<f64> = a.iter().map(|v| v + 1.0).collect();
+        assert!(psnr(&a, &small) > psnr(&a, &big));
+    }
+
+    #[test]
+    fn max_abs_error_finds_worst_point() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [1.0, 2.5, 3.1];
+        assert!((max_abs_error(&a, &b) - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn rel_error_skips_tiny_reference_values() {
+        let a = [1e-300, 10.0];
+        let b = [1.0, 10.1];
+        let e = max_pointwise_rel_error(&a, &b, 1e-100);
+        assert!((e - 0.01).abs() < 1e-12, "e = {e}");
+    }
+
+    #[test]
+    fn rel_error_zero_for_identical() {
+        let a = [5.0, -5.0];
+        assert_eq!(max_pointwise_rel_error(&a, &a, 0.0), 0.0);
+    }
+}

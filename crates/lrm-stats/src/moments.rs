@@ -1,0 +1,181 @@
+//! Basic sample moments and a one-pass summary.
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(data: &[f64]) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    data.iter().sum::<f64>() / data.len() as f64
+}
+
+/// Population variance; 0 for slices shorter than 2.
+pub fn variance(data: &[f64]) -> f64 {
+    if data.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(data);
+    data.iter().map(|&v| (v - m) * (v - m)).sum::<f64>() / data.len() as f64
+}
+
+/// Minimum value; `f64::INFINITY` for an empty slice.
+pub fn min(data: &[f64]) -> f64 {
+    data.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+/// Maximum value; `f64::NEG_INFINITY` for an empty slice.
+pub fn max(data: &[f64]) -> f64 {
+    data.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// One-pass summary of a sample: count, min, max, mean, variance.
+///
+/// Uses Welford's algorithm, so it is numerically stable for long streams
+/// (e.g. full 192³ Heat3d snapshots).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Summary {
+    count: u64,
+    min: f64,
+    max: f64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Summary {
+    /// An empty summary.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            mean: 0.0,
+            m2: 0.0,
+        }
+    }
+
+    /// Builds a summary over a whole slice.
+    pub fn of(data: &[f64]) -> Self {
+        let mut s = Self::new();
+        for &v in data {
+            s.push(v);
+        }
+        s
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, v: f64) {
+        self.count += 1;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        let delta = v - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (v - self.mean);
+    }
+
+    /// Merges another summary into this one (parallel reduction step).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+    /// Minimum observation (`INFINITY` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+    /// Maximum observation (`NEG_INFINITY` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+    /// Population variance (0 for fewer than 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+    /// Value range `max - min` (0 when empty).
+    pub fn range(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max - self.min
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_known() {
+        let d = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&d) - 5.0).abs() < 1e-15);
+        assert!((variance(&d) - 4.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn summary_matches_direct_computation() {
+        let d: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.37).sin() * 3.0).collect();
+        let s = Summary::of(&d);
+        assert_eq!(s.count(), 1000);
+        assert!((s.mean() - mean(&d)).abs() < 1e-12);
+        assert!((s.variance() - variance(&d)).abs() < 1e-10);
+        assert_eq!(s.min(), min(&d));
+        assert_eq!(s.max(), max(&d));
+    }
+
+    #[test]
+    fn summary_merge_equals_whole() {
+        let d: Vec<f64> = (0..500).map(|i| (i as f64).sqrt()).collect();
+        let mut a = Summary::of(&d[..200]);
+        let b = Summary::of(&d[200..]);
+        a.merge(&b);
+        let whole = Summary::of(&d);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-12);
+        assert!((a.variance() - whole.variance()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let d = [1.0, 2.0, 3.0];
+        let mut s = Summary::of(&d);
+        let before = s;
+        s.merge(&Summary::new());
+        assert_eq!(s, before);
+        let mut e = Summary::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn empty_slice_conventions() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(min(&[]), f64::INFINITY);
+        assert_eq!(max(&[]), f64::NEG_INFINITY);
+    }
+}

@@ -1,0 +1,143 @@
+//! Bound-verification reports: quantify how a reconstruction honored its
+//! error bound across a whole field.
+//!
+//! Compression papers (this one included) report a single RMSE per run;
+//! production users also need to know the *worst* point, how many points
+//! approached the bound, and whether any violated it. [`BoundReport`]
+//! computes all of that in one pass.
+
+/// The kind of bound being checked.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Bound {
+    /// `|a - b| <= e` everywhere.
+    Absolute(f64),
+    /// `|a - b| <= rel * |a|` pointwise (points with `|a|` below the
+    /// floor are checked absolutely against `rel * floor`).
+    Relative {
+        /// The relative tolerance.
+        rel: f64,
+        /// Magnitude floor below which the check switches to absolute.
+        floor: f64,
+    },
+}
+
+/// One-pass verification summary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundReport {
+    /// Points checked.
+    pub count: usize,
+    /// Points violating the bound.
+    pub violations: usize,
+    /// Worst observed error / allowed error ratio (1.0 = at the bound).
+    pub worst_utilization: f64,
+    /// Index of the worst point.
+    pub worst_index: usize,
+    /// Mean error / allowed error ratio.
+    pub mean_utilization: f64,
+}
+
+impl BoundReport {
+    /// Verifies `recon` against `orig` under `bound`.
+    ///
+    /// # Panics
+    /// Panics if the slices differ in length.
+    pub fn check(orig: &[f64], recon: &[f64], bound: Bound) -> Self {
+        assert_eq!(orig.len(), recon.len(), "verify: length mismatch");
+        let mut worst = 0.0f64;
+        let mut worst_index = 0usize;
+        let mut sum = 0.0f64;
+        let mut violations = 0usize;
+        for (i, (&a, &b)) in orig.iter().zip(recon).enumerate() {
+            let err = (a - b).abs();
+            let allowed = match bound {
+                Bound::Absolute(e) => e,
+                Bound::Relative { rel, floor } => rel * a.abs().max(floor),
+            };
+            let u = if allowed > 0.0 { err / allowed } else if err == 0.0 { 0.0 } else { f64::INFINITY };
+            if u > worst {
+                worst = u;
+                worst_index = i;
+            }
+            sum += u;
+            if u > 1.0 {
+                violations += 1;
+            }
+        }
+        Self {
+            count: orig.len(),
+            violations,
+            worst_utilization: worst,
+            worst_index,
+            mean_utilization: if orig.is_empty() { 0.0 } else { sum / orig.len() as f64 },
+        }
+    }
+
+    /// True when no point violated the bound.
+    pub fn holds(&self) -> bool {
+        self.violations == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absolute_bound_report() {
+        let orig = [1.0, 2.0, 3.0, 4.0];
+        let recon = [1.05, 2.0, 2.92, 4.2];
+        let r = BoundReport::check(&orig, &recon, Bound::Absolute(0.1));
+        assert_eq!(r.count, 4);
+        assert_eq!(r.violations, 1); // the 0.2 error at index 3
+        assert_eq!(r.worst_index, 3);
+        assert!((r.worst_utilization - 2.0).abs() < 1e-12);
+        assert!(!r.holds());
+    }
+
+    #[test]
+    fn relative_bound_report() {
+        let orig = [100.0, 0.001];
+        let recon = [100.5, 0.0011];
+        let r = BoundReport::check(
+            &orig,
+            &recon,
+            Bound::Relative { rel: 0.01, floor: 1e-6 },
+        );
+        // 0.5/1.0 = 0.5 and 1e-4/1e-5 = 10 -> violation at index 1.
+        assert_eq!(r.violations, 1);
+        assert_eq!(r.worst_index, 1);
+    }
+
+    #[test]
+    fn perfect_reconstruction_holds_trivially() {
+        let d = [1.0, -2.0, 0.0];
+        let r = BoundReport::check(&d, &d, Bound::Absolute(1e-12));
+        assert!(r.holds());
+        assert_eq!(r.worst_utilization, 0.0);
+        assert_eq!(r.mean_utilization, 0.0);
+    }
+
+    #[test]
+    fn zero_allowed_error_with_mismatch_is_infinite() {
+        let r = BoundReport::check(&[1.0], &[1.5], Bound::Absolute(0.0));
+        assert!(r.worst_utilization.is_infinite());
+        assert!(!r.holds());
+    }
+
+    #[test]
+    fn empty_slices_are_vacuously_fine() {
+        let r = BoundReport::check(&[], &[], Bound::Absolute(1.0));
+        assert!(r.holds());
+        assert_eq!(r.count, 0);
+    }
+
+    #[test]
+    fn utilization_reflects_margin() {
+        // Errors at half the bound -> utilization 0.5.
+        let orig = [10.0, 20.0];
+        let recon = [10.05, 20.05];
+        let r = BoundReport::check(&orig, &recon, Bound::Absolute(0.1));
+        assert!((r.mean_utilization - 0.5).abs() < 1e-12);
+        assert!(r.holds());
+    }
+}

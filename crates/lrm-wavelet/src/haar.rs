@@ -1,0 +1,240 @@
+//! Orthonormal Haar wavelet transform, 1-D and 2-D, multi-level.
+//!
+//! Implements the three-step scheme of Section V-A3: pair entries in each
+//! row, store (normalized) differences, pass sums to the next scale, and
+//! recurse until a single sum remains; repeat over columns; then threshold
+//! the result (see [`crate::WaveletModel`]). The orthonormal normalization
+//! (`1/√2`) keeps coefficient magnitudes comparable across levels so a
+//! single threshold is meaningful.
+
+/// One forward Haar level over `data[..n]`: writes n/2 smooth (sum)
+/// coefficients followed by n/2 detail (difference) coefficients.
+fn fwd_step(data: &mut [f64], n: usize, scratch: &mut [f64]) {
+    let half = n / 2;
+    let inv_sqrt2 = std::f64::consts::FRAC_1_SQRT_2;
+    for i in 0..half {
+        let a = data[2 * i];
+        let b = data[2 * i + 1];
+        scratch[i] = (a + b) * inv_sqrt2;
+        scratch[half + i] = (a - b) * inv_sqrt2;
+    }
+    data[..n].copy_from_slice(&scratch[..n]);
+}
+
+/// One inverse Haar level over `data[..n]`.
+fn inv_step(data: &mut [f64], n: usize, scratch: &mut [f64]) {
+    let half = n / 2;
+    let inv_sqrt2 = std::f64::consts::FRAC_1_SQRT_2;
+    for i in 0..half {
+        let s = data[i];
+        let d = data[half + i];
+        scratch[2 * i] = (s + d) * inv_sqrt2;
+        scratch[2 * i + 1] = (s - d) * inv_sqrt2;
+    }
+    data[..n].copy_from_slice(&scratch[..n]);
+}
+
+/// Full multi-level forward 1-D Haar transform in place.
+///
+/// # Panics
+/// Panics unless `data.len()` is a power of two (use [`pad_pow2`] first).
+pub fn fwd_1d(data: &mut [f64]) {
+    let len = data.len();
+    assert!(len.is_power_of_two(), "haar: length must be a power of two");
+    let mut scratch = vec![0.0; len];
+    let mut n = len;
+    while n >= 2 {
+        fwd_step(data, n, &mut scratch);
+        n /= 2;
+    }
+}
+
+/// Full multi-level inverse 1-D Haar transform in place.
+pub fn inv_1d(data: &mut [f64]) {
+    let len = data.len();
+    assert!(len.is_power_of_two(), "haar: length must be a power of two");
+    let mut scratch = vec![0.0; len];
+    let mut n = 2;
+    while n <= len {
+        inv_step(data, n, &mut scratch);
+        n *= 2;
+    }
+}
+
+/// Full 2-D forward transform of a row-major `rows × cols` matrix:
+/// multi-level over every row, then multi-level over every column
+/// (the paper's Step 1 then Step 2).
+pub fn fwd_2d(data: &mut [f64], rows: usize, cols: usize) {
+    assert_eq!(data.len(), rows * cols, "haar: buffer mismatch");
+    assert!(
+        rows.is_power_of_two() && cols.is_power_of_two(),
+        "haar: extents must be powers of two"
+    );
+    for r in 0..rows {
+        fwd_1d(&mut data[r * cols..(r + 1) * cols]);
+    }
+    let mut col = vec![0.0; rows];
+    for c in 0..cols {
+        for r in 0..rows {
+            col[r] = data[r * cols + c];
+        }
+        fwd_1d(&mut col);
+        for r in 0..rows {
+            data[r * cols + c] = col[r];
+        }
+    }
+}
+
+/// Inverse of [`fwd_2d`].
+pub fn inv_2d(data: &mut [f64], rows: usize, cols: usize) {
+    assert_eq!(data.len(), rows * cols, "haar: buffer mismatch");
+    let mut col = vec![0.0; rows];
+    for c in 0..cols {
+        for r in 0..rows {
+            col[r] = data[r * cols + c];
+        }
+        inv_1d(&mut col);
+        for r in 0..rows {
+            data[r * cols + c] = col[r];
+        }
+    }
+    for r in 0..rows {
+        inv_1d(&mut data[r * cols..(r + 1) * cols]);
+    }
+}
+
+/// Next power of two >= n (min 1).
+pub fn next_pow2(n: usize) -> usize {
+    n.max(1).next_power_of_two()
+}
+
+/// Pads a row-major matrix to power-of-two extents by replicating edge
+/// samples (replication keeps padding smooth, so it costs few nonzero
+/// coefficients after thresholding). Returns the padded buffer and its
+/// extents.
+pub fn pad_pow2(data: &[f64], rows: usize, cols: usize) -> (Vec<f64>, usize, usize) {
+    assert_eq!(data.len(), rows * cols, "pad: buffer mismatch");
+    let pr = next_pow2(rows);
+    let pc = next_pow2(cols);
+    let mut out = vec![0.0; pr * pc];
+    for r in 0..pr {
+        let sr = r.min(rows.saturating_sub(1));
+        for c in 0..pc {
+            let sc = c.min(cols.saturating_sub(1));
+            out[r * pc + c] = if rows == 0 || cols == 0 {
+                0.0
+            } else {
+                data[sr * cols + sc]
+            };
+        }
+    }
+    (out, pr, pc)
+}
+
+/// Crops a padded matrix back to `rows × cols`.
+pub fn crop(data: &[f64], prows: usize, pcols: usize, rows: usize, cols: usize) -> Vec<f64> {
+    assert!(rows <= prows && cols <= pcols, "crop: target too large");
+    let mut out = Vec::with_capacity(rows * cols);
+    for r in 0..rows {
+        out.extend_from_slice(&data[r * pcols..r * pcols + cols]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fwd_inv_1d_roundtrip() {
+        let orig: Vec<f64> = (0..64).map(|i| (i as f64 * 0.3).sin() * 7.0).collect();
+        let mut v = orig.clone();
+        fwd_1d(&mut v);
+        inv_1d(&mut v);
+        for (a, b) in orig.iter().zip(&v) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fwd_inv_2d_roundtrip() {
+        let (rows, cols) = (16, 32);
+        let orig: Vec<f64> = (0..rows * cols).map(|i| ((i * 37) % 101) as f64).collect();
+        let mut v = orig.clone();
+        fwd_2d(&mut v, rows, cols);
+        inv_2d(&mut v, rows, cols);
+        for (a, b) in orig.iter().zip(&v) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn constant_signal_concentrates_in_dc() {
+        let mut v = vec![3.0; 16];
+        fwd_1d(&mut v);
+        // All energy in the first (DC) coefficient: 3 * sqrt(16) = 12.
+        assert!((v[0] - 12.0).abs() < 1e-12);
+        for &d in &v[1..] {
+            assert!(d.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn transform_preserves_energy() {
+        // Orthonormal Haar is an isometry.
+        let orig: Vec<f64> = (0..128).map(|i| ((i * i) as f64 * 0.01).cos()).collect();
+        let e0: f64 = orig.iter().map(|v| v * v).sum();
+        let mut v = orig;
+        fwd_1d(&mut v);
+        let e1: f64 = v.iter().map(|v| v * v).sum();
+        assert!((e0 - e1).abs() < 1e-9 * e0);
+    }
+
+    #[test]
+    fn smooth_signal_has_sparse_details() {
+        let mut v: Vec<f64> = (0..256).map(|i| (i as f64 * 0.01).sin()).collect();
+        fwd_1d(&mut v);
+        let max = v.iter().fold(0.0f64, |a, &b| a.max(b.abs()));
+        let big = v.iter().filter(|&&c| c.abs() > 0.05 * max).count();
+        assert!(big < 32, "smooth signal should need few coefficients: {big}");
+    }
+
+    #[test]
+    fn pad_and_crop_roundtrip() {
+        let data: Vec<f64> = (0..15).map(|i| i as f64).collect();
+        let (p, pr, pc) = pad_pow2(&data, 3, 5);
+        assert_eq!((pr, pc), (4, 8));
+        let back = crop(&p, pr, pc, 3, 5);
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn pad_replicates_edges() {
+        let data = vec![1.0, 2.0, 3.0]; // 1x3
+        let (p, pr, pc) = pad_pow2(&data, 1, 3);
+        assert_eq!((pr, pc), (1, 4));
+        assert_eq!(p, vec![1.0, 2.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn fwd_rejects_non_pow2() {
+        fwd_1d(&mut [0.0; 12]);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_1d_roundtrip(orig in proptest::collection::vec(-1e6f64..1e6, 1..5).prop_map(|v| {
+            let n = 1 << (v.len() + 3);
+            (0..n).map(|i| v[i % v.len()] * ((i as f64) * 0.37).sin()).collect::<Vec<_>>()
+        })) {
+            let mut v = orig.clone();
+            fwd_1d(&mut v);
+            inv_1d(&mut v);
+            for (a, b) in orig.iter().zip(&v) {
+                proptest::prop_assert!((a - b).abs() < 1e-6);
+            }
+        }
+    }
+    use proptest::prelude::Strategy;
+}

@@ -1,0 +1,238 @@
+//! 3-D Haar wavelet transform — an extension beyond the paper.
+//!
+//! The paper applies the Haar transform to the 2-D matrix view of each
+//! field; volumetric datasets (Heat3d, Astro, Sedov, Yf17) lose their
+//! z-correlation that way. The separable 3-D transform keeps it,
+//! typically yielding sparser thresholded representations on volume
+//! data. The ablation lives in `EXPERIMENTS.md`.
+
+use crate::haar::{fwd_1d, inv_1d, next_pow2};
+use crate::sparse::SparseMatrix;
+
+/// Full separable 3-D forward transform of a row-major
+/// `nx × ny × nz` volume (x fastest), in place. All extents must be
+/// powers of two.
+pub fn fwd_3d(data: &mut [f64], nx: usize, ny: usize, nz: usize) {
+    assert_eq!(data.len(), nx * ny * nz, "haar3d: buffer mismatch");
+    assert!(
+        nx.is_power_of_two() && ny.is_power_of_two() && nz.is_power_of_two(),
+        "haar3d: extents must be powers of two"
+    );
+    // Along x: rows are contiguous.
+    for r in 0..ny * nz {
+        fwd_1d(&mut data[r * nx..(r + 1) * nx]);
+    }
+    // Along y.
+    let mut line = vec![0.0; ny];
+    for z in 0..nz {
+        for x in 0..nx {
+            for y in 0..ny {
+                line[y] = data[(z * ny + y) * nx + x];
+            }
+            fwd_1d(&mut line);
+            for y in 0..ny {
+                data[(z * ny + y) * nx + x] = line[y];
+            }
+        }
+    }
+    // Along z.
+    let mut line = vec![0.0; nz];
+    for y in 0..ny {
+        for x in 0..nx {
+            for z in 0..nz {
+                line[z] = data[(z * ny + y) * nx + x];
+            }
+            fwd_1d(&mut line);
+            for z in 0..nz {
+                data[(z * ny + y) * nx + x] = line[z];
+            }
+        }
+    }
+}
+
+/// Inverse of [`fwd_3d`].
+pub fn inv_3d(data: &mut [f64], nx: usize, ny: usize, nz: usize) {
+    assert_eq!(data.len(), nx * ny * nz, "haar3d: buffer mismatch");
+    let mut line = vec![0.0; nz];
+    for y in 0..ny {
+        for x in 0..nx {
+            for z in 0..nz {
+                line[z] = data[(z * ny + y) * nx + x];
+            }
+            inv_1d(&mut line);
+            for z in 0..nz {
+                data[(z * ny + y) * nx + x] = line[z];
+            }
+        }
+    }
+    let mut line = vec![0.0; ny];
+    for z in 0..nz {
+        for x in 0..nx {
+            for y in 0..ny {
+                line[y] = data[(z * ny + y) * nx + x];
+            }
+            inv_1d(&mut line);
+            for y in 0..ny {
+                data[(z * ny + y) * nx + x] = line[y];
+            }
+        }
+    }
+    for r in 0..ny * nz {
+        inv_1d(&mut data[r * nx..(r + 1) * nx]);
+    }
+}
+
+/// 3-D wavelet reduced model: thresholded coefficients over the padded
+/// volume plus the original extents.
+#[derive(Debug, Clone)]
+pub struct WaveletModel3d {
+    /// Sparse coefficients, stored as a matrix of `pz × (py·px)` for
+    /// reuse of the 2-D sparse container.
+    pub coeffs: SparseMatrix,
+    /// Original extents (pre-padding).
+    pub dims: [usize; 3],
+    /// Padded extents.
+    pub padded: [usize; 3],
+}
+
+impl WaveletModel3d {
+    /// Transforms a volume and keeps coefficients at least
+    /// `theta_fraction` of the maximum (paper's rule, here in 3-D).
+    pub fn fit(data: &[f64], nx: usize, ny: usize, nz: usize, theta_fraction: f64) -> Self {
+        assert_eq!(data.len(), nx * ny * nz, "haar3d: buffer mismatch");
+        assert!(
+            (0.0..=1.0).contains(&theta_fraction),
+            "haar3d: theta fraction must be in [0, 1]"
+        );
+        let (px, py, pz) = (next_pow2(nx), next_pow2(ny), next_pow2(nz));
+        // Pad by edge replication.
+        let mut vol = vec![0.0; px * py * pz];
+        for z in 0..pz {
+            let sz = z.min(nz - 1);
+            for y in 0..py {
+                let sy = y.min(ny - 1);
+                for x in 0..px {
+                    let sx = x.min(nx - 1);
+                    vol[(z * py + y) * px + x] = data[(sz * ny + sy) * nx + sx];
+                }
+            }
+        }
+        fwd_3d(&mut vol, px, py, pz);
+        let maxc = vol.iter().fold(0.0f64, |a, &b| a.max(b.abs()));
+        let coeffs = SparseMatrix::from_dense(&vol, pz, py * px, theta_fraction * maxc);
+        Self {
+            coeffs,
+            dims: [nx, ny, nz],
+            padded: [px, py, pz],
+        }
+    }
+
+    /// Reconstructs the approximate volume.
+    pub fn reconstruct(&self) -> Vec<f64> {
+        let [nx, ny, nz] = self.dims;
+        let [px, py, pz] = self.padded;
+        let mut vol = self.coeffs.to_dense();
+        inv_3d(&mut vol, px, py, pz);
+        let mut out = Vec::with_capacity(nx * ny * nz);
+        for z in 0..nz {
+            for y in 0..ny {
+                let row = (z * py + y) * px;
+                out.extend_from_slice(&vol[row..row + nx]);
+            }
+        }
+        out
+    }
+
+    /// Serialized representation size in bytes.
+    pub fn representation_bytes(&self) -> usize {
+        self.coeffs.to_bytes().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn volume(nx: usize, ny: usize, nz: usize) -> Vec<f64> {
+        (0..nx * ny * nz)
+            .map(|i| {
+                let x = (i % nx) as f64;
+                let y = ((i / nx) % ny) as f64;
+                let z = (i / (nx * ny)) as f64;
+                (x * 0.2).sin() * (y * 0.15).cos() + 0.3 * (z * 0.1).sin()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fwd_inv_3d_roundtrip() {
+        let orig = volume(8, 16, 4);
+        let mut v = orig.clone();
+        fwd_3d(&mut v, 8, 16, 4);
+        inv_3d(&mut v, 8, 16, 4);
+        for (a, b) in orig.iter().zip(&v) {
+            assert!((a - b).abs() < 1e-11);
+        }
+    }
+
+    #[test]
+    fn transform_is_an_isometry() {
+        let orig = volume(8, 8, 8);
+        let e0: f64 = orig.iter().map(|v| v * v).sum();
+        let mut v = orig;
+        fwd_3d(&mut v, 8, 8, 8);
+        let e1: f64 = v.iter().map(|v| v * v).sum();
+        assert!((e0 - e1).abs() < 1e-9 * e0);
+    }
+
+    #[test]
+    fn model_zero_threshold_is_exact() {
+        let data = volume(5, 6, 7); // forces padding on every axis
+        let m = WaveletModel3d::fit(&data, 5, 6, 7, 0.0);
+        let rec = m.reconstruct();
+        assert_eq!(rec.len(), data.len());
+        for (a, b) in data.iter().zip(&rec) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn model_thresholding_sparsifies_volume_data() {
+        let data = volume(16, 16, 16);
+        let m = WaveletModel3d::fit(&data, 16, 16, 16, 0.05);
+        assert!(m.coeffs.density() < 0.2, "density {}", m.coeffs.density());
+        // Still a reasonable approximation.
+        let rec = m.reconstruct();
+        let rmse = (data
+            .iter()
+            .zip(&rec)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            / data.len() as f64)
+            .sqrt();
+        assert!(rmse < 0.3, "rmse {rmse}");
+    }
+
+    #[test]
+    fn volumetric_beats_matrix_view_on_z_correlated_data() {
+        // The point of the extension: a z-correlated volume needs fewer
+        // 3-D coefficients than 2-D-on-the-matrix-view coefficients.
+        let (nx, ny, nz) = (16, 16, 16);
+        let data: Vec<f64> = (0..nx * ny * nz)
+            .map(|i| {
+                let x = (i % nx) as f64;
+                let y = ((i / nx) % ny) as f64;
+                // Constant along z.
+                (x * 0.4).sin() * (y * 0.3).cos() * 10.0
+            })
+            .collect();
+        let m3 = WaveletModel3d::fit(&data, nx, ny, nz, 0.02);
+        let m2 = crate::WaveletModel::fit(&data, ny * nz, nx, 0.02);
+        assert!(
+            m3.coeffs.nnz() < m2.coeffs.nnz(),
+            "3-D {} vs 2-D {}",
+            m3.coeffs.nnz(),
+            m2.coeffs.nnz()
+        );
+    }
+}

@@ -1,0 +1,73 @@
+//! A simulated HPC campaign: run Heat3d, precondition each snapshot with
+//! the one-base reduced model *on the rank decomposition* (Algorithm 1),
+//! and drain everything through an asynchronous staging pipeline — the
+//! full Table IV architecture in one binary.
+//!
+//! ```sh
+//! cargo run --release --example heat3d_campaign
+//! ```
+
+use lrm::core::parallel_one_base::distributed_one_base;
+use lrm::core::{precondition_and_compress, PipelineConfig, ReducedModelKind};
+use lrm::datasets::heat3d::Heat3d;
+use lrm::io::StagingPipeline;
+use std::time::Instant;
+
+fn main() {
+    let cfg = Heat3d {
+        n: 32,
+        steps: 2000,
+        dt_factor: 0.01,
+        ..Default::default()
+    };
+    println!(
+        "running Heat3d {}³ for {} steps (dt = {:.3e})",
+        cfg.n,
+        cfg.steps,
+        cfg.dt()
+    );
+    let snapshots = cfg.snapshots(6);
+
+    // Distributed delta on a 2x2x2 rank grid, exactly as Algorithm 1
+    // would run on MPI: the mid-plane owners broadcast, everyone
+    // subtracts, deltas are gathered.
+    let first = &snapshots[0];
+    let dist = distributed_one_base(first, [2, 2, 2]);
+    let broadcast_bytes = dist.plane.len() * 8 * 7; // root -> 7 peers
+    println!(
+        "distributed one-base on 8 ranks: mid-plane broadcast cost {} bytes ({}x smaller than the field)",
+        broadcast_bytes,
+        first.nbytes() / broadcast_bytes.max(1)
+    );
+
+    // Stage every snapshot: the application thread only blocks for the
+    // channel hand-off; compression happens on the staging thread.
+    let shape = first.shape;
+    let pipe_cfg = PipelineConfig::sz(ReducedModelKind::OneBase);
+    let staging = StagingPipeline::start(8, move |name, data| {
+        let f = lrm::datasets::Field::new(name.to_string(), data.to_vec(), shape);
+        precondition_and_compress(&f, &pipe_cfg).bytes
+    });
+
+    let t0 = Instant::now();
+    for snap in &snapshots {
+        staging.submit(snap.name.clone(), snap.data.clone());
+    }
+    let blocked = staging.application_blocked_time();
+    let results = staging.finish();
+    let wall = t0.elapsed();
+
+    let raw: usize = results.iter().map(|r| r.raw_bytes).sum();
+    let stored: usize = results.iter().map(|r| r.stored_bytes).sum();
+    println!(
+        "staged {} snapshots: {} -> {} bytes (ratio {:.2}x)",
+        results.len(),
+        raw,
+        stored,
+        raw as f64 / stored.max(1) as f64
+    );
+    println!(
+        "application blocked {:.2?} of {:.2?} total — staging absorbed the compression cost",
+        blocked, wall
+    );
+}
