@@ -8,7 +8,7 @@
 //! block keeps its own basis.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use lrm_core::{precondition_and_compress, PipelineConfig, ReducedModelKind};
+use lrm_core::{Pipeline, PipelineConfig, ReducedModelKind};
 use lrm_datasets::{generate, DatasetKind, SizeClass};
 use std::time::Instant;
 
@@ -29,7 +29,7 @@ fn print_reproduction() {
             for blocks in [1usize, 2, 4, 8, 16] {
                 let cfg = PipelineConfig::sz(mk(blocks)).with_scan_1d(true);
                 let t0 = Instant::now();
-                let art = precondition_and_compress(&field, &cfg);
+                let art = Pipeline::from_config(cfg).compress(&field);
                 let dt = t0.elapsed().as_secs_f64();
                 println!(
                     "{:<14} {:<14} {:>7} {:>10.2} {:>10.4}",
@@ -44,7 +44,7 @@ fn print_reproduction() {
         // The sketch-based fast path for comparison.
         let cfg = PipelineConfig::sz(ReducedModelKind::SvdRandomized).with_scan_1d(true);
         let t0 = Instant::now();
-        let art = precondition_and_compress(&field, &cfg);
+        let art = Pipeline::from_config(cfg).compress(&field);
         let dt = t0.elapsed().as_secs_f64();
         println!(
             "{:<14} {:<14} {:>7} {:>10.2} {:>10.4}",
@@ -65,7 +65,7 @@ fn bench(c: &mut Criterion) {
     for blocks in [1usize, 4, 16] {
         let cfg = PipelineConfig::sz(ReducedModelKind::SvdBlocked(blocks)).with_scan_1d(true);
         g.bench_with_input(BenchmarkId::new("svd_blocked", blocks), &cfg, |b, cfg| {
-            b.iter(|| precondition_and_compress(std::hint::black_box(&field), cfg))
+            b.iter(|| Pipeline::from_config(*cfg).compress(std::hint::black_box(&field)))
         });
     }
     g.finish();

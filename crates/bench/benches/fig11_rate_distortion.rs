@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use lrm_cli::experiments::rate_distortion::fig11_datasets;
-use lrm_core::{precondition_and_compress, LossyCodec, PipelineConfig, ReducedModelKind};
+use lrm_core::{Pipeline, LossyCodec, PipelineConfig, ReducedModelKind};
 use lrm_datasets::{generate, DatasetKind, SizeClass};
 
 fn print_reproduction() {
@@ -45,7 +45,7 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig11");
     g.sample_size(10);
     g.bench_function("pca_zfp16_laplace_small", |b| {
-        b.iter(|| precondition_and_compress(std::hint::black_box(&field), &cfg))
+        b.iter(|| Pipeline::from_config(cfg).compress(std::hint::black_box(&field)))
     });
     g.finish();
 }

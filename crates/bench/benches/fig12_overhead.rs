@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use lrm_cli::experiments::overhead::fig12;
-use lrm_core::{precondition_and_compress, reconstruct, PipelineConfig, ReducedModelKind};
+use lrm_core::{Pipeline, PipelineConfig, ReducedModelKind};
 use lrm_datasets::{generate, DatasetKind, SizeClass};
 
 fn print_reproduction() {
@@ -35,7 +35,7 @@ fn bench(c: &mut Criterion) {
     ] {
         let cfg = PipelineConfig::zfp(model);
         g.bench_function(name, |b| {
-            b.iter(|| precondition_and_compress(std::hint::black_box(&field), &cfg))
+            b.iter(|| Pipeline::from_config(cfg).compress(std::hint::black_box(&field)))
         });
     }
     // Decompression side.
@@ -43,9 +43,10 @@ fn bench(c: &mut Criterion) {
         ("decompress_direct_zfp", ReducedModelKind::Direct),
         ("decompress_pca_zfp", ReducedModelKind::Pca),
     ] {
-        let art = precondition_and_compress(&field, &PipelineConfig::zfp(model));
+        let pipeline = Pipeline::from_config(PipelineConfig::zfp(model));
+        let art = pipeline.compress(&field);
         g.bench_function(name, |b| {
-            b.iter(|| reconstruct(std::hint::black_box(&art.bytes)))
+            b.iter(|| pipeline.reconstruct(std::hint::black_box(&art.bytes)))
         });
     }
     g.finish();

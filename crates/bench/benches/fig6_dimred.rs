@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use lrm_cli::experiments::dimred::{dimred_grid, fig7, fig8};
-use lrm_core::{precondition_and_compress, PipelineConfig, ReducedModelKind};
+use lrm_core::{Pipeline, PipelineConfig, ReducedModelKind};
 use lrm_datasets::{generate, DatasetKind, SizeClass};
 
 fn print_reproduction() {
@@ -44,7 +44,7 @@ fn bench(c: &mut Criterion) {
     ] {
         let cfg = PipelineConfig::sz(model).with_scan_1d(true);
         g.bench_function(name, |b| {
-            b.iter(|| precondition_and_compress(std::hint::black_box(&field), &cfg))
+            b.iter(|| Pipeline::from_config(cfg).compress(std::hint::black_box(&field)))
         });
     }
     g.finish();

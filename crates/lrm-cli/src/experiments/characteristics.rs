@@ -70,11 +70,24 @@ pub fn table2(size: SizeClass) -> Table2 {
     // far larger stable Δt — the structure Table II reports (50 000 steps
     // at 1.712e-8 vs 260 steps at 3.391e-6).
     let cfg = match size {
-        SizeClass::Tiny => Heat3d { n: 16, steps: 60, dt_factor: 0.02, ..Default::default() },
-        SizeClass::Small => Heat3d { n: 48, steps: 600, dt_factor: 0.004, ..Default::default() },
-        SizeClass::Paper => {
-            Heat3d { n: 192, steps: 50_000, dt_factor: 0.004, ..Default::default() }
-        }
+        SizeClass::Tiny => Heat3d {
+            n: 16,
+            steps: 60,
+            dt_factor: 0.02,
+            ..Default::default()
+        },
+        SizeClass::Small => Heat3d {
+            n: 48,
+            steps: 600,
+            dt_factor: 0.004,
+            ..Default::default()
+        },
+        SizeClass::Paper => Heat3d {
+            n: 192,
+            steps: 50_000,
+            dt_factor: 0.004,
+            ..Default::default()
+        },
     };
     let reduced_cfg = cfg.projected();
     let full = cfg.solve();
@@ -110,9 +123,10 @@ mod tests {
         // The paper's qualitative claim, quantified: KS below 0.6 for the
         // grid datasets even at tiny scale.
         let rows = fig1(SizeClass::Tiny);
-        for r in rows.iter().filter(|r| {
-            ["Laplace", "Astro", "Sedov_pres", "Yf17_temp"].contains(&r.dataset)
-        }) {
+        for r in rows
+            .iter()
+            .filter(|r| ["Laplace", "Astro", "Sedov_pres", "Yf17_temp"].contains(&r.dataset))
+        {
             assert!(r.ks < 0.6, "{}: ks {}", r.dataset, r.ks);
         }
         // Heat3d's Tiny reduced grid is 4³ and dominated by its boundary

@@ -2,7 +2,7 @@
 //! proportions), Fig. 8 (SVD singular-value proportions), Fig. 9
 //! (reduced-representation sizes) and Fig. 10 (RMSE comparison).
 
-use lrm_core::{precondition_and_compress, reconstruct, PipelineConfig, ReducedModelKind};
+use lrm_core::{Pipeline, PipelineConfig, ReducedModelKind};
 use lrm_datasets::{generate, DatasetKind, Field, SizeClass};
 use lrm_linalg::{svd, Matrix, Pca};
 use lrm_stats::rmse;
@@ -41,8 +41,9 @@ fn run_cell(
     codec: &'static str,
     cfg: PipelineConfig,
 ) -> DimRedRow {
-    let art = precondition_and_compress(field, &cfg);
-    let (rec, _) = reconstruct(&art.bytes);
+    let pipeline = Pipeline::from_config(cfg);
+    let art = pipeline.compress(field);
+    let (rec, _) = pipeline.reconstruct(&art.bytes);
     DimRedRow {
         dataset: "",
         method: method.name(),

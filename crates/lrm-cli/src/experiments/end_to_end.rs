@@ -16,9 +16,7 @@
 //! A third piece, [`staging_demo`], actually runs the crossbeam staging
 //! pipeline and reports how little the application blocked.
 
-use lrm_core::{
-    precondition_and_compress, PipelineConfig, ReducedModelKind,
-};
+use lrm_core::{Pipeline, PipelineConfig, ReducedModelKind};
 use lrm_datasets::{generate, DatasetKind, SizeClass};
 use lrm_io::{table4_rows, EndToEndRow, InterconnectModel, StagingPipeline, StorageModel};
 use std::time::Instant;
@@ -52,7 +50,7 @@ pub fn table4_measured(size: SizeClass, nprocs: usize) -> Vec<EndToEndRow> {
     ];
     for (i, (_, cfg)) in configs.iter().enumerate() {
         let t0 = Instant::now();
-        let art = precondition_and_compress(&field, cfg);
+        let art = Pipeline::from_config(*cfg).compress(&field);
         times[i] = t0.elapsed().as_secs_f64();
         ratios[i] = art.report.ratio();
     }
@@ -111,7 +109,7 @@ pub fn staging_demo(size: SizeClass, count: usize) -> StagingDemo {
     let cfg = PipelineConfig::sz(ReducedModelKind::Pca);
     let pipeline = StagingPipeline::start(count.max(2), move |name, data| {
         let f = lrm_datasets::Field::new(name.to_string(), data.to_vec(), shape);
-        precondition_and_compress(&f, &cfg).bytes
+        Pipeline::from_config(cfg).compress(&f).bytes
     });
     let t0 = Instant::now();
     for i in 0..count {
@@ -164,9 +162,6 @@ mod tests {
         assert!(demo.stored_bytes > 0 && demo.raw_bytes > 0);
         // The application must block for far less than the staging node's
         // total processing time.
-        assert!(
-            demo.app_blocked_s <= demo.staging_total_s,
-            "{demo:?}"
-        );
+        assert!(demo.app_blocked_s <= demo.staging_total_s, "{demo:?}");
     }
 }

@@ -6,7 +6,7 @@
 //! 6.9× / 1.2× on decompression — the cost Table IV's staging row then
 //! absorbs.
 
-use lrm_core::{precondition_and_compress, reconstruct, PipelineConfig, ReducedModelKind};
+use lrm_core::{Pipeline, PipelineConfig, ReducedModelKind};
 use lrm_datasets::{generate, DatasetKind, SizeClass};
 use std::time::Instant;
 
@@ -44,10 +44,11 @@ pub fn fig12(size: SizeClass) -> Vec<OverheadRow> {
         let mut decomp = 0.0;
         for f in &fields {
             let t0 = Instant::now();
-            let art = precondition_and_compress(f, &cfg);
+            let pipeline = Pipeline::from_config(cfg);
+            let art = pipeline.compress(f);
             comp += t0.elapsed().as_secs_f64();
             let t1 = Instant::now();
-            let _ = reconstruct(&art.bytes);
+            let _ = pipeline.reconstruct(&art.bytes);
             decomp += t1.elapsed().as_secs_f64();
         }
         rows.push(OverheadRow {

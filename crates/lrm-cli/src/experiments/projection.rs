@@ -3,10 +3,7 @@
 
 use lrm_compress::{Codec, Shape};
 use lrm_core::projection::upsample;
-use lrm_core::{
-    fpc_paper, precondition_and_compress, precondition_and_compress_with_aux, PipelineConfig,
-    ReducedModelKind,
-};
+use lrm_core::{fpc_paper, Pipeline, PipelineConfig, ReducedModelKind};
 use lrm_datasets::{reduced_snapshots, snapshots, DatasetKind, Field, SizeClass};
 
 /// The four methods of Fig. 3's bar groups.
@@ -69,8 +66,7 @@ fn fpc_method_bytes(field: &Field, coarse: &Field, method: ReducedModelKind) -> 
         {
             let up = upsample(&coarse.data, coarse.shape, field.shape);
             let delta: Vec<f64> = field.data.iter().zip(&up).map(|(a, b)| a - b).collect();
-            fpc.compress(&coarse.data, coarse.shape).len()
-                + fpc.compress(&delta, field.shape).len()
+            fpc.compress(&coarse.data, coarse.shape).len() + fpc.compress(&delta, field.shape).len()
         }
         ReducedModelKind::MultiBase(g) => {
             // Exact per-block bases along the slowest dimension.
@@ -133,8 +129,14 @@ pub fn fig3(size: SizeClass, outputs: usize) -> Vec<Fig3Row> {
         // V-B raises — so the dual bounds are used consistently here and
         // the choice is recorded in EXPERIMENTS.md.
         for (comp_name, make_cfg) in [
-            ("SZ", PipelineConfig::sz as fn(ReducedModelKind) -> PipelineConfig),
-            ("ZFP", PipelineConfig::zfp as fn(ReducedModelKind) -> PipelineConfig),
+            (
+                "SZ",
+                PipelineConfig::sz as fn(ReducedModelKind) -> PipelineConfig,
+            ),
+            (
+                "ZFP",
+                PipelineConfig::zfp as fn(ReducedModelKind) -> PipelineConfig,
+            ),
         ] {
             for method in METHODS {
                 let mut acc = 0.0;
@@ -142,10 +144,11 @@ pub fn fig3(size: SizeClass, outputs: usize) -> Vec<Fig3Row> {
                     // The paper feeds outputs to the compressor CLIs as
                     // flat streams; mirror that for data and delta alike.
                     let cfg = make_cfg(method).with_scan_1d(true);
+                    let pipeline = Pipeline::from_config(cfg);
                     let art = if method == ReducedModelKind::DuoModel {
-                        precondition_and_compress_with_aux(f, c, &cfg)
+                        pipeline.compress_with_aux(f, c)
                     } else {
-                        precondition_and_compress(f, &cfg)
+                        pipeline.compress(f)
                     };
                     acc += art.report.ratio();
                 }
@@ -193,14 +196,14 @@ pub fn fig4(size: SizeClass, outputs: usize) -> Vec<Fig4Point> {
     let mut points = Vec::new();
     for kind in [DatasetKind::Heat3d, DatasetKind::Laplace] {
         for f in snapshots(kind, outputs, size) {
-            let direct = precondition_and_compress(
-                &f,
-                &PipelineConfig::zfp(ReducedModelKind::Direct).with_scan_1d(true),
-            );
-            let onebase = precondition_and_compress(
-                &f,
-                &PipelineConfig::zfp(ReducedModelKind::OneBase).with_scan_1d(true),
-            );
+            let direct = Pipeline::from_config(
+                PipelineConfig::zfp(ReducedModelKind::Direct).with_scan_1d(true),
+            )
+            .compress(&f);
+            let onebase = Pipeline::from_config(
+                PipelineConfig::zfp(ReducedModelKind::OneBase).with_scan_1d(true),
+            )
+            .compress(&f);
             points.push(Fig4Point {
                 dataset: kind.name(),
                 zfp_ratio: direct.report.ratio(),

@@ -4,9 +4,7 @@
 //! RMSE for direct compression, PCA, and SVD, asking whether the
 //! preconditioners can win *at the same information loss*.
 
-use lrm_core::{
-    precondition_and_compress, reconstruct, LossyCodec, PipelineConfig, ReducedModelKind,
-};
+use lrm_core::{LossyCodec, Pipeline, PipelineConfig, ReducedModelKind};
 use lrm_datasets::{generate, DatasetKind, SizeClass};
 use lrm_stats::rmse;
 
@@ -53,8 +51,9 @@ pub fn fig11_datasets(size: SizeClass, kinds: &[DatasetKind]) -> Vec<RatePoint> 
                     theta_fraction: 0.05,
                     scan_1d: true,
                 };
-                let art = precondition_and_compress(&field, &cfg);
-                let (rec, _) = reconstruct(&art.bytes);
+                let pipeline = Pipeline::from_config(cfg);
+                let art = pipeline.compress(&field);
+                let (rec, _) = pipeline.reconstruct(&art.bytes);
                 out.push(RatePoint {
                     dataset: kind.name(),
                     method: method.name(),

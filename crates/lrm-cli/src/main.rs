@@ -2,10 +2,12 @@
 //!
 //! ```text
 //! lrm-cli <experiment> [--size tiny|small|paper] [--outputs N] [--procs N]
+//!                      [--threads N] [--chunks N]
 //!
 //! experiments:
 //!   fig1 table2 fig3 fig4 fig6 fig7 fig8 fig9 fig10 fig11 fig12 table4
 //!   select   (the model-selection extension)
+//!   chunked  (chunk-parallel engine: per-chunk and aggregate ratios)
 //!   all      (everything, in paper order)
 //! ```
 
@@ -20,6 +22,8 @@ struct Args {
     size: SizeClass,
     outputs: usize,
     procs: usize,
+    threads: usize,
+    chunks: usize,
 }
 
 fn parse_args() -> Args {
@@ -28,6 +32,8 @@ fn parse_args() -> Args {
         size: SizeClass::Small,
         outputs: 20,
         procs: 64,
+        threads: 1,
+        chunks: 4,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -55,6 +61,18 @@ fn parse_args() -> Args {
                     std::process::exit(2);
                 })
             }
+            "--threads" => {
+                args.threads = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--threads needs a number (0 = auto)");
+                    std::process::exit(2);
+                })
+            }
+            "--chunks" => {
+                args.chunks = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--chunks needs a number");
+                    std::process::exit(2);
+                })
+            }
             "--help" | "-h" => {
                 print_help();
                 std::process::exit(0);
@@ -75,8 +93,8 @@ fn parse_args() -> Args {
 
 fn print_help() {
     println!(
-        "lrm-cli <experiment> [--size tiny|small|paper] [--outputs N] [--procs N]\n\
-         experiments: fig1 table2 fig3 fig4 fig6 fig7 fig8 fig9 fig10 fig11 fig12 table4 select dist temporal verify all"
+        "lrm-cli <experiment> [--size tiny|small|paper] [--outputs N] [--procs N] [--threads N] [--chunks N]\n\
+         experiments: fig1 table2 fig3 fig4 fig6 fig7 fig8 fig9 fig10 fig11 fig12 table4 select chunked dist temporal verify all"
     );
 }
 
@@ -176,7 +194,10 @@ fn run_fig4(size: SizeClass, outputs: usize) {
         .collect();
     println!(
         "{}",
-        render(&["dataset", "ZFP ratio (original)", "improvement (x)"], &rows)
+        render(
+            &["dataset", "ZFP ratio (original)", "improvement (x)"],
+            &rows
+        )
     );
 }
 
@@ -298,7 +319,12 @@ fn run_table4(size: SizeClass, procs: usize) {
     println!(
         "{}",
         render(
-            &["Method", "Compression time (s)", "I/O time (s)", "Total (s)"],
+            &[
+                "Method",
+                "Compression time (s)",
+                "I/O time (s)",
+                "Total (s)"
+            ],
             &to_rows(end_to_end::table4_modeled())
         )
     );
@@ -306,7 +332,12 @@ fn run_table4(size: SizeClass, procs: usize) {
     println!(
         "{}",
         render(
-            &["Method", "Compression time (s)", "I/O time (s)", "Total (s)"],
+            &[
+                "Method",
+                "Compression time (s)",
+                "I/O time (s)",
+                "Total (s)"
+            ],
             &to_rows(end_to_end::table4_measured(size, procs))
         )
     );
@@ -346,20 +377,41 @@ fn run_select(size: SizeClass) {
     println!(
         "{}",
         render(
-            &["dataset", "best model", "best ratio", "direct ratio", "gain"],
+            &[
+                "dataset",
+                "best model",
+                "best ratio",
+                "direct ratio",
+                "gain"
+            ],
             &rows
         )
     );
 }
 
 fn run_dist(size: SizeClass) {
-    use lrm_datasets::heat3d_dist::solve_distributed;
     use lrm_datasets::heat3d::Heat3d;
+    use lrm_datasets::heat3d_dist::solve_distributed;
     println!("== Distributed Heat3d (halo exchange over thread ranks) ==");
     let cfg = match size {
-        SizeClass::Tiny => Heat3d { n: 16, steps: 50, dt_factor: 0.02, ..Default::default() },
-        SizeClass::Small => Heat3d { n: 48, steps: 500, dt_factor: 0.004, ..Default::default() },
-        SizeClass::Paper => Heat3d { n: 96, steps: 2000, dt_factor: 0.004, ..Default::default() },
+        SizeClass::Tiny => Heat3d {
+            n: 16,
+            steps: 50,
+            dt_factor: 0.02,
+            ..Default::default()
+        },
+        SizeClass::Small => Heat3d {
+            n: 48,
+            steps: 500,
+            dt_factor: 0.004,
+            ..Default::default()
+        },
+        SizeClass::Paper => Heat3d {
+            n: 96,
+            steps: 2000,
+            dt_factor: 0.004,
+            ..Default::default()
+        },
     };
     let serial = {
         let t0 = std::time::Instant::now();
@@ -386,7 +438,7 @@ fn run_dist(size: SizeClass) {
 
 fn run_temporal(size: SizeClass, outputs: usize) {
     use lrm_core::temporal::compress_series;
-    use lrm_core::{sz_paper_bounds, precondition_and_compress, PipelineConfig, ReducedModelKind};
+    use lrm_core::{sz_paper_bounds, Pipeline, PipelineConfig, ReducedModelKind};
     use lrm_datasets::{snapshots, DatasetKind};
     println!("== Temporal series preconditioning (extension) ==");
     let fields = snapshots(DatasetKind::Heat3d, outputs, size);
@@ -395,12 +447,10 @@ fn run_temporal(size: SizeClass, outputs: usize) {
     let direct_total: usize = fields
         .iter()
         .map(|f| {
-            precondition_and_compress(
-                f,
-                &PipelineConfig::sz(ReducedModelKind::Direct).with_scan_1d(true),
-            )
-            .report
-            .total_bytes()
+            Pipeline::from_config(PipelineConfig::sz(ReducedModelKind::Direct).with_scan_1d(true))
+                .compress(f)
+                .report
+                .total_bytes()
         })
         .sum();
     println!(
@@ -415,7 +465,7 @@ fn run_temporal(size: SizeClass, outputs: usize) {
 }
 
 fn run_verify(size: SizeClass) {
-    use lrm_core::{precondition_and_compress, reconstruct, PipelineConfig, ReducedModelKind};
+    use lrm_core::{Pipeline, PipelineConfig, ReducedModelKind};
     use lrm_datasets::{generate, DatasetKind};
     use lrm_stats::{Bound, BoundReport};
     println!("== Bound verification: reconstruction error vs the configured bound ==");
@@ -430,8 +480,9 @@ fn run_verify(size: SizeClass) {
                 continue;
             }
             let cfg = PipelineConfig::sz(model).with_scan_1d(true);
-            let art = precondition_and_compress(&field, &cfg);
-            let (rec, _) = reconstruct(&art.bytes);
+            let pipeline = Pipeline::from_config(cfg);
+            let art = pipeline.compress(&field);
+            let (rec, _) = pipeline.reconstruct(&art.bytes);
             // Direct mode honors rel 1e-5 against block maxima; the
             // preconditioned path adds the rel 1e-3 delta bound on top.
             // Check against the loose end-to-end envelope.
@@ -456,6 +507,84 @@ fn run_verify(size: SizeClass) {
     println!();
 }
 
+fn run_chunked(size: SizeClass, threads: usize, chunks: usize) {
+    use lrm_core::{Pipeline, ReducedModelKind};
+    use lrm_datasets::{generate, DatasetKind};
+    println!("== Chunk-parallel engine: per-chunk and aggregate ratios ==");
+    let field = generate(DatasetKind::Heat3d, size).full;
+    println!(
+        "field {} ({} values), chunks={chunks}, threads={}",
+        field.name,
+        field.len(),
+        if threads == 0 {
+            "auto".to_string()
+        } else {
+            threads.to_string()
+        }
+    );
+    for model in [
+        ReducedModelKind::Direct,
+        ReducedModelKind::OneBase,
+        ReducedModelKind::Pca,
+    ] {
+        let pipeline = Pipeline::builder()
+            .model(model)
+            .threads(threads)
+            .chunks(chunks)
+            .min_chunk_len(0)
+            .build();
+        let run = pipeline.compress_detailed(&field);
+        let (rec, _) = pipeline.reconstruct(&run.bytes);
+        let err = field
+            .data
+            .iter()
+            .zip(&rec)
+            .fold(0.0f64, |m, (a, b)| m.max((a - b).abs()));
+        println!(
+            "{:<10} aggregate ratio {:.2}x, max abs err {err:.3e}",
+            model.name(),
+            run.report.ratio()
+        );
+        for c in &run.chunks {
+            println!(
+                "  chunk z={:<4} dims {:?}: ratio {:.2}x ({} -> {} bytes)",
+                c.z_offset,
+                c.dims,
+                c.report.ratio(),
+                c.report.raw_bytes,
+                c.report.total_bytes()
+            );
+        }
+        // Determinism spot-checks: thread count must not change the
+        // bytes, and one chunk must match the legacy serial stream.
+        let single = Pipeline::builder()
+            .model(model)
+            .threads(1)
+            .chunks(chunks)
+            .min_chunk_len(0)
+            .build()
+            .compress(&field);
+        let serial = Pipeline::builder().model(model).build().compress(&field);
+        let one_chunk = Pipeline::builder()
+            .model(model)
+            .threads(threads)
+            .chunks(1)
+            .build()
+            .compress(&field);
+        println!(
+            "  threads={} matches threads=1: {}; chunks=1 matches serial: {}",
+            if threads == 0 {
+                "auto".to_string()
+            } else {
+                threads.to_string()
+            },
+            run.bytes == single.bytes,
+            one_chunk.bytes == serial.bytes
+        );
+    }
+    println!();
+}
+
 fn main() {
     let args = parse_args();
     let run = |name: &str| match name {
@@ -467,7 +596,10 @@ fn main() {
             println!("== Fig. 6: compression ratios, dimension-reduction methods ==");
             dimred_table(args.size, "ratio");
         }
-        "fig7" => run_spectrum(dimred::fig7(args.size), "Fig. 7: PCA proportion of variance"),
+        "fig7" => run_spectrum(
+            dimred::fig7(args.size),
+            "Fig. 7: PCA proportion of variance",
+        ),
         "fig8" => run_spectrum(
             dimred::fig8(args.size),
             "Fig. 8: SVD proportion of singular values",
@@ -484,6 +616,7 @@ fn main() {
         "fig12" => run_fig12(args.size),
         "table4" => run_table4(args.size, args.procs),
         "select" => run_select(args.size),
+        "chunked" => run_chunked(args.size, args.threads, args.chunks),
         "dist" => run_dist(args.size),
         "verify" => run_verify(args.size),
         "temporal" => run_temporal(args.size, args.outputs),
@@ -496,7 +629,7 @@ fn main() {
     if args.experiment == "all" {
         for name in [
             "fig1", "table2", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-            "fig12", "table4", "select", "dist", "temporal", "verify",
+            "fig12", "table4", "select", "chunked", "dist", "temporal", "verify",
         ] {
             run(name);
         }

@@ -198,7 +198,9 @@ mod tests {
 
     #[test]
     fn roundtrip_is_bit_exact_on_smooth_data() {
-        let data: Vec<f64> = (0..5000).map(|i| (i as f64 * 0.001).sin() * 100.0).collect();
+        let data: Vec<f64> = (0..5000)
+            .map(|i| (i as f64 * 0.001).sin() * 100.0)
+            .collect();
         roundtrip(&data);
     }
 
@@ -224,9 +226,8 @@ mod tests {
 
     #[test]
     fn roundtrip_random_bits() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
-        let data: Vec<f64> = (0..2000).map(|_| f64::from_bits(rng.gen())).collect();
+        let mut rng = lrm_rng::Rng64::new(13);
+        let data: Vec<f64> = (0..2000).map(|_| rng.any_f64_bits()).collect();
         roundtrip(&data);
     }
 
@@ -240,9 +241,8 @@ mod tests {
 
     #[test]
     fn random_data_does_not_explode() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(14);
-        let data: Vec<f64> = (0..4000).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut rng = lrm_rng::Rng64::new(14);
+        let data: Vec<f64> = rng.vec_f64(-1.0, 1.0, 4000);
         let f = Fpc::default();
         let c = f.compress(&data, Shape::d1(data.len()));
         // Worst case: 0.5 header byte + 8 residual bytes per value + 8.
@@ -269,24 +269,25 @@ mod tests {
     fn smoother_deltas_compress_better() {
         // Constant-step ramp: DFCM predicts perfectly after warm-up.
         let ramp: Vec<f64> = (0..4000).map(|i| i as f64).collect();
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(15);
-        let noise: Vec<f64> = (0..4000).map(|_| rng.gen_range(0.0..4000.0)).collect();
+        let mut rng = lrm_rng::Rng64::new(15);
+        let noise: Vec<f64> = rng.vec_f64(0.0, 4000.0, 4000);
         let f = Fpc::new(18);
         let shape = Shape::d1(4000);
         assert!(f.ratio(&ramp, shape) > 1.5 * f.ratio(&noise, shape));
     }
 
-    proptest::proptest! {
-        #[test]
-        fn prop_bit_exact_roundtrip(
-            data in proptest::collection::vec(proptest::num::f64::ANY, 0..500)
-        ) {
+    #[test]
+    fn prop_bit_exact_roundtrip_any_bits() {
+        // Full IEEE-754 domain: subnormals, infinities, NaNs included.
+        for seed in 0..48u64 {
+            let mut rng = lrm_rng::Rng64::new(seed);
+            let n = rng.range_usize(500);
+            let data: Vec<f64> = (0..n).map(|_| rng.any_f64_bits()).collect();
             let shape = Shape::d1(data.len());
             let f = Fpc::new(12);
             let d = f.decompress(&f.compress(&data, shape), shape);
             for (a, b) in data.iter().zip(&d) {
-                proptest::prop_assert_eq!(a.to_bits(), b.to_bits());
+                assert_eq!(a.to_bits(), b.to_bits());
             }
         }
     }

@@ -59,9 +59,8 @@ mod tests {
 
     #[test]
     fn pipeline_roundtrip_incompressible() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
-        let data: Vec<u8> = (0..4096).map(|_| rng.gen()).collect();
+        let mut rng = lrm_rng::Rng64::new(3);
+        let data: Vec<u8> = rng.vec_u8(4096);
         let c = pipeline_compress(&data);
         assert_eq!(pipeline_decompress(&c), data);
         // Never expands by more than the tag byte plus LZSS worst case guard.

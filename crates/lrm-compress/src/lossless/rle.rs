@@ -67,7 +67,11 @@ mod tests {
     fn roundtrip_all_zeros_is_tiny() {
         let s = vec![0u64; 100_000];
         let e = rle_encode_zeros(&s);
-        assert!(e.len() < 16, "all-zero stream should be a few bytes, got {}", e.len());
+        assert!(
+            e.len() < 16,
+            "all-zero stream should be a few bytes, got {}",
+            e.len()
+        );
         assert_eq!(rle_decode_zeros(&e), Some(s));
     }
 

@@ -35,9 +35,7 @@ pub mod predictor;
 
 use crate::bitstream::{BitReader, BitWriter};
 use crate::lossless::varint::{decode_uvarint, encode_uvarint};
-use crate::lossless::{
-    huffman_decode, huffman_encode, pipeline_compress, pipeline_decompress,
-};
+use crate::lossless::{huffman_decode, huffman_encode, pipeline_compress, pipeline_decompress};
 use crate::{Codec, Shape};
 use predictor::lorenzo_predict;
 
@@ -376,12 +374,9 @@ impl Codec for Sz {
         let tag = bytes[0];
         let param = f64::from_le_bytes(bytes[1..9].try_into().expect("sz: truncated header"));
         match tag {
-            TAG_ABS => core_decompress(
-                &bytes[9..],
-                shape,
-                &Bounds::Uniform(param),
-                self.quant_bits,
-            ),
+            TAG_ABS => {
+                core_decompress(&bytes[9..], shape, &Bounds::Uniform(param), self.quant_bits)
+            }
             TAG_BLOCKREL => {
                 let mut pos = 9usize;
                 let tlen = decode_uvarint(bytes, &mut pos).expect("sz: corrupt header") as usize;
@@ -408,12 +403,8 @@ impl Codec for Sz {
                 let zeros_bytes = pipeline_decompress(&bytes[pos..pos + zl]);
                 pos += zl;
                 let e_t = (1.0 + rel).log2() / 2.0;
-                let logs = core_decompress(
-                    &bytes[pos..],
-                    shape,
-                    &Bounds::Uniform(e_t),
-                    self.quant_bits,
-                );
+                let logs =
+                    core_decompress(&bytes[pos..], shape, &Bounds::Uniform(e_t), self.quant_bits);
                 let mut signs = BitReader::new(&signs_bytes);
                 let mut zeros = BitReader::new(&zeros_bytes);
                 logs.iter()
@@ -587,19 +578,17 @@ mod tests {
         // The premise of the whole paper: smoothness drives SZ ratios.
         let shape = Shape::d1(4096);
         let smooth: Vec<f64> = (0..4096).map(|i| (i as f64 * 0.001).sin()).collect();
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
-        let rough: Vec<f64> = (0..4096).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut rng = lrm_rng::Rng64::new(2);
+        let rough: Vec<f64> = rng.vec_f64(-1.0, 1.0, 4096);
         let sz = Sz::absolute(1e-6);
         assert!(sz.ratio(&smooth, shape) > 2.0 * sz.ratio(&rough, shape));
     }
 
     #[test]
     fn random_data_roundtrips_within_bound() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let mut rng = lrm_rng::Rng64::new(4);
         let shape = Shape::d2(37, 23);
-        let v: Vec<f64> = (0..shape.len()).map(|_| rng.gen_range(-1e9..1e9)).collect();
+        let v: Vec<f64> = rng.vec_f64(-1e9, 1e9, shape.len());
         let sz = Sz::absolute(0.5);
         let d = sz.decompress(&sz.compress(&v, shape), shape);
         for (a, b) in v.iter().zip(&d) {
@@ -632,29 +621,42 @@ mod tests {
         }
     }
 
-    proptest::proptest! {
-        #[test]
-        fn prop_abs_bound(vals in proptest::collection::vec(-1e6f64..1e6, 1..300)) {
+    #[test]
+    fn prop_abs_bound() {
+        for seed in 0..32u64 {
+            let mut rng = lrm_rng::Rng64::new(seed);
+            let n = 1 + rng.range_usize(299);
+            let vals = rng.vec_f64(-1e6, 1e6, n);
             let shape = Shape::d1(vals.len());
             let sz = Sz::absolute(1e-3);
             let d = sz.decompress(&sz.compress(&vals, shape), shape);
             for (a, b) in vals.iter().zip(&d) {
-                proptest::prop_assert!((a - b).abs() <= 1e-3 * 1.000001);
+                assert!((a - b).abs() <= 1e-3 * 1.000001);
             }
         }
+    }
 
-        #[test]
-        fn prop_pointwise_rel_bound(vals in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+    #[test]
+    fn prop_pointwise_rel_bound() {
+        for seed in 0..32u64 {
+            let mut rng = lrm_rng::Rng64::new(seed);
+            let n = 1 + rng.range_usize(199);
+            let vals = rng.vec_f64(-1e6, 1e6, n);
             let shape = Shape::d1(vals.len());
             let sz = Sz::pointwise_rel(1e-4);
             let d = sz.decompress(&sz.compress(&vals, shape), shape);
             for (a, b) in vals.iter().zip(&d) {
-                proptest::prop_assert!((a - b).abs() <= 1e-4 * a.abs() * 1.000001);
+                assert!((a - b).abs() <= 1e-4 * a.abs() * 1.000001);
             }
         }
+    }
 
-        #[test]
-        fn prop_block_rel_bound(vals in proptest::collection::vec(-1e3f64..1e3, 1..600)) {
+    #[test]
+    fn prop_block_rel_bound() {
+        for seed in 0..32u64 {
+            let mut rng = lrm_rng::Rng64::new(seed);
+            let n = 1 + rng.range_usize(599);
+            let vals = rng.vec_f64(-1e3, 1e3, n);
             let shape = Shape::d1(vals.len());
             let sz = Sz::block_rel(1e-4);
             let d = sz.decompress(&sz.compress(&vals, shape), shape);
@@ -662,7 +664,7 @@ mod tests {
                 let maxv = chunk.iter().fold(0.0f64, |a, &x| a.max(x.abs()));
                 for (j, &a) in chunk.iter().enumerate() {
                     let got = d[b * BLOCK_LEN + j];
-                    proptest::prop_assert!((a - got).abs() <= 1e-4 * maxv * 1.000001);
+                    assert!((a - got).abs() <= 1e-4 * maxv * 1.000001);
                 }
             }
         }

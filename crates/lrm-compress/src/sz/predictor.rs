@@ -26,8 +26,7 @@ pub fn lorenzo_predict(recon: &[f64], shape: Shape, x: usize, y: usize, z: usize
         1 => 2.0 * g(1, 0, 0) - g(2, 0, 0),
         2 => g(1, 0, 0) + g(0, 1, 0) - g(1, 1, 0),
         _ => {
-            g(1, 0, 0) + g(0, 1, 0) + g(0, 0, 1) - g(1, 1, 0) - g(1, 0, 1) - g(0, 1, 1)
-                + g(1, 1, 1)
+            g(1, 0, 0) + g(0, 1, 0) + g(0, 0, 1) - g(1, 1, 0) - g(1, 0, 1) - g(0, 1, 1) + g(1, 1, 1)
         }
     }
 }

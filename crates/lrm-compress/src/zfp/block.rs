@@ -114,9 +114,8 @@ pub fn scatter(block: &[f64], shape: Shape, b: [usize; 3], data: &mut [f64]) {
 /// Iterates block coordinates in encode order (x fastest).
 pub fn block_coords(shape: Shape) -> impl Iterator<Item = [usize; 3]> {
     let g = block_grid(shape);
-    (0..g[2]).flat_map(move |bz| {
-        (0..g[1]).flat_map(move |by| (0..g[0]).map(move |bx| [bx, by, bz]))
-    })
+    (0..g[2])
+        .flat_map(move |bz| (0..g[1]).flat_map(move |by| (0..g[0]).map(move |bx| [bx, by, bz])))
 }
 
 #[cfg(test)]

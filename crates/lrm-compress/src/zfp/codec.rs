@@ -248,10 +248,9 @@ mod tests {
 
     #[test]
     fn ints_roundtrip_full_precision() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let mut rng = lrm_rng::Rng64::new(9);
         for _ in 0..50 {
-            let uints: Vec<u64> = (0..16).map(|_| rng.gen::<u64>() >> 2).collect();
+            let uints: Vec<u64> = (0..16).map(|_| rng.next_u64() >> 2).collect();
             assert_eq!(roundtrip_ints(&uints, 64), uints);
         }
     }
@@ -401,16 +400,20 @@ mod tests {
         }
     }
 
-    proptest::proptest! {
-        #[test]
-        fn prop_ints_roundtrip(vals in proptest::collection::vec(0u64..(1u64<<62), 16)) {
-            proptest::prop_assert_eq!(roundtrip_ints(&vals, 64), vals);
+    #[test]
+    fn prop_ints_roundtrip_randomized() {
+        for seed in 0..32u64 {
+            let mut rng = lrm_rng::Rng64::new(seed);
+            let vals: Vec<u64> = (0..16).map(|_| rng.range_u64(1u64 << 62)).collect();
+            assert_eq!(roundtrip_ints(&vals, 64), vals);
         }
+    }
 
-        #[test]
-        fn prop_block_roundtrip_bounded_error(
-            vals in proptest::collection::vec(-1000.0f64..1000.0, 64)
-        ) {
+    #[test]
+    fn prop_block_roundtrip_bounded_error() {
+        for seed in 0..32u64 {
+            let mut rng = lrm_rng::Rng64::new(seed);
+            let vals = rng.vec_f64(-1000.0, 1000.0, 64);
             let mut w = BitWriter::new();
             encode_block(&vals, 3, 40, &mut w);
             let bytes = w.into_bytes();
@@ -419,7 +422,7 @@ mod tests {
             decode_block(3, 40, &mut r, &mut out);
             let maxv = vals.iter().fold(0.0f64, |a, &b| a.max(b.abs()));
             for (a, b) in vals.iter().zip(&out) {
-                proptest::prop_assert!((a - b).abs() <= maxv * 1e-9 + 1e-12);
+                assert!((a - b).abs() <= maxv * 1e-9 + 1e-12);
             }
         }
     }

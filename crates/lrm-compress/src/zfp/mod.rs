@@ -92,11 +92,10 @@ impl Codec for Zfp {
         // Encode groups of blocks in parallel into private writers, then
         // stitch the bitstreams (no alignment padding, so the output is
         // byte-identical to a serial encode).
-        use rayon::prelude::*;
         const GROUP: usize = 256;
-        let groups: Vec<BitWriter> = coords
-            .par_chunks(GROUP)
-            .map(|chunk| {
+        let group_inputs: Vec<&[[usize; 3]]> = coords.chunks(GROUP).collect();
+        let groups: Vec<BitWriter> =
+            lrm_parallel::WorkerPool::auto().run(group_inputs, |_, chunk| {
                 let mut w = BitWriter::with_capacity_bits(chunk.len() * bsize * 20);
                 let mut blk = vec![0.0f64; bsize];
                 for &b in chunk {
@@ -129,8 +128,7 @@ impl Codec for Zfp {
                     codec::encode_block(&blk, ndims, prec, &mut w);
                 }
                 w
-            })
-            .collect();
+            });
 
         let total_bits: usize = groups.iter().map(|g| g.len_bits()).sum();
         let mut out = BitWriter::with_capacity_bits(total_bits);
@@ -216,7 +214,11 @@ mod tests {
         let v = vec![0.0; shape.len()];
         let z = Zfp::fixed_precision(16);
         let c = z.compress(&v, shape);
-        assert!(c.len() < 32, "all-zero field should be ~1 bit/block: {}", c.len());
+        assert!(
+            c.len() < 32,
+            "all-zero field should be ~1 bit/block: {}",
+            c.len()
+        );
         assert_eq!(z.decompress(&c, shape), v);
     }
 
@@ -230,7 +232,9 @@ mod tests {
             assert!((a - b).abs() < 1e-8);
         }
         let s3 = Shape::d3(9, 10, 11);
-        let v3: Vec<f64> = (0..s3.len()).map(|i| (i as f64 * 0.01).cos() * 5.0).collect();
+        let v3: Vec<f64> = (0..s3.len())
+            .map(|i| (i as f64 * 0.01).cos() * 5.0)
+            .collect();
         let d3 = z.decompress(&z.compress(&v3, s3), s3);
         for (a, b) in v3.iter().zip(&d3) {
             assert!((a - b).abs() < 1e-7);
@@ -255,7 +259,10 @@ mod tests {
     }
 
     fn lrm_err(a: &[f64], b: &[f64]) -> f64 {
-        a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max)
     }
 
     #[test]
@@ -303,17 +310,18 @@ mod tests {
         }
     }
 
-    proptest::proptest! {
-        #[test]
-        fn prop_roundtrip_error_bounded(
-            vals in proptest::collection::vec(-1e6f64..1e6, 1..200)
-        ) {
+    #[test]
+    fn prop_roundtrip_error_bounded() {
+        for seed in 0..32u64 {
+            let mut rng = lrm_rng::Rng64::new(seed);
+            let n = 1 + rng.range_usize(199);
+            let vals = rng.vec_f64(-1e6, 1e6, n);
             let shape = Shape::d1(vals.len());
             let z = Zfp::fixed_precision(48);
             let d = z.decompress(&z.compress(&vals, shape), shape);
             let maxv = vals.iter().fold(0.0f64, |a, &b| a.max(b.abs()));
             for (a, b) in vals.iter().zip(&d) {
-                proptest::prop_assert!((a - b).abs() <= maxv * 1e-10 + 1e-12);
+                assert!((a - b).abs() <= maxv * 1e-10 + 1e-12);
             }
         }
     }

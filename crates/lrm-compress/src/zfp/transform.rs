@@ -163,16 +163,19 @@ pub fn sequency_perm(ndims: usize) -> &'static [usize] {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{Rng, SeedableRng};
+
+    fn range_i64(rng: &mut lrm_rng::Rng64, half: i64) -> i64 {
+        rng.range_u64(2 * half as u64) as i64 - half
+    }
 
     #[test]
     fn lift_roundtrip_near_lossless() {
         // The lifted transform truncates one bit per `>> 1` step, so a
         // forward/inverse roundtrip may perturb coefficients by a few ULPs
         // of the fixed-point representation (exactly as in ZFP).
-        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut rng = lrm_rng::Rng64::new(5);
         for _ in 0..1000 {
-            let orig: Vec<i64> = (0..4).map(|_| rng.gen_range(-(1i64 << 50)..(1i64 << 50))).collect();
+            let orig: Vec<i64> = (0..4).map(|_| range_i64(&mut rng, 1i64 << 50)).collect();
             let mut v = orig.clone();
             fwd_lift(&mut v, 1);
             inv_lift(&mut v, 1);
@@ -184,10 +187,10 @@ mod tests {
 
     #[test]
     fn xform_roundtrip_near_lossless_2d_3d() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let mut rng = lrm_rng::Rng64::new(6);
         for &d in &[1usize, 2, 3] {
             let n = 1usize << (2 * d);
-            let orig: Vec<i64> = (0..n).map(|_| rng.gen_range(-(1i64 << 50)..(1i64 << 50))).collect();
+            let orig: Vec<i64> = (0..n).map(|_| range_i64(&mut rng, 1i64 << 50)).collect();
             let mut v = orig.clone();
             fwd_xform(&mut v, d);
             inv_xform(&mut v, d);

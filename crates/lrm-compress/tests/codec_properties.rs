@@ -2,64 +2,71 @@
 //! arbitrary shaped data, including adversarial shapes.
 
 use lrm_compress::{Codec, Fpc, Shape, Sz, Zfp};
-use proptest::prelude::*;
+use lrm_rng::Rng64;
 
-fn arb_shaped_data() -> impl Strategy<Value = (Vec<f64>, Shape)> {
-    prop_oneof![
-        // 1-D
-        (1usize..400).prop_flat_map(|n| {
-            proptest::collection::vec(-1e4f64..1e4, n).prop_map(move |v| (v, Shape::d1(n)))
-        }),
-        // 2-D
-        (1usize..24, 1usize..24).prop_flat_map(|(nx, ny)| {
-            proptest::collection::vec(-1e4f64..1e4, nx * ny)
-                .prop_map(move |v| (v, Shape::d2(nx, ny)))
-        }),
-        // 3-D
-        (1usize..10, 1usize..10, 2usize..10).prop_flat_map(|(nx, ny, nz)| {
-            proptest::collection::vec(-1e4f64..1e4, nx * ny * nz)
-                .prop_map(move |v| (v, Shape::d3(nx, ny, nz)))
-        }),
-    ]
+/// Random data with a random 1-D/2-D/3-D shape — same distribution the
+/// original proptest strategy produced.
+fn shaped_data(rng: &mut Rng64) -> (Vec<f64>, Shape) {
+    let shape = match rng.range_usize(3) {
+        0 => Shape::d1(1 + rng.range_usize(399)),
+        1 => Shape::d2(1 + rng.range_usize(23), 1 + rng.range_usize(23)),
+        _ => Shape::d3(
+            1 + rng.range_usize(9),
+            1 + rng.range_usize(9),
+            2 + rng.range_usize(8),
+        ),
+    };
+    let data = rng.vec_f64(-1e4, 1e4, shape.len());
+    (data, shape)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+const CASES: u64 = 32;
 
-    #[test]
-    fn fpc_is_lossless_on_any_shape((data, shape) in arb_shaped_data()) {
+#[test]
+fn fpc_is_lossless_on_any_shape() {
+    for seed in 0..CASES {
+        let (data, shape) = shaped_data(&mut Rng64::new(seed));
         let f = Fpc::new(12);
         let d = f.decompress(&f.compress(&data, shape), shape);
         for (a, b) in data.iter().zip(&d) {
-            prop_assert_eq!(a.to_bits(), b.to_bits());
+            assert_eq!(a.to_bits(), b.to_bits());
         }
     }
+}
 
-    #[test]
-    fn sz_abs_bound_holds_on_any_shape((data, shape) in arb_shaped_data()) {
+#[test]
+fn sz_abs_bound_holds_on_any_shape() {
+    for seed in 0..CASES {
+        let (data, shape) = shaped_data(&mut Rng64::new(seed));
         let sz = Sz::absolute(1e-2);
         let d = sz.decompress(&sz.compress(&data, shape), shape);
         for (a, b) in data.iter().zip(&d) {
-            prop_assert!((a - b).abs() <= 1e-2 * 1.000001, "{} vs {}", a, b);
+            assert!((a - b).abs() <= 1e-2 * 1.000001, "{} vs {}", a, b);
         }
     }
+}
 
-    #[test]
-    fn zfp_error_scales_with_magnitude_on_any_shape((data, shape) in arb_shaped_data()) {
+#[test]
+fn zfp_error_scales_with_magnitude_on_any_shape() {
+    for seed in 0..CASES {
+        let (data, shape) = shaped_data(&mut Rng64::new(seed));
         let z = Zfp::fixed_precision(40);
         let d = z.decompress(&z.compress(&data, shape), shape);
         let maxv = data.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
         for (a, b) in data.iter().zip(&d) {
-            prop_assert!((a - b).abs() <= maxv * 1e-8 + 1e-12, "{} vs {}", a, b);
+            assert!((a - b).abs() <= maxv * 1e-8 + 1e-12, "{} vs {}", a, b);
         }
     }
+}
 
-    #[test]
-    fn compressed_sizes_are_deterministic((data, shape) in arb_shaped_data()) {
+#[test]
+fn compressed_sizes_are_deterministic() {
+    for seed in 0..CASES {
+        let (data, shape) = shaped_data(&mut Rng64::new(seed));
         let sz = Sz::block_rel(1e-4);
-        prop_assert_eq!(sz.compress(&data, shape), sz.compress(&data, shape));
+        assert_eq!(sz.compress(&data, shape), sz.compress(&data, shape));
         let z = Zfp::fixed_precision(16);
-        prop_assert_eq!(z.compress(&data, shape), z.compress(&data, shape));
+        assert_eq!(z.compress(&data, shape), z.compress(&data, shape));
     }
 }
 
@@ -93,7 +100,11 @@ fn all_codecs_handle_all_zero_fields() {
         let bytes = c.compress(&data, shape);
         let d = c.decompress(&bytes, shape);
         assert!(d.iter().all(|&v| v == 0.0), "{}", c.name());
-        assert!(bytes.len() < data.len(), "{} did not compress zeros", c.name());
+        assert!(
+            bytes.len() < data.len(),
+            "{} did not compress zeros",
+            c.name()
+        );
     }
 }
 

@@ -7,7 +7,14 @@
 //!
 //! * SZ — point-wise relative `1e-5` for original data / reduced
 //!   representations, `1e-3` for deltas;
-//! * ZFP — fixed precision 16 bits for original data, 8 bits for deltas.
+//! * ZFP — fixed precision 16 bits for original data, 8 bits for deltas;
+//! * FPC — lossless, for the Fig. 3 baseline bars and for callers that
+//!   need bit-exact deltas.
+//!
+//! [`LossyCodec`] is a serializable *configuration*; [`LossyCodec::as_codec`]
+//! instantiates the matching [`Codec`] implementation, and `LossyCodec`
+//! itself implements [`Codec`] by delegation, so it can be passed anywhere
+//! a `&dyn Codec` is expected.
 
 use lrm_compress::{Codec, Fpc, Shape, Sz, Zfp};
 
@@ -21,25 +28,32 @@ pub enum LossyCodec {
     SzAbs(f64),
     /// ZFP in fixed-precision mode.
     ZfpPrecision(u32),
+    /// FPC lossless compression at the given table level (4..=24).
+    FpcLossless(u32),
 }
 
 impl LossyCodec {
+    /// Instantiates the concrete compressor this configuration names.
+    ///
+    /// This is the single point where configuration becomes
+    /// implementation; every compress/decompress path funnels through it.
+    pub fn as_codec(&self) -> Box<dyn Codec> {
+        match *self {
+            LossyCodec::SzRel(rel) => Box::new(Sz::block_rel(rel)),
+            LossyCodec::SzAbs(abs) => Box::new(Sz::absolute(abs)),
+            LossyCodec::ZfpPrecision(p) => Box::new(Zfp::fixed_precision(p)),
+            LossyCodec::FpcLossless(level) => Box::new(Fpc::new(level)),
+        }
+    }
+
     /// Compresses `data` under this codec.
     pub fn compress(&self, data: &[f64], shape: Shape) -> Vec<u8> {
-        match *self {
-            LossyCodec::SzRel(rel) => Sz::block_rel(rel).compress(data, shape),
-            LossyCodec::SzAbs(abs) => Sz::absolute(abs).compress(data, shape),
-            LossyCodec::ZfpPrecision(p) => Zfp::fixed_precision(p).compress(data, shape),
-        }
+        self.as_codec().compress(data, shape)
     }
 
     /// Decompresses a buffer produced by [`LossyCodec::compress`].
     pub fn decompress(&self, bytes: &[u8], shape: Shape) -> Vec<f64> {
-        match *self {
-            LossyCodec::SzRel(rel) => Sz::block_rel(rel).decompress(bytes, shape),
-            LossyCodec::SzAbs(abs) => Sz::absolute(abs).decompress(bytes, shape),
-            LossyCodec::ZfpPrecision(p) => Zfp::fixed_precision(p).decompress(bytes, shape),
-        }
+        self.as_codec().decompress(bytes, shape)
     }
 
     /// Short display name for experiment tables.
@@ -47,6 +61,7 @@ impl LossyCodec {
         match self {
             LossyCodec::SzRel(_) | LossyCodec::SzAbs(_) => "SZ",
             LossyCodec::ZfpPrecision(_) => "ZFP",
+            LossyCodec::FpcLossless(_) => "FPC",
         }
     }
 
@@ -66,6 +81,10 @@ impl LossyCodec {
                 out[0] = 2;
                 out[1..9].copy_from_slice(&(p as u64).to_le_bytes());
             }
+            LossyCodec::FpcLossless(level) => {
+                out[0] = 3;
+                out[1..9].copy_from_slice(&(level as u64).to_le_bytes());
+            }
         }
         out
     }
@@ -76,14 +95,32 @@ impl LossyCodec {
             return None;
         }
         let param = f64::from_le_bytes(b[1..9].try_into().ok()?);
+        let int_param =
+            || -> Option<u32> { Some(u64::from_le_bytes(b[1..9].try_into().ok()?) as u32) };
         match b[0] {
             0 => Some(LossyCodec::SzRel(param)),
             1 => Some(LossyCodec::SzAbs(param)),
-            2 => Some(LossyCodec::ZfpPrecision(u64::from_le_bytes(
-                b[1..9].try_into().ok()?,
-            ) as u32)),
+            2 => Some(LossyCodec::ZfpPrecision(int_param()?)),
+            3 => Some(LossyCodec::FpcLossless(int_param()?)),
             _ => None,
         }
+    }
+}
+
+/// [`LossyCodec`] is itself a [`Codec`]: the enum delegates to the
+/// compressor it configures, so pipeline code can treat configurations
+/// and concrete codecs uniformly.
+impl Codec for LossyCodec {
+    fn name(&self) -> &'static str {
+        LossyCodec::name(self)
+    }
+
+    fn compress(&self, data: &[f64], shape: Shape) -> Vec<u8> {
+        LossyCodec::compress(self, data, shape)
+    }
+
+    fn decompress(&self, bytes: &[u8], shape: Shape) -> Vec<f64> {
+        LossyCodec::decompress(self, bytes, shape)
     }
 }
 
@@ -104,17 +141,29 @@ pub fn fpc_paper() -> Fpc {
     Fpc::new(20)
 }
 
+/// The FPC baseline as a [`LossyCodec`] configuration (level 20, as in
+/// the paper's Fig. 3 bars).
+pub fn fpc_paper_codec() -> LossyCodec {
+    LossyCodec::FpcLossless(20)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    #[test]
-    fn codec_bytes_roundtrip() {
-        for c in [
+    /// Every variant, for exhaustive serialization tests.
+    fn all_variants() -> [LossyCodec; 4] {
+        [
             LossyCodec::SzRel(1e-5),
             LossyCodec::SzAbs(0.25),
             LossyCodec::ZfpPrecision(16),
-        ] {
+            LossyCodec::FpcLossless(20),
+        ]
+    }
+
+    #[test]
+    fn codec_bytes_roundtrip_all_variants() {
+        for c in all_variants() {
             assert_eq!(LossyCodec::from_bytes(&c.to_bytes()), Some(c));
         }
         assert_eq!(LossyCodec::from_bytes(&[9; 9]), None);
@@ -129,11 +178,40 @@ mod tests {
             LossyCodec::SzRel(1e-4),
             LossyCodec::SzAbs(1e-4),
             LossyCodec::ZfpPrecision(32),
+            LossyCodec::FpcLossless(12),
         ] {
             let d = c.decompress(&c.compress(&data, shape), shape);
             for (a, b) in data.iter().zip(&d) {
                 assert!((a - b).abs() < 1e-3, "{c:?}: {a} vs {b}");
             }
+        }
+    }
+
+    #[test]
+    fn fpc_variant_is_bit_exact() {
+        let shape = Shape::d1(257);
+        let data: Vec<f64> = (0..257).map(|i| (i as f64 * 0.7).tan()).collect();
+        let c = LossyCodec::FpcLossless(12);
+        let d = c.decompress(&c.compress(&data, shape), shape);
+        for (a, b) in data.iter().zip(&d) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn trait_and_inherent_methods_agree() {
+        let shape = Shape::d1(64);
+        let data: Vec<f64> = (0..64).map(|i| (i as f64 * 0.2).cos()).collect();
+        for c in all_variants() {
+            let via_enum = c.compress(&data, shape);
+            let via_box = c.as_codec().compress(&data, shape);
+            let via_dyn = (&c as &dyn Codec).compress(&data, shape);
+            assert_eq!(via_enum, via_box, "{c:?}");
+            assert_eq!(via_enum, via_dyn, "{c:?}");
+            assert_eq!(
+                c.name(),
+                c.as_codec().name().split('-').next().unwrap_or("")
+            );
         }
     }
 
@@ -145,5 +223,6 @@ mod tests {
         let (o, d) = zfp_paper_bounds();
         assert_eq!(o, LossyCodec::ZfpPrecision(16));
         assert_eq!(d, LossyCodec::ZfpPrecision(8));
+        assert_eq!(fpc_paper_codec(), LossyCodec::FpcLossless(20));
     }
 }

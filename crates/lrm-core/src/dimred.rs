@@ -55,7 +55,9 @@ fn put_f64s(out: &mut Vec<u8>, vals: &[f64]) {
 fn get_f64s(b: &[u8], pos: &mut usize, count: usize) -> Vec<f64> {
     let mut out = Vec::with_capacity(count);
     for _ in 0..count {
-        out.push(f64::from_le_bytes(b[*pos..*pos + 8].try_into().expect("f64")));
+        out.push(f64::from_le_bytes(
+            b[*pos..*pos + 8].try_into().expect("f64"),
+        ));
         *pos += 8;
     }
     out
@@ -88,11 +90,7 @@ pub fn pca_precondition(
     rep.extend_from_slice(&scores_bytes);
 
     // Reconstruct from the *lossy* scores, as the decoder will.
-    let scores_recon = Matrix::from_vec(
-        m,
-        k,
-        orig_codec.decompress(&scores_bytes, scores_shape),
-    );
+    let scores_recon = Matrix::from_vec(m, k, orig_codec.decompress(&scores_bytes, scores_shape));
     let approx = pca_rebuild(&scores_recon, &basis, &pca.means);
     let delta: Vec<f64> = field
         .data
@@ -228,7 +226,10 @@ pub fn svd_randomized_precondition(
     // in the docs.
     let probe = RsvdConfig::rank(n.min(m).min(32));
     let dec = randomized_svd(&mat, &probe);
-    let k = dec.rank_for_energy(energy_fraction).max(1).min(dec.sigma.len());
+    let k = dec
+        .rank_for_energy(energy_fraction)
+        .max(1)
+        .min(dec.sigma.len());
 
     let uk = dec.u.take_cols(k);
     let vk = dec.v.take_cols(k);
@@ -267,12 +268,7 @@ pub fn wavelet_precondition(field: &Field, theta_fraction: f64) -> DimRedOutput 
     let (m, n) = field.matrix_dims();
     let model = WaveletModel::fit(&field.data, m, n, theta_fraction);
     let approx = model.reconstruct();
-    let delta: Vec<f64> = field
-        .data
-        .iter()
-        .zip(&approx)
-        .map(|(a, b)| a - b)
-        .collect();
+    let delta: Vec<f64> = field.data.iter().zip(&approx).map(|(a, b)| a - b).collect();
     let mut rep = Vec::new();
     put_u32(&mut rep, m);
     put_u32(&mut rep, n);
@@ -419,7 +415,12 @@ mod tests {
         let p = pca_precondition(&f, 0.95, &codec);
         let s = svd_precondition(&f, 0.95, &codec);
         let w = wavelet_precondition(&f, 0.05);
-        assert!(p.k <= 2 && s.k <= 2, "rank-1-ish data: k = {}, {}", p.k, s.k);
+        assert!(
+            p.k <= 2 && s.k <= 2,
+            "rank-1-ish data: k = {}, {}",
+            p.k,
+            s.k
+        );
         assert!(w.rep_bytes.len() > p.rep_bytes.len());
         assert!(w.rep_bytes.len() > s.rep_bytes.len());
     }

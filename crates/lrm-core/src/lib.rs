@@ -16,9 +16,12 @@
 //!
 //! [`pipeline`] wires either family into the Fig. 5 workflow
 //! (precondition → dual-bound compress → self-describing artifact →
-//! reconstruct) and [`selection`] adds the paper's future-work model
-//! selector. [`parallel_one_base`] runs Algorithm 1 over the rank
-//! simulator of `lrm-parallel`.
+//! reconstruct); [`engine`] is the public entry point — a builder-style
+//! [`Pipeline`] that decomposes large fields into z-slab chunks and
+//! runs the workflow chunk-parallel on a work-stealing pool.
+//! [`selection`] adds the paper's future-work model selector and
+//! [`parallel_one_base`] runs Algorithm 1 over the rank simulator of
+//! `lrm-parallel`.
 
 // Index-symmetric loops read more clearly than iterator chains in
 // numerical kernels; silence the pedantic lint crate-wide.
@@ -26,6 +29,7 @@
 
 pub mod codec;
 pub mod dimred;
+pub mod engine;
 pub mod parallel_one_base;
 pub mod partitioned;
 pub mod pipeline;
@@ -33,11 +37,11 @@ pub mod projection;
 pub mod selection;
 pub mod temporal;
 
-pub use codec::{fpc_paper, sz_paper_bounds, zfp_paper_bounds, LossyCodec};
-pub use pipeline::{
-    precondition_and_compress, precondition_and_compress_with_aux, reconstruct,
-    CompressionReport, PipelineConfig, PreconditionedArtifact, ReducedModelKind,
-};
+pub use codec::{fpc_paper, fpc_paper_codec, sz_paper_bounds, zfp_paper_bounds, LossyCodec};
+pub use engine::{ChunkReport, ChunkedCompression, Pipeline, PipelineBuilder};
 pub use partitioned::{partitioned_precondition, partitioned_reconstruct, PartitionedMethod};
+#[allow(deprecated)]
+pub use pipeline::{precondition_and_compress, precondition_and_compress_with_aux, reconstruct};
+pub use pipeline::{CompressionReport, PipelineConfig, PreconditionedArtifact, ReducedModelKind};
 pub use selection::{default_candidates, select_best_model, CandidateResult};
 pub use temporal::{compress_series, reconstruct_series, TemporalSeries};

@@ -5,8 +5,8 @@
 //! overhead."
 //!
 //! The field's matrix view is cut into row blocks; PCA/SVD is fitted per
-//! block, and the blocks are processed **in parallel with rayon**. Two
-//! effects reduce overhead:
+//! block, and the blocks are processed **in parallel on the workspace
+//! worker pool**. Two effects reduce overhead:
 //!
 //! * the SVD's `O(m²n)` term becomes `O(m²n / B)` across `B` blocks, and
 //! * blocks run concurrently, so wall-clock shrinks by up to the core
@@ -21,7 +21,7 @@ use crate::dimred::DimRedOutput;
 use lrm_compress::Shape;
 use lrm_datasets::Field;
 use lrm_linalg::{svd, Matrix, Pca};
-use rayon::prelude::*;
+use lrm_parallel::WorkerPool;
 
 fn put_u32(out: &mut Vec<u8>, v: usize) {
     out.extend_from_slice(&(v as u32).to_le_bytes());
@@ -42,7 +42,9 @@ fn put_f64s(out: &mut Vec<u8>, vals: &[f64]) {
 fn get_f64s(b: &[u8], pos: &mut usize, count: usize) -> Vec<f64> {
     let mut out = Vec::with_capacity(count);
     for _ in 0..count {
-        out.push(f64::from_le_bytes(b[*pos..*pos + 8].try_into().expect("f64")));
+        out.push(f64::from_le_bytes(
+            b[*pos..*pos + 8].try_into().expect("f64"),
+        ));
         *pos += 8;
     }
     out
@@ -107,7 +109,10 @@ fn fit_svd_block(
 ) -> BlockFit {
     let mat = Matrix::from_vec(mrows, n, rows.to_vec());
     let dec = svd(&mat);
-    let k = dec.rank_for_energy(energy_fraction).max(1).min(n.min(mrows));
+    let k = dec
+        .rank_for_energy(energy_fraction)
+        .max(1)
+        .min(n.min(mrows));
     let uk = dec.u.take_cols(k);
     let vk = dec.v.take_cols(k);
     let sigma = &dec.sigma[..k];
@@ -154,20 +159,13 @@ pub fn partitioned_precondition(
     let (m, n) = field.matrix_dims();
     let ranges = row_blocks(m, blocks);
 
-    let fits: Vec<BlockFit> = ranges
-        .par_iter()
-        .map(|&(r0, r1)| {
-            let rows = &field.data[r0 * n..r1 * n];
-            match method {
-                PartitionedMethod::Pca => {
-                    fit_pca_block(rows, r1 - r0, n, variance_fraction, codec)
-                }
-                PartitionedMethod::Svd => {
-                    fit_svd_block(rows, r1 - r0, n, variance_fraction, codec)
-                }
-            }
-        })
-        .collect();
+    let fits: Vec<BlockFit> = WorkerPool::auto().run(ranges.clone(), |_, (r0, r1)| {
+        let rows = &field.data[r0 * n..r1 * n];
+        match method {
+            PartitionedMethod::Pca => fit_pca_block(rows, r1 - r0, n, variance_fraction, codec),
+            PartitionedMethod::Svd => fit_svd_block(rows, r1 - r0, n, variance_fraction, codec),
+        }
+    });
 
     // Representation: method tag, n, block count, then length-prefixed
     // per-block representations.
@@ -265,8 +263,7 @@ mod tests {
         let f = test_field();
         let codec = LossyCodec::SzRel(1e-6);
         for blocks in [1, 2, 4, 7] {
-            let out =
-                partitioned_precondition(&f, PartitionedMethod::Pca, blocks, 0.95, &codec);
+            let out = partitioned_precondition(&f, PartitionedMethod::Pca, blocks, 0.95, &codec);
             let rec = partitioned_reconstruct(&out.rep_bytes, &out.delta, &codec);
             for (a, b) in f.data.iter().zip(&rec) {
                 assert!((a - b).abs() < 1e-9, "blocks {blocks}: {a} vs {b}");
@@ -279,8 +276,7 @@ mod tests {
         let f = test_field();
         let codec = LossyCodec::ZfpPrecision(44);
         for blocks in [1, 3, 8] {
-            let out =
-                partitioned_precondition(&f, PartitionedMethod::Svd, blocks, 0.95, &codec);
+            let out = partitioned_precondition(&f, PartitionedMethod::Svd, blocks, 0.95, &codec);
             let rec = partitioned_reconstruct(&out.rep_bytes, &out.delta, &codec);
             for (a, b) in f.data.iter().zip(&rec) {
                 assert!((a - b).abs() < 1e-8, "blocks {blocks}: {a} vs {b}");

@@ -1,15 +1,19 @@
 //! The end-to-end preconditioning pipeline of Fig. 5.
 //!
-//! **Reduction phase** ([`precondition_and_compress`]): identify the
-//! reduced model, compute the delta of the original against the reduced
-//! model's reconstruction, compress representation and delta under the
-//! dual error bounds, and package everything into a self-describing
-//! [`Artifact`].
+//! **Reduction phase**: identify the reduced model, compute the delta of
+//! the original against the reduced model's reconstruction, compress
+//! representation and delta under the dual error bounds, and package
+//! everything into a self-describing [`Artifact`].
 //!
-//! **Reconstruction phase** ([`reconstruct`]): parse the artifact,
-//! rebuild the reduced model's reconstruction, decompress the delta, and
-//! add the two. No external configuration is needed — the artifact's
-//! metadata carries the model kind, codecs, and shapes.
+//! **Reconstruction phase**: parse the artifact, rebuild the reduced
+//! model's reconstruction, decompress the delta, and add the two. No
+//! external configuration is needed — the artifact's metadata carries
+//! the model kind, codecs, and shapes.
+//!
+//! The public entry point is [`crate::Pipeline`] (builder-style, with
+//! chunk-parallel execution); the free functions here
+//! ([`precondition_and_compress`], [`reconstruct`]) are the original
+//! single-shot API, kept as deprecated shims over the same internals.
 
 use crate::codec::LossyCodec;
 use crate::dimred::{
@@ -17,8 +21,8 @@ use crate::dimred::{
     wavelet_reconstruct,
 };
 use crate::projection::{
-    duo_model_precondition, duo_model_reconstruct, multi_base_precondition,
-    multi_base_reconstruct, one_base_precondition, one_base_reconstruct,
+    duo_model_precondition, duo_model_reconstruct, multi_base_precondition, multi_base_reconstruct,
+    one_base_precondition, one_base_reconstruct,
 };
 use lrm_compress::Shape;
 use lrm_datasets::Field;
@@ -168,7 +172,7 @@ const META: &str = "meta";
 const REP: &str = "rep";
 const DELTA: &str = "delta";
 
-fn model_tag(model: ReducedModelKind) -> (u8, u32) {
+pub(crate) fn model_tag(model: ReducedModelKind) -> (u8, u32) {
     match model {
         ReducedModelKind::Direct => (0, 0),
         ReducedModelKind::OneBase => (1, 0),
@@ -249,12 +253,14 @@ fn decode_meta(b: &[u8]) -> Option<Meta> {
 /// Panics if `cfg.model` is [`ReducedModelKind::DuoModel`] — that model
 /// needs the coarse companion run; use
 /// [`precondition_and_compress_with_aux`].
+#[deprecated(since = "0.2.0", note = "use lrm_core::Pipeline::builder()")]
 pub fn precondition_and_compress(field: &Field, cfg: &PipelineConfig) -> PreconditionedArtifact {
     precondition_impl(field, None, cfg)
 }
 
 /// Like [`precondition_and_compress`], supplying the auxiliary coarse
 /// field DuoModel requires.
+#[deprecated(since = "0.2.0", note = "use lrm_core::Pipeline::builder()")]
 pub fn precondition_and_compress_with_aux(
     field: &Field,
     coarse: &Field,
@@ -263,16 +269,14 @@ pub fn precondition_and_compress_with_aux(
     precondition_impl(field, Some(coarse), cfg)
 }
 
-fn precondition_impl(
+pub(crate) fn precondition_impl(
     field: &Field,
     coarse: Option<&Field>,
     cfg: &PipelineConfig,
 ) -> PreconditionedArtifact {
     let shape = field.shape;
     let (rep, delta, aux_shape, k) = match cfg.model {
-        ReducedModelKind::Direct => {
-            (Vec::new(), field.data.clone(), Shape::d1(0), 0)
-        }
+        ReducedModelKind::Direct => (Vec::new(), field.data.clone(), Shape::d1(0), 0),
         ReducedModelKind::OneBase => {
             let out = one_base_precondition(field, &cfg.orig);
             (out.rep_bytes, out.delta, out.rep_shape, 0)
@@ -282,7 +286,8 @@ fn precondition_impl(
             (out.rep_bytes, out.delta, out.rep_shape, 0)
         }
         ReducedModelKind::DuoModel => {
-            let c = coarse.expect("DuoModel needs the coarse field: use precondition_and_compress_with_aux");
+            let c = coarse
+                .expect("DuoModel needs the coarse field: use precondition_and_compress_with_aux");
             let out = duo_model_precondition(field, c, &cfg.orig);
             (out.rep_bytes, out.delta, c.shape, 0)
         }
@@ -319,11 +324,8 @@ fn precondition_impl(
             (out.rep_bytes, out.delta, Shape::d1(0), out.k)
         }
         ReducedModelKind::SvdRandomized => {
-            let out = crate::dimred::svd_randomized_precondition(
-                field,
-                cfg.variance_fraction,
-                &cfg.orig,
-            );
+            let out =
+                crate::dimred::svd_randomized_precondition(field, cfg.variance_fraction, &cfg.orig);
             (out.rep_bytes, out.delta, Shape::d1(0), out.k)
         }
     };
@@ -345,7 +347,14 @@ fn precondition_impl(
     let mut artifact = Artifact::new();
     artifact.push(
         META,
-        encode_meta(cfg.model, &cfg.orig, &cfg.delta, shape, aux_shape, cfg.scan_1d),
+        encode_meta(
+            cfg.model,
+            &cfg.orig,
+            &cfg.delta,
+            shape,
+            aux_shape,
+            cfg.scan_1d,
+        ),
     );
     let rep_len = rep.len();
     artifact.push(REP, rep);
@@ -368,7 +377,12 @@ fn precondition_impl(
 ///
 /// # Panics
 /// Panics on a corrupt artifact.
+#[deprecated(since = "0.2.0", note = "use lrm_core::Pipeline::builder()")]
 pub fn reconstruct(bytes: &[u8]) -> (Vec<f64>, Shape) {
+    reconstruct_impl(bytes)
+}
+
+pub(crate) fn reconstruct_impl(bytes: &[u8]) -> (Vec<f64>, Shape) {
     let artifact = Artifact::from_bytes(bytes).expect("reconstruct: corrupt artifact");
     let meta = decode_meta(artifact.get(META).expect("reconstruct: missing meta"))
         .expect("reconstruct: corrupt meta");
@@ -401,6 +415,9 @@ pub fn reconstruct(bytes: &[u8]) -> (Vec<f64>, Shape) {
 
 #[cfg(test)]
 mod tests {
+    // The tests exercise the deprecated single-shot API on purpose: it
+    // must keep behaving identically to the builder path.
+    #![allow(deprecated)]
     use super::*;
 
     fn smooth_3d_field(n: usize) -> Field {
@@ -498,8 +515,7 @@ mod tests {
         // The headline claim of Fig. 3 at unit-test scale.
         let f = smooth_3d_field(16);
         let direct = precondition_and_compress(&f, &PipelineConfig::sz(ReducedModelKind::Direct));
-        let onebase =
-            precondition_and_compress(&f, &PipelineConfig::sz(ReducedModelKind::OneBase));
+        let onebase = precondition_and_compress(&f, &PipelineConfig::sz(ReducedModelKind::OneBase));
         assert!(
             onebase.report.ratio() > direct.report.ratio(),
             "one-base {} vs direct {}",
@@ -545,4 +561,3 @@ mod tests {
         assert_eq!(art.report.rep_bytes, 0);
     }
 }
-

@@ -448,7 +448,9 @@ mod tests {
     #[test]
     fn multi_base_2d_roundtrip() {
         let shape = Shape::d2(16, 12);
-        let data: Vec<f64> = (0..shape.len()).map(|i| (i as f64 * 0.17).cos() * 3.0).collect();
+        let data: Vec<f64> = (0..shape.len())
+            .map(|i| (i as f64 * 0.17).cos() * 3.0)
+            .collect();
         let f = Field::new("lap", data, shape);
         let codec = LossyCodec::ZfpPrecision(48);
         let out = multi_base_precondition(&f, 3, &codec);

@@ -9,9 +9,7 @@
 //! the zero-dominated *Fish*), the `Direct` candidate wins and the
 //! selector correctly refuses to precondition.
 
-use crate::pipeline::{
-    precondition_and_compress, CompressionReport, PipelineConfig, ReducedModelKind,
-};
+use crate::pipeline::{precondition_impl, CompressionReport, PipelineConfig, ReducedModelKind};
 use lrm_datasets::Field;
 
 /// Outcome of one candidate trial.
@@ -38,9 +36,7 @@ pub fn select_best_model(
     for &model in candidates {
         // Skip inapplicable combinations rather than panic.
         let applicable = match model {
-            ReducedModelKind::OneBase | ReducedModelKind::MultiBase(_) => {
-                field.shape.ndims() >= 2
-            }
+            ReducedModelKind::OneBase | ReducedModelKind::MultiBase(_) => field.shape.ndims() >= 2,
             ReducedModelKind::DuoModel => false, // needs an aux field
             _ => true,
         };
@@ -48,7 +44,7 @@ pub fn select_best_model(
             continue;
         }
         let cfg = PipelineConfig { model, ..*base };
-        let art = precondition_and_compress(field, &cfg);
+        let art = precondition_impl(field, None, &cfg);
         results.push(CandidateResult {
             model,
             report: art.report,
@@ -94,8 +90,10 @@ mod tests {
             for y in 0..n {
                 for x in 0..n {
                     let zf = z as f64 / (n - 1) as f64;
-                    data.push(100.0 * (std::f64::consts::PI * zf).sin()
-                        + 0.5 * ((x + y) as f64 * 0.4).sin());
+                    data.push(
+                        100.0 * (std::f64::consts::PI * zf).sin()
+                            + 0.5 * ((x + y) as f64 * 0.4).sin(),
+                    );
                 }
             }
         }

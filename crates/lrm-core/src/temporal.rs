@@ -66,8 +66,7 @@ pub fn compress_series(
         let bytes = match &prev_recon {
             None => base_codec.compress(&f.data, shape),
             Some(prev) => {
-                let delta: Vec<f64> =
-                    f.data.iter().zip(prev).map(|(a, b)| a - b).collect();
+                let delta: Vec<f64> = f.data.iter().zip(prev).map(|(a, b)| a - b).collect();
                 delta_codec.compress(&delta, shape)
             }
         };
@@ -115,10 +114,7 @@ pub fn reconstruct_series(bytes: &[u8]) -> (Vec<Vec<f64>>, Shape) {
             base_codec.decompress(section, shape)
         } else {
             let d = delta_codec.decompress(section, shape);
-            d.iter()
-                .zip(&out[i - 1])
-                .map(|(d, p)| d + p)
-                .collect()
+            d.iter().zip(&out[i - 1]).map(|(d, p)| d + p).collect()
         };
         out.push(snap);
     }
@@ -138,7 +134,8 @@ mod tests {
                     .map(|i| {
                         let x = (i % 24) as f64;
                         let y = (i / 24) as f64;
-                        100.0 + 10.0 * (x * 0.3).sin() * (y * 0.2).cos()
+                        100.0
+                            + 10.0 * (x * 0.3).sin() * (y * 0.2).cos()
                             + 0.2 * t as f64 * (x * 0.1).cos()
                     })
                     .collect();
@@ -150,11 +147,7 @@ mod tests {
     #[test]
     fn series_roundtrips_within_bounds() {
         let fields = drifting_series(6);
-        let s = compress_series(
-            &fields,
-            &LossyCodec::SzRel(1e-5),
-            &LossyCodec::SzRel(1e-3),
-        );
+        let s = compress_series(&fields, &LossyCodec::SzRel(1e-5), &LossyCodec::SzRel(1e-3));
         let (rec, shape) = reconstruct_series(&s.bytes);
         assert_eq!(shape, fields[0].shape);
         assert_eq!(rec.len(), 6);
@@ -166,16 +159,9 @@ mod tests {
     #[test]
     fn temporal_deltas_shrink_later_snapshots() {
         let fields = drifting_series(8);
-        let s = compress_series(
-            &fields,
-            &LossyCodec::SzRel(1e-5),
-            &LossyCodec::SzRel(1e-3),
-        );
+        let s = compress_series(&fields, &LossyCodec::SzRel(1e-5), &LossyCodec::SzRel(1e-3));
         let first = s.snapshot_bytes[0];
-        let later_avg: f64 = s.snapshot_bytes[1..]
-            .iter()
-            .map(|&b| b as f64)
-            .sum::<f64>()
+        let later_avg: f64 = s.snapshot_bytes[1..].iter().map(|&b| b as f64).sum::<f64>()
             / (s.snapshot_bytes.len() - 1) as f64;
         assert!(
             later_avg < first as f64,
@@ -190,11 +176,7 @@ mod tests {
         // own bound; verify the last one is no worse than the first by an
         // order of magnitude.
         let fields = drifting_series(10);
-        let s = compress_series(
-            &fields,
-            &LossyCodec::SzRel(1e-5),
-            &LossyCodec::SzRel(1e-4),
-        );
+        let s = compress_series(&fields, &LossyCodec::SzRel(1e-5), &LossyCodec::SzRel(1e-4));
         let (rec, _) = reconstruct_series(&s.bytes);
         let e_first = nrmse(&fields[0].data, &rec[0]);
         let e_last = nrmse(&fields[9].data, &rec[9]);
@@ -204,11 +186,7 @@ mod tests {
     #[test]
     fn single_snapshot_series_works() {
         let fields = drifting_series(1);
-        let s = compress_series(
-            &fields,
-            &LossyCodec::SzRel(1e-5),
-            &LossyCodec::SzRel(1e-3),
-        );
+        let s = compress_series(&fields, &LossyCodec::SzRel(1e-5), &LossyCodec::SzRel(1e-3));
         let (rec, _) = reconstruct_series(&s.bytes);
         assert_eq!(rec.len(), 1);
     }

@@ -1,0 +1,159 @@
+//! Chunked-vs-single-chunk equivalence: the chunk-parallel engine must
+//! preserve the single-chunk pipeline's error-bound contract for every
+//! slab count and thread count, and its output must not depend on the
+//! thread count at all.
+
+use lrm_core::{LossyCodec, Pipeline, PipelineConfig, ReducedModelKind};
+use lrm_datasets::registry::{generate, DatasetKind, SizeClass};
+use lrm_datasets::Field;
+
+const SLABS: [usize; 4] = [1, 2, 4, 8];
+const THREADS: [usize; 3] = [1, 2, 4];
+
+fn max_abs_err(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .fold(0.0f64, |m, (x, y)| m.max((x - y).abs()))
+}
+
+/// Reconstruction error of a chunked run must match the serial run's
+/// bound: both sit under the same per-value codec contract, so we hold
+/// the chunked error to the serial error plus a small slack for
+/// different block alignment.
+fn check_equivalence(field: &Field, model: ReducedModelKind) {
+    let cfg = PipelineConfig::sz(model);
+    let serial = Pipeline::builder()
+        .model(cfg.model)
+        .codec(cfg.orig)
+        .delta_codec(cfg.delta)
+        .build();
+    let serial_art = serial.compress(field);
+    let (serial_rec, _) = serial.reconstruct(&serial_art.bytes);
+    let serial_err = max_abs_err(&field.data, &serial_rec);
+    let max = field.data.iter().fold(0.0f64, |a, &b| a.max(b.abs()));
+    let tol = (serial_err * 4.0).max(1e-2 * max);
+
+    for slabs in SLABS {
+        let mut reference: Option<Vec<u8>> = None;
+        for threads in THREADS {
+            let p = Pipeline::builder()
+                .model(cfg.model)
+                .codec(cfg.orig)
+                .delta_codec(cfg.delta)
+                .chunks(slabs)
+                .threads(threads)
+                .min_chunk_len(0)
+                .build();
+            let art = p.compress(field);
+            // Determinism: bytes must be identical for every thread count.
+            match &reference {
+                None => reference = Some(art.bytes.clone()),
+                Some(r) => assert_eq!(
+                    r, &art.bytes,
+                    "{model:?} slabs={slabs}: output depends on thread count"
+                ),
+            }
+            let (rec, shape) = p.reconstruct(&art.bytes);
+            assert_eq!(shape, field.shape);
+            let err = max_abs_err(&field.data, &rec);
+            assert!(
+                err <= tol,
+                "{model:?} slabs={slabs} threads={threads}: err {err} > tol {tol} (serial {serial_err})"
+            );
+        }
+    }
+}
+
+#[test]
+fn heat3d_chunked_equivalence_across_models() {
+    let field = generate(DatasetKind::Heat3d, SizeClass::Tiny).full;
+    for model in [
+        ReducedModelKind::Direct,
+        ReducedModelKind::OneBase,
+        ReducedModelKind::MultiBase(2),
+        ReducedModelKind::Pca,
+        ReducedModelKind::Svd,
+        ReducedModelKind::Wavelet,
+    ] {
+        check_equivalence(&field, model);
+    }
+}
+
+#[test]
+fn laplace_chunked_equivalence() {
+    // Laplace is 2-D: chunking must transparently fall back to the
+    // serial path and still satisfy the same contract.
+    let field = generate(DatasetKind::Laplace, SizeClass::Tiny).full;
+    for model in [ReducedModelKind::Direct, ReducedModelKind::Pca] {
+        check_equivalence(&field, model);
+    }
+}
+
+#[test]
+fn laplace_chunked_is_bitwise_serial() {
+    // Non-3-D fields can't slab along z, so any chunk request must
+    // produce exactly the serial stream.
+    let field = generate(DatasetKind::Laplace, SizeClass::Tiny).full;
+    let serial = Pipeline::builder().model(ReducedModelKind::Pca).build();
+    let chunked = Pipeline::builder()
+        .model(ReducedModelKind::Pca)
+        .chunks(8)
+        .threads(4)
+        .min_chunk_len(0)
+        .build();
+    assert_eq!(
+        serial.compress(&field).bytes,
+        chunked.compress(&field).bytes
+    );
+}
+
+#[test]
+fn heat3d_one_chunk_is_bitwise_serial() {
+    let field = generate(DatasetKind::Heat3d, SizeClass::Tiny).full;
+    let serial = Pipeline::builder().model(ReducedModelKind::OneBase).build();
+    let one_chunk = Pipeline::builder()
+        .model(ReducedModelKind::OneBase)
+        .chunks(1)
+        .threads(4)
+        .build();
+    assert_eq!(
+        serial.compress(&field).bytes,
+        one_chunk.compress(&field).bytes
+    );
+}
+
+#[test]
+fn zfp_bounds_also_hold_chunked() {
+    let field = generate(DatasetKind::Heat3d, SizeClass::Tiny).full;
+    let max = field.data.iter().fold(0.0f64, |a, &b| a.max(b.abs()));
+    let p = Pipeline::builder()
+        .model(ReducedModelKind::OneBase)
+        .codec(LossyCodec::ZfpPrecision(16))
+        .delta_codec(LossyCodec::ZfpPrecision(8))
+        .chunks(4)
+        .threads(2)
+        .min_chunk_len(0)
+        .build();
+    let art = p.compress(&field);
+    let (rec, _) = p.reconstruct(&art.bytes);
+    let err = max_abs_err(&field.data, &rec);
+    assert!(err <= 5e-2 * max, "zfp chunked err {err}");
+}
+
+#[test]
+fn chunked_artifacts_decode_with_any_handle() {
+    // Reconstruction needs only the bytes: a differently-configured
+    // pipeline (or a default one) must decode the container.
+    let field = generate(DatasetKind::Heat3d, SizeClass::Tiny).full;
+    let writer = Pipeline::builder()
+        .model(ReducedModelKind::Svd)
+        .chunks(4)
+        .threads(2)
+        .min_chunk_len(0)
+        .build();
+    let art = writer.compress(&field);
+    let reader = Pipeline::builder().build();
+    let (rec, shape) = reader.reconstruct(&art.bytes);
+    assert_eq!(shape, field.shape);
+    assert_eq!(rec.len(), field.len());
+}

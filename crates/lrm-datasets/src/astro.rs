@@ -75,11 +75,7 @@ impl Astro {
                 }
             }
         }
-        Field::new(
-            format!("astro/n={n}/t={}", self.time),
-            data,
-            shape,
-        )
+        Field::new(format!("astro/n={n}/t={}", self.time), data, shape)
     }
 
     /// Reduced model: half-size volume observed at an earlier time
@@ -114,13 +110,20 @@ mod tests {
 
     #[test]
     fn velocity_is_nonnegative_and_finite() {
-        let f = Astro { n: 24, ..Default::default() }.solve();
+        let f = Astro {
+            n: 24,
+            ..Default::default()
+        }
+        .solve();
         assert!(f.data.iter().all(|v| v.is_finite() && *v >= 0.0));
     }
 
     #[test]
     fn shock_front_separates_fast_and_slow() {
-        let a = Astro { n: 32, ..Default::default() };
+        let a = Astro {
+            n: 32,
+            ..Default::default()
+        };
         let f = a.solve();
         // Center is slow (v ∝ r), mid-radius inside the shock is fast,
         // corner (outside) is near ambient.
@@ -133,8 +136,14 @@ mod tests {
 
     #[test]
     fn shock_radius_grows_with_time() {
-        let early = Astro { time: 0.2, ..Default::default() };
-        let late = Astro { time: 0.9, ..Default::default() };
+        let early = Astro {
+            time: 0.2,
+            ..Default::default()
+        };
+        let late = Astro {
+            time: 0.9,
+            ..Default::default()
+        };
         assert!(late.shock_radius() > early.shock_radius());
     }
 
@@ -148,7 +157,10 @@ mod tests {
 
     #[test]
     fn snapshots_show_expansion() {
-        let a = Astro { n: 24, ..Default::default() };
+        let a = Astro {
+            n: 24,
+            ..Default::default()
+        };
         let snaps = a.snapshots(3);
         assert_eq!(snaps.len(), 3);
         // More cells are moving fast at later times.
@@ -158,7 +170,10 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let a = Astro { n: 16, ..Default::default() };
+        let a = Astro {
+            n: 16,
+            ..Default::default()
+        };
         assert_eq!(a.solve().data, a.solve().data);
     }
 }

@@ -3,8 +3,8 @@
 //! `∂u/∂t = κ ∇²u` on the unit cube with Dirichlet boundaries, central
 //! differences in space and forward Euler in time (the Heat3d code of the
 //! paper's case study, Section IV-A). The solver is data-parallel over z
-//! slabs with rayon — the in-process analogue of the paper's MPI
-//! decomposition (the rank-level communication pattern is exercised
+//! slabs on the workspace worker pool — the in-process analogue of the
+//! paper's MPI decomposition (the rank-level communication pattern is exercised
 //! separately in `lrm-parallel`).
 //!
 //! Three model variants mirror the paper:
@@ -17,7 +17,6 @@
 
 use crate::field::Field;
 use lrm_compress::Shape;
-use rayon::prelude::*;
 
 /// Configuration of the 3-D solve.
 #[derive(Debug, Clone, Copy)]
@@ -122,8 +121,7 @@ impl Heat3d {
                 for x in 0..n {
                     let (fx, fy, fz) = (x as f64 / scale, y as f64 / scale, z as f64 / scale);
                     let i = shape.idx(x, y, z);
-                    let interior =
-                        x > 0 && x < n - 1 && y > 0 && y < n - 1;
+                    let interior = x > 0 && x < n - 1 && y > 0 && y < n - 1;
                     if interior {
                         u[i] += self.texture * texture_at(fx, fy);
                     }
@@ -180,24 +178,25 @@ impl Heat3d {
                 let u_ref = &u;
                 // Interior z-slabs update in parallel; boundary faces stay
                 // Dirichlet-fixed.
-                next[plane..(n - 1) * plane]
-                    .par_chunks_mut(plane)
-                    .enumerate()
-                    .for_each(|(zi, slab)| {
-                        let z = zi + 1;
-                        for y in 1..n - 1 {
-                            for x in 1..n - 1 {
-                                let i = shape.idx(x, y, z);
-                                let c = u_ref[i];
-                                let lap = u_ref[i + 1] + u_ref[i - 1] + u_ref[i + n]
-                                    + u_ref[i - n]
-                                    + u_ref[i + plane]
-                                    + u_ref[i - plane]
-                                    - 6.0 * c;
-                                slab[y * n + x] = c + coef * lap;
-                            }
+                let slabs: Vec<&mut [f64]> =
+                    next[plane..(n - 1) * plane].chunks_mut(plane).collect();
+                lrm_parallel::WorkerPool::auto().run(slabs, |zi, slab| {
+                    let z = zi + 1;
+                    for y in 1..n - 1 {
+                        for x in 1..n - 1 {
+                            let i = shape.idx(x, y, z);
+                            let c = u_ref[i];
+                            let lap = u_ref[i + 1]
+                                + u_ref[i - 1]
+                                + u_ref[i + n]
+                                + u_ref[i - n]
+                                + u_ref[i + plane]
+                                + u_ref[i - plane]
+                                - 6.0 * c;
+                            slab[y * n + x] = c + coef * lap;
                         }
-                    });
+                    }
+                });
             }
             // Adiabatic (Neumann) z faces: copy the adjacent interior plane.
             let (lo, rest) = next.split_at_mut(plane);
@@ -380,7 +379,12 @@ mod tests {
     fn solution_is_nearly_uniform_along_z() {
         // The property one-base exploits: with adiabatic z faces the
         // field barely varies along z away from the hot spots.
-        let f = Heat3d { n: 24, steps: 300, ..Default::default() }.solve();
+        let f = Heat3d {
+            n: 24,
+            steps: 300,
+            ..Default::default()
+        }
+        .solve();
         let mid = 12;
         let mut worst: f64 = 0.0;
         for z in 2..22 {
@@ -403,14 +407,24 @@ mod tests {
 
     #[test]
     fn stable_dt_scales_with_resolution() {
-        let a = Heat3d { n: 16, ..Default::default() };
-        let b = Heat3d { n: 32, ..Default::default() };
+        let a = Heat3d {
+            n: 16,
+            ..Default::default()
+        };
+        let b = Heat3d {
+            n: 32,
+            ..Default::default()
+        };
         assert!(a.stable_dt() > b.stable_dt());
     }
 
     #[test]
     fn projected_model_takes_fewer_steps_with_larger_dt() {
-        let full = Heat3d { n: 32, steps: 1000, ..Default::default() };
+        let full = Heat3d {
+            n: 32,
+            steps: 1000,
+            ..Default::default()
+        };
         let red = full.projected();
         assert!(red.steps < full.steps);
         assert!(red.stable_dt() > full.stable_dt());
@@ -421,7 +435,11 @@ mod tests {
         // The paper's key observation: the full model's mid-plane is close
         // to the 2-D reduced model. "Close" here is statistical, not
         // pointwise; compare value ranges.
-        let full = Heat3d { n: 24, steps: 200, ..Default::default() };
+        let full = Heat3d {
+            n: 24,
+            steps: 200,
+            ..Default::default()
+        };
         let f3 = full.solve();
         let mid = f3.plane_z(12);
         let f2 = full.projected().solve();
@@ -433,7 +451,10 @@ mod tests {
 
     #[test]
     fn coarse_model_shrinks_grid() {
-        let full = Heat3d { n: 48, ..Default::default() };
+        let full = Heat3d {
+            n: 48,
+            ..Default::default()
+        };
         assert_eq!(full.coarse(4).n, 12);
         assert_eq!(full.coarse(100).n, 4);
     }

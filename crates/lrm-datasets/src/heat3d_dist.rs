@@ -63,12 +63,10 @@ pub fn solve_distributed(cfg: &Heat3d, ranks: usize) -> Field {
         let nz_local = z1 - z0;
         // Local buffer with one ghost plane on each side.
         let mut local = vec![0.0f64; (nz_local + 2) * plane];
-        local[plane..(nz_local + 1) * plane]
-            .copy_from_slice(&init.data[z0 * plane..z1 * plane]);
+        local[plane..(nz_local + 1) * plane].copy_from_slice(&init.data[z0 * plane..z1 * plane]);
         // Ghost planes start from the initial condition.
         local[..plane].copy_from_slice(&init.data[(z0 - 1) * plane..z0 * plane]);
-        local[(nz_local + 1) * plane..]
-            .copy_from_slice(&init.data[z1 * plane..(z1 + 1) * plane]);
+        local[(nz_local + 1) * plane..].copy_from_slice(&init.data[z1 * plane..(z1 + 1) * plane]);
         let mut next = local.clone();
 
         for _step in 0..cfg.steps {
@@ -78,7 +76,10 @@ pub fn solve_distributed(cfg: &Heat3d, ranks: usize) -> Field {
                     for x in 1..n - 1 {
                         let i = zl * plane + y * n + x;
                         let c = local[i];
-                        let lap = local[i + 1] + local[i - 1] + local[i + n] + local[i - n]
+                        let lap = local[i + 1]
+                            + local[i - 1]
+                            + local[i + n]
+                            + local[i - n]
                             + local[i + plane]
                             + local[i - plane]
                             - 6.0 * c;
@@ -143,11 +144,7 @@ pub fn solve_distributed(cfg: &Heat3d, ranks: usize) -> Field {
     for part in results[0].as_ref().expect("root gathered") {
         data.extend_from_slice(part);
     }
-    Field::new(
-        format!("heat3d/dist/n={n}/ranks={ranks}"),
-        data,
-        shape,
-    )
+    Field::new(format!("heat3d/dist/n={n}/ranks={ranks}"), data, shape)
 }
 
 #[cfg(test)]

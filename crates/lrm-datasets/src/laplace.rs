@@ -103,14 +103,23 @@ mod tests {
 
     #[test]
     fn solution_respects_maximum_principle() {
-        let f = Laplace { n: 32, iterations: 500, amplitude: 10.0 }.solve();
+        let f = Laplace {
+            n: 32,
+            iterations: 500,
+            amplitude: 10.0,
+        }
+        .solve();
         let (lo, hi) = f.min_max();
         assert!(lo >= -1e-9 && hi <= 10.0 + 1e-9, "({lo}, {hi})");
     }
 
     #[test]
     fn interior_approaches_harmonicity() {
-        let cfg = Laplace { n: 24, iterations: 3000, amplitude: 1.0 };
+        let cfg = Laplace {
+            n: 24,
+            iterations: 3000,
+            amplitude: 1.0,
+        };
         let f = cfg.solve();
         // Residual of the 5-point stencil should be tiny after convergence.
         let n = cfg.n;
@@ -118,7 +127,9 @@ mod tests {
         for y in 1..n - 1 {
             for x in 1..n - 1 {
                 let r = 0.25
-                    * (f.at(x + 1, y, 0) + f.at(x - 1, y, 0) + f.at(x, y + 1, 0)
+                    * (f.at(x + 1, y, 0)
+                        + f.at(x - 1, y, 0)
+                        + f.at(x, y + 1, 0)
                         + f.at(x, y - 1, 0))
                     - f.at(x, y, 0);
                 worst = worst.max(r.abs());
@@ -129,7 +140,11 @@ mod tests {
 
     #[test]
     fn snapshots_converge_monotonically_in_residual() {
-        let cfg = Laplace { n: 24, iterations: 1000, amplitude: 5.0 };
+        let cfg = Laplace {
+            n: 24,
+            iterations: 1000,
+            amplitude: 5.0,
+        };
         let snaps = cfg.snapshots(4);
         assert_eq!(snaps.len(), 4);
         let res = |f: &Field| {
@@ -138,7 +153,9 @@ mod tests {
             for y in 1..n - 1 {
                 for x in 1..n - 1 {
                     let r = 0.25
-                        * (f.at(x + 1, y, 0) + f.at(x - 1, y, 0) + f.at(x, y + 1, 0)
+                        * (f.at(x + 1, y, 0)
+                            + f.at(x - 1, y, 0)
+                            + f.at(x, y + 1, 0)
                             + f.at(x, y - 1, 0))
                         - f.at(x, y, 0);
                     s += r * r;

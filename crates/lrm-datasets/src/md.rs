@@ -19,8 +19,7 @@
 
 use crate::field::Field;
 use lrm_compress::Shape;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use lrm_rng::Rng64;
 
 /// Shared MD engine parameters.
 #[derive(Debug, Clone, Copy)]
@@ -78,13 +77,13 @@ impl MdState {
                 }
             }
         }
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut rng = Rng64::new(cfg.seed);
         let vel: Vec<[f64; 3]> = (0..n)
             .map(|_| {
                 [
-                    rng.gen_range(-0.5..0.5),
-                    rng.gen_range(-0.5..0.5),
-                    rng.gen_range(-0.5..0.5),
+                    rng.range_f64(-0.5, 0.5),
+                    rng.range_f64(-0.5, 0.5),
+                    rng.range_f64(-0.5, 0.5),
                 ]
             })
             .collect();
@@ -372,14 +371,20 @@ mod tests {
 
     #[test]
     fn umbrella_output_has_expected_size() {
-        let u = Umbrella { md: tiny_md(), ..Default::default() };
+        let u = Umbrella {
+            md: tiny_md(),
+            ..Default::default()
+        };
         let f = u.solve();
         assert_eq!(f.len(), 27 * 3);
     }
 
     #[test]
     fn positions_stay_in_box() {
-        let u = Umbrella { md: tiny_md(), ..Default::default() };
+        let u = Umbrella {
+            md: tiny_md(),
+            ..Default::default()
+        };
         let f = u.solve();
         for &c in &f.data {
             assert!((0.0..=12.0).contains(&c), "coordinate {c} escaped the box");
@@ -390,26 +395,37 @@ mod tests {
     fn tagged_particle_stays_near_anchor() {
         let mut cfg = tiny_md();
         cfg.steps = 100;
-        let u = Umbrella { md: cfg, k_spring: 200.0 };
+        let u = Umbrella {
+            md: cfg,
+            k_spring: 200.0,
+        };
         let f = u.solve();
         let anchor = 6.0;
         // Particle 0 is tethered to the box center by a stiff spring.
         for k in 0..3 {
-            let d = (f.data[k] - anchor).abs().min(12.0 - (f.data[k] - anchor).abs());
+            let d = (f.data[k] - anchor)
+                .abs()
+                .min(12.0 - (f.data[k] - anchor).abs());
             assert!(d < 3.0, "tagged particle drifted: axis {k}, dist {d}");
         }
     }
 
     #[test]
     fn virtual_sites_adds_one_site_per_triplet() {
-        let v = VirtualSites { md: tiny_md(), ..Default::default() };
+        let v = VirtualSites {
+            md: tiny_md(),
+            ..Default::default()
+        };
         let f = v.solve();
         assert_eq!(f.len(), 27 * 3 + 9 * 3);
     }
 
     #[test]
     fn runs_are_deterministic() {
-        let u = Umbrella { md: tiny_md(), ..Default::default() };
+        let u = Umbrella {
+            md: tiny_md(),
+            ..Default::default()
+        };
         assert_eq!(u.solve().data, u.solve().data);
     }
 
@@ -419,8 +435,16 @@ mod tests {
         a.seed = 1;
         let mut b = tiny_md();
         b.seed = 2;
-        let fa = Umbrella { md: a, ..Default::default() }.solve();
-        let fb = Umbrella { md: b, ..Default::default() }.solve();
+        let fa = Umbrella {
+            md: a,
+            ..Default::default()
+        }
+        .solve();
+        let fb = Umbrella {
+            md: b,
+            ..Default::default()
+        }
+        .solve();
         assert_ne!(fa.data, fb.data);
     }
 
@@ -434,14 +458,20 @@ mod tests {
 
     #[test]
     fn energies_stay_finite() {
-        let u = Umbrella { md: tiny_md(), ..Default::default() };
+        let u = Umbrella {
+            md: tiny_md(),
+            ..Default::default()
+        };
         let f = u.solve();
         assert!(f.data.iter().all(|v| v.is_finite()));
     }
 
     #[test]
     fn snapshots_count() {
-        let u = Umbrella { md: tiny_md(), ..Default::default() };
+        let u = Umbrella {
+            md: tiny_md(),
+            ..Default::default()
+        };
         assert_eq!(u.snapshots(5).len(), 5);
     }
 }

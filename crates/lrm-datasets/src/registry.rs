@@ -106,65 +106,156 @@ fn heat3d_cfg(size: SizeClass) -> Heat3d {
         // a short physical time, so the fine-scale initial structure is
         // still present in every snapshot (exactly the regime the paper's
         // Table II statistics show).
-        SizeClass::Tiny => Heat3d { n: 16, steps: 400, dt_factor: 0.02, ..Default::default() },
-        SizeClass::Small => Heat3d { n: 48, steps: 4000, dt_factor: 0.004, ..Default::default() },
-        SizeClass::Paper => Heat3d { n: 192, steps: 50_000, dt_factor: 0.004, ..Default::default() },
+        SizeClass::Tiny => Heat3d {
+            n: 16,
+            steps: 400,
+            dt_factor: 0.02,
+            ..Default::default()
+        },
+        SizeClass::Small => Heat3d {
+            n: 48,
+            steps: 4000,
+            dt_factor: 0.004,
+            ..Default::default()
+        },
+        SizeClass::Paper => Heat3d {
+            n: 192,
+            steps: 50_000,
+            dt_factor: 0.004,
+            ..Default::default()
+        },
     }
 }
 
 fn laplace_cfg(size: SizeClass) -> Laplace {
     match size {
-        SizeClass::Tiny => Laplace { n: 16, iterations: 60, ..Default::default() },
-        SizeClass::Small => Laplace { n: 64, iterations: 1500, ..Default::default() },
-        SizeClass::Paper => Laplace { n: 192, iterations: 12_000, ..Default::default() },
+        SizeClass::Tiny => Laplace {
+            n: 16,
+            iterations: 60,
+            ..Default::default()
+        },
+        SizeClass::Small => Laplace {
+            n: 64,
+            iterations: 1500,
+            ..Default::default()
+        },
+        SizeClass::Paper => Laplace {
+            n: 192,
+            iterations: 12_000,
+            ..Default::default()
+        },
     }
 }
 
 fn wave_cfg(size: SizeClass) -> Wave {
     match size {
-        SizeClass::Tiny => Wave { n: 128, steps: 60, ..Default::default() },
-        SizeClass::Small => Wave { n: 4096, steps: 1500, ..Default::default() },
-        SizeClass::Paper => Wave { n: 65_536, steps: 20_000, ..Default::default() },
+        SizeClass::Tiny => Wave {
+            n: 128,
+            steps: 60,
+            ..Default::default()
+        },
+        SizeClass::Small => Wave {
+            n: 4096,
+            steps: 1500,
+            ..Default::default()
+        },
+        SizeClass::Paper => Wave {
+            n: 65_536,
+            steps: 20_000,
+            ..Default::default()
+        },
     }
 }
 
 fn md_cfg(size: SizeClass) -> MdConfig {
     match size {
-        SizeClass::Tiny => MdConfig { n_atoms: 27, steps: 15, ..Default::default() },
-        SizeClass::Small => MdConfig { n_atoms: 490, steps: 60, ..Default::default() },
-        SizeClass::Paper => MdConfig { n_atoms: 1960, steps: 200, ..Default::default() },
+        SizeClass::Tiny => MdConfig {
+            n_atoms: 27,
+            steps: 15,
+            ..Default::default()
+        },
+        SizeClass::Small => MdConfig {
+            n_atoms: 490,
+            steps: 60,
+            ..Default::default()
+        },
+        SizeClass::Paper => MdConfig {
+            n_atoms: 1960,
+            steps: 200,
+            ..Default::default()
+        },
     }
 }
 
 fn astro_cfg(size: SizeClass) -> Astro {
     match size {
-        SizeClass::Tiny => Astro { n: 16, ..Default::default() },
-        SizeClass::Small => Astro { n: 64, ..Default::default() },
-        SizeClass::Paper => Astro { n: 128, ..Default::default() },
+        SizeClass::Tiny => Astro {
+            n: 16,
+            ..Default::default()
+        },
+        SizeClass::Small => Astro {
+            n: 64,
+            ..Default::default()
+        },
+        SizeClass::Paper => Astro {
+            n: 128,
+            ..Default::default()
+        },
     }
 }
 
 fn fish_cfg(size: SizeClass) -> Fish {
     match size {
-        SizeClass::Tiny => Fish { nx: 24, ny: 16, ..Default::default() },
-        SizeClass::Small => Fish { nx: 128, ny: 96, ..Default::default() },
-        SizeClass::Paper => Fish { nx: 512, ny: 384, ..Default::default() },
+        SizeClass::Tiny => Fish {
+            nx: 24,
+            ny: 16,
+            ..Default::default()
+        },
+        SizeClass::Small => Fish {
+            nx: 128,
+            ny: 96,
+            ..Default::default()
+        },
+        SizeClass::Paper => Fish {
+            nx: 512,
+            ny: 384,
+            ..Default::default()
+        },
     }
 }
 
 fn sedov_cfg(size: SizeClass) -> Sedov {
     match size {
-        SizeClass::Tiny => Sedov { n: 16, ..Default::default() },
-        SizeClass::Small => Sedov { n: 64, ..Default::default() },
-        SizeClass::Paper => Sedov { n: 128, ..Default::default() },
+        SizeClass::Tiny => Sedov {
+            n: 16,
+            ..Default::default()
+        },
+        SizeClass::Small => Sedov {
+            n: 64,
+            ..Default::default()
+        },
+        SizeClass::Paper => Sedov {
+            n: 128,
+            ..Default::default()
+        },
     }
 }
 
 fn yf17_cfg(size: SizeClass) -> Yf17 {
     match size {
-        SizeClass::Tiny => Yf17 { nx: 24, ny: 12, nz: 8, ..Default::default() },
+        SizeClass::Tiny => Yf17 {
+            nx: 24,
+            ny: 12,
+            nz: 8,
+            ..Default::default()
+        },
         SizeClass::Small => Yf17::default(),
-        SizeClass::Paper => Yf17 { nx: 192, ny: 96, nz: 64, ..Default::default() },
+        SizeClass::Paper => Yf17 {
+            nx: 192,
+            ny: 96,
+            nz: 64,
+            ..Default::default()
+        },
     }
 }
 
@@ -198,14 +289,20 @@ pub fn generate(kind: DatasetKind, size: SizeClass) -> ModelPair {
             }
         }
         DatasetKind::Umbrella => {
-            let u = Umbrella { md: md_cfg(size), ..Default::default() };
+            let u = Umbrella {
+                md: md_cfg(size),
+                ..Default::default()
+            };
             ModelPair {
                 full: u.solve(),
                 reduced: u.coarse(4).solve(),
             }
         }
         DatasetKind::VirtualSites => {
-            let v = VirtualSites { md: md_cfg(size), ..Default::default() };
+            let v = VirtualSites {
+                md: md_cfg(size),
+                ..Default::default()
+            };
             ModelPair {
                 full: v.solve(),
                 reduced: v.coarse(4).solve(),
@@ -250,12 +347,18 @@ pub fn reduced_snapshots(kind: DatasetKind, count: usize, size: SizeClass) -> Ve
         DatasetKind::Heat3d => heat3d_cfg(size).coarse(4).snapshots(count),
         DatasetKind::Laplace => laplace_cfg(size).coarse(4).snapshots(count),
         DatasetKind::Wave => wave_cfg(size).coarse(4).snapshots(count),
-        DatasetKind::Umbrella => Umbrella { md: md_cfg(size), ..Default::default() }
-            .coarse(4)
-            .snapshots(count),
-        DatasetKind::VirtualSites => VirtualSites { md: md_cfg(size), ..Default::default() }
-            .coarse(4)
-            .snapshots(count),
+        DatasetKind::Umbrella => Umbrella {
+            md: md_cfg(size),
+            ..Default::default()
+        }
+        .coarse(4)
+        .snapshots(count),
+        DatasetKind::VirtualSites => VirtualSites {
+            md: md_cfg(size),
+            ..Default::default()
+        }
+        .coarse(4)
+        .snapshots(count),
         DatasetKind::Astro => astro_cfg(size).reduced().snapshots(count),
         DatasetKind::Fish => fish_cfg(size).reduced().snapshots(count),
         DatasetKind::SedovPres => sedov_cfg(size).reduced().snapshots(count),
@@ -270,12 +373,16 @@ pub fn snapshots(kind: DatasetKind, count: usize, size: SizeClass) -> Vec<Field>
         DatasetKind::Heat3d => heat3d_cfg(size).snapshots(count),
         DatasetKind::Laplace => laplace_cfg(size).snapshots(count),
         DatasetKind::Wave => wave_cfg(size).snapshots(count),
-        DatasetKind::Umbrella => {
-            Umbrella { md: md_cfg(size), ..Default::default() }.snapshots(count)
+        DatasetKind::Umbrella => Umbrella {
+            md: md_cfg(size),
+            ..Default::default()
         }
-        DatasetKind::VirtualSites => {
-            VirtualSites { md: md_cfg(size), ..Default::default() }.snapshots(count)
+        .snapshots(count),
+        DatasetKind::VirtualSites => VirtualSites {
+            md: md_cfg(size),
+            ..Default::default()
         }
+        .snapshots(count),
         DatasetKind::Astro => astro_cfg(size).snapshots(count),
         DatasetKind::Fish => fish_cfg(size).snapshots(count),
         DatasetKind::SedovPres => sedov_cfg(size).snapshots(count),

@@ -90,10 +90,9 @@ impl Sedov {
         for z in 0..n {
             for y in 0..n {
                 for x in 0..n {
-                    let r = ((x as f64 * h).powi(2)
-                        + (y as f64 * h).powi(2)
-                        + (z as f64 * h).powi(2))
-                    .sqrt();
+                    let r =
+                        ((x as f64 * h).powi(2) + (y as f64 * h).powi(2) + (z as f64 * h).powi(2))
+                            .sqrt();
                     let p = if r < r_s {
                         // Interior profile: plateau at the center rising
                         // steeply (≈ (r/R)^{3γ}) toward the front.
@@ -154,13 +153,20 @@ mod tests {
 
     #[test]
     fn pressure_is_positive_and_finite() {
-        let f = Sedov { n: 24, ..Default::default() }.solve();
+        let f = Sedov {
+            n: 24,
+            ..Default::default()
+        }
+        .solve();
         assert!(f.data.iter().all(|&p| p.is_finite() && p > 0.0));
     }
 
     #[test]
     fn peak_pressure_sits_at_the_shock() {
-        let s = Sedov { n: 48, ..Default::default() };
+        let s = Sedov {
+            n: 48,
+            ..Default::default()
+        };
         let f = s.solve();
         let (_, hi) = f.min_max();
         // The peak is the Rankine–Hugoniot value (up to front smearing).
@@ -170,17 +176,27 @@ mod tests {
 
     #[test]
     fn center_is_a_plateau_below_the_front() {
-        let s = Sedov { n: 48, ..Default::default() };
+        let s = Sedov {
+            n: 48,
+            ..Default::default()
+        };
         let f = s.solve();
         let center = f.at(0, 0, 0);
         let (_, hi) = f.min_max();
         assert!(center < hi, "plateau {center} must lie below peak {hi}");
-        assert!(center > 0.2 * hi, "plateau {center} should be a sizable fraction of {hi}");
+        assert!(
+            center > 0.2 * hi,
+            "plateau {center} should be a sizable fraction of {hi}"
+        );
     }
 
     #[test]
     fn ambient_region_is_near_ambient_pressure() {
-        let s = Sedov { n: 32, steps: 2000, ..Default::default() };
+        let s = Sedov {
+            n: 32,
+            steps: 2000,
+            ..Default::default()
+        };
         let f = s.solve();
         let corner = f.at(31, 31, 31);
         assert!(corner < 10.0 * s.p_ambient + s.shock_pressure() * 1e-3);
@@ -188,8 +204,14 @@ mod tests {
 
     #[test]
     fn shock_expands_with_steps() {
-        let a = Sedov { steps: 5000, ..Default::default() };
-        let b = Sedov { steps: 20_000, ..Default::default() };
+        let a = Sedov {
+            steps: 5000,
+            ..Default::default()
+        };
+        let b = Sedov {
+            steps: 20_000,
+            ..Default::default()
+        };
         assert!(b.shock_radius() > a.shock_radius());
     }
 
@@ -203,7 +225,11 @@ mod tests {
 
     #[test]
     fn snapshots_are_ordered_in_time() {
-        let snaps = Sedov { n: 16, ..Default::default() }.snapshots(3);
+        let snaps = Sedov {
+            n: 16,
+            ..Default::default()
+        }
+        .snapshots(3);
         assert_eq!(snaps.len(), 3);
     }
 }

@@ -94,7 +94,11 @@ impl Wave {
             }
         }
         if out.len() < count {
-            out.push(Field::new(format!("wave/n={n}/step={}", self.steps), cur, shape));
+            out.push(Field::new(
+                format!("wave/n={n}/step={}", self.steps),
+                cur,
+                shape,
+            ));
         }
         out
     }
@@ -117,14 +121,23 @@ mod tests {
     fn displacement_stays_bounded() {
         // A stable leapfrog solve conserves (discrete) energy; the
         // amplitude must not blow up.
-        let f = Wave { n: 512, steps: 1500, ..Default::default() }.solve();
+        let f = Wave {
+            n: 512,
+            steps: 1500,
+            ..Default::default()
+        }
+        .solve();
         let (lo, hi) = f.min_max();
         assert!(hi < 2.0 && lo > -2.0, "({lo}, {hi})");
     }
 
     #[test]
     fn pulse_propagates() {
-        let cfg = Wave { n: 512, steps: 200, ..Default::default() };
+        let cfg = Wave {
+            n: 512,
+            steps: 200,
+            ..Default::default()
+        };
         let snaps = cfg.snapshots(2);
         // The pulse peak must move from its initial location.
         let peak_at = |f: &Field| {
@@ -142,14 +155,24 @@ mod tests {
 
     #[test]
     fn boundaries_stay_fixed() {
-        let f = Wave { n: 256, steps: 777, ..Default::default() }.solve();
+        let f = Wave {
+            n: 256,
+            steps: 777,
+            ..Default::default()
+        }
+        .solve();
         assert_eq!(f.data[0], 0.0);
         assert_eq!(f.data[255], 0.0);
     }
 
     #[test]
     fn snapshot_count_is_exact() {
-        let snaps = Wave { n: 128, steps: 37, ..Default::default() }.snapshots(7);
+        let snaps = Wave {
+            n: 128,
+            steps: 37,
+            ..Default::default()
+        }
+        .snapshots(7);
         assert_eq!(snaps.len(), 7);
     }
 

@@ -54,7 +54,8 @@ impl Yf17 {
                     let fy = y as f64 / (ny - 1) as f64;
                     let fz = z as f64 / (nz - 1) as f64;
                     // Signed ellipsoid distance (<1 inside).
-                    let e = ((fx - cx) / ax).powi(2) + ((fy - cy) / ay).powi(2)
+                    let e = ((fx - cx) / ax).powi(2)
+                        + ((fy - cy) / ay).powi(2)
                         + ((fz - cz) / az).powi(2);
                     let d = e.sqrt() - 1.0; // ~ normalized wall distance
                     let mut t = self.t_inf;
@@ -119,7 +120,13 @@ mod tests {
 
     #[test]
     fn temperatures_are_physical() {
-        let f = Yf17 { nx: 32, ny: 16, nz: 12, ..Default::default() }.solve();
+        let f = Yf17 {
+            nx: 32,
+            ny: 16,
+            nz: 12,
+            ..Default::default()
+        }
+        .solve();
         for &t in &f.data {
             assert!(t.is_finite() && t > 200.0 && t < 400.0, "T = {t}");
         }
@@ -162,7 +169,13 @@ mod tests {
 
     #[test]
     fn warmup_snapshots_increase_peak() {
-        let snaps = Yf17 { nx: 24, ny: 12, nz: 8, ..Default::default() }.snapshots(3);
+        let snaps = Yf17 {
+            nx: 24,
+            ny: 12,
+            nz: 8,
+            ..Default::default()
+        }
+        .snapshots(3);
         let peak = |f: &Field| f.min_max().1;
         assert!(peak(&snaps[2]) > peak(&snaps[0]));
     }

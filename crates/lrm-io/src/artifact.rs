@@ -37,7 +37,9 @@ impl Artifact {
 
     /// Iterates `(name, bytes)` pairs in insertion order.
     pub fn sections(&self) -> impl Iterator<Item = (&str, &[u8])> {
-        self.sections.iter().map(|(n, b)| (n.as_str(), b.as_slice()))
+        self.sections
+            .iter()
+            .map(|(n, b)| (n.as_str(), b.as_slice()))
     }
 
     /// Number of sections.
@@ -83,7 +85,9 @@ impl Artifact {
         for _ in 0..count {
             let nlen = u32::from_le_bytes(data.get(pos..pos + 4)?.try_into().ok()?) as usize;
             pos += 4;
-            let name = std::str::from_utf8(data.get(pos..pos + nlen)?).ok()?.to_string();
+            let name = std::str::from_utf8(data.get(pos..pos + nlen)?)
+                .ok()?
+                .to_string();
             pos += nlen;
             let blen = u64::from_le_bytes(data.get(pos..pos + 8)?.try_into().ok()?) as usize;
             pos += 8;

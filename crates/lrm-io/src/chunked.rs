@@ -1,0 +1,294 @@
+//! Multi-chunk artifact container for the chunk-parallel pipeline.
+//!
+//! The chunk engine decomposes a field into z-slabs and compresses each
+//! slab independently; the result is one [`ChunkedArtifact`]: a
+//! self-describing header (format version, global dims, chunk count,
+//! per-chunk directory) followed by the per-chunk payloads, each of which
+//! is a complete single-chunk [`Artifact`](crate::Artifact) stream.
+//!
+//! # Wire layout (version 1)
+//!
+//! | offset | size | field |
+//! |-------:|-----:|-------|
+//! | 0      | 4    | magic `"LRMC"` |
+//! | 4      | 2    | format version (`1`) |
+//! | 6      | 12   | global dims, 3 × `u32` LE |
+//! | 18     | 4    | chunk count `C`, `u32` LE |
+//! | 22     | 25·C | chunk directory (below) |
+//! | …      | —    | concatenated chunk payloads |
+//!
+//! Each directory entry is 25 bytes: `z_offset: u32`, `dims: 3 × u32`,
+//! `model_tag: u8`, `payload_len: u64` (all LE). Payload `i` starts where
+//! payload `i-1` ends; the directory carries lengths, not offsets, so the
+//! container can be streamed out without back-patching.
+//!
+//! # Versioning
+//!
+//! * A stream starting with `"LRM1"` is a **version-0** single-chunk
+//!   artifact — the format that predates chunking.
+//!   [`ChunkedArtifact::from_bytes`] wraps it as a one-chunk container
+//!   with unknown dims (`[0, 0, 0]`), so every pre-chunking artifact
+//!   still decodes.
+//! * Version numbers only grow; decoders reject versions they don't
+//!   know rather than guessing at the layout.
+
+/// Magic bytes identifying a chunked artifact stream.
+const MAGIC: &[u8; 4] = b"LRMC";
+
+/// Magic of the version-0 (single-chunk) artifact format.
+const MAGIC_V0: &[u8; 4] = b"LRM1";
+
+/// Current wire-format version.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// Bytes per chunk-directory entry.
+const ENTRY_LEN: usize = 25;
+
+/// Bytes before the chunk directory starts.
+const HEADER_LEN: usize = 22;
+
+/// Directory entry describing one chunk of a [`ChunkedArtifact`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkEntry {
+    /// First global z-plane covered by this chunk.
+    pub z_offset: u32,
+    /// Chunk dims `[nx, ny, nz]`.
+    pub dims: [u32; 3],
+    /// Reduced-model tag the chunk was preconditioned with (the same tag
+    /// stored inside the chunk's own metadata; surfaced here so tooling
+    /// can inspect a container without parsing payloads).
+    pub model_tag: u8,
+}
+
+/// A multi-chunk compressed snapshot: header + per-chunk payloads.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChunkedArtifact {
+    /// Global field dims `[nx, ny, nz]` (all zero when wrapped from a
+    /// version-0 stream, which carries its own shape in chunk metadata).
+    pub global_dims: [u32; 3],
+    chunks: Vec<(ChunkEntry, Vec<u8>)>,
+}
+
+impl ChunkedArtifact {
+    /// An empty container for the given global dims.
+    pub fn new(global_dims: [u32; 3]) -> Self {
+        Self {
+            global_dims,
+            chunks: Vec::new(),
+        }
+    }
+
+    /// Appends a chunk. Chunks must be pushed in ascending `z_offset`
+    /// order — the decoder scatters them back by directory order.
+    pub fn push(&mut self, entry: ChunkEntry, payload: Vec<u8>) {
+        self.chunks.push((entry, payload));
+    }
+
+    /// Number of chunks.
+    pub fn len(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// True when no chunks are present.
+    pub fn is_empty(&self) -> bool {
+        self.chunks.is_empty()
+    }
+
+    /// Iterates `(entry, payload)` pairs in directory order.
+    pub fn chunks(&self) -> impl Iterator<Item = (&ChunkEntry, &[u8])> {
+        self.chunks.iter().map(|(e, p)| (e, p.as_slice()))
+    }
+
+    /// Total payload bytes across chunks (excludes header overhead, like
+    /// [`Artifact::payload_bytes`](crate::Artifact::payload_bytes)).
+    pub fn payload_bytes(&self) -> usize {
+        self.chunks.iter().map(|(_, p)| p.len()).sum()
+    }
+
+    /// Serialized size: header + directory + payloads.
+    pub fn nbytes(&self) -> usize {
+        HEADER_LEN + self.chunks.len() * ENTRY_LEN + self.payload_bytes()
+    }
+
+    /// Serializes into the version-1 wire layout.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.nbytes());
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        for d in self.global_dims {
+            out.extend_from_slice(&d.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.chunks.len() as u32).to_le_bytes());
+        for (e, p) in &self.chunks {
+            out.extend_from_slice(&e.z_offset.to_le_bytes());
+            for d in e.dims {
+                out.extend_from_slice(&d.to_le_bytes());
+            }
+            out.push(e.model_tag);
+            out.extend_from_slice(&(p.len() as u64).to_le_bytes());
+        }
+        for (_, p) in &self.chunks {
+            out.extend_from_slice(p);
+        }
+        out
+    }
+
+    /// Parses a chunked stream, or wraps a version-0 single-chunk stream
+    /// as a one-chunk container. Returns `None` on any structural error
+    /// (bad magic, unknown version, truncation).
+    pub fn from_bytes(b: &[u8]) -> Option<Self> {
+        if b.len() >= 4 && &b[..4] == MAGIC_V0 {
+            // Version-0 backward compatibility: the whole stream is one
+            // chunk; its shape lives in its own metadata.
+            return Some(Self {
+                global_dims: [0, 0, 0],
+                chunks: vec![(
+                    ChunkEntry {
+                        z_offset: 0,
+                        dims: [0, 0, 0],
+                        model_tag: 0,
+                    },
+                    b.to_vec(),
+                )],
+            });
+        }
+        if b.len() < HEADER_LEN || &b[..4] != MAGIC {
+            return None;
+        }
+        let u32_at = |pos: usize| -> Option<u32> {
+            Some(u32::from_le_bytes(b.get(pos..pos + 4)?.try_into().ok()?))
+        };
+        let version = u16::from_le_bytes(b[4..6].try_into().ok()?);
+        if version != FORMAT_VERSION {
+            return None;
+        }
+        let global_dims = [u32_at(6)?, u32_at(10)?, u32_at(14)?];
+        let count = u32_at(18)? as usize;
+
+        let mut entries = Vec::with_capacity(count);
+        let mut lens = Vec::with_capacity(count);
+        for i in 0..count {
+            let pos = HEADER_LEN + i * ENTRY_LEN;
+            if b.len() < pos + ENTRY_LEN {
+                return None;
+            }
+            entries.push(ChunkEntry {
+                z_offset: u32_at(pos)?,
+                dims: [u32_at(pos + 4)?, u32_at(pos + 8)?, u32_at(pos + 12)?],
+                model_tag: b[pos + 16],
+            });
+            lens.push(u64::from_le_bytes(b[pos + 17..pos + 25].try_into().ok()?) as usize);
+        }
+
+        let mut pos = HEADER_LEN + count * ENTRY_LEN;
+        let mut chunks = Vec::with_capacity(count);
+        for (entry, len) in entries.into_iter().zip(lens) {
+            let payload = b.get(pos..pos + len)?.to_vec();
+            pos += len;
+            chunks.push((entry, payload));
+        }
+        if pos != b.len() {
+            return None; // trailing garbage
+        }
+        Some(Self {
+            global_dims,
+            chunks,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ChunkedArtifact {
+        let mut c = ChunkedArtifact::new([16, 16, 16]);
+        c.push(
+            ChunkEntry {
+                z_offset: 0,
+                dims: [16, 16, 8],
+                model_tag: 4,
+            },
+            vec![1, 2, 3, 4, 5],
+        );
+        c.push(
+            ChunkEntry {
+                z_offset: 8,
+                dims: [16, 16, 8],
+                model_tag: 4,
+            },
+            vec![9, 9],
+        );
+        c
+    }
+
+    #[test]
+    fn header_roundtrips() {
+        let c = sample();
+        let bytes = c.to_bytes();
+        assert_eq!(bytes.len(), c.nbytes());
+        let d = ChunkedArtifact::from_bytes(&bytes).expect("parse");
+        assert_eq!(c, d);
+        assert_eq!(d.global_dims, [16, 16, 16]);
+        assert_eq!(d.len(), 2);
+        let parts: Vec<_> = d.chunks().collect();
+        assert_eq!(parts[0].0.z_offset, 0);
+        assert_eq!(parts[1].0.z_offset, 8);
+        assert_eq!(parts[0].1, &[1, 2, 3, 4, 5]);
+        assert_eq!(parts[1].1, &[9, 9]);
+    }
+
+    #[test]
+    fn empty_container_roundtrips() {
+        let c = ChunkedArtifact::new([4, 4, 4]);
+        let d = ChunkedArtifact::from_bytes(&c.to_bytes()).expect("parse");
+        assert!(d.is_empty());
+        assert_eq!(d.global_dims, [4, 4, 4]);
+    }
+
+    #[test]
+    fn version0_stream_wraps_as_single_chunk() {
+        // A pre-chunking artifact begins with "LRM1"; it must come back
+        // as a one-chunk container holding the stream verbatim.
+        let mut a = crate::Artifact::new();
+        a.push("meta", vec![7, 7, 7]);
+        a.push("delta", vec![1, 2, 3]);
+        let v0 = a.to_bytes();
+        let c = ChunkedArtifact::from_bytes(&v0).expect("v0 wrap");
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.global_dims, [0, 0, 0]);
+        let (entry, payload) = c.chunks().next().expect("one chunk");
+        assert_eq!(entry.z_offset, 0);
+        assert_eq!(payload, &v0[..]);
+    }
+
+    #[test]
+    fn corrupt_streams_are_rejected() {
+        let good = sample().to_bytes();
+        // Bad magic.
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert_eq!(ChunkedArtifact::from_bytes(&bad), None);
+        // Unknown (future) version.
+        let mut bad = good.clone();
+        bad[4] = 99;
+        assert_eq!(ChunkedArtifact::from_bytes(&bad), None);
+        // Truncated payload.
+        assert_eq!(ChunkedArtifact::from_bytes(&good[..good.len() - 1]), None);
+        // Truncated directory.
+        assert_eq!(ChunkedArtifact::from_bytes(&good[..30]), None);
+        // Trailing garbage.
+        let mut bad = good.clone();
+        bad.push(0);
+        assert_eq!(ChunkedArtifact::from_bytes(&bad), None);
+        // Too short for a header.
+        assert_eq!(ChunkedArtifact::from_bytes(b"LRMC"), None);
+    }
+
+    #[test]
+    fn payload_accounting_matches() {
+        let c = sample();
+        assert_eq!(c.payload_bytes(), 7);
+        assert_eq!(c.nbytes(), 22 + 2 * 25 + 7);
+    }
+}

@@ -98,10 +98,7 @@ mod tests {
     use super::*;
 
     fn tmp_store(tag: &str) -> DiskStore {
-        let dir = std::env::temp_dir().join(format!(
-            "lrm-disk-test-{tag}-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("lrm-disk-test-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         DiskStore::open(&dir).expect("open store")
     }

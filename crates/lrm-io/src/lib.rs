@@ -6,20 +6,25 @@
 //!
 //! * [`artifact::Artifact`] — the on-disk format for a preconditioned
 //!   snapshot (reduced representation + compressed delta + metadata).
+//! * [`chunked::ChunkedArtifact`] — the multi-chunk container the
+//!   chunk-parallel engine writes: a versioned header with a per-chunk
+//!   directory over independent single-chunk artifact payloads.
 //! * [`storage::StorageModel`] / [`storage::InterconnectModel`] — the
 //!   parametric timing model for Titan-style Lustre N-to-N writes and the
 //!   staging interconnect (substitution documented in DESIGN.md).
 //! * [`staging::StagingPipeline`] — a real producer/consumer staging
-//!   implementation over crossbeam channels, demonstrating that a slow
+//!   implementation over bounded channels, demonstrating that a slow
 //!   preconditioner costs the application almost nothing once staging
 //!   absorbs it.
 
 pub mod artifact;
+pub mod chunked;
 pub mod disk;
 pub mod staging;
 pub mod storage;
 
 pub use artifact::Artifact;
+pub use chunked::{ChunkEntry, ChunkedArtifact, FORMAT_VERSION};
 pub use disk::{DiskStore, WriteReceipt};
 pub use staging::{StagedResult, StagingPipeline};
 pub use storage::{table4_rows, EndToEndRow, InterconnectModel, StorageModel};

@@ -3,16 +3,15 @@
 //! The last row of Table IV offloads compression and I/O to a staging
 //! node so the simulation only blocks for the interconnect transfer.
 //! [`StagingPipeline`] reproduces that architecture in-process: the
-//! application thread `submit`s raw snapshots into a bounded crossbeam
+//! application thread `submit`s raw snapshots into a bounded std mpsc
 //! channel (the "interconnect"), a staging thread drains it, applies a
 //! caller-supplied processing closure (compression) and "writes" the
-//! result to an in-memory store guarded by a parking_lot mutex. The
+//! result to an in-memory store guarded by a mutex. The
 //! application-visible cost of a submit is just the channel hand-off,
 //! exactly like the paper's staging row.
 
-use crossbeam::channel::{bounded, Sender};
-use parking_lot::Mutex;
-use std::sync::Arc;
+use std::sync::mpsc::{sync_channel, SyncSender};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -37,7 +36,7 @@ pub struct StagedResult {
 
 /// Handle to a running staging pipeline.
 pub struct StagingPipeline {
-    tx: Option<Sender<StagedItem>>,
+    tx: Option<SyncSender<StagedItem>>,
     worker: Option<JoinHandle<()>>,
     store: Arc<Mutex<Vec<StagedResult>>>,
     submit_time: Arc<Mutex<Duration>>,
@@ -51,17 +50,20 @@ impl StagingPipeline {
     where
         F: Fn(&str, &[f64]) -> Vec<u8> + Send + 'static,
     {
-        let (tx, rx) = bounded::<StagedItem>(capacity.max(1));
+        let (tx, rx) = sync_channel::<StagedItem>(capacity.max(1));
         let store: Arc<Mutex<Vec<StagedResult>>> = Arc::new(Mutex::new(Vec::new()));
         let store2 = Arc::clone(&store);
         let worker = std::thread::spawn(move || {
             for item in rx {
                 let out = process(&item.name, &item.data);
-                store2.lock().push(StagedResult {
-                    name: item.name,
-                    raw_bytes: item.data.len() * 8,
-                    stored_bytes: out.len(),
-                });
+                store2
+                    .lock()
+                    .expect("staging store poisoned")
+                    .push(StagedResult {
+                        name: item.name,
+                        raw_bytes: item.data.len() * 8,
+                        stored_bytes: out.len(),
+                    });
             }
         });
         Self {
@@ -84,12 +86,12 @@ impl StagingPipeline {
                 data,
             })
             .expect("staging worker died");
-        *self.submit_time.lock() += t0.elapsed();
+        *self.submit_time.lock().expect("staging timer poisoned") += t0.elapsed();
     }
 
     /// Cumulative time the application spent blocked in `submit`.
     pub fn application_blocked_time(&self) -> Duration {
-        *self.submit_time.lock()
+        *self.submit_time.lock().expect("staging timer poisoned")
     }
 
     /// Shuts down: waits for the staging node to drain the queue and
@@ -99,7 +101,7 @@ impl StagingPipeline {
         if let Some(w) = self.worker.take() {
             w.join().expect("staging worker panicked");
         }
-        let results = self.store.lock().clone();
+        let results = self.store.lock().expect("staging store poisoned").clone();
         results
     }
 }

@@ -105,13 +105,7 @@ mod tests {
 
     #[test]
     fn diagonal_matrix_eigenvalues_are_sorted_entries() {
-        let a = Matrix::from_fn(3, 3, |r, c| {
-            if r == c {
-                [2.0, 5.0, 1.0][r]
-            } else {
-                0.0
-            }
-        });
+        let a = Matrix::from_fn(3, 3, |r, c| if r == c { [2.0, 5.0, 1.0][r] } else { 0.0 });
         let e = symmetric_eigen(&a);
         assert!((e.values[0] - 5.0).abs() < 1e-12);
         assert!((e.values[1] - 2.0).abs() < 1e-12);
@@ -140,7 +134,9 @@ mod tests {
 
     #[test]
     fn eigenvectors_are_orthonormal() {
-        let a = Matrix::from_fn(6, 6, |r, c| ((r * c) as f64 * 0.3).sin() + ((c * r) as f64 * 0.3).sin());
+        let a = Matrix::from_fn(6, 6, |r, c| {
+            ((r * c) as f64 * 0.3).sin() + ((c * r) as f64 * 0.3).sin()
+        });
         let e = symmetric_eigen(&a);
         let vtv = e.vectors.transpose().matmul(&e.vectors);
         let i = Matrix::identity(6);

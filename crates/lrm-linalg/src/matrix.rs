@@ -1,8 +1,6 @@
 //! Dense row-major matrices with the operations the reduction pipeline
-//! needs: products (rayon-parallel), transposition, norms, and
-//! column-block extraction.
-
-use rayon::prelude::*;
+//! needs: products (row-parallel on the workspace worker pool),
+//! transposition, norms, and column-block extraction.
 
 /// Dense row-major `f64` matrix.
 #[derive(Debug, Clone, PartialEq)]
@@ -103,7 +101,8 @@ impl Matrix {
         t
     }
 
-    /// Matrix product `self * rhs`, parallelized over rows with rayon.
+    /// Matrix product `self * rhs`, parallelized over output rows on the
+    /// workspace worker pool.
     ///
     /// # Panics
     /// Panics on inner-dimension mismatch.
@@ -111,21 +110,20 @@ impl Matrix {
         assert_eq!(self.cols, rhs.rows, "matmul: inner dimension mismatch");
         let (m, k, n) = (self.rows, self.cols, rhs.cols);
         let mut out = vec![0.0f64; m * n];
-        out.par_chunks_mut(n)
-            .enumerate()
-            .for_each(|(r, out_row)| {
-                let a_row = &self.data[r * k..(r + 1) * k];
-                // ikj order over the rhs rows keeps access contiguous.
-                for (i, &a) in a_row.iter().enumerate() {
-                    if a == 0.0 {
-                        continue;
-                    }
-                    let b_row = &rhs.data[i * n..(i + 1) * n];
-                    for (o, &b) in out_row.iter_mut().zip(b_row) {
-                        *o += a * b;
-                    }
+        let rows: Vec<&mut [f64]> = out.chunks_mut(n.max(1)).collect();
+        lrm_parallel::WorkerPool::auto().run(rows, |r, out_row| {
+            let a_row = &self.data[r * k..(r + 1) * k];
+            // ikj order over the rhs rows keeps access contiguous.
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
                 }
-            });
+                let b_row = &rhs.data[i * n..(i + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        });
         Matrix {
             rows: m,
             cols: n,
@@ -160,11 +158,20 @@ impl Matrix {
 
     /// Element-wise difference `self - rhs`.
     pub fn sub(&self, rhs: &Matrix) -> Matrix {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "sub: shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "sub: shape mismatch"
+        );
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a - b)
+                .collect(),
         }
     }
 

@@ -183,7 +183,9 @@ mod tests {
 
     #[test]
     fn variances_descend() {
-        let data = Matrix::from_fn(60, 5, |r, c| ((r + c * 7) as f64 * 0.23).sin() * (5 - c) as f64);
+        let data = Matrix::from_fn(60, 5, |r, c| {
+            ((r + c * 7) as f64 * 0.23).sin() * (5 - c) as f64
+        });
         let pca = Pca::fit(&data);
         for w in pca.variances.windows(2) {
             assert!(w[0] >= w[1] - 1e-12);

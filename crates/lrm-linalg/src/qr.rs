@@ -67,7 +67,9 @@ mod tests {
     #[test]
     fn q_is_column_orthonormal() {
         // Full-rank: distinct frequencies per column.
-        let a = Matrix::from_fn(10, 4, |r, c| ((r as f64 + 1.0) * (c as f64 + 1.0) * 0.37).cos());
+        let a = Matrix::from_fn(10, 4, |r, c| {
+            ((r as f64 + 1.0) * (c as f64 + 1.0) * 0.37).cos()
+        });
         let (q, _) = qr(&a);
         let qtq = q.transpose().matmul(&q);
         assert!(qtq.sub(&Matrix::identity(4)).fro_norm() < 1e-10);

@@ -10,8 +10,7 @@
 use crate::matrix::Matrix;
 use crate::qr::qr;
 use crate::svd::{svd, Svd};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use lrm_rng::Rng64;
 
 /// Configuration of the randomized SVD.
 #[derive(Debug, Clone, Copy)]
@@ -43,13 +42,8 @@ pub fn randomized_svd(a: &Matrix, cfg: &RsvdConfig) -> Svd {
     let (m, n) = (a.rows(), a.cols());
     let l = (cfg.rank + cfg.oversample).min(n).min(m).max(1);
 
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let omega = Matrix::from_fn(n, l, |_, _| {
-        // Box–Muller standard normals.
-        let u1: f64 = rng.gen_range(1e-12..1.0);
-        let u2: f64 = rng.gen_range(0.0..1.0);
-        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
-    });
+    let mut rng = Rng64::new(cfg.seed);
+    let omega = Matrix::from_fn(n, l, |_, _| rng.normal());
 
     // Range sketch with optional power iterations (re-orthonormalized
     // between applications for stability).
@@ -103,7 +97,12 @@ mod tests {
         let approx = randomized_svd(&a, &RsvdConfig::rank(5));
         for i in 0..3 {
             let rel = (exact.sigma[i] - approx.sigma[i]).abs() / exact.sigma[i];
-            assert!(rel < 1e-6, "sigma {i}: {} vs {}", exact.sigma[i], approx.sigma[i]);
+            assert!(
+                rel < 1e-6,
+                "sigma {i}: {} vs {}",
+                exact.sigma[i],
+                approx.sigma[i]
+            );
         }
     }
 
@@ -155,8 +154,20 @@ mod tests {
             }
         }
         let exact = svd(&a);
-        let q0 = randomized_svd(&a, &RsvdConfig { power_iterations: 0, ..RsvdConfig::rank(2) });
-        let q2 = randomized_svd(&a, &RsvdConfig { power_iterations: 2, ..RsvdConfig::rank(2) });
+        let q0 = randomized_svd(
+            &a,
+            &RsvdConfig {
+                power_iterations: 0,
+                ..RsvdConfig::rank(2)
+            },
+        );
+        let q2 = randomized_svd(
+            &a,
+            &RsvdConfig {
+                power_iterations: 2,
+                ..RsvdConfig::rank(2)
+            },
+        );
         let e0 = (exact.sigma[0] - q0.sigma[0]).abs();
         let e2 = (exact.sigma[0] - q2.sigma[0]).abs();
         assert!(e2 <= e0 + 1e-9, "q0 err {e0}, q2 err {e2}");

@@ -135,7 +135,10 @@ pub fn svd(a: &Matrix) -> Svd {
     // Column norms are the singular values.
     let mut triplets: Vec<(f64, usize)> = (0..n)
         .map(|c| {
-            let norm: f64 = (0..m).map(|r| w.get(r, c) * w.get(r, c)).sum::<f64>().sqrt();
+            let norm: f64 = (0..m)
+                .map(|r| w.get(r, c) * w.get(r, c))
+                .sum::<f64>()
+                .sqrt();
             (norm, c)
         })
         .collect();

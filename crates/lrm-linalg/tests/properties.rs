@@ -2,76 +2,101 @@
 //! preconditioners rely on.
 
 use lrm_linalg::{svd, symmetric_eigen, Matrix, Pca};
-use proptest::prelude::*;
+use lrm_rng::Rng64;
 
-fn arb_matrix(max_m: usize, max_n: usize) -> impl Strategy<Value = Matrix> {
-    (2..max_m, 2..max_n).prop_flat_map(|(m, n)| {
-        proptest::collection::vec(-100.0f64..100.0, m * n)
-            .prop_map(move |data| Matrix::from_vec(m, n, data))
-    })
+/// Random matrix with dimensions in `[2, max_m) × [2, max_n)` and
+/// entries uniform in `[-100, 100)`.
+fn random_matrix(rng: &mut Rng64, max_m: usize, max_n: usize) -> Matrix {
+    let m = 2 + rng.range_usize(max_m - 2);
+    let n = 2 + rng.range_usize(max_n - 2);
+    let data = rng.vec_f64(-100.0, 100.0, m * n);
+    Matrix::from_vec(m, n, data)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+const CASES: u64 = 24;
 
-    #[test]
-    fn transpose_reverses_matmul(a in arb_matrix(8, 8), b_cols in 2usize..6) {
-        // (A·B)ᵀ = Bᵀ·Aᵀ
+#[test]
+fn transpose_reverses_matmul() {
+    // (A·B)ᵀ = Bᵀ·Aᵀ
+    for seed in 0..CASES {
+        let mut rng = Rng64::new(seed);
+        let a = random_matrix(&mut rng, 8, 8);
+        let b_cols = 2 + rng.range_usize(4);
         let b = Matrix::from_fn(a.cols(), b_cols, |r, c| ((r * 7 + c * 3) % 11) as f64 - 5.0);
         let ab_t = a.matmul(&b).transpose();
         let bt_at = b.transpose().matmul(&a.transpose());
-        prop_assert!(ab_t.sub(&bt_at).fro_norm() < 1e-9 * (1.0 + ab_t.fro_norm()));
+        assert!(ab_t.sub(&bt_at).fro_norm() < 1e-9 * (1.0 + ab_t.fro_norm()));
     }
+}
 
-    #[test]
-    fn matmul_is_associative(a in arb_matrix(6, 5)) {
+#[test]
+fn matmul_is_associative() {
+    for seed in 0..CASES {
+        let mut rng = Rng64::new(seed);
+        let a = random_matrix(&mut rng, 6, 5);
         let b = Matrix::from_fn(a.cols(), 4, |r, c| (r + 2 * c) as f64 * 0.5 - 2.0);
         let c = Matrix::from_fn(4, 3, |r, c| (r * c) as f64 * 0.25 + 1.0);
         let left = a.matmul(&b).matmul(&c);
         let right = a.matmul(&b.matmul(&c));
-        prop_assert!(left.sub(&right).fro_norm() < 1e-8 * (1.0 + left.fro_norm()));
+        assert!(left.sub(&right).fro_norm() < 1e-8 * (1.0 + left.fro_norm()));
     }
+}
 
-    #[test]
-    fn eigen_reconstructs_any_symmetric_matrix(a in arb_matrix(7, 7)) {
+#[test]
+fn eigen_reconstructs_any_symmetric_matrix() {
+    for seed in 0..CASES {
+        let mut rng = Rng64::new(seed);
+        let a = random_matrix(&mut rng, 7, 7);
         // Symmetrize.
         let n = a.rows().min(a.cols());
         let s = Matrix::from_fn(n, n, |r, c| 0.5 * (a.get(r, c) + a.get(c, r)));
         let e = symmetric_eigen(&s);
         let d = Matrix::from_fn(n, n, |r, c| if r == c { e.values[r] } else { 0.0 });
         let rec = e.vectors.matmul(&d).matmul(&e.vectors.transpose());
-        prop_assert!(s.sub(&rec).fro_norm() < 1e-7 * (1.0 + s.fro_norm()));
+        assert!(s.sub(&rec).fro_norm() < 1e-7 * (1.0 + s.fro_norm()));
     }
+}
 
-    #[test]
-    fn svd_singular_values_bound_the_spectral_content(a in arb_matrix(10, 6)) {
+#[test]
+fn svd_singular_values_bound_the_spectral_content() {
+    for seed in 0..CASES {
+        let mut rng = Rng64::new(seed);
+        let a = random_matrix(&mut rng, 10, 6);
         let d = svd(&a);
         // ‖A‖_F² = Σ σᵢ².
         let fro2: f64 = a.fro_norm().powi(2);
         let sig2: f64 = d.sigma.iter().map(|s| s * s).sum();
-        prop_assert!((fro2 - sig2).abs() < 1e-7 * (1.0 + fro2));
+        assert!((fro2 - sig2).abs() < 1e-7 * (1.0 + fro2));
         // The largest singular value dominates every entry: σ₁ >= max |a_ij|.
         let max_entry = a.as_slice().iter().fold(0.0f64, |m, &v| m.max(v.abs()));
-        prop_assert!(d.sigma[0] + 1e-9 >= max_entry);
+        assert!(d.sigma[0] + 1e-9 >= max_entry);
     }
+}
 
-    #[test]
-    fn pca_reconstruction_error_is_tail_variance(a in arb_matrix(12, 5)) {
+#[test]
+fn pca_reconstruction_error_is_tail_variance() {
+    for seed in 0..CASES {
+        let mut rng = Rng64::new(seed);
+        let a = random_matrix(&mut rng, 12, 5);
         // Full-rank PCA reconstruction is exact.
         let pca = Pca::fit(&a);
         let k = a.cols();
         let rec = pca.inverse_transform(&pca.transform(&a, k));
-        prop_assert!(a.sub(&rec).fro_norm() < 1e-7 * (1.0 + a.fro_norm()));
+        assert!(a.sub(&rec).fro_norm() < 1e-7 * (1.0 + a.fro_norm()));
     }
+}
 
-    #[test]
-    fn svd_truncation_error_matches_discarded_sigma(a in arb_matrix(9, 5)) {
+#[test]
+fn svd_truncation_error_matches_discarded_sigma() {
+    for seed in 0..CASES {
+        let mut rng = Rng64::new(seed);
+        let a = random_matrix(&mut rng, 9, 5);
         let d = svd(&a);
         for k in 1..d.sigma.len() {
             let rec = d.reconstruct(k);
             let err2 = a.sub(&rec).fro_norm().powi(2);
             let tail2: f64 = d.sigma[k..].iter().map(|s| s * s).sum();
-            prop_assert!((err2 - tail2).abs() < 1e-6 * (1.0 + tail2));
+            assert!((err2 - tail2).abs() < 1e-6 * (1.0 + tail2));
         }
     }
 }

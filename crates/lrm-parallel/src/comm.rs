@@ -3,12 +3,12 @@
 //! The paper's *one-base* scheme needs exactly the communication pattern
 //! of Algorithm 1: the rank owning the mid-plane **broadcasts** it, every
 //! rank computes its local deltas, and the deltas are **gathered**. This
-//! module runs N "ranks" as threads connected by crossbeam channels and
+//! module runs N "ranks" as threads connected by std mpsc channels and
 //! provides `broadcast` / `gather` / `allreduce` / point-to-point with
 //! the same semantics, so the algorithm can be exercised and tested
 //! in-process without an MPI launcher.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 
 /// A message: sender rank, user tag, payload.
@@ -132,7 +132,7 @@ where
     let mut senders = Vec::with_capacity(size);
     let mut receivers = Vec::with_capacity(size);
     for _ in 0..size {
-        let (s, r) = unbounded::<Message>();
+        let (s, r) = channel::<Message>();
         senders.push(s);
         receivers.push(r);
     }

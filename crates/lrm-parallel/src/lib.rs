@@ -6,10 +6,12 @@
 //! pattern, same decomposition arithmetic — so the distributed algorithms
 //! can be executed and verified on one machine:
 //!
-//! * [`comm`] — rank communicator over crossbeam channels with
+//! * [`comm`] — rank communicator over std mpsc channels with
 //!   `broadcast` / `gather` / `allreduce_sum` / point-to-point.
 //! * [`domain`] — 3-D block decomposition, plane ownership, sub-domain
 //!   extraction.
+//! * [`pool`] — a work-stealing worker pool used by the chunk-parallel
+//!   compression engine and the numeric kernels.
 
 // Index-symmetric loops read more clearly than iterator chains in
 // numerical kernels; silence the pedantic lint crate-wide.
@@ -17,9 +19,11 @@
 
 pub mod comm;
 pub mod domain;
+pub mod pool;
 
 pub use comm::{run_ranks, RankCtx};
 pub use domain::{Decomposition, SubDomain};
+pub use pool::{available_threads, WorkerPool};
 
 #[cfg(test)]
 mod tests {

@@ -144,7 +144,9 @@ mod tests {
 
     #[test]
     fn serial_correlation_of_alternating_is_negative() {
-        let b: Vec<u8> = (0..1000).map(|i| if i % 2 == 0 { 0 } else { 255 }).collect();
+        let b: Vec<u8> = (0..1000)
+            .map(|i| if i % 2 == 0 { 0 } else { 255 })
+            .collect();
         assert!(serial_correlation(&b) < -0.99);
     }
 
@@ -155,9 +157,8 @@ mod tests {
 
     #[test]
     fn serial_correlation_bounds() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-        let b: Vec<u8> = (0..10_000).map(|_| rng.gen()).collect();
+        let mut rng = lrm_rng::Rng64::new(1);
+        let b: Vec<u8> = rng.vec_u8(10_000);
         let c = serial_correlation(&b);
         assert!(c.abs() < 0.05, "random bytes should be ~uncorrelated: {c}");
     }

@@ -47,7 +47,9 @@ impl EmpiricalCdf {
         }
         let p = p.clamp(0.0, 1.0);
         let n = self.sorted.len();
-        let idx = ((p * n as f64).ceil() as usize).saturating_sub(1).min(n - 1);
+        let idx = ((p * n as f64).ceil() as usize)
+            .saturating_sub(1)
+            .min(n - 1);
         Some(self.sorted[idx])
     }
 
@@ -85,7 +87,11 @@ pub fn ks_distance(a: &[f64], b: &[f64]) -> f64 {
     let fa = EmpiricalCdf::new(a);
     let fb = EmpiricalCdf::new(b);
     if fa.is_empty() || fb.is_empty() {
-        return if fa.is_empty() && fb.is_empty() { 0.0 } else { 1.0 };
+        return if fa.is_empty() && fb.is_empty() {
+            0.0
+        } else {
+            1.0
+        };
     }
     // The supremum is attained at a sample point of either distribution.
     let mut d: f64 = 0.0;

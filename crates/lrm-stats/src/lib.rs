@@ -82,9 +82,8 @@ mod tests {
 
     #[test]
     fn characteristics_of_smooth_vs_noise() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-        let noise: Vec<f64> = (0..4096).map(|_| rng.gen::<f64>()).collect();
+        let mut rng = lrm_rng::Rng64::new(7);
+        let noise: Vec<f64> = rng.vec_f64(0.0, 1.0, 4096);
         // Integer-valued doubles have many zero mantissa bytes, so their
         // byte stream is far from uniform; uniform noise fills all bytes.
         let smooth: Vec<f64> = (0..4096).map(|i| i as f64).collect();

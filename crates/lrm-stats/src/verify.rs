@@ -53,7 +53,13 @@ impl BoundReport {
                 Bound::Absolute(e) => e,
                 Bound::Relative { rel, floor } => rel * a.abs().max(floor),
             };
-            let u = if allowed > 0.0 { err / allowed } else if err == 0.0 { 0.0 } else { f64::INFINITY };
+            let u = if allowed > 0.0 {
+                err / allowed
+            } else if err == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            };
             if u > worst {
                 worst = u;
                 worst_index = i;
@@ -68,7 +74,11 @@ impl BoundReport {
             violations,
             worst_utilization: worst,
             worst_index,
-            mean_utilization: if orig.is_empty() { 0.0 } else { sum / orig.len() as f64 },
+            mean_utilization: if orig.is_empty() {
+                0.0
+            } else {
+                sum / orig.len() as f64
+            },
         }
     }
 
@@ -101,7 +111,10 @@ mod tests {
         let r = BoundReport::check(
             &orig,
             &recon,
-            Bound::Relative { rel: 0.01, floor: 1e-6 },
+            Bound::Relative {
+                rel: 0.01,
+                floor: 1e-6,
+            },
         );
         // 0.5/1.0 = 0.5 and 1e-4/1e-5 = 10 -> violation at index 1.
         assert_eq!(r.violations, 1);

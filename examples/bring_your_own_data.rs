@@ -9,8 +9,7 @@
 //! temporary raw file first, so it is runnable out of the box.
 
 use lrm::core::{
-    default_candidates, precondition_and_compress, reconstruct, select_best_model,
-    PipelineConfig, ReducedModelKind,
+    default_candidates, select_best_model, Pipeline, PipelineConfig, ReducedModelKind,
 };
 use lrm::datasets::{read_raw, write_raw, Shape};
 use lrm::io::DiskStore;
@@ -48,11 +47,19 @@ fn main() {
     // 2. Let the selector choose the reduced model.
     let base = PipelineConfig::sz(ReducedModelKind::Direct).with_scan_1d(true);
     let (winner, results) = select_best_model(&field, &default_candidates(), &base);
-    println!("selected model: {} (candidates tried: {})", winner.name(), results.len());
+    println!(
+        "selected model: {} (candidates tried: {})",
+        winner.name(),
+        results.len()
+    );
 
     // 3. Compress and persist.
-    let cfg = PipelineConfig { model: winner, ..base };
-    let art = precondition_and_compress(&field, &cfg);
+    let cfg = PipelineConfig {
+        model: winner,
+        ..base
+    };
+    let pipeline = Pipeline::from_config(cfg);
+    let art = pipeline.compress(&field);
     println!(
         "compressed: {} -> {} bytes (ratio {:.2}x)",
         field.nbytes(),
@@ -65,7 +72,10 @@ fn main() {
 
     // 4. Read back and reconstruct — the artifact is self-describing.
     let bytes = store.read("snapshot").expect("read back");
-    let (restored, rshape) = reconstruct(&bytes);
+    let (restored, rshape) = pipeline.reconstruct(&bytes);
     assert_eq!(rshape, field.shape);
-    println!("reconstructed with nrmse {:.3e}", nrmse(&field.data, &restored));
+    println!(
+        "reconstructed with nrmse {:.3e}",
+        nrmse(&field.data, &restored)
+    );
 }

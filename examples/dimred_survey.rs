@@ -6,7 +6,7 @@
 //! cargo run --release --example dimred_survey
 //! ```
 
-use lrm::core::{precondition_and_compress, reconstruct, PipelineConfig, ReducedModelKind};
+use lrm::core::{Pipeline, PipelineConfig, ReducedModelKind};
 use lrm::datasets::{generate, DatasetKind, SizeClass};
 use lrm::stats::rmse;
 
@@ -23,9 +23,9 @@ fn main() {
             ReducedModelKind::Svd,
             ReducedModelKind::Wavelet,
         ] {
-            let cfg = PipelineConfig::sz(model).with_scan_1d(true);
-            let art = precondition_and_compress(&field, &cfg);
-            let (rec, _) = reconstruct(&art.bytes);
+            let pipeline = Pipeline::from_config(PipelineConfig::sz(model).with_scan_1d(true));
+            let art = pipeline.compress(&field);
+            let (rec, _) = pipeline.reconstruct(&art.bytes);
             println!(
                 "{:<14} {:<9} {:>8.2} {:>12} {:>12.3e} {:>4}",
                 kind.name(),

@@ -8,7 +8,7 @@
 //! ```
 
 use lrm::core::parallel_one_base::distributed_one_base;
-use lrm::core::{precondition_and_compress, PipelineConfig, ReducedModelKind};
+use lrm::core::{Pipeline, PipelineConfig, ReducedModelKind};
 use lrm::datasets::heat3d::Heat3d;
 use lrm::io::StagingPipeline;
 use std::time::Instant;
@@ -46,7 +46,7 @@ fn main() {
     let pipe_cfg = PipelineConfig::sz(ReducedModelKind::OneBase);
     let staging = StagingPipeline::start(8, move |name, data| {
         let f = lrm::datasets::Field::new(name.to_string(), data.to_vec(), shape);
-        precondition_and_compress(&f, &pipe_cfg).bytes
+        Pipeline::from_config(pipe_cfg).compress(&f).bytes
     });
 
     let t0 = Instant::now();

@@ -4,9 +4,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use lrm::core::{
-    precondition_and_compress, reconstruct, PipelineConfig, ReducedModelKind,
-};
+use lrm::core::{Pipeline, PipelineConfig, ReducedModelKind};
 use lrm::datasets::{generate, DatasetKind, SizeClass};
 use lrm::stats::{max_abs_error, rmse};
 
@@ -26,21 +24,30 @@ fn main() {
     // scan_1d mirrors how outputs are normally fed to compressor CLIs
     // (flat byte streams, no grid metadata) — the setting the paper
     // evaluates.
-    let direct = precondition_and_compress(
-        &field,
-        &PipelineConfig::sz(ReducedModelKind::Direct).with_scan_1d(true),
-    );
+    let cfg = PipelineConfig::sz(ReducedModelKind::Direct).with_scan_1d(true);
+    let direct = Pipeline::builder()
+        .model(ReducedModelKind::Direct)
+        .codec(cfg.orig)
+        .delta_codec(cfg.delta)
+        .scan_1d(true)
+        .build()
+        .compress(&field);
     println!(
         "direct SZ:        {:8} bytes  (ratio {:>6.2}x)",
         direct.report.total_bytes(),
         direct.report.ratio()
     );
 
-    // 3. ...then precondition with the one-base reduced model first.
-    let onebase = precondition_and_compress(
-        &field,
-        &PipelineConfig::sz(ReducedModelKind::OneBase).with_scan_1d(true),
-    );
+    // 3. ...then precondition with the one-base reduced model first. The
+    //    handle is reusable, and `.threads(n).chunks(n)` would turn on the
+    //    chunk-parallel engine for large 3-D fields.
+    let pipeline = Pipeline::builder()
+        .model(ReducedModelKind::OneBase)
+        .codec(cfg.orig)
+        .delta_codec(cfg.delta)
+        .scan_1d(true)
+        .build();
+    let onebase = pipeline.compress(&field);
     println!(
         "one-base + SZ:    {:8} bytes  (ratio {:>6.2}x; rep {} B, delta {} B)",
         onebase.report.total_bytes(),
@@ -51,7 +58,7 @@ fn main() {
 
     // 4. The artifact is self-describing: reconstruction needs only the
     //    bytes.
-    let (restored, shape) = reconstruct(&onebase.bytes);
+    let (restored, shape) = pipeline.reconstruct(&onebase.bytes);
     assert_eq!(shape, field.shape);
     println!(
         "reconstruction:   rmse {:.3e}, max abs err {:.3e}",

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/codec_properties-5cce345c11e82997.d: crates/lrm-compress/tests/codec_properties.rs
+
+/root/repo/target/debug/deps/codec_properties-5cce345c11e82997: crates/lrm-compress/tests/codec_properties.rs
+
+crates/lrm-compress/tests/codec_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/codec_properties-ea45bad3def05858.d: crates/lrm-compress/tests/codec_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcodec_properties-ea45bad3def05858.rmeta: crates/lrm-compress/tests/codec_properties.rs Cargo.toml
+
+crates/lrm-compress/tests/codec_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

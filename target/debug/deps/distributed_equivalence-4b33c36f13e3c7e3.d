@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/distributed_equivalence-4b33c36f13e3c7e3.d: tests/distributed_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdistributed_equivalence-4b33c36f13e3c7e3.rmeta: tests/distributed_equivalence.rs Cargo.toml
+
+tests/distributed_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

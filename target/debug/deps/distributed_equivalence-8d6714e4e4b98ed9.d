@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/distributed_equivalence-8d6714e4e4b98ed9.d: tests/distributed_equivalence.rs
+
+/root/repo/target/debug/deps/distributed_equivalence-8d6714e4e4b98ed9: tests/distributed_equivalence.rs
+
+tests/distributed_equivalence.rs:

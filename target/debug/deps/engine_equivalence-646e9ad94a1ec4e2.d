@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_equivalence-646e9ad94a1ec4e2.d: crates/lrm-core/tests/engine_equivalence.rs
+
+/root/repo/target/debug/deps/engine_equivalence-646e9ad94a1ec4e2: crates/lrm-core/tests/engine_equivalence.rs
+
+crates/lrm-core/tests/engine_equivalence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_equivalence-6707a0cc9fff754c.d: crates/lrm-core/tests/engine_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_equivalence-6707a0cc9fff754c.rmeta: crates/lrm-core/tests/engine_equivalence.rs Cargo.toml
+
+crates/lrm-core/tests/engine_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments_smoke-83157c91e8b9b9fb.d: tests/experiments_smoke.rs
+
+/root/repo/target/debug/deps/experiments_smoke-83157c91e8b9b9fb: tests/experiments_smoke.rs
+
+tests/experiments_smoke.rs:

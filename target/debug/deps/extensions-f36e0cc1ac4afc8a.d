@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-f36e0cc1ac4afc8a.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-f36e0cc1ac4afc8a: tests/extensions.rs
+
+tests/extensions.rs:

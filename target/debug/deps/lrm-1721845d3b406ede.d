@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lrm-1721845d3b406ede.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblrm-1721845d3b406ede.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lrm-87d08d3499aee03c.d: src/lib.rs
+
+/root/repo/target/debug/deps/liblrm-87d08d3499aee03c.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/liblrm-87d08d3499aee03c.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lrm-aa0b29ace4a7a7d1.d: src/lib.rs
+
+/root/repo/target/debug/deps/lrm-aa0b29ace4a7a7d1: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lrm_cli-412bd57435eb018c.d: crates/lrm-cli/src/main.rs
+
+/root/repo/target/debug/deps/lrm_cli-412bd57435eb018c: crates/lrm-cli/src/main.rs
+
+crates/lrm-cli/src/main.rs:

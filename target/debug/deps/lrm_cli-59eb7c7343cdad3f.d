@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lrm_cli-59eb7c7343cdad3f.d: crates/lrm-cli/src/main.rs
+
+/root/repo/target/debug/deps/lrm_cli-59eb7c7343cdad3f: crates/lrm-cli/src/main.rs
+
+crates/lrm-cli/src/main.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/lrm_cli-76333957d1b2ffe3.d: crates/lrm-cli/src/lib.rs crates/lrm-cli/src/experiments/mod.rs crates/lrm-cli/src/experiments/characteristics.rs crates/lrm-cli/src/experiments/dimred.rs crates/lrm-cli/src/experiments/end_to_end.rs crates/lrm-cli/src/experiments/overhead.rs crates/lrm-cli/src/experiments/projection.rs crates/lrm-cli/src/experiments/rate_distortion.rs crates/lrm-cli/src/table.rs
+
+/root/repo/target/debug/deps/lrm_cli-76333957d1b2ffe3: crates/lrm-cli/src/lib.rs crates/lrm-cli/src/experiments/mod.rs crates/lrm-cli/src/experiments/characteristics.rs crates/lrm-cli/src/experiments/dimred.rs crates/lrm-cli/src/experiments/end_to_end.rs crates/lrm-cli/src/experiments/overhead.rs crates/lrm-cli/src/experiments/projection.rs crates/lrm-cli/src/experiments/rate_distortion.rs crates/lrm-cli/src/table.rs
+
+crates/lrm-cli/src/lib.rs:
+crates/lrm-cli/src/experiments/mod.rs:
+crates/lrm-cli/src/experiments/characteristics.rs:
+crates/lrm-cli/src/experiments/dimred.rs:
+crates/lrm-cli/src/experiments/end_to_end.rs:
+crates/lrm-cli/src/experiments/overhead.rs:
+crates/lrm-cli/src/experiments/projection.rs:
+crates/lrm-cli/src/experiments/rate_distortion.rs:
+crates/lrm-cli/src/table.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/lrm_cli-abfe76d16db788ce.d: crates/lrm-cli/src/lib.rs crates/lrm-cli/src/experiments/mod.rs crates/lrm-cli/src/experiments/characteristics.rs crates/lrm-cli/src/experiments/dimred.rs crates/lrm-cli/src/experiments/end_to_end.rs crates/lrm-cli/src/experiments/overhead.rs crates/lrm-cli/src/experiments/projection.rs crates/lrm-cli/src/experiments/rate_distortion.rs crates/lrm-cli/src/table.rs
+
+/root/repo/target/debug/deps/liblrm_cli-abfe76d16db788ce.rlib: crates/lrm-cli/src/lib.rs crates/lrm-cli/src/experiments/mod.rs crates/lrm-cli/src/experiments/characteristics.rs crates/lrm-cli/src/experiments/dimred.rs crates/lrm-cli/src/experiments/end_to_end.rs crates/lrm-cli/src/experiments/overhead.rs crates/lrm-cli/src/experiments/projection.rs crates/lrm-cli/src/experiments/rate_distortion.rs crates/lrm-cli/src/table.rs
+
+/root/repo/target/debug/deps/liblrm_cli-abfe76d16db788ce.rmeta: crates/lrm-cli/src/lib.rs crates/lrm-cli/src/experiments/mod.rs crates/lrm-cli/src/experiments/characteristics.rs crates/lrm-cli/src/experiments/dimred.rs crates/lrm-cli/src/experiments/end_to_end.rs crates/lrm-cli/src/experiments/overhead.rs crates/lrm-cli/src/experiments/projection.rs crates/lrm-cli/src/experiments/rate_distortion.rs crates/lrm-cli/src/table.rs
+
+crates/lrm-cli/src/lib.rs:
+crates/lrm-cli/src/experiments/mod.rs:
+crates/lrm-cli/src/experiments/characteristics.rs:
+crates/lrm-cli/src/experiments/dimred.rs:
+crates/lrm-cli/src/experiments/end_to_end.rs:
+crates/lrm-cli/src/experiments/overhead.rs:
+crates/lrm-cli/src/experiments/projection.rs:
+crates/lrm-cli/src/experiments/rate_distortion.rs:
+crates/lrm-cli/src/table.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lrm_cli-dd56a85cabba3333.d: crates/lrm-cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblrm_cli-dd56a85cabba3333.rmeta: crates/lrm-cli/src/main.rs Cargo.toml
+
+crates/lrm-cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/lrm_cli-f87025a1b696fe2a.d: crates/lrm-cli/src/lib.rs crates/lrm-cli/src/experiments/mod.rs crates/lrm-cli/src/experiments/characteristics.rs crates/lrm-cli/src/experiments/dimred.rs crates/lrm-cli/src/experiments/end_to_end.rs crates/lrm-cli/src/experiments/overhead.rs crates/lrm-cli/src/experiments/projection.rs crates/lrm-cli/src/experiments/rate_distortion.rs crates/lrm-cli/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblrm_cli-f87025a1b696fe2a.rmeta: crates/lrm-cli/src/lib.rs crates/lrm-cli/src/experiments/mod.rs crates/lrm-cli/src/experiments/characteristics.rs crates/lrm-cli/src/experiments/dimred.rs crates/lrm-cli/src/experiments/end_to_end.rs crates/lrm-cli/src/experiments/overhead.rs crates/lrm-cli/src/experiments/projection.rs crates/lrm-cli/src/experiments/rate_distortion.rs crates/lrm-cli/src/table.rs Cargo.toml
+
+crates/lrm-cli/src/lib.rs:
+crates/lrm-cli/src/experiments/mod.rs:
+crates/lrm-cli/src/experiments/characteristics.rs:
+crates/lrm-cli/src/experiments/dimred.rs:
+crates/lrm-cli/src/experiments/end_to_end.rs:
+crates/lrm-cli/src/experiments/overhead.rs:
+crates/lrm-cli/src/experiments/projection.rs:
+crates/lrm-cli/src/experiments/rate_distortion.rs:
+crates/lrm-cli/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

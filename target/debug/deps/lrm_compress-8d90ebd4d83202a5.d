@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/lrm_compress-8d90ebd4d83202a5.d: crates/lrm-compress/src/lib.rs crates/lrm-compress/src/bitstream.rs crates/lrm-compress/src/fpc.rs crates/lrm-compress/src/lossless/mod.rs crates/lrm-compress/src/lossless/huffman.rs crates/lrm-compress/src/lossless/lzss.rs crates/lrm-compress/src/lossless/rle.rs crates/lrm-compress/src/lossless/varint.rs crates/lrm-compress/src/sz/mod.rs crates/lrm-compress/src/sz/predictor.rs crates/lrm-compress/src/zfp/mod.rs crates/lrm-compress/src/zfp/block.rs crates/lrm-compress/src/zfp/codec.rs crates/lrm-compress/src/zfp/transform.rs
+
+/root/repo/target/debug/deps/liblrm_compress-8d90ebd4d83202a5.rlib: crates/lrm-compress/src/lib.rs crates/lrm-compress/src/bitstream.rs crates/lrm-compress/src/fpc.rs crates/lrm-compress/src/lossless/mod.rs crates/lrm-compress/src/lossless/huffman.rs crates/lrm-compress/src/lossless/lzss.rs crates/lrm-compress/src/lossless/rle.rs crates/lrm-compress/src/lossless/varint.rs crates/lrm-compress/src/sz/mod.rs crates/lrm-compress/src/sz/predictor.rs crates/lrm-compress/src/zfp/mod.rs crates/lrm-compress/src/zfp/block.rs crates/lrm-compress/src/zfp/codec.rs crates/lrm-compress/src/zfp/transform.rs
+
+/root/repo/target/debug/deps/liblrm_compress-8d90ebd4d83202a5.rmeta: crates/lrm-compress/src/lib.rs crates/lrm-compress/src/bitstream.rs crates/lrm-compress/src/fpc.rs crates/lrm-compress/src/lossless/mod.rs crates/lrm-compress/src/lossless/huffman.rs crates/lrm-compress/src/lossless/lzss.rs crates/lrm-compress/src/lossless/rle.rs crates/lrm-compress/src/lossless/varint.rs crates/lrm-compress/src/sz/mod.rs crates/lrm-compress/src/sz/predictor.rs crates/lrm-compress/src/zfp/mod.rs crates/lrm-compress/src/zfp/block.rs crates/lrm-compress/src/zfp/codec.rs crates/lrm-compress/src/zfp/transform.rs
+
+crates/lrm-compress/src/lib.rs:
+crates/lrm-compress/src/bitstream.rs:
+crates/lrm-compress/src/fpc.rs:
+crates/lrm-compress/src/lossless/mod.rs:
+crates/lrm-compress/src/lossless/huffman.rs:
+crates/lrm-compress/src/lossless/lzss.rs:
+crates/lrm-compress/src/lossless/rle.rs:
+crates/lrm-compress/src/lossless/varint.rs:
+crates/lrm-compress/src/sz/mod.rs:
+crates/lrm-compress/src/sz/predictor.rs:
+crates/lrm-compress/src/zfp/mod.rs:
+crates/lrm-compress/src/zfp/block.rs:
+crates/lrm-compress/src/zfp/codec.rs:
+crates/lrm-compress/src/zfp/transform.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/lrm_compress-cc4e78142214bb27.d: crates/lrm-compress/src/lib.rs crates/lrm-compress/src/bitstream.rs crates/lrm-compress/src/fpc.rs crates/lrm-compress/src/lossless/mod.rs crates/lrm-compress/src/lossless/huffman.rs crates/lrm-compress/src/lossless/lzss.rs crates/lrm-compress/src/lossless/rle.rs crates/lrm-compress/src/lossless/varint.rs crates/lrm-compress/src/sz/mod.rs crates/lrm-compress/src/sz/predictor.rs crates/lrm-compress/src/zfp/mod.rs crates/lrm-compress/src/zfp/block.rs crates/lrm-compress/src/zfp/codec.rs crates/lrm-compress/src/zfp/transform.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblrm_compress-cc4e78142214bb27.rmeta: crates/lrm-compress/src/lib.rs crates/lrm-compress/src/bitstream.rs crates/lrm-compress/src/fpc.rs crates/lrm-compress/src/lossless/mod.rs crates/lrm-compress/src/lossless/huffman.rs crates/lrm-compress/src/lossless/lzss.rs crates/lrm-compress/src/lossless/rle.rs crates/lrm-compress/src/lossless/varint.rs crates/lrm-compress/src/sz/mod.rs crates/lrm-compress/src/sz/predictor.rs crates/lrm-compress/src/zfp/mod.rs crates/lrm-compress/src/zfp/block.rs crates/lrm-compress/src/zfp/codec.rs crates/lrm-compress/src/zfp/transform.rs Cargo.toml
+
+crates/lrm-compress/src/lib.rs:
+crates/lrm-compress/src/bitstream.rs:
+crates/lrm-compress/src/fpc.rs:
+crates/lrm-compress/src/lossless/mod.rs:
+crates/lrm-compress/src/lossless/huffman.rs:
+crates/lrm-compress/src/lossless/lzss.rs:
+crates/lrm-compress/src/lossless/rle.rs:
+crates/lrm-compress/src/lossless/varint.rs:
+crates/lrm-compress/src/sz/mod.rs:
+crates/lrm-compress/src/sz/predictor.rs:
+crates/lrm-compress/src/zfp/mod.rs:
+crates/lrm-compress/src/zfp/block.rs:
+crates/lrm-compress/src/zfp/codec.rs:
+crates/lrm-compress/src/zfp/transform.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

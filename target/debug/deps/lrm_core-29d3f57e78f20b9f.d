@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/lrm_core-29d3f57e78f20b9f.d: crates/lrm-core/src/lib.rs crates/lrm-core/src/codec.rs crates/lrm-core/src/dimred.rs crates/lrm-core/src/engine.rs crates/lrm-core/src/parallel_one_base.rs crates/lrm-core/src/partitioned.rs crates/lrm-core/src/pipeline.rs crates/lrm-core/src/projection.rs crates/lrm-core/src/selection.rs crates/lrm-core/src/temporal.rs
+
+/root/repo/target/debug/deps/liblrm_core-29d3f57e78f20b9f.rlib: crates/lrm-core/src/lib.rs crates/lrm-core/src/codec.rs crates/lrm-core/src/dimred.rs crates/lrm-core/src/engine.rs crates/lrm-core/src/parallel_one_base.rs crates/lrm-core/src/partitioned.rs crates/lrm-core/src/pipeline.rs crates/lrm-core/src/projection.rs crates/lrm-core/src/selection.rs crates/lrm-core/src/temporal.rs
+
+/root/repo/target/debug/deps/liblrm_core-29d3f57e78f20b9f.rmeta: crates/lrm-core/src/lib.rs crates/lrm-core/src/codec.rs crates/lrm-core/src/dimred.rs crates/lrm-core/src/engine.rs crates/lrm-core/src/parallel_one_base.rs crates/lrm-core/src/partitioned.rs crates/lrm-core/src/pipeline.rs crates/lrm-core/src/projection.rs crates/lrm-core/src/selection.rs crates/lrm-core/src/temporal.rs
+
+crates/lrm-core/src/lib.rs:
+crates/lrm-core/src/codec.rs:
+crates/lrm-core/src/dimred.rs:
+crates/lrm-core/src/engine.rs:
+crates/lrm-core/src/parallel_one_base.rs:
+crates/lrm-core/src/partitioned.rs:
+crates/lrm-core/src/pipeline.rs:
+crates/lrm-core/src/projection.rs:
+crates/lrm-core/src/selection.rs:
+crates/lrm-core/src/temporal.rs:

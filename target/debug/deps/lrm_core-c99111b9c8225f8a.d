@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/lrm_core-c99111b9c8225f8a.d: crates/lrm-core/src/lib.rs crates/lrm-core/src/codec.rs crates/lrm-core/src/dimred.rs crates/lrm-core/src/engine.rs crates/lrm-core/src/parallel_one_base.rs crates/lrm-core/src/partitioned.rs crates/lrm-core/src/pipeline.rs crates/lrm-core/src/projection.rs crates/lrm-core/src/selection.rs crates/lrm-core/src/temporal.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblrm_core-c99111b9c8225f8a.rmeta: crates/lrm-core/src/lib.rs crates/lrm-core/src/codec.rs crates/lrm-core/src/dimred.rs crates/lrm-core/src/engine.rs crates/lrm-core/src/parallel_one_base.rs crates/lrm-core/src/partitioned.rs crates/lrm-core/src/pipeline.rs crates/lrm-core/src/projection.rs crates/lrm-core/src/selection.rs crates/lrm-core/src/temporal.rs Cargo.toml
+
+crates/lrm-core/src/lib.rs:
+crates/lrm-core/src/codec.rs:
+crates/lrm-core/src/dimred.rs:
+crates/lrm-core/src/engine.rs:
+crates/lrm-core/src/parallel_one_base.rs:
+crates/lrm-core/src/partitioned.rs:
+crates/lrm-core/src/pipeline.rs:
+crates/lrm-core/src/projection.rs:
+crates/lrm-core/src/selection.rs:
+crates/lrm-core/src/temporal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/lrm_core-d016b83cfbd4277c.d: crates/lrm-core/src/lib.rs crates/lrm-core/src/codec.rs crates/lrm-core/src/dimred.rs crates/lrm-core/src/engine.rs crates/lrm-core/src/parallel_one_base.rs crates/lrm-core/src/partitioned.rs crates/lrm-core/src/pipeline.rs crates/lrm-core/src/projection.rs crates/lrm-core/src/selection.rs crates/lrm-core/src/temporal.rs
+
+/root/repo/target/debug/deps/lrm_core-d016b83cfbd4277c: crates/lrm-core/src/lib.rs crates/lrm-core/src/codec.rs crates/lrm-core/src/dimred.rs crates/lrm-core/src/engine.rs crates/lrm-core/src/parallel_one_base.rs crates/lrm-core/src/partitioned.rs crates/lrm-core/src/pipeline.rs crates/lrm-core/src/projection.rs crates/lrm-core/src/selection.rs crates/lrm-core/src/temporal.rs
+
+crates/lrm-core/src/lib.rs:
+crates/lrm-core/src/codec.rs:
+crates/lrm-core/src/dimred.rs:
+crates/lrm-core/src/engine.rs:
+crates/lrm-core/src/parallel_one_base.rs:
+crates/lrm-core/src/partitioned.rs:
+crates/lrm-core/src/pipeline.rs:
+crates/lrm-core/src/projection.rs:
+crates/lrm-core/src/selection.rs:
+crates/lrm-core/src/temporal.rs:

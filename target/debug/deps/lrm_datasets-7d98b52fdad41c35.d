@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/lrm_datasets-7d98b52fdad41c35.d: crates/lrm-datasets/src/lib.rs crates/lrm-datasets/src/astro.rs crates/lrm-datasets/src/field.rs crates/lrm-datasets/src/field_io.rs crates/lrm-datasets/src/fish.rs crates/lrm-datasets/src/heat3d.rs crates/lrm-datasets/src/heat3d_dist.rs crates/lrm-datasets/src/laplace.rs crates/lrm-datasets/src/md.rs crates/lrm-datasets/src/registry.rs crates/lrm-datasets/src/sedov.rs crates/lrm-datasets/src/wave.rs crates/lrm-datasets/src/yf17.rs
+
+/root/repo/target/debug/deps/liblrm_datasets-7d98b52fdad41c35.rlib: crates/lrm-datasets/src/lib.rs crates/lrm-datasets/src/astro.rs crates/lrm-datasets/src/field.rs crates/lrm-datasets/src/field_io.rs crates/lrm-datasets/src/fish.rs crates/lrm-datasets/src/heat3d.rs crates/lrm-datasets/src/heat3d_dist.rs crates/lrm-datasets/src/laplace.rs crates/lrm-datasets/src/md.rs crates/lrm-datasets/src/registry.rs crates/lrm-datasets/src/sedov.rs crates/lrm-datasets/src/wave.rs crates/lrm-datasets/src/yf17.rs
+
+/root/repo/target/debug/deps/liblrm_datasets-7d98b52fdad41c35.rmeta: crates/lrm-datasets/src/lib.rs crates/lrm-datasets/src/astro.rs crates/lrm-datasets/src/field.rs crates/lrm-datasets/src/field_io.rs crates/lrm-datasets/src/fish.rs crates/lrm-datasets/src/heat3d.rs crates/lrm-datasets/src/heat3d_dist.rs crates/lrm-datasets/src/laplace.rs crates/lrm-datasets/src/md.rs crates/lrm-datasets/src/registry.rs crates/lrm-datasets/src/sedov.rs crates/lrm-datasets/src/wave.rs crates/lrm-datasets/src/yf17.rs
+
+crates/lrm-datasets/src/lib.rs:
+crates/lrm-datasets/src/astro.rs:
+crates/lrm-datasets/src/field.rs:
+crates/lrm-datasets/src/field_io.rs:
+crates/lrm-datasets/src/fish.rs:
+crates/lrm-datasets/src/heat3d.rs:
+crates/lrm-datasets/src/heat3d_dist.rs:
+crates/lrm-datasets/src/laplace.rs:
+crates/lrm-datasets/src/md.rs:
+crates/lrm-datasets/src/registry.rs:
+crates/lrm-datasets/src/sedov.rs:
+crates/lrm-datasets/src/wave.rs:
+crates/lrm-datasets/src/yf17.rs:

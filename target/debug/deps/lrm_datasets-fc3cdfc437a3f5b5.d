@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/lrm_datasets-fc3cdfc437a3f5b5.d: crates/lrm-datasets/src/lib.rs crates/lrm-datasets/src/astro.rs crates/lrm-datasets/src/field.rs crates/lrm-datasets/src/field_io.rs crates/lrm-datasets/src/fish.rs crates/lrm-datasets/src/heat3d.rs crates/lrm-datasets/src/heat3d_dist.rs crates/lrm-datasets/src/laplace.rs crates/lrm-datasets/src/md.rs crates/lrm-datasets/src/registry.rs crates/lrm-datasets/src/sedov.rs crates/lrm-datasets/src/wave.rs crates/lrm-datasets/src/yf17.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblrm_datasets-fc3cdfc437a3f5b5.rmeta: crates/lrm-datasets/src/lib.rs crates/lrm-datasets/src/astro.rs crates/lrm-datasets/src/field.rs crates/lrm-datasets/src/field_io.rs crates/lrm-datasets/src/fish.rs crates/lrm-datasets/src/heat3d.rs crates/lrm-datasets/src/heat3d_dist.rs crates/lrm-datasets/src/laplace.rs crates/lrm-datasets/src/md.rs crates/lrm-datasets/src/registry.rs crates/lrm-datasets/src/sedov.rs crates/lrm-datasets/src/wave.rs crates/lrm-datasets/src/yf17.rs Cargo.toml
+
+crates/lrm-datasets/src/lib.rs:
+crates/lrm-datasets/src/astro.rs:
+crates/lrm-datasets/src/field.rs:
+crates/lrm-datasets/src/field_io.rs:
+crates/lrm-datasets/src/fish.rs:
+crates/lrm-datasets/src/heat3d.rs:
+crates/lrm-datasets/src/heat3d_dist.rs:
+crates/lrm-datasets/src/laplace.rs:
+crates/lrm-datasets/src/md.rs:
+crates/lrm-datasets/src/registry.rs:
+crates/lrm-datasets/src/sedov.rs:
+crates/lrm-datasets/src/wave.rs:
+crates/lrm-datasets/src/yf17.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

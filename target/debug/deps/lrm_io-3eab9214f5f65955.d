@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lrm_io-3eab9214f5f65955.d: crates/lrm-io/src/lib.rs crates/lrm-io/src/artifact.rs crates/lrm-io/src/chunked.rs crates/lrm-io/src/disk.rs crates/lrm-io/src/staging.rs crates/lrm-io/src/storage.rs
+
+/root/repo/target/debug/deps/lrm_io-3eab9214f5f65955: crates/lrm-io/src/lib.rs crates/lrm-io/src/artifact.rs crates/lrm-io/src/chunked.rs crates/lrm-io/src/disk.rs crates/lrm-io/src/staging.rs crates/lrm-io/src/storage.rs
+
+crates/lrm-io/src/lib.rs:
+crates/lrm-io/src/artifact.rs:
+crates/lrm-io/src/chunked.rs:
+crates/lrm-io/src/disk.rs:
+crates/lrm-io/src/staging.rs:
+crates/lrm-io/src/storage.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/lrm_io-5383e842c7b7da28.d: crates/lrm-io/src/lib.rs crates/lrm-io/src/artifact.rs crates/lrm-io/src/chunked.rs crates/lrm-io/src/disk.rs crates/lrm-io/src/staging.rs crates/lrm-io/src/storage.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblrm_io-5383e842c7b7da28.rmeta: crates/lrm-io/src/lib.rs crates/lrm-io/src/artifact.rs crates/lrm-io/src/chunked.rs crates/lrm-io/src/disk.rs crates/lrm-io/src/staging.rs crates/lrm-io/src/storage.rs Cargo.toml
+
+crates/lrm-io/src/lib.rs:
+crates/lrm-io/src/artifact.rs:
+crates/lrm-io/src/chunked.rs:
+crates/lrm-io/src/disk.rs:
+crates/lrm-io/src/staging.rs:
+crates/lrm-io/src/storage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

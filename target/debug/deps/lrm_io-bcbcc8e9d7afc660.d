@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/lrm_io-bcbcc8e9d7afc660.d: crates/lrm-io/src/lib.rs crates/lrm-io/src/artifact.rs crates/lrm-io/src/chunked.rs crates/lrm-io/src/disk.rs crates/lrm-io/src/staging.rs crates/lrm-io/src/storage.rs
+
+/root/repo/target/debug/deps/liblrm_io-bcbcc8e9d7afc660.rlib: crates/lrm-io/src/lib.rs crates/lrm-io/src/artifact.rs crates/lrm-io/src/chunked.rs crates/lrm-io/src/disk.rs crates/lrm-io/src/staging.rs crates/lrm-io/src/storage.rs
+
+/root/repo/target/debug/deps/liblrm_io-bcbcc8e9d7afc660.rmeta: crates/lrm-io/src/lib.rs crates/lrm-io/src/artifact.rs crates/lrm-io/src/chunked.rs crates/lrm-io/src/disk.rs crates/lrm-io/src/staging.rs crates/lrm-io/src/storage.rs
+
+crates/lrm-io/src/lib.rs:
+crates/lrm-io/src/artifact.rs:
+crates/lrm-io/src/chunked.rs:
+crates/lrm-io/src/disk.rs:
+crates/lrm-io/src/staging.rs:
+crates/lrm-io/src/storage.rs:

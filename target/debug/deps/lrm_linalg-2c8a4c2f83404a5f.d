@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/lrm_linalg-2c8a4c2f83404a5f.d: crates/lrm-linalg/src/lib.rs crates/lrm-linalg/src/eigen.rs crates/lrm-linalg/src/matrix.rs crates/lrm-linalg/src/pca.rs crates/lrm-linalg/src/qr.rs crates/lrm-linalg/src/rsvd.rs crates/lrm-linalg/src/svd.rs
+
+/root/repo/target/debug/deps/liblrm_linalg-2c8a4c2f83404a5f.rlib: crates/lrm-linalg/src/lib.rs crates/lrm-linalg/src/eigen.rs crates/lrm-linalg/src/matrix.rs crates/lrm-linalg/src/pca.rs crates/lrm-linalg/src/qr.rs crates/lrm-linalg/src/rsvd.rs crates/lrm-linalg/src/svd.rs
+
+/root/repo/target/debug/deps/liblrm_linalg-2c8a4c2f83404a5f.rmeta: crates/lrm-linalg/src/lib.rs crates/lrm-linalg/src/eigen.rs crates/lrm-linalg/src/matrix.rs crates/lrm-linalg/src/pca.rs crates/lrm-linalg/src/qr.rs crates/lrm-linalg/src/rsvd.rs crates/lrm-linalg/src/svd.rs
+
+crates/lrm-linalg/src/lib.rs:
+crates/lrm-linalg/src/eigen.rs:
+crates/lrm-linalg/src/matrix.rs:
+crates/lrm-linalg/src/pca.rs:
+crates/lrm-linalg/src/qr.rs:
+crates/lrm-linalg/src/rsvd.rs:
+crates/lrm-linalg/src/svd.rs:

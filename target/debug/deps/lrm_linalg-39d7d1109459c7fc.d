@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/lrm_linalg-39d7d1109459c7fc.d: crates/lrm-linalg/src/lib.rs crates/lrm-linalg/src/eigen.rs crates/lrm-linalg/src/matrix.rs crates/lrm-linalg/src/pca.rs crates/lrm-linalg/src/qr.rs crates/lrm-linalg/src/rsvd.rs crates/lrm-linalg/src/svd.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblrm_linalg-39d7d1109459c7fc.rmeta: crates/lrm-linalg/src/lib.rs crates/lrm-linalg/src/eigen.rs crates/lrm-linalg/src/matrix.rs crates/lrm-linalg/src/pca.rs crates/lrm-linalg/src/qr.rs crates/lrm-linalg/src/rsvd.rs crates/lrm-linalg/src/svd.rs Cargo.toml
+
+crates/lrm-linalg/src/lib.rs:
+crates/lrm-linalg/src/eigen.rs:
+crates/lrm-linalg/src/matrix.rs:
+crates/lrm-linalg/src/pca.rs:
+crates/lrm-linalg/src/qr.rs:
+crates/lrm-linalg/src/rsvd.rs:
+crates/lrm-linalg/src/svd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/lrm_linalg-b0cf68ab24b5318c.d: crates/lrm-linalg/src/lib.rs crates/lrm-linalg/src/eigen.rs crates/lrm-linalg/src/matrix.rs crates/lrm-linalg/src/pca.rs crates/lrm-linalg/src/qr.rs crates/lrm-linalg/src/rsvd.rs crates/lrm-linalg/src/svd.rs
+
+/root/repo/target/debug/deps/lrm_linalg-b0cf68ab24b5318c: crates/lrm-linalg/src/lib.rs crates/lrm-linalg/src/eigen.rs crates/lrm-linalg/src/matrix.rs crates/lrm-linalg/src/pca.rs crates/lrm-linalg/src/qr.rs crates/lrm-linalg/src/rsvd.rs crates/lrm-linalg/src/svd.rs
+
+crates/lrm-linalg/src/lib.rs:
+crates/lrm-linalg/src/eigen.rs:
+crates/lrm-linalg/src/matrix.rs:
+crates/lrm-linalg/src/pca.rs:
+crates/lrm-linalg/src/qr.rs:
+crates/lrm-linalg/src/rsvd.rs:
+crates/lrm-linalg/src/svd.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/lrm_linalg-b31002089ee4ae16.d: crates/lrm-linalg/src/lib.rs crates/lrm-linalg/src/eigen.rs crates/lrm-linalg/src/matrix.rs crates/lrm-linalg/src/pca.rs crates/lrm-linalg/src/qr.rs crates/lrm-linalg/src/rsvd.rs crates/lrm-linalg/src/svd.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblrm_linalg-b31002089ee4ae16.rmeta: crates/lrm-linalg/src/lib.rs crates/lrm-linalg/src/eigen.rs crates/lrm-linalg/src/matrix.rs crates/lrm-linalg/src/pca.rs crates/lrm-linalg/src/qr.rs crates/lrm-linalg/src/rsvd.rs crates/lrm-linalg/src/svd.rs Cargo.toml
+
+crates/lrm-linalg/src/lib.rs:
+crates/lrm-linalg/src/eigen.rs:
+crates/lrm-linalg/src/matrix.rs:
+crates/lrm-linalg/src/pca.rs:
+crates/lrm-linalg/src/qr.rs:
+crates/lrm-linalg/src/rsvd.rs:
+crates/lrm-linalg/src/svd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

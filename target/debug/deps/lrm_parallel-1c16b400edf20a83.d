@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/lrm_parallel-1c16b400edf20a83.d: crates/lrm-parallel/src/lib.rs crates/lrm-parallel/src/comm.rs crates/lrm-parallel/src/domain.rs crates/lrm-parallel/src/pool.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblrm_parallel-1c16b400edf20a83.rmeta: crates/lrm-parallel/src/lib.rs crates/lrm-parallel/src/comm.rs crates/lrm-parallel/src/domain.rs crates/lrm-parallel/src/pool.rs Cargo.toml
+
+crates/lrm-parallel/src/lib.rs:
+crates/lrm-parallel/src/comm.rs:
+crates/lrm-parallel/src/domain.rs:
+crates/lrm-parallel/src/pool.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

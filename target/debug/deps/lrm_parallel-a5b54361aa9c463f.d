@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/lrm_parallel-a5b54361aa9c463f.d: crates/lrm-parallel/src/lib.rs crates/lrm-parallel/src/comm.rs crates/lrm-parallel/src/domain.rs crates/lrm-parallel/src/pool.rs
+
+/root/repo/target/debug/deps/lrm_parallel-a5b54361aa9c463f: crates/lrm-parallel/src/lib.rs crates/lrm-parallel/src/comm.rs crates/lrm-parallel/src/domain.rs crates/lrm-parallel/src/pool.rs
+
+crates/lrm-parallel/src/lib.rs:
+crates/lrm-parallel/src/comm.rs:
+crates/lrm-parallel/src/domain.rs:
+crates/lrm-parallel/src/pool.rs:

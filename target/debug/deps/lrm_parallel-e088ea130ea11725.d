@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lrm_parallel-e088ea130ea11725.d: crates/lrm-parallel/src/lib.rs crates/lrm-parallel/src/comm.rs crates/lrm-parallel/src/domain.rs crates/lrm-parallel/src/pool.rs
+
+/root/repo/target/debug/deps/liblrm_parallel-e088ea130ea11725.rlib: crates/lrm-parallel/src/lib.rs crates/lrm-parallel/src/comm.rs crates/lrm-parallel/src/domain.rs crates/lrm-parallel/src/pool.rs
+
+/root/repo/target/debug/deps/liblrm_parallel-e088ea130ea11725.rmeta: crates/lrm-parallel/src/lib.rs crates/lrm-parallel/src/comm.rs crates/lrm-parallel/src/domain.rs crates/lrm-parallel/src/pool.rs
+
+crates/lrm-parallel/src/lib.rs:
+crates/lrm-parallel/src/comm.rs:
+crates/lrm-parallel/src/domain.rs:
+crates/lrm-parallel/src/pool.rs:

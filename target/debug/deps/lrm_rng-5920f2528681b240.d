@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lrm_rng-5920f2528681b240.d: crates/lrm-rng/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblrm_rng-5920f2528681b240.rmeta: crates/lrm-rng/src/lib.rs Cargo.toml
+
+crates/lrm-rng/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lrm_rng-81dcde1d755b3bd3.d: crates/lrm-rng/src/lib.rs
+
+/root/repo/target/debug/deps/liblrm_rng-81dcde1d755b3bd3.rlib: crates/lrm-rng/src/lib.rs
+
+/root/repo/target/debug/deps/liblrm_rng-81dcde1d755b3bd3.rmeta: crates/lrm-rng/src/lib.rs
+
+crates/lrm-rng/src/lib.rs:

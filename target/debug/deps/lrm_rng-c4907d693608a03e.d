@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lrm_rng-c4907d693608a03e.d: crates/lrm-rng/src/lib.rs
+
+/root/repo/target/debug/deps/lrm_rng-c4907d693608a03e: crates/lrm-rng/src/lib.rs
+
+crates/lrm-rng/src/lib.rs:

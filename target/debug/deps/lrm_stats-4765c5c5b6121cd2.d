@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/lrm_stats-4765c5c5b6121cd2.d: crates/lrm-stats/src/lib.rs crates/lrm-stats/src/bytes.rs crates/lrm-stats/src/cdf.rs crates/lrm-stats/src/error.rs crates/lrm-stats/src/moments.rs crates/lrm-stats/src/verify.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblrm_stats-4765c5c5b6121cd2.rmeta: crates/lrm-stats/src/lib.rs crates/lrm-stats/src/bytes.rs crates/lrm-stats/src/cdf.rs crates/lrm-stats/src/error.rs crates/lrm-stats/src/moments.rs crates/lrm-stats/src/verify.rs Cargo.toml
+
+crates/lrm-stats/src/lib.rs:
+crates/lrm-stats/src/bytes.rs:
+crates/lrm-stats/src/cdf.rs:
+crates/lrm-stats/src/error.rs:
+crates/lrm-stats/src/moments.rs:
+crates/lrm-stats/src/verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/lrm_stats-6c42e139a9e9ff59.d: crates/lrm-stats/src/lib.rs crates/lrm-stats/src/bytes.rs crates/lrm-stats/src/cdf.rs crates/lrm-stats/src/error.rs crates/lrm-stats/src/moments.rs crates/lrm-stats/src/verify.rs
+
+/root/repo/target/debug/deps/liblrm_stats-6c42e139a9e9ff59.rlib: crates/lrm-stats/src/lib.rs crates/lrm-stats/src/bytes.rs crates/lrm-stats/src/cdf.rs crates/lrm-stats/src/error.rs crates/lrm-stats/src/moments.rs crates/lrm-stats/src/verify.rs
+
+/root/repo/target/debug/deps/liblrm_stats-6c42e139a9e9ff59.rmeta: crates/lrm-stats/src/lib.rs crates/lrm-stats/src/bytes.rs crates/lrm-stats/src/cdf.rs crates/lrm-stats/src/error.rs crates/lrm-stats/src/moments.rs crates/lrm-stats/src/verify.rs
+
+crates/lrm-stats/src/lib.rs:
+crates/lrm-stats/src/bytes.rs:
+crates/lrm-stats/src/cdf.rs:
+crates/lrm-stats/src/error.rs:
+crates/lrm-stats/src/moments.rs:
+crates/lrm-stats/src/verify.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lrm_stats-cadea7f3bc5d3145.d: crates/lrm-stats/src/lib.rs crates/lrm-stats/src/bytes.rs crates/lrm-stats/src/cdf.rs crates/lrm-stats/src/error.rs crates/lrm-stats/src/moments.rs crates/lrm-stats/src/verify.rs
+
+/root/repo/target/debug/deps/lrm_stats-cadea7f3bc5d3145: crates/lrm-stats/src/lib.rs crates/lrm-stats/src/bytes.rs crates/lrm-stats/src/cdf.rs crates/lrm-stats/src/error.rs crates/lrm-stats/src/moments.rs crates/lrm-stats/src/verify.rs
+
+crates/lrm-stats/src/lib.rs:
+crates/lrm-stats/src/bytes.rs:
+crates/lrm-stats/src/cdf.rs:
+crates/lrm-stats/src/error.rs:
+crates/lrm-stats/src/moments.rs:
+crates/lrm-stats/src/verify.rs:

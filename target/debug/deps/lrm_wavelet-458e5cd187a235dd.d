@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/lrm_wavelet-458e5cd187a235dd.d: crates/lrm-wavelet/src/lib.rs crates/lrm-wavelet/src/haar.rs crates/lrm-wavelet/src/haar3d.rs crates/lrm-wavelet/src/sparse.rs
+
+/root/repo/target/debug/deps/lrm_wavelet-458e5cd187a235dd: crates/lrm-wavelet/src/lib.rs crates/lrm-wavelet/src/haar.rs crates/lrm-wavelet/src/haar3d.rs crates/lrm-wavelet/src/sparse.rs
+
+crates/lrm-wavelet/src/lib.rs:
+crates/lrm-wavelet/src/haar.rs:
+crates/lrm-wavelet/src/haar3d.rs:
+crates/lrm-wavelet/src/sparse.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lrm_wavelet-770a5328b53804bb.d: crates/lrm-wavelet/src/lib.rs crates/lrm-wavelet/src/haar.rs crates/lrm-wavelet/src/haar3d.rs crates/lrm-wavelet/src/sparse.rs
+
+/root/repo/target/debug/deps/liblrm_wavelet-770a5328b53804bb.rlib: crates/lrm-wavelet/src/lib.rs crates/lrm-wavelet/src/haar.rs crates/lrm-wavelet/src/haar3d.rs crates/lrm-wavelet/src/sparse.rs
+
+/root/repo/target/debug/deps/liblrm_wavelet-770a5328b53804bb.rmeta: crates/lrm-wavelet/src/lib.rs crates/lrm-wavelet/src/haar.rs crates/lrm-wavelet/src/haar3d.rs crates/lrm-wavelet/src/sparse.rs
+
+crates/lrm-wavelet/src/lib.rs:
+crates/lrm-wavelet/src/haar.rs:
+crates/lrm-wavelet/src/haar3d.rs:
+crates/lrm-wavelet/src/sparse.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/lrm_wavelet-f38888eddc153912.d: crates/lrm-wavelet/src/lib.rs crates/lrm-wavelet/src/haar.rs crates/lrm-wavelet/src/haar3d.rs crates/lrm-wavelet/src/sparse.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblrm_wavelet-f38888eddc153912.rmeta: crates/lrm-wavelet/src/lib.rs crates/lrm-wavelet/src/haar.rs crates/lrm-wavelet/src/haar3d.rs crates/lrm-wavelet/src/sparse.rs Cargo.toml
+
+crates/lrm-wavelet/src/lib.rs:
+crates/lrm-wavelet/src/haar.rs:
+crates/lrm-wavelet/src/haar3d.rs:
+crates/lrm-wavelet/src/sparse.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

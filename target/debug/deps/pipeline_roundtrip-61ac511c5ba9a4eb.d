@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_roundtrip-61ac511c5ba9a4eb.d: tests/pipeline_roundtrip.rs
+
+/root/repo/target/debug/deps/pipeline_roundtrip-61ac511c5ba9a4eb: tests/pipeline_roundtrip.rs
+
+tests/pipeline_roundtrip.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-674e00a427538387.d: crates/lrm-linalg/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-674e00a427538387.rmeta: crates/lrm-linalg/tests/properties.rs Cargo.toml
+
+crates/lrm-linalg/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-b9f399de40c79094.d: crates/lrm-linalg/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-b9f399de40c79094: crates/lrm-linalg/tests/properties.rs
+
+crates/lrm-linalg/tests/properties.rs:

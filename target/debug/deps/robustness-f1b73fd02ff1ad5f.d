@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-f1b73fd02ff1ad5f.d: tests/robustness.rs
+
+/root/repo/target/debug/deps/robustness-f1b73fd02ff1ad5f: tests/robustness.rs
+
+tests/robustness.rs:

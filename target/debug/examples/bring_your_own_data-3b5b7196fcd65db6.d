@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/bring_your_own_data-3b5b7196fcd65db6.d: examples/bring_your_own_data.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbring_your_own_data-3b5b7196fcd65db6.rmeta: examples/bring_your_own_data.rs Cargo.toml
+
+examples/bring_your_own_data.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/bring_your_own_data-5084a1e5e0e6696b.d: examples/bring_your_own_data.rs
+
+/root/repo/target/debug/examples/bring_your_own_data-5084a1e5e0e6696b: examples/bring_your_own_data.rs
+
+examples/bring_your_own_data.rs:

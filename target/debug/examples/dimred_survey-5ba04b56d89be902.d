@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dimred_survey-5ba04b56d89be902.d: examples/dimred_survey.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdimred_survey-5ba04b56d89be902.rmeta: examples/dimred_survey.rs Cargo.toml
+
+examples/dimred_survey.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

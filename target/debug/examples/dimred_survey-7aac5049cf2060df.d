@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dimred_survey-7aac5049cf2060df.d: examples/dimred_survey.rs
+
+/root/repo/target/debug/examples/dimred_survey-7aac5049cf2060df: examples/dimred_survey.rs
+
+examples/dimred_survey.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/heat3d_campaign-1b73d2e642d93e59.d: examples/heat3d_campaign.rs Cargo.toml
+
+/root/repo/target/debug/examples/libheat3d_campaign-1b73d2e642d93e59.rmeta: examples/heat3d_campaign.rs Cargo.toml
+
+examples/heat3d_campaign.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/heat3d_campaign-d2c5df9798f1c625.d: examples/heat3d_campaign.rs
+
+/root/repo/target/debug/examples/heat3d_campaign-d2c5df9798f1c625: examples/heat3d_campaign.rs
+
+examples/heat3d_campaign.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/model_selection-88044f3652995a99.d: examples/model_selection.rs
+
+/root/repo/target/debug/examples/model_selection-88044f3652995a99: examples/model_selection.rs
+
+examples/model_selection.rs:

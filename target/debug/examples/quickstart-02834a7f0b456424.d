@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-02834a7f0b456424.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-02834a7f0b456424: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/lrm-0bd5be85450e20bb.d: src/lib.rs
+
+/root/repo/target/release/deps/liblrm-0bd5be85450e20bb.rlib: src/lib.rs
+
+/root/repo/target/release/deps/liblrm-0bd5be85450e20bb.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lrm_cli-24ff199ccec0176a.d: crates/lrm-cli/src/main.rs
+
+/root/repo/target/release/deps/lrm_cli-24ff199ccec0176a: crates/lrm-cli/src/main.rs
+
+crates/lrm-cli/src/main.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/lrm_cli-606c88f367e41e66.d: crates/lrm-cli/src/lib.rs crates/lrm-cli/src/experiments/mod.rs crates/lrm-cli/src/experiments/characteristics.rs crates/lrm-cli/src/experiments/dimred.rs crates/lrm-cli/src/experiments/end_to_end.rs crates/lrm-cli/src/experiments/overhead.rs crates/lrm-cli/src/experiments/projection.rs crates/lrm-cli/src/experiments/rate_distortion.rs crates/lrm-cli/src/table.rs
+
+/root/repo/target/release/deps/liblrm_cli-606c88f367e41e66.rlib: crates/lrm-cli/src/lib.rs crates/lrm-cli/src/experiments/mod.rs crates/lrm-cli/src/experiments/characteristics.rs crates/lrm-cli/src/experiments/dimred.rs crates/lrm-cli/src/experiments/end_to_end.rs crates/lrm-cli/src/experiments/overhead.rs crates/lrm-cli/src/experiments/projection.rs crates/lrm-cli/src/experiments/rate_distortion.rs crates/lrm-cli/src/table.rs
+
+/root/repo/target/release/deps/liblrm_cli-606c88f367e41e66.rmeta: crates/lrm-cli/src/lib.rs crates/lrm-cli/src/experiments/mod.rs crates/lrm-cli/src/experiments/characteristics.rs crates/lrm-cli/src/experiments/dimred.rs crates/lrm-cli/src/experiments/end_to_end.rs crates/lrm-cli/src/experiments/overhead.rs crates/lrm-cli/src/experiments/projection.rs crates/lrm-cli/src/experiments/rate_distortion.rs crates/lrm-cli/src/table.rs
+
+crates/lrm-cli/src/lib.rs:
+crates/lrm-cli/src/experiments/mod.rs:
+crates/lrm-cli/src/experiments/characteristics.rs:
+crates/lrm-cli/src/experiments/dimred.rs:
+crates/lrm-cli/src/experiments/end_to_end.rs:
+crates/lrm-cli/src/experiments/overhead.rs:
+crates/lrm-cli/src/experiments/projection.rs:
+crates/lrm-cli/src/experiments/rate_distortion.rs:
+crates/lrm-cli/src/table.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/lrm_compress-bdad4d844cacb673.d: crates/lrm-compress/src/lib.rs crates/lrm-compress/src/bitstream.rs crates/lrm-compress/src/fpc.rs crates/lrm-compress/src/lossless/mod.rs crates/lrm-compress/src/lossless/huffman.rs crates/lrm-compress/src/lossless/lzss.rs crates/lrm-compress/src/lossless/rle.rs crates/lrm-compress/src/lossless/varint.rs crates/lrm-compress/src/sz/mod.rs crates/lrm-compress/src/sz/predictor.rs crates/lrm-compress/src/zfp/mod.rs crates/lrm-compress/src/zfp/block.rs crates/lrm-compress/src/zfp/codec.rs crates/lrm-compress/src/zfp/transform.rs
+
+/root/repo/target/release/deps/liblrm_compress-bdad4d844cacb673.rlib: crates/lrm-compress/src/lib.rs crates/lrm-compress/src/bitstream.rs crates/lrm-compress/src/fpc.rs crates/lrm-compress/src/lossless/mod.rs crates/lrm-compress/src/lossless/huffman.rs crates/lrm-compress/src/lossless/lzss.rs crates/lrm-compress/src/lossless/rle.rs crates/lrm-compress/src/lossless/varint.rs crates/lrm-compress/src/sz/mod.rs crates/lrm-compress/src/sz/predictor.rs crates/lrm-compress/src/zfp/mod.rs crates/lrm-compress/src/zfp/block.rs crates/lrm-compress/src/zfp/codec.rs crates/lrm-compress/src/zfp/transform.rs
+
+/root/repo/target/release/deps/liblrm_compress-bdad4d844cacb673.rmeta: crates/lrm-compress/src/lib.rs crates/lrm-compress/src/bitstream.rs crates/lrm-compress/src/fpc.rs crates/lrm-compress/src/lossless/mod.rs crates/lrm-compress/src/lossless/huffman.rs crates/lrm-compress/src/lossless/lzss.rs crates/lrm-compress/src/lossless/rle.rs crates/lrm-compress/src/lossless/varint.rs crates/lrm-compress/src/sz/mod.rs crates/lrm-compress/src/sz/predictor.rs crates/lrm-compress/src/zfp/mod.rs crates/lrm-compress/src/zfp/block.rs crates/lrm-compress/src/zfp/codec.rs crates/lrm-compress/src/zfp/transform.rs
+
+crates/lrm-compress/src/lib.rs:
+crates/lrm-compress/src/bitstream.rs:
+crates/lrm-compress/src/fpc.rs:
+crates/lrm-compress/src/lossless/mod.rs:
+crates/lrm-compress/src/lossless/huffman.rs:
+crates/lrm-compress/src/lossless/lzss.rs:
+crates/lrm-compress/src/lossless/rle.rs:
+crates/lrm-compress/src/lossless/varint.rs:
+crates/lrm-compress/src/sz/mod.rs:
+crates/lrm-compress/src/sz/predictor.rs:
+crates/lrm-compress/src/zfp/mod.rs:
+crates/lrm-compress/src/zfp/block.rs:
+crates/lrm-compress/src/zfp/codec.rs:
+crates/lrm-compress/src/zfp/transform.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/lrm_core-a85c44ba8c0de212.d: crates/lrm-core/src/lib.rs crates/lrm-core/src/codec.rs crates/lrm-core/src/dimred.rs crates/lrm-core/src/engine.rs crates/lrm-core/src/parallel_one_base.rs crates/lrm-core/src/partitioned.rs crates/lrm-core/src/pipeline.rs crates/lrm-core/src/projection.rs crates/lrm-core/src/selection.rs crates/lrm-core/src/temporal.rs
+
+/root/repo/target/release/deps/liblrm_core-a85c44ba8c0de212.rlib: crates/lrm-core/src/lib.rs crates/lrm-core/src/codec.rs crates/lrm-core/src/dimred.rs crates/lrm-core/src/engine.rs crates/lrm-core/src/parallel_one_base.rs crates/lrm-core/src/partitioned.rs crates/lrm-core/src/pipeline.rs crates/lrm-core/src/projection.rs crates/lrm-core/src/selection.rs crates/lrm-core/src/temporal.rs
+
+/root/repo/target/release/deps/liblrm_core-a85c44ba8c0de212.rmeta: crates/lrm-core/src/lib.rs crates/lrm-core/src/codec.rs crates/lrm-core/src/dimred.rs crates/lrm-core/src/engine.rs crates/lrm-core/src/parallel_one_base.rs crates/lrm-core/src/partitioned.rs crates/lrm-core/src/pipeline.rs crates/lrm-core/src/projection.rs crates/lrm-core/src/selection.rs crates/lrm-core/src/temporal.rs
+
+crates/lrm-core/src/lib.rs:
+crates/lrm-core/src/codec.rs:
+crates/lrm-core/src/dimred.rs:
+crates/lrm-core/src/engine.rs:
+crates/lrm-core/src/parallel_one_base.rs:
+crates/lrm-core/src/partitioned.rs:
+crates/lrm-core/src/pipeline.rs:
+crates/lrm-core/src/projection.rs:
+crates/lrm-core/src/selection.rs:
+crates/lrm-core/src/temporal.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/lrm_io-6fd2e7bfef500b47.d: crates/lrm-io/src/lib.rs crates/lrm-io/src/artifact.rs crates/lrm-io/src/chunked.rs crates/lrm-io/src/disk.rs crates/lrm-io/src/staging.rs crates/lrm-io/src/storage.rs
+
+/root/repo/target/release/deps/liblrm_io-6fd2e7bfef500b47.rlib: crates/lrm-io/src/lib.rs crates/lrm-io/src/artifact.rs crates/lrm-io/src/chunked.rs crates/lrm-io/src/disk.rs crates/lrm-io/src/staging.rs crates/lrm-io/src/storage.rs
+
+/root/repo/target/release/deps/liblrm_io-6fd2e7bfef500b47.rmeta: crates/lrm-io/src/lib.rs crates/lrm-io/src/artifact.rs crates/lrm-io/src/chunked.rs crates/lrm-io/src/disk.rs crates/lrm-io/src/staging.rs crates/lrm-io/src/storage.rs
+
+crates/lrm-io/src/lib.rs:
+crates/lrm-io/src/artifact.rs:
+crates/lrm-io/src/chunked.rs:
+crates/lrm-io/src/disk.rs:
+crates/lrm-io/src/staging.rs:
+crates/lrm-io/src/storage.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/lrm_linalg-fba152a07a1940e1.d: crates/lrm-linalg/src/lib.rs crates/lrm-linalg/src/eigen.rs crates/lrm-linalg/src/matrix.rs crates/lrm-linalg/src/pca.rs crates/lrm-linalg/src/qr.rs crates/lrm-linalg/src/rsvd.rs crates/lrm-linalg/src/svd.rs
+
+/root/repo/target/release/deps/liblrm_linalg-fba152a07a1940e1.rlib: crates/lrm-linalg/src/lib.rs crates/lrm-linalg/src/eigen.rs crates/lrm-linalg/src/matrix.rs crates/lrm-linalg/src/pca.rs crates/lrm-linalg/src/qr.rs crates/lrm-linalg/src/rsvd.rs crates/lrm-linalg/src/svd.rs
+
+/root/repo/target/release/deps/liblrm_linalg-fba152a07a1940e1.rmeta: crates/lrm-linalg/src/lib.rs crates/lrm-linalg/src/eigen.rs crates/lrm-linalg/src/matrix.rs crates/lrm-linalg/src/pca.rs crates/lrm-linalg/src/qr.rs crates/lrm-linalg/src/rsvd.rs crates/lrm-linalg/src/svd.rs
+
+crates/lrm-linalg/src/lib.rs:
+crates/lrm-linalg/src/eigen.rs:
+crates/lrm-linalg/src/matrix.rs:
+crates/lrm-linalg/src/pca.rs:
+crates/lrm-linalg/src/qr.rs:
+crates/lrm-linalg/src/rsvd.rs:
+crates/lrm-linalg/src/svd.rs:

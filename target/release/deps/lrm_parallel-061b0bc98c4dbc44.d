@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/lrm_parallel-061b0bc98c4dbc44.d: crates/lrm-parallel/src/lib.rs crates/lrm-parallel/src/comm.rs crates/lrm-parallel/src/domain.rs crates/lrm-parallel/src/pool.rs
+
+/root/repo/target/release/deps/liblrm_parallel-061b0bc98c4dbc44.rlib: crates/lrm-parallel/src/lib.rs crates/lrm-parallel/src/comm.rs crates/lrm-parallel/src/domain.rs crates/lrm-parallel/src/pool.rs
+
+/root/repo/target/release/deps/liblrm_parallel-061b0bc98c4dbc44.rmeta: crates/lrm-parallel/src/lib.rs crates/lrm-parallel/src/comm.rs crates/lrm-parallel/src/domain.rs crates/lrm-parallel/src/pool.rs
+
+crates/lrm-parallel/src/lib.rs:
+crates/lrm-parallel/src/comm.rs:
+crates/lrm-parallel/src/domain.rs:
+crates/lrm-parallel/src/pool.rs:

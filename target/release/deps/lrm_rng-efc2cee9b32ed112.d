@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/lrm_rng-efc2cee9b32ed112.d: crates/lrm-rng/src/lib.rs
+
+/root/repo/target/release/deps/liblrm_rng-efc2cee9b32ed112.rlib: crates/lrm-rng/src/lib.rs
+
+/root/repo/target/release/deps/liblrm_rng-efc2cee9b32ed112.rmeta: crates/lrm-rng/src/lib.rs
+
+crates/lrm-rng/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/lrm_stats-b2f303169918ffe4.d: crates/lrm-stats/src/lib.rs crates/lrm-stats/src/bytes.rs crates/lrm-stats/src/cdf.rs crates/lrm-stats/src/error.rs crates/lrm-stats/src/moments.rs crates/lrm-stats/src/verify.rs
+
+/root/repo/target/release/deps/liblrm_stats-b2f303169918ffe4.rlib: crates/lrm-stats/src/lib.rs crates/lrm-stats/src/bytes.rs crates/lrm-stats/src/cdf.rs crates/lrm-stats/src/error.rs crates/lrm-stats/src/moments.rs crates/lrm-stats/src/verify.rs
+
+/root/repo/target/release/deps/liblrm_stats-b2f303169918ffe4.rmeta: crates/lrm-stats/src/lib.rs crates/lrm-stats/src/bytes.rs crates/lrm-stats/src/cdf.rs crates/lrm-stats/src/error.rs crates/lrm-stats/src/moments.rs crates/lrm-stats/src/verify.rs
+
+crates/lrm-stats/src/lib.rs:
+crates/lrm-stats/src/bytes.rs:
+crates/lrm-stats/src/cdf.rs:
+crates/lrm-stats/src/error.rs:
+crates/lrm-stats/src/moments.rs:
+crates/lrm-stats/src/verify.rs:

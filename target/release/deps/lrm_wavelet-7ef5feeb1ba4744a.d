@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/lrm_wavelet-7ef5feeb1ba4744a.d: crates/lrm-wavelet/src/lib.rs crates/lrm-wavelet/src/haar.rs crates/lrm-wavelet/src/haar3d.rs crates/lrm-wavelet/src/sparse.rs
+
+/root/repo/target/release/deps/liblrm_wavelet-7ef5feeb1ba4744a.rlib: crates/lrm-wavelet/src/lib.rs crates/lrm-wavelet/src/haar.rs crates/lrm-wavelet/src/haar3d.rs crates/lrm-wavelet/src/sparse.rs
+
+/root/repo/target/release/deps/liblrm_wavelet-7ef5feeb1ba4744a.rmeta: crates/lrm-wavelet/src/lib.rs crates/lrm-wavelet/src/haar.rs crates/lrm-wavelet/src/haar3d.rs crates/lrm-wavelet/src/sparse.rs
+
+crates/lrm-wavelet/src/lib.rs:
+crates/lrm-wavelet/src/haar.rs:
+crates/lrm-wavelet/src/haar3d.rs:
+crates/lrm-wavelet/src/sparse.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/__v0_compat_check-c9ec76a0ce0d9091.d: examples/__v0_compat_check.rs
+
+/root/repo/target/release/examples/__v0_compat_check-c9ec76a0ce0d9091: examples/__v0_compat_check.rs
+
+examples/__v0_compat_check.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/bring_your_own_data-ef782a4306c76c84.d: examples/bring_your_own_data.rs
+
+/root/repo/target/release/examples/bring_your_own_data-ef782a4306c76c84: examples/bring_your_own_data.rs
+
+examples/bring_your_own_data.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-f478db8b01b6cea0.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-f478db8b01b6cea0: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/release/liblrm_rng.rlib: /root/repo/crates/lrm-rng/src/lib.rs

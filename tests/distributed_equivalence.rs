@@ -2,6 +2,10 @@
 //! identical to the serial computation, and the staged pipeline must
 //! produce the same artifacts as inline compression.
 
+// These tests deliberately stay on the deprecated free-function API: they
+// are the compile-time proof that pre-0.2 call sites still work through
+// the shims.
+#![allow(deprecated)]
 use lrm::core::parallel_one_base::distributed_one_base;
 use lrm::core::{precondition_and_compress, PipelineConfig, ReducedModelKind};
 use lrm::datasets::{generate, DatasetKind, Field, SizeClass};

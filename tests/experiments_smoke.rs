@@ -34,10 +34,8 @@ fn fig6_through_fig10() {
 
 #[test]
 fn fig11_sweep() {
-    let pts = rate_distortion::fig11_datasets(
-        SizeClass::Tiny,
-        &[lrm_datasets::DatasetKind::Laplace],
-    );
+    let pts =
+        rate_distortion::fig11_datasets(SizeClass::Tiny, &[lrm_datasets::DatasetKind::Laplace]);
     assert_eq!(pts.len(), 21);
 }
 

@@ -1,6 +1,10 @@
 //! Integration tests for the beyond-the-paper extensions, exercised
 //! through the public umbrella API exactly as a downstream user would.
 
+// These tests deliberately stay on the deprecated free-function API: they
+// are the compile-time proof that pre-0.2 call sites still work through
+// the shims.
+#![allow(deprecated)]
 use lrm::core::temporal::{compress_series, reconstruct_series};
 use lrm::core::{
     precondition_and_compress, reconstruct, sz_paper_bounds, PipelineConfig, ReducedModelKind,
@@ -42,7 +46,12 @@ fn randomized_svd_tracks_exact_svd_on_real_data() {
     let sketch = randomized_svd(&mat, &RsvdConfig::rank(4));
     for i in 0..2 {
         let rel = (exact.sigma[i] - sketch.sigma[i]).abs() / exact.sigma[i].max(1e-12);
-        assert!(rel < 1e-3, "sigma {i}: {} vs {}", exact.sigma[i], sketch.sigma[i]);
+        assert!(
+            rel < 1e-3,
+            "sigma {i}: {} vs {}",
+            exact.sigma[i],
+            sketch.sigma[i]
+        );
     }
 }
 

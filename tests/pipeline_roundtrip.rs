@@ -2,6 +2,10 @@
 //! codec — generate, precondition, serialize, reconstruct, and check the
 //! error and size accounting end to end.
 
+// These tests deliberately stay on the deprecated free-function API: they
+// are the compile-time proof that pre-0.2 call sites still work through
+// the shims.
+#![allow(deprecated)]
 use lrm::core::{
     precondition_and_compress, precondition_and_compress_with_aux, reconstruct, PipelineConfig,
     ReducedModelKind,
@@ -49,19 +53,14 @@ fn every_dataset_roundtrips_with_every_applicable_model() {
             ReducedModelKind::Wavelet,
         ] {
             let applicable = match model {
-                ReducedModelKind::OneBase | ReducedModelKind::MultiBase(_) => {
-                    pair_shape_dims >= 2
-                }
+                ReducedModelKind::OneBase | ReducedModelKind::MultiBase(_) => pair_shape_dims >= 2,
                 // DuoModel interpolates a coarse companion onto the full
                 // grid — only meaningful for grid data, not particle
                 // coordinate streams (whose reduced run has fewer atoms,
                 // not a coarser grid).
                 ReducedModelKind::DuoModel => {
                     pair_shape_dims >= 2
-                        && !matches!(
-                            kind,
-                            DatasetKind::Umbrella | DatasetKind::VirtualSites
-                        )
+                        && !matches!(kind, DatasetKind::Umbrella | DatasetKind::VirtualSites)
                 }
                 _ => true,
             };

@@ -1,6 +1,10 @@
 //! Robustness integration tests: corrupt inputs, adversarial fields, and
 //! failure-injection around the pipeline's parsing layers.
 
+// These tests deliberately stay on the deprecated free-function API: they
+// are the compile-time proof that pre-0.2 call sites still work through
+// the shims.
+#![allow(deprecated)]
 use lrm::core::{precondition_and_compress, reconstruct, PipelineConfig, ReducedModelKind};
 use lrm::datasets::Field;
 use lrm::io::Artifact;
@@ -8,7 +12,9 @@ use lrm_compress::Shape;
 
 fn sample_field() -> Field {
     let shape = Shape::d2(16, 12);
-    let data: Vec<f64> = (0..shape.len()).map(|i| (i as f64 * 0.21).sin() * 7.0).collect();
+    let data: Vec<f64> = (0..shape.len())
+        .map(|i| (i as f64 * 0.21).sin() * 7.0)
+        .collect();
     Field::new("robust", data, shape)
 }
 
@@ -26,10 +32,8 @@ fn reconstruct_rejects_corrupt_magic() {
 
 #[test]
 fn reconstruct_rejects_truncated_artifacts() {
-    let art = precondition_and_compress(
-        &sample_field(),
-        &PipelineConfig::sz(ReducedModelKind::Pca),
-    );
+    let art =
+        precondition_and_compress(&sample_field(), &PipelineConfig::sz(ReducedModelKind::Pca));
     for cut in [1usize, 8, 20] {
         let bytes = &art.bytes[..art.bytes.len().saturating_sub(cut)];
         let r = std::panic::catch_unwind(|| reconstruct(bytes));
@@ -40,10 +44,8 @@ fn reconstruct_rejects_truncated_artifacts() {
 #[test]
 fn artifact_sections_are_inspectable_without_reconstruction() {
     // A storage layer can account sizes without touching codec state.
-    let art = precondition_and_compress(
-        &sample_field(),
-        &PipelineConfig::zfp(ReducedModelKind::Svd),
-    );
+    let art =
+        precondition_and_compress(&sample_field(), &PipelineConfig::zfp(ReducedModelKind::Svd));
     let parsed = Artifact::from_bytes(&art.bytes).expect("parse");
     let rep = parsed.get("rep").expect("rep").len();
     let delta = parsed.get("delta").expect("delta").len();
@@ -60,15 +62,21 @@ fn adversarial_fields_roundtrip() {
         ("constant", vec![3.125; shape.len()]),
         (
             "alternating",
-            (0..shape.len()).map(|i| if i % 2 == 0 { 1e6 } else { -1e6 }).collect(),
+            (0..shape.len())
+                .map(|i| if i % 2 == 0 { 1e6 } else { -1e6 })
+                .collect(),
         ),
         (
             "wide_range",
-            (0..shape.len()).map(|i| 10f64.powi((i % 17) as i32 - 8)).collect(),
+            (0..shape.len())
+                .map(|i| 10f64.powi((i % 17) as i32 - 8))
+                .collect(),
         ),
         (
             "tiny_values",
-            (0..shape.len()).map(|i| 1e-300 * (i as f64 + 1.0)).collect(),
+            (0..shape.len())
+                .map(|i| 1e-300 * (i as f64 + 1.0))
+                .collect(),
         ),
     ];
     for (name, data) in cases {
