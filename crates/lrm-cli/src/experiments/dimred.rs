@@ -43,7 +43,9 @@ fn run_cell(
 ) -> DimRedRow {
     let pipeline = Pipeline::from_config(cfg);
     let art = pipeline.compress(field);
-    let (rec, _) = pipeline.reconstruct(&art.bytes);
+    let (rec, _) = pipeline
+        .reconstruct(&art.bytes)
+        .expect("artifact just produced must decode");
     DimRedRow {
         dataset: "",
         method: method.name(),

@@ -48,7 +48,9 @@ pub fn fig12(size: SizeClass) -> Vec<OverheadRow> {
             let art = pipeline.compress(f);
             comp += t0.elapsed().as_secs_f64();
             let t1 = Instant::now();
-            let _ = pipeline.reconstruct(&art.bytes);
+            let _ = pipeline
+                .reconstruct(&art.bytes)
+                .expect("artifact just produced must decode");
             decomp += t1.elapsed().as_secs_f64();
         }
         rows.push(OverheadRow {

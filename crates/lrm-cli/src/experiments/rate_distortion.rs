@@ -53,7 +53,9 @@ pub fn fig11_datasets(size: SizeClass, kinds: &[DatasetKind]) -> Vec<RatePoint> 
                 };
                 let pipeline = Pipeline::from_config(cfg);
                 let art = pipeline.compress(&field);
-                let (rec, _) = pipeline.reconstruct(&art.bytes);
+                let (rec, _) = pipeline
+                    .reconstruct(&art.bytes)
+                    .expect("artifact just produced must decode");
                 out.push(RatePoint {
                     dataset: kind.name(),
                     method: method.name(),

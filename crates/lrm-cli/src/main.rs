@@ -482,7 +482,9 @@ fn run_verify(size: SizeClass) {
             let cfg = PipelineConfig::sz(model).with_scan_1d(true);
             let pipeline = Pipeline::from_config(cfg);
             let art = pipeline.compress(&field);
-            let (rec, _) = pipeline.reconstruct(&art.bytes);
+            let (rec, _) = pipeline
+                .reconstruct(&art.bytes)
+                .expect("artifact just produced must decode");
             // Direct mode honors rel 1e-5 against block maxima; the
             // preconditioned path adds the rel 1e-3 delta bound on top.
             // Check against the loose end-to-end envelope.
@@ -534,7 +536,9 @@ fn run_chunked(size: SizeClass, threads: usize, chunks: usize) {
             .min_chunk_len(0)
             .build();
         let run = pipeline.compress_detailed(&field);
-        let (rec, _) = pipeline.reconstruct(&run.bytes);
+        let (rec, _) = pipeline
+            .reconstruct(&run.bytes)
+            .expect("artifact just produced must decode");
         let err = field
             .data
             .iter()

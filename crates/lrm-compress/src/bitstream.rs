@@ -32,7 +32,9 @@ impl BitWriter {
             self.bytes.push(0);
         }
         if bit & 1 != 0 {
-            *self.bytes.last_mut().expect("pushed above") |= 1 << self.bit_pos;
+            if let Some(last) = self.bytes.last_mut() {
+                *last |= 1 << self.bit_pos;
+            }
         }
         self.bit_pos = (self.bit_pos + 1) % 8;
     }
@@ -105,10 +107,7 @@ impl<'a> BitReader<'a> {
         let byte = self.pos / 8;
         let bit = self.pos % 8;
         self.pos += 1;
-        if byte >= self.bytes.len() {
-            return 0;
-        }
-        ((self.bytes[byte] >> bit) & 1) as u64
+        self.bytes.get(byte).map_or(0, |b| ((b >> bit) & 1) as u64)
     }
 
     /// Reads `n` bits (LSB first), zero-extended.

@@ -1,0 +1,119 @@
+//! Typed decode failures shared by every decoder in the workspace.
+//!
+//! Decoders in this workspace consume untrusted bytes (artifacts read
+//! back from disk, streams received over the wire), so they must never
+//! panic on malformed input. Every decode path returns
+//! [`DecodeResult`]; the `lrm-lint` tool (see `lint.toml` at the repo
+//! root) statically enforces that registered decode modules contain no
+//! `unwrap`/`expect`/`panic!`/unchecked indexing.
+
+use std::fmt;
+
+/// Why a decode failed. Carries `&'static str` context so constructing
+/// an error never allocates on the (possibly adversarial) failure path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The stream ended before a required field or payload.
+    Truncated {
+        /// What was being read when the stream ran out.
+        what: &'static str,
+    },
+    /// A field held a value no encoder produces (bad magic, impossible
+    /// count, out-of-range distance, ...).
+    Corrupt {
+        /// Which invariant the stream violated.
+        what: &'static str,
+    },
+    /// A tag/discriminant byte outside the known set.
+    UnknownTag {
+        /// Which tag field was being decoded.
+        what: &'static str,
+        /// The unrecognized value.
+        tag: u8,
+    },
+    /// A container version newer than this decoder understands.
+    UnsupportedVersion {
+        /// Version found in the stream.
+        found: u8,
+        /// Newest version this build decodes.
+        supported: u8,
+    },
+    /// The caller-supplied shape disagrees with the encoded element
+    /// count.
+    ShapeMismatch {
+        /// Elements implied by the caller's shape.
+        expected: usize,
+        /// Elements recorded in the stream.
+        found: usize,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated { what } => {
+                write!(f, "truncated stream while reading {what}")
+            }
+            DecodeError::Corrupt { what } => write!(f, "corrupt stream: {what}"),
+            DecodeError::UnknownTag { what, tag } => {
+                write!(f, "unknown {what} tag {tag}")
+            }
+            DecodeError::UnsupportedVersion { found, supported } => {
+                write!(
+                    f,
+                    "unsupported format version {found} (this build decodes <= {supported})"
+                )
+            }
+            DecodeError::ShapeMismatch { expected, found } => {
+                write!(
+                    f,
+                    "shape mismatch: caller expects {expected} elements, stream holds {found}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Convenience alias used by every decode path.
+pub type DecodeResult<T> = Result<T, DecodeError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let msgs = [
+            DecodeError::Truncated { what: "header" }.to_string(),
+            DecodeError::Corrupt { what: "bad magic" }.to_string(),
+            DecodeError::UnknownTag {
+                what: "codec",
+                tag: 9,
+            }
+            .to_string(),
+            DecodeError::UnsupportedVersion {
+                found: 3,
+                supported: 1,
+            }
+            .to_string(),
+            DecodeError::ShapeMismatch {
+                expected: 8,
+                found: 4,
+            }
+            .to_string(),
+        ];
+        assert!(msgs[0].contains("header"));
+        assert!(msgs[1].contains("bad magic"));
+        assert!(msgs[2].contains('9'));
+        assert!(msgs[3].contains('3') && msgs[3].contains('1'));
+        assert!(msgs[4].contains('8') && msgs[4].contains('4'));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        let e: Box<dyn std::error::Error> = Box::new(DecodeError::Truncated { what: "x" });
+        assert!(e.to_string().contains("truncated"));
+    }
+}

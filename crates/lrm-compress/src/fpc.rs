@@ -10,6 +10,7 @@
 //! The paper runs FPC at *level 20 with a 2^24-byte table*; [`Fpc::new`]
 //! takes the same level parameter (log2 of table entries).
 
+use crate::error::{DecodeError, DecodeResult};
 use crate::{Codec, Shape};
 
 /// FPC codec with a configurable table size.
@@ -148,19 +149,36 @@ impl Codec for Fpc {
         out
     }
 
-    fn decompress(&self, bytes: &[u8], shape: Shape) -> Vec<f64> {
-        let n = u64::from_le_bytes(bytes[..8].try_into().expect("fpc: truncated")) as usize;
-        assert_eq!(n, shape.len(), "fpc: stream/shape mismatch");
+    fn decompress(&self, bytes: &[u8], shape: Shape) -> DecodeResult<Vec<f64>> {
+        let head: [u8; 8] = bytes
+            .get(..8)
+            .and_then(|s| s.try_into().ok())
+            .ok_or(DecodeError::Truncated { what: "fpc header" })?;
+        let n64 = u64::from_le_bytes(head);
+        if n64 != shape.len() as u64 {
+            return Err(DecodeError::ShapeMismatch {
+                expected: shape.len(),
+                found: usize::try_from(n64).unwrap_or(usize::MAX),
+            });
+        }
+        let n = shape.len();
         let header_len = n.div_ceil(2);
-        let headers = &bytes[8..8 + header_len];
+        let headers =
+            bytes
+                .get(8..8usize.saturating_add(header_len))
+                .ok_or(DecodeError::Truncated {
+                    what: "fpc nibble headers",
+                })?;
         let mut rpos = 8 + header_len;
 
         let mut pred = Predictors::new(self.table_entries());
         let mut out = Vec::with_capacity(n);
         for i in 0..n {
             let nibble = if i % 2 == 0 {
+                // lint:allow(no-index): i / 2 < header_len = ceil(n / 2) by construction
                 headers[i / 2] >> 4
             } else {
+                // lint:allow(no-index): i / 2 < header_len = ceil(n / 2) by construction
                 headers[i / 2] & 0xf
             };
             let sel = (nibble >> 3) & 1;
@@ -168,7 +186,10 @@ impl Codec for Fpc {
             let nbytes = (8 - decode_lzb(code)) as usize;
             let mut xor = 0u64;
             for _ in 0..nbytes {
-                xor = (xor << 8) | bytes[rpos] as u64;
+                let b = *bytes.get(rpos).ok_or(DecodeError::Truncated {
+                    what: "fpc residual bytes",
+                })?;
+                xor = (xor << 8) | b as u64;
                 rpos += 1;
             }
             let (p1, p2) = pred.predict();
@@ -177,7 +198,7 @@ impl Codec for Fpc {
             out.push(f64::from_bits(val));
             pred.update(val);
         }
-        out
+        Ok(out)
     }
 }
 
@@ -189,7 +210,7 @@ mod tests {
         let shape = Shape::d1(data.len());
         let f = Fpc::new(16);
         let c = f.compress(data, shape);
-        let d = f.decompress(&c, shape);
+        let d = f.decompress(&c, shape).expect("decode");
         assert_eq!(d.len(), data.len());
         for (a, b) in data.iter().zip(&d) {
             assert_eq!(a.to_bits(), b.to_bits(), "{a} vs {b}");
@@ -250,6 +271,44 @@ mod tests {
     }
 
     #[test]
+    fn short_input_is_truncated_error() {
+        let f = Fpc::new(12);
+        for len in 0..8 {
+            let r = f.decompress(&vec![0u8; len], Shape::d1(4));
+            assert_eq!(
+                r,
+                Err(DecodeError::Truncated { what: "fpc header" }),
+                "len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn count_mismatch_is_shape_error() {
+        let f = Fpc::new(12);
+        let data = [1.0, 2.0, 3.0];
+        let c = f.compress(&data, Shape::d1(3));
+        assert_eq!(
+            f.decompress(&c, Shape::d1(5)),
+            Err(DecodeError::ShapeMismatch {
+                expected: 5,
+                found: 3,
+            })
+        );
+    }
+
+    #[test]
+    fn truncated_residuals_are_error_not_panic() {
+        let f = Fpc::new(12);
+        let data: Vec<f64> = (0..64).map(|i| (i as f64).sqrt()).collect();
+        let shape = Shape::d1(data.len());
+        let c = f.compress(&data, shape);
+        for cut in 0..c.len() {
+            assert!(f.decompress(&c[..cut], shape).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
     fn lzb_code_roundtrip() {
         for cnt in [0u32, 1, 2, 3, 5, 6, 7, 8] {
             assert_eq!(decode_lzb(encode_lzb(cnt)), cnt);
@@ -285,7 +344,9 @@ mod tests {
             let data: Vec<f64> = (0..n).map(|_| rng.any_f64_bits()).collect();
             let shape = Shape::d1(data.len());
             let f = Fpc::new(12);
-            let d = f.decompress(&f.compress(&data, shape), shape);
+            let d = f
+                .decompress(&f.compress(&data, shape), shape)
+                .expect("decode");
             for (a, b) in data.iter().zip(&d) {
                 assert_eq!(a.to_bits(), b.to_bits());
             }

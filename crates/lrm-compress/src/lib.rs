@@ -21,13 +21,19 @@
 // Index-symmetric loops read more clearly than iterator chains in
 // numerical kernels; silence the pedantic lint crate-wide.
 #![allow(clippy::needless_range_loop)]
+// Decode paths consume untrusted bytes and must surface failures as
+// `DecodeError`, never abort. Promoted per the decode-path contract in
+// DESIGN.md; test code may still panic freely.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod bitstream;
+pub mod error;
 pub mod fpc;
 pub mod lossless;
 pub mod sz;
 pub mod zfp;
 
+pub use error::{DecodeError, DecodeResult};
 pub use fpc::Fpc;
 pub use sz::{Sz, SzErrorBound};
 pub use zfp::{Zfp, ZfpMode};
@@ -88,8 +94,9 @@ pub trait Codec {
     fn compress(&self, data: &[f64], shape: Shape) -> Vec<u8>;
 
     /// Decompresses a buffer produced by [`Codec::compress`] with the same
-    /// `shape`.
-    fn decompress(&self, bytes: &[u8], shape: Shape) -> Vec<f64>;
+    /// `shape`. Malformed or truncated input yields a [`DecodeError`];
+    /// decoders must never panic on untrusted bytes.
+    fn decompress(&self, bytes: &[u8], shape: Shape) -> DecodeResult<Vec<f64>>;
 
     /// Compression ratio achieved on `data`: original bytes / compressed
     /// bytes.

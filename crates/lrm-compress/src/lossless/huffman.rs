@@ -7,6 +7,7 @@
 
 use super::varint::{decode_uvarint, encode_uvarint};
 use crate::bitstream::{BitReader, BitWriter};
+use crate::error::{DecodeError, DecodeResult};
 use std::collections::BinaryHeap;
 use std::collections::HashMap;
 
@@ -50,7 +51,9 @@ fn code_lengths(freqs: &HashMap<u64, u64>) -> HashMap<u64, u32> {
         return lengths;
     }
     if freqs.len() == 1 {
-        lengths.insert(*freqs.keys().next().expect("one key"), 1);
+        if let Some(&s) = freqs.keys().next() {
+            lengths.insert(s, 1);
+        }
         return lengths;
     }
 
@@ -69,8 +72,9 @@ fn code_lengths(freqs: &HashMap<u64, u64>) -> HashMap<u64, u32> {
             id += 1;
         }
         while heap.len() > 1 {
-            let a = heap.pop().expect("len > 1");
-            let b = heap.pop().expect("len > 1");
+            let (Some(a), Some(b)) = (heap.pop(), heap.pop()) else {
+                break;
+            };
             heap.push(Node {
                 weight: a.weight + b.weight,
                 id,
@@ -78,7 +82,9 @@ fn code_lengths(freqs: &HashMap<u64, u64>) -> HashMap<u64, u32> {
             });
             id += 1;
         }
-        let root = heap.pop().expect("non-empty");
+        let Some(root) = heap.pop() else {
+            return lengths;
+        };
         lengths.clear();
         let mut max_depth = 0;
         // Iterative DFS to assign depths.
@@ -142,7 +148,11 @@ pub fn huffman_encode(symbols: &[u64]) -> Vec<u8> {
 
     let mut bits = BitWriter::new();
     for s in symbols {
-        let &(code, len) = codemap.get(s).expect("symbol in table");
+        // Every input symbol was counted into `freqs`, so it has a code.
+        let Some(&(code, len)) = codemap.get(s) else {
+            debug_assert!(false, "symbol missing from code table");
+            continue;
+        };
         // Emit MSB-first so canonical decoding can walk bit by bit.
         for i in (0..len).rev() {
             bits.write_bit((code >> i) & 1);
@@ -154,48 +164,84 @@ pub fn huffman_encode(symbols: &[u64]) -> Vec<u8> {
     out
 }
 
-/// Decodes a stream produced by [`huffman_encode`]. Returns `None` on
-/// corrupt input.
-pub fn huffman_decode(data: &[u8]) -> Option<Vec<u64>> {
+/// Decodes a stream produced by [`huffman_encode`]. Returns a
+/// [`DecodeError`] on corrupt or truncated input; never panics.
+pub fn huffman_decode(data: &[u8]) -> DecodeResult<Vec<u64>> {
+    const TRUNC: DecodeError = DecodeError::Truncated {
+        what: "huffman header",
+    };
     let mut pos = 0;
-    let nsyms = decode_uvarint(data, &mut pos)? as usize;
+    let nsyms = decode_uvarint(data, &mut pos).ok_or(TRUNC)? as usize;
+    // Each table entry occupies at least two bytes (two uvarints), so a
+    // count past data.len()/2 is unsatisfiable — reject before allocating.
+    if nsyms > data.len() / 2 {
+        return Err(DecodeError::Corrupt {
+            what: "huffman symbol count exceeds stream",
+        });
+    }
     let mut lengths: HashMap<u64, u32> = HashMap::with_capacity(nsyms);
     for _ in 0..nsyms {
-        let sym = decode_uvarint(data, &mut pos)?;
-        let len = decode_uvarint(data, &mut pos)? as u32;
+        let sym = decode_uvarint(data, &mut pos).ok_or(TRUNC)?;
+        let len = decode_uvarint(data, &mut pos).ok_or(TRUNC)? as u32;
         if len == 0 || len > MAX_CODE_LEN {
-            return None;
+            return Err(DecodeError::Corrupt {
+                what: "huffman code length out of range",
+            });
         }
         lengths.insert(sym, len);
     }
-    let count = decode_uvarint(data, &mut pos)? as usize;
-    let payload_len = decode_uvarint(data, &mut pos)? as usize;
-    let payload = data.get(pos..pos + payload_len)?;
+    let count = decode_uvarint(data, &mut pos).ok_or(TRUNC)? as usize;
+    let payload_len = decode_uvarint(data, &mut pos).ok_or(TRUNC)? as usize;
+    let payload = data
+        .get(pos..pos.saturating_add(payload_len))
+        .ok_or(DecodeError::Truncated {
+            what: "huffman payload",
+        })?;
 
     if count == 0 {
-        return Some(Vec::new());
+        return Ok(Vec::new());
     }
     if nsyms == 0 {
-        return None;
+        return Err(DecodeError::Corrupt {
+            what: "huffman symbols without a code table",
+        });
+    }
+    // Every symbol consumes at least one payload bit.
+    if count > payload.len().saturating_mul(8) {
+        return Err(DecodeError::Corrupt {
+            what: "huffman symbol count exceeds payload bits",
+        });
     }
 
     let table = canonical_codes(&lengths);
     // Group by length for canonical decoding: first_code and symbols per len.
-    let max_len = table.iter().map(|&(_, _, l)| l).max().expect("nonempty");
+    let max_len = table
+        .iter()
+        .map(|&(_, _, l)| l)
+        .max()
+        .ok_or(DecodeError::Corrupt {
+            what: "huffman empty code table",
+        })?;
     let mut first_code = vec![0u64; (max_len + 2) as usize];
     let mut first_index = vec![0usize; (max_len + 2) as usize];
     let mut counts = vec![0usize; (max_len + 2) as usize];
     for &(_, _, l) in &table {
+        // lint:allow(no-index): l <= max_len by construction; tables sized max_len + 2
         counts[l as usize] += 1;
     }
     {
         let mut code = 0u64;
         let mut index = 0usize;
         for l in 1..=max_len {
-            first_code[l as usize] = code;
-            first_index[l as usize] = index;
-            code = (code + counts[l as usize] as u64) << 1;
-            index += counts[l as usize];
+            let li = l as usize;
+            // lint:allow(no-index): li <= max_len; tables sized max_len + 2
+            first_code[li] = code;
+            // lint:allow(no-index): li <= max_len; tables sized max_len + 2
+            first_index[li] = index;
+            // lint:allow(no-index): li <= max_len; tables sized max_len + 2
+            code = (code + counts[li] as u64) << 1;
+            // lint:allow(no-index): li <= max_len; tables sized max_len + 2
+            index += counts[li];
         }
     }
     let symbols_in_order: Vec<u64> = table.iter().map(|&(s, _, _)| s).collect();
@@ -209,19 +255,28 @@ pub fn huffman_decode(data: &[u8]) -> Option<Vec<u64>> {
             code = (code << 1) | reader.read_bit();
             len += 1;
             if len > max_len {
-                return None;
+                return Err(DecodeError::Corrupt {
+                    what: "huffman code exceeds max length",
+                });
             }
             let l = len as usize;
-            if counts[l] > 0 && code >= first_code[l] {
-                let offset = (code - first_code[l]) as usize;
-                if offset < counts[l] {
-                    out.push(symbols_in_order[first_index[l] + offset]);
+            // lint:allow(no-index): l <= max_len and the tables were sized max_len + 2 above
+            let (cnt, fc, fi) = (counts[l], first_code[l], first_index[l]);
+            if cnt > 0 && code >= fc {
+                let offset = (code - fc) as usize;
+                if offset < cnt {
+                    let sym = symbols_in_order
+                        .get(fi + offset)
+                        .ok_or(DecodeError::Corrupt {
+                            what: "huffman canonical table overrun",
+                        })?;
+                    out.push(*sym);
                     break;
                 }
             }
         }
     }
-    Some(out)
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -236,7 +291,7 @@ mod tests {
             s[i * 25] = 32768 + (i % 7) as u64 - 3;
         }
         let e = huffman_encode(&s);
-        assert_eq!(huffman_decode(&e), Some(s.clone()));
+        assert_eq!(huffman_decode(&e), Ok(s.clone()));
         // Should beat 2 bytes/symbol trivially.
         assert!(e.len() < s.len());
     }
@@ -245,7 +300,7 @@ mod tests {
     fn roundtrip_single_symbol() {
         let s = vec![7u64; 1000];
         let e = huffman_encode(&s);
-        assert_eq!(huffman_decode(&e), Some(s.clone()));
+        assert_eq!(huffman_decode(&e), Ok(s.clone()));
         assert!(
             e.len() < 200,
             "single-symbol stream should be ~bits: {}",
@@ -256,26 +311,26 @@ mod tests {
     #[test]
     fn roundtrip_empty() {
         let e = huffman_encode(&[]);
-        assert_eq!(huffman_decode(&e), Some(vec![]));
+        assert_eq!(huffman_decode(&e), Ok(vec![]));
     }
 
     #[test]
     fn roundtrip_uniform_alphabet() {
         let s: Vec<u64> = (0..4096).map(|i| i % 256).collect();
-        assert_eq!(huffman_decode(&huffman_encode(&s)), Some(s));
+        assert_eq!(huffman_decode(&huffman_encode(&s)), Ok(s));
     }
 
     #[test]
     fn roundtrip_large_symbol_values() {
         let s = vec![u64::MAX, 0, u64::MAX / 2, u64::MAX, 1];
-        assert_eq!(huffman_decode(&huffman_encode(&s)), Some(s));
+        assert_eq!(huffman_decode(&huffman_encode(&s)), Ok(s));
     }
 
     #[test]
     fn decode_rejects_truncation() {
         let s: Vec<u64> = (0..100).collect();
         let e = huffman_encode(&s);
-        assert_eq!(huffman_decode(&e[..3]), None);
+        assert!(huffman_decode(&e[..3]).is_err());
     }
 
     #[test]
@@ -290,7 +345,7 @@ mod tests {
         let e = huffman_encode(&s);
         // ~1000 bytes payload + small header.
         assert!(e.len() < 1100, "got {}", e.len());
-        assert_eq!(huffman_decode(&e), Some(s));
+        assert_eq!(huffman_decode(&e), Ok(s));
     }
 
     #[test]
@@ -299,7 +354,7 @@ mod tests {
             let mut rng = lrm_rng::Rng64::new(seed);
             let n = rng.range_usize(2000);
             let s: Vec<u64> = (0..n).map(|_| rng.range_u64(500)).collect();
-            assert_eq!(huffman_decode(&huffman_encode(&s)), Some(s));
+            assert_eq!(huffman_decode(&huffman_encode(&s)), Ok(s));
         }
     }
 }

@@ -6,6 +6,8 @@
 //! offset (1-based distance) followed by a length byte storing
 //! `length - MIN_MATCH`.
 
+use crate::error::{DecodeError, DecodeResult};
+
 const WINDOW: usize = 1 << 16;
 const MIN_MATCH: usize = 4;
 const MAX_MATCH: usize = MIN_MATCH + 255;
@@ -94,41 +96,75 @@ pub fn lzss_compress(data: &[u8]) -> Vec<u8> {
     out
 }
 
-/// Inverse of [`lzss_compress`].
-///
-/// # Panics
-/// Panics on corrupt input (out-of-range offsets or truncated stream).
-pub fn lzss_decompress(data: &[u8]) -> Vec<u8> {
-    assert!(data.len() >= 4, "lzss: truncated header");
-    let n = u32::from_le_bytes([data[0], data[1], data[2], data[3]]) as usize;
-    let mut out = Vec::with_capacity(n);
+/// Inverse of [`lzss_compress`]. Returns a [`DecodeError`] on corrupt
+/// input (out-of-range offsets or truncated stream); never panics.
+pub fn lzss_decompress(data: &[u8]) -> DecodeResult<Vec<u8>> {
+    let header: [u8; 4] =
+        data.get(..4)
+            .and_then(|s| s.try_into().ok())
+            .ok_or(DecodeError::Truncated {
+                what: "lzss length header",
+            })?;
+    let n = u32::from_le_bytes(header) as usize;
+    // Each output byte costs at least 1/8 of a flag bit plus (amortized)
+    // one token byte per literal or per MIN_MATCH matched bytes, so a
+    // valid stream of payload p bytes never decodes past p * (MAX_MATCH+1)
+    // outputs. Cap the pre-allocation by that bound to keep a corrupt
+    // length field from triggering a huge allocation up front.
+    let cap = n.min(data.len().saturating_mul(MAX_MATCH + 1));
+    let mut out = Vec::with_capacity(cap);
     let mut pos = 4;
     let mut flags = 0u8;
     let mut flag_bit = 8u32; // force read of first flag byte
     while out.len() < n {
         if flag_bit == 8 {
-            flags = data[pos];
+            flags = *data.get(pos).ok_or(DecodeError::Truncated {
+                what: "lzss flag byte",
+            })?;
             pos += 1;
             flag_bit = 0;
         }
         if flags & (1 << flag_bit) != 0 {
-            let dist = u16::from_le_bytes([data[pos], data[pos + 1]]) as usize;
-            let len = data[pos + 2] as usize + MIN_MATCH;
+            let (dist, len) = match data.get(pos..pos.saturating_add(3)) {
+                Some(&[d0, d1, l]) => (
+                    u16::from_le_bytes([d0, d1]) as usize,
+                    l as usize + MIN_MATCH,
+                ),
+                _ => {
+                    return Err(DecodeError::Truncated {
+                        what: "lzss match token",
+                    })
+                }
+            };
             pos += 3;
-            assert!(dist >= 1 && dist <= out.len(), "lzss: bad offset");
+            if dist < 1 || dist > out.len() {
+                return Err(DecodeError::Corrupt {
+                    what: "lzss match offset out of range",
+                });
+            }
             let start = out.len() - dist;
             for k in 0..len {
-                let b = out[start + k];
+                // In-range: start + k < out.len() by construction (each
+                // push grows out, and start + k starts below out.len()).
+                let b = *out.get(start + k).ok_or(DecodeError::Corrupt {
+                    what: "lzss match copy",
+                })?;
                 out.push(b);
             }
         } else {
-            out.push(data[pos]);
+            out.push(*data.get(pos).ok_or(DecodeError::Truncated {
+                what: "lzss literal",
+            })?);
             pos += 1;
         }
         flag_bit += 1;
     }
-    assert_eq!(out.len(), n, "lzss: length mismatch");
-    out
+    if out.len() != n {
+        return Err(DecodeError::Corrupt {
+            what: "lzss decoded length mismatch",
+        });
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -140,20 +176,23 @@ mod tests {
         let data: Vec<u8> = b"abcabcabcabcabcabc".repeat(100);
         let c = lzss_compress(&data);
         assert!(c.len() < data.len() / 4);
-        assert_eq!(lzss_decompress(&c), data);
+        assert_eq!(lzss_decompress(&c).expect("decode"), data);
     }
 
     #[test]
     fn roundtrip_empty() {
         let c = lzss_compress(&[]);
-        assert_eq!(lzss_decompress(&c), Vec::<u8>::new());
+        assert_eq!(lzss_decompress(&c).expect("decode"), Vec::<u8>::new());
     }
 
     #[test]
     fn roundtrip_short_inputs() {
         for n in 0..16usize {
             let data: Vec<u8> = (0..n as u8).collect();
-            assert_eq!(lzss_decompress(&lzss_compress(&data)), data);
+            assert_eq!(
+                lzss_decompress(&lzss_compress(&data)).expect("decode"),
+                data
+            );
         }
     }
 
@@ -161,7 +200,10 @@ mod tests {
     fn roundtrip_random() {
         let mut rng = lrm_rng::Rng64::new(11);
         let data: Vec<u8> = rng.vec_u8(50_000);
-        assert_eq!(lzss_decompress(&lzss_compress(&data)), data);
+        assert_eq!(
+            lzss_decompress(&lzss_compress(&data)).expect("decode"),
+            data
+        );
     }
 
     #[test]
@@ -170,7 +212,7 @@ mod tests {
         let data = vec![7u8; 1000];
         let c = lzss_compress(&data);
         assert!(c.len() < 40);
-        assert_eq!(lzss_decompress(&c), data);
+        assert_eq!(lzss_decompress(&c).expect("decode"), data);
     }
 
     #[test]
@@ -180,7 +222,10 @@ mod tests {
             data[i] = (i % 251) as u8;
             data[30_000 + i] = (i % 251) as u8;
         }
-        assert_eq!(lzss_decompress(&lzss_compress(&data)), data);
+        assert_eq!(
+            lzss_decompress(&lzss_compress(&data)).expect("decode"),
+            data
+        );
     }
 
     #[test]
@@ -190,7 +235,10 @@ mod tests {
             let mut rng = lrm_rng::Rng64::new(seed);
             let n = rng.range_usize(4000);
             let data: Vec<u8> = (0..n).map(|_| rng.range_u64(8) as u8).collect();
-            assert_eq!(lzss_decompress(&lzss_compress(&data)), data);
+            assert_eq!(
+                lzss_decompress(&lzss_compress(&data)).expect("decode"),
+                data
+            );
         }
     }
 }

@@ -4,6 +4,8 @@
 //! dictionary compressor; this module provides both stages plus the small
 //! primitives (varints, zigzag, run-length) the codecs share.
 
+use crate::error::{DecodeError, DecodeResult};
+
 pub mod huffman;
 pub mod lzss;
 pub mod rle;
@@ -32,16 +34,19 @@ pub fn pipeline_compress(data: &[u8]) -> Vec<u8> {
     }
 }
 
-/// Inverse of [`pipeline_compress`].
-///
-/// # Panics
-/// Panics on an empty buffer or unknown tag (corrupt stream).
-pub fn pipeline_decompress(data: &[u8]) -> Vec<u8> {
-    let (&tag, rest) = data.split_first().expect("pipeline: empty stream");
+/// Inverse of [`pipeline_compress`]. An empty buffer or unknown tag
+/// byte yields a [`DecodeError`]; never panics.
+pub fn pipeline_decompress(data: &[u8]) -> DecodeResult<Vec<u8>> {
+    let (&tag, rest) = data.split_first().ok_or(DecodeError::Truncated {
+        what: "lossless pipeline tag",
+    })?;
     match tag {
-        0 => rest.to_vec(),
+        0 => Ok(rest.to_vec()),
         1 => lzss_decompress(rest),
-        t => panic!("pipeline: unknown tag {t}"),
+        tag => Err(DecodeError::UnknownTag {
+            what: "lossless pipeline",
+            tag,
+        }),
     }
 }
 
@@ -54,7 +59,7 @@ mod tests {
         let data: Vec<u8> = (0..10_000).map(|i| (i % 7) as u8).collect();
         let c = pipeline_compress(&data);
         assert!(c.len() < data.len());
-        assert_eq!(pipeline_decompress(&c), data);
+        assert_eq!(pipeline_decompress(&c).expect("decode"), data);
     }
 
     #[test]
@@ -62,7 +67,7 @@ mod tests {
         let mut rng = lrm_rng::Rng64::new(3);
         let data: Vec<u8> = rng.vec_u8(4096);
         let c = pipeline_compress(&data);
-        assert_eq!(pipeline_decompress(&c), data);
+        assert_eq!(pipeline_decompress(&c).expect("decode"), data);
         // Never expands by more than the tag byte plus LZSS worst case guard.
         assert!(c.len() <= data.len() + 1);
     }
@@ -70,6 +75,25 @@ mod tests {
     #[test]
     fn pipeline_roundtrip_empty() {
         let c = pipeline_compress(&[]);
-        assert_eq!(pipeline_decompress(&c), Vec::<u8>::new());
+        assert_eq!(pipeline_decompress(&c).expect("decode"), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn pipeline_empty_stream_is_truncated_error() {
+        // Regression: this used to panic via split_first().expect(...).
+        assert_eq!(
+            pipeline_decompress(&[]),
+            Err(DecodeError::Truncated {
+                what: "lossless pipeline tag"
+            })
+        );
+    }
+
+    #[test]
+    fn pipeline_unknown_tag_is_error() {
+        assert!(matches!(
+            pipeline_decompress(&[9, 1, 2, 3]),
+            Err(DecodeError::UnknownTag { tag: 9, .. })
+        ));
     }
 }

@@ -34,6 +34,7 @@
 pub mod predictor;
 
 use crate::bitstream::{BitReader, BitWriter};
+use crate::error::{DecodeError, DecodeResult};
 use crate::lossless::varint::{decode_uvarint, encode_uvarint};
 use crate::lossless::{huffman_decode, huffman_encode, pipeline_compress, pipeline_decompress};
 use crate::{Codec, Shape};
@@ -125,6 +126,8 @@ impl Bounds {
         match self {
             Bounds::Uniform(e) => Some(*e),
             Bounds::PerBlock(exps) => {
+                // lint:allow(no-index): decoder validates the exponent-table
+                // length against the shape before constructing PerBlock
                 let e = exps[i / BLOCK_LEN];
                 if e == ZERO_BLOCK {
                     None
@@ -245,15 +248,34 @@ fn core_compress(data: &[f64], shape: Shape, bounds: &Bounds, quant_bits: u32) -
 }
 
 /// Inverse of [`core_compress`].
-fn core_decompress(bytes: &[u8], shape: Shape, bounds: &Bounds, quant_bits: u32) -> Vec<f64> {
+fn core_decompress(
+    bytes: &[u8],
+    shape: Shape,
+    bounds: &Bounds,
+    quant_bits: u32,
+) -> DecodeResult<Vec<f64>> {
     let radius: i64 = 1i64 << (quant_bits - 1);
-    let body = pipeline_decompress(bytes);
+    let body = pipeline_decompress(bytes)?;
     let mut pos = 0usize;
-    let hlen = decode_uvarint(&body, &mut pos).expect("sz: corrupt header") as usize;
-    let codes = huffman_decode(&body[pos..pos + hlen]).expect("sz: corrupt huffman block");
+    let hlen = decode_uvarint(&body, &mut pos).ok_or(DecodeError::Truncated {
+        what: "sz huffman length",
+    })? as usize;
+    let huff = body
+        .get(pos..pos.saturating_add(hlen))
+        .ok_or(DecodeError::Truncated {
+            what: "sz huffman block",
+        })?;
+    let codes = huffman_decode(huff)?;
     pos += hlen;
-    let olen = decode_uvarint(&body, &mut pos).expect("sz: corrupt header") as usize;
-    let mut outliers = BitReader::new(&body[pos..pos + olen]);
+    let olen = decode_uvarint(&body, &mut pos).ok_or(DecodeError::Truncated {
+        what: "sz outlier length",
+    })? as usize;
+    let obytes = body
+        .get(pos..pos.saturating_add(olen))
+        .ok_or(DecodeError::Truncated {
+            what: "sz outlier block",
+        })?;
+    let mut outliers = BitReader::new(obytes);
 
     let mut recon = vec![0.0f64; shape.len()];
     let mut out = vec![0.0f64; shape.len()];
@@ -266,13 +288,17 @@ fn core_decompress(bytes: &[u8], shape: Shape, bounds: &Bounds, quant_bits: u32)
                 let Some(e) = bounds.at(i) else {
                     continue; // all-zero block
                 };
-                let code = codes[ci];
+                let code = *codes.get(ci).ok_or(DecodeError::Corrupt {
+                    what: "sz quantization codes exhausted",
+                })?;
                 ci += 1;
                 if code != 0 {
-                    let q = code as i64 - radius;
+                    let q = (code as i64).wrapping_sub(radius);
                     let pred = lorenzo_predict(&recon, shape, x, y, z);
                     let v = pred + q as f64 * 2.0 * e;
+                    // lint:allow(no-index): i = shape.idx(x, y, z) < shape.len() = recon.len()
                     recon[i] = v;
+                    // lint:allow(no-index): same bound as the preceding line
                     out[i] = v;
                 } else {
                     let sign = outliers.read_bit();
@@ -288,13 +314,15 @@ fn core_decompress(bytes: &[u8], shape: Shape, bounds: &Bounds, quant_bits: u32)
                     let top = outliers.read_bits(mb);
                     let vb = (sign << 63) | (raw_exp << 52) | (top << (52 - mb));
                     let v = f64::from_bits(vb);
+                    // lint:allow(no-index): i = shape.idx(x, y, z) < shape.len() = recon.len()
                     recon[i] = if v.is_finite() { v } else { 0.0 };
+                    // lint:allow(no-index): same bound as the preceding line
                     out[i] = v;
                 }
             }
         }
     }
-    out
+    Ok(out)
 }
 
 /// Header tags for the bound modes.
@@ -370,44 +398,87 @@ impl Codec for Sz {
         out
     }
 
-    fn decompress(&self, bytes: &[u8], shape: Shape) -> Vec<f64> {
-        let tag = bytes[0];
-        let param = f64::from_le_bytes(bytes[1..9].try_into().expect("sz: truncated header"));
+    fn decompress(&self, bytes: &[u8], shape: Shape) -> DecodeResult<Vec<f64>> {
+        let tag = *bytes.first().ok_or(DecodeError::Truncated {
+            what: "sz mode tag",
+        })?;
+        let phead: [u8; 8] =
+            bytes
+                .get(1..9)
+                .and_then(|s| s.try_into().ok())
+                .ok_or(DecodeError::Truncated {
+                    what: "sz bound parameter",
+                })?;
+        let param = f64::from_le_bytes(phead);
         match tag {
             TAG_ABS => {
-                core_decompress(&bytes[9..], shape, &Bounds::Uniform(param), self.quant_bits)
+                let body = bytes
+                    .get(9..)
+                    .ok_or(DecodeError::Truncated { what: "sz body" })?;
+                core_decompress(body, shape, &Bounds::Uniform(param), self.quant_bits)
             }
             TAG_BLOCKREL => {
                 let mut pos = 9usize;
-                let tlen = decode_uvarint(bytes, &mut pos).expect("sz: corrupt header") as usize;
-                let raw = pipeline_decompress(&bytes[pos..pos + tlen]);
+                let tlen = decode_uvarint(bytes, &mut pos).ok_or(DecodeError::Truncated {
+                    what: "sz exponent-table length",
+                })? as usize;
+                let table =
+                    bytes
+                        .get(pos..pos.saturating_add(tlen))
+                        .ok_or(DecodeError::Truncated {
+                            what: "sz exponent table",
+                        })?;
+                let raw = pipeline_decompress(table)?;
                 pos += tlen;
                 let exps: Vec<i16> = raw
                     .chunks_exact(2)
+                    // lint:allow(no-index): chunks_exact(2) yields exactly 2-byte slices
                     .map(|c| i16::from_le_bytes([c[0], c[1]]))
                     .collect();
-                core_decompress(
-                    &bytes[pos..],
-                    shape,
-                    &Bounds::PerBlock(exps),
-                    self.quant_bits,
-                )
+                // Bounds::at indexes this table blindly; reject any stream
+                // whose table does not cover every scan-order block.
+                if exps.len() != shape.len().div_ceil(BLOCK_LEN) {
+                    return Err(DecodeError::Corrupt {
+                        what: "sz exponent table size",
+                    });
+                }
+                let body = bytes
+                    .get(pos..)
+                    .ok_or(DecodeError::Truncated { what: "sz body" })?;
+                core_decompress(body, shape, &Bounds::PerBlock(exps), self.quant_bits)
             }
             TAG_PWREL => {
                 let rel = param;
                 let mut pos = 9usize;
-                let sl = decode_uvarint(bytes, &mut pos).expect("sz: corrupt header") as usize;
-                let signs_bytes = pipeline_decompress(&bytes[pos..pos + sl]);
+                let sl = decode_uvarint(bytes, &mut pos).ok_or(DecodeError::Truncated {
+                    what: "sz sign-stream length",
+                })? as usize;
+                let sb = bytes
+                    .get(pos..pos.saturating_add(sl))
+                    .ok_or(DecodeError::Truncated {
+                        what: "sz sign stream",
+                    })?;
+                let signs_bytes = pipeline_decompress(sb)?;
                 pos += sl;
-                let zl = decode_uvarint(bytes, &mut pos).expect("sz: corrupt header") as usize;
-                let zeros_bytes = pipeline_decompress(&bytes[pos..pos + zl]);
+                let zl = decode_uvarint(bytes, &mut pos).ok_or(DecodeError::Truncated {
+                    what: "sz zero-stream length",
+                })? as usize;
+                let zb = bytes
+                    .get(pos..pos.saturating_add(zl))
+                    .ok_or(DecodeError::Truncated {
+                        what: "sz zero stream",
+                    })?;
+                let zeros_bytes = pipeline_decompress(zb)?;
                 pos += zl;
                 let e_t = (1.0 + rel).log2() / 2.0;
-                let logs =
-                    core_decompress(&bytes[pos..], shape, &Bounds::Uniform(e_t), self.quant_bits);
+                let body = bytes
+                    .get(pos..)
+                    .ok_or(DecodeError::Truncated { what: "sz body" })?;
+                let logs = core_decompress(body, shape, &Bounds::Uniform(e_t), self.quant_bits)?;
                 let mut signs = BitReader::new(&signs_bytes);
                 let mut zeros = BitReader::new(&zeros_bytes);
-                logs.iter()
+                Ok(logs
+                    .iter()
                     .map(|&t| {
                         let z = zeros.read_bit();
                         let s = signs.read_bit();
@@ -422,9 +493,12 @@ impl Codec for Sz {
                             }
                         }
                     })
-                    .collect()
+                    .collect())
             }
-            t => panic!("sz: unknown header tag {t}"),
+            tag => Err(DecodeError::UnknownTag {
+                what: "sz mode",
+                tag,
+            }),
         }
     }
 }
@@ -455,7 +529,9 @@ mod tests {
         let (v, shape) = smooth_3d(12);
         for &e in &[1e-1, 1e-3, 1e-6] {
             let sz = Sz::absolute(e);
-            let d = sz.decompress(&sz.compress(&v, shape), shape);
+            let d = sz
+                .decompress(&sz.compress(&v, shape), shape)
+                .expect("decode");
             for (a, b) in v.iter().zip(&d) {
                 assert!((a - b).abs() <= e * 1.000001, "e={e}: {a} vs {b}");
             }
@@ -467,7 +543,9 @@ mod tests {
         let (v, shape) = smooth_3d(10);
         for &rel in &[1e-3, 1e-5] {
             let sz = Sz::pointwise_rel(rel);
-            let d = sz.decompress(&sz.compress(&v, shape), shape);
+            let d = sz
+                .decompress(&sz.compress(&v, shape), shape)
+                .expect("decode");
             for (a, b) in v.iter().zip(&d) {
                 assert!(
                     (a - b).abs() <= rel * a.abs() * 1.000001,
@@ -482,7 +560,9 @@ mod tests {
         let (v, shape) = smooth_3d(10);
         for &rel in &[1e-3, 1e-5] {
             let sz = Sz::block_rel(rel);
-            let d = sz.decompress(&sz.compress(&v, shape), shape);
+            let d = sz
+                .decompress(&sz.compress(&v, shape), shape)
+                .expect("decode");
             // Per-block guarantee: error <= rel * max|block|.
             for (b, chunk) in v.chunks(BLOCK_LEN).enumerate() {
                 let maxv = chunk.iter().fold(0.0f64, |a, &x| a.max(x.abs()));
@@ -506,7 +586,9 @@ mod tests {
             v[i] = (i as f64 * 0.1).sin() + 3.0;
         }
         let sz = Sz::block_rel(1e-4);
-        let d = sz.decompress(&sz.compress(&v, shape), shape);
+        let d = sz
+            .decompress(&sz.compress(&v, shape), shape)
+            .expect("decode");
         for i in 0..BLOCK_LEN {
             assert_eq!(d[i], 0.0);
         }
@@ -545,7 +627,9 @@ mod tests {
             v[i] = (i as f64 * 0.7).sin() + 2.0;
         }
         let sz = Sz::pointwise_rel(1e-5);
-        let d = sz.decompress(&sz.compress(&v, shape), shape);
+        let d = sz
+            .decompress(&sz.compress(&v, shape), shape)
+            .expect("decode");
         for (a, b) in v.iter().zip(&d) {
             if *a == 0.0 {
                 assert_eq!(*b, 0.0);
@@ -558,7 +642,9 @@ mod tests {
         let shape = Shape::d1(50);
         let v: Vec<f64> = (0..50).map(|i| ((i as f64) - 25.0) * 1.3 - 0.5).collect();
         let sz = Sz::pointwise_rel(1e-4);
-        let d = sz.decompress(&sz.compress(&v, shape), shape);
+        let d = sz
+            .decompress(&sz.compress(&v, shape), shape)
+            .expect("decode");
         for (a, b) in v.iter().zip(&d) {
             assert_eq!(a.signum(), b.signum(), "{a} vs {b}");
             assert!((a - b).abs() <= 1e-4 * a.abs() * 1.01);
@@ -590,7 +676,9 @@ mod tests {
         let shape = Shape::d2(37, 23);
         let v: Vec<f64> = rng.vec_f64(-1e9, 1e9, shape.len());
         let sz = Sz::absolute(0.5);
-        let d = sz.decompress(&sz.compress(&v, shape), shape);
+        let d = sz
+            .decompress(&sz.compress(&v, shape), shape)
+            .expect("decode");
         for (a, b) in v.iter().zip(&d) {
             assert!((a - b).abs() <= 0.5 * 1.000001, "{a} vs {b}");
         }
@@ -614,7 +702,9 @@ mod tests {
         let (v, shape) = smooth_3d(8);
         for &m in &[8u32, 12, 20] {
             let sz = Sz::absolute(1e-4).with_quant_bits(m);
-            let d = sz.decompress(&sz.compress(&v, shape), shape);
+            let d = sz
+                .decompress(&sz.compress(&v, shape), shape)
+                .expect("decode");
             for (a, b) in v.iter().zip(&d) {
                 assert!((a - b).abs() <= 1e-4 * 1.01, "m={m}");
             }
@@ -629,7 +719,9 @@ mod tests {
             let vals = rng.vec_f64(-1e6, 1e6, n);
             let shape = Shape::d1(vals.len());
             let sz = Sz::absolute(1e-3);
-            let d = sz.decompress(&sz.compress(&vals, shape), shape);
+            let d = sz
+                .decompress(&sz.compress(&vals, shape), shape)
+                .expect("decode");
             for (a, b) in vals.iter().zip(&d) {
                 assert!((a - b).abs() <= 1e-3 * 1.000001);
             }
@@ -644,7 +736,9 @@ mod tests {
             let vals = rng.vec_f64(-1e6, 1e6, n);
             let shape = Shape::d1(vals.len());
             let sz = Sz::pointwise_rel(1e-4);
-            let d = sz.decompress(&sz.compress(&vals, shape), shape);
+            let d = sz
+                .decompress(&sz.compress(&vals, shape), shape)
+                .expect("decode");
             for (a, b) in vals.iter().zip(&d) {
                 assert!((a - b).abs() <= 1e-4 * a.abs() * 1.000001);
             }
@@ -659,7 +753,9 @@ mod tests {
             let vals = rng.vec_f64(-1e3, 1e3, n);
             let shape = Shape::d1(vals.len());
             let sz = Sz::block_rel(1e-4);
-            let d = sz.decompress(&sz.compress(&vals, shape), shape);
+            let d = sz
+                .decompress(&sz.compress(&vals, shape), shape)
+                .expect("decode");
             for (b, chunk) in vals.chunks(BLOCK_LEN).enumerate() {
                 let maxv = chunk.iter().fold(0.0f64, |a, &x| a.max(x.abs()));
                 for (j, &a) in chunk.iter().enumerate() {

@@ -9,6 +9,7 @@
 
 use super::transform::{fwd_xform, inv_xform, sequency_perm};
 use crate::bitstream::{BitReader, BitWriter};
+use crate::error::{DecodeError, DecodeResult};
 
 /// Bits in the integer representation.
 pub const INT_PREC: u32 = 64;
@@ -115,30 +116,51 @@ pub fn encode_block(block: &[f64], ndims: usize, maxprec: u32, out: &mut BitWrit
     encode_ints(&uints[..n], maxprec, out);
 }
 
-/// Decodes one block previously produced by [`encode_block`].
-pub fn decode_block(ndims: usize, maxprec: u32, input: &mut BitReader<'_>, block: &mut [f64]) {
+/// Decodes one block previously produced by [`encode_block`]. Returns
+/// a [`DecodeError`] when the stored block exponent lies outside the
+/// range any finite `f64` can produce — the only way corrupt bits can
+/// push the block-floating-point math out of its domain.
+pub fn decode_block(
+    ndims: usize,
+    maxprec: u32,
+    input: &mut BitReader<'_>,
+    block: &mut [f64],
+) -> DecodeResult<()> {
     let n = 1usize << (2 * ndims);
     debug_assert_eq!(block.len(), n);
     if input.read_bit() == 0 {
         block.fill(0.0);
-        return;
+        return Ok(());
     }
     let emax = input.read_bits(E_BITS) as i32 - E_BIAS;
+    // frexp exponents of finite doubles span [-1073, 1024]; anything
+    // else cannot have come from `encode_block` and would drive the
+    // ldexp reconstruction below out of pow2_small's domain.
+    if !(-1073..=1024).contains(&emax) {
+        return Err(DecodeError::Corrupt {
+            what: "zfp block exponent",
+        });
+    }
 
     let mut uints = [0u64; 64];
+    // lint:allow(no-index): n = 4^ndims <= 64 and uints is [u64; 64]
     decode_ints(&mut uints[..n], maxprec, input);
 
     let perm = sequency_perm(ndims);
     let mut ints = [0i64; 64];
     for i in 0..n {
+        // lint:allow(no-index): i < n <= 64; perm values < n by construction
         ints[perm[i]] = uint2int(uints[i]);
     }
+    // lint:allow(no-index): n = 4^ndims <= 64 and ints is [i64; 64]
     inv_xform(&mut ints[..n], ndims);
 
     let shift = emax - (INT_PREC as i32 - 2);
     for (i, v) in block.iter_mut().enumerate() {
+        // lint:allow(no-index): i < block.len() = n <= 64 (debug-asserted above)
         *v = ldexp(ints[i] as f64, shift);
     }
+    Ok(())
 }
 
 /// Length of the prefix of coefficients holding any set bit at plane `k`
@@ -226,6 +248,7 @@ fn decode_ints(uints: &mut [u64], maxprec: u32, input: &mut BitReader<'_>) {
             }
         }
         for i in 0..size {
+            // lint:allow(no-index): i < size = uints.len()
             uints[i] |= ((x >> i) & 1) << k;
         }
         n = significant_prefix(uints, k);
@@ -330,7 +353,7 @@ mod tests {
         let bytes = w.into_bytes();
         let mut r = BitReader::new(&bytes);
         let mut out = vec![0.0; 16];
-        decode_block(2, 64, &mut r, &mut out);
+        decode_block(2, 64, &mut r, &mut out).expect("decode");
         for (a, b) in block.iter().zip(&out) {
             assert!((a - b).abs() < 1e-12, "{a} vs {b}");
         }
@@ -345,7 +368,7 @@ mod tests {
         let bytes = w.into_bytes();
         let mut r = BitReader::new(&bytes);
         let mut out = vec![1.0; 64];
-        decode_block(3, 16, &mut r, &mut out);
+        decode_block(3, 16, &mut r, &mut out).expect("decode");
         assert!(out.iter().all(|&v| v == 0.0));
     }
 
@@ -361,7 +384,7 @@ mod tests {
             let bytes = w.into_bytes();
             let mut r = BitReader::new(&bytes);
             let mut out = vec![0.0; 64];
-            decode_block(3, prec, &mut r, &mut out);
+            decode_block(3, prec, &mut r, &mut out).expect("decode");
             let e: f64 = block
                 .iter()
                 .zip(&out)
@@ -382,7 +405,7 @@ mod tests {
         let bytes = w.into_bytes();
         let mut r = BitReader::new(&bytes);
         let mut out = vec![9.0; 16];
-        decode_block(2, 16, &mut r, &mut out);
+        decode_block(2, 16, &mut r, &mut out).expect("decode");
         assert!(out.iter().all(|&v| v == 0.0));
     }
 
@@ -394,7 +417,7 @@ mod tests {
         let bytes = w.into_bytes();
         let mut r = BitReader::new(&bytes);
         let mut out = vec![0.0; 4];
-        decode_block(1, 64, &mut r, &mut out);
+        decode_block(1, 64, &mut r, &mut out).expect("decode");
         for (a, b) in block.iter().zip(&out) {
             assert!((a - b).abs() < 1e-320, "{a} vs {b}");
         }
@@ -419,7 +442,7 @@ mod tests {
             let bytes = w.into_bytes();
             let mut r = BitReader::new(&bytes);
             let mut out = vec![0.0; 64];
-            decode_block(3, 40, &mut r, &mut out);
+            decode_block(3, 40, &mut r, &mut out).expect("decode");
             let maxv = vals.iter().fold(0.0f64, |a, &b| a.max(b.abs()));
             for (a, b) in vals.iter().zip(&out) {
                 assert!((a - b).abs() <= maxv * 1e-9 + 1e-12);

@@ -17,6 +17,8 @@ pub mod codec;
 pub mod transform;
 
 use crate::bitstream::{BitReader, BitWriter};
+use crate::error::{DecodeError, DecodeResult};
+use crate::lossless::varint::{decode_uvarint, encode_uvarint};
 use crate::{Codec, Shape};
 pub use codec::ldexp;
 
@@ -131,23 +133,41 @@ impl Codec for Zfp {
             });
 
         let total_bits: usize = groups.iter().map(|g| g.len_bits()).sum();
-        let mut out = BitWriter::with_capacity_bits(total_bits);
+        let mut stream = BitWriter::with_capacity_bits(total_bits);
         for g in &groups {
-            out.append(g);
+            stream.append(g);
         }
-        out.into_bytes()
+        // Frame the stream with its exact bit length so the decoder can
+        // tell a truncated stream apart from one whose tail planes are
+        // legitimately zero (BitReader reads zeros past the end).
+        let mut out = Vec::new();
+        encode_uvarint(total_bits as u64, &mut out);
+        out.extend_from_slice(&stream.into_bytes());
+        out
     }
 
-    fn decompress(&self, bytes: &[u8], shape: Shape) -> Vec<f64> {
+    fn decompress(&self, bytes: &[u8], shape: Shape) -> DecodeResult<Vec<f64>> {
+        let mut pos = 0usize;
+        let total_bits = decode_uvarint(bytes, &mut pos).ok_or(DecodeError::Truncated {
+            what: "zfp bit-count header",
+        })?;
+        let payload = bytes.get(pos..).ok_or(DecodeError::Truncated {
+            what: "zfp payload",
+        })?;
+        if (payload.len() as u64).saturating_mul(8) < total_bits {
+            return Err(DecodeError::Truncated {
+                what: "zfp bit stream",
+            });
+        }
         let ndims = shape.ndims();
         let bsize = 1usize << (2 * ndims);
-        let mut reader = BitReader::new(bytes);
+        let mut reader = BitReader::new(payload);
         let mut data = vec![0.0f64; shape.len()];
         let mut blk = vec![0.0f64; bsize];
         for b in block::block_coords(shape) {
             match self.mode {
                 ZfpMode::FixedPrecision(p) => {
-                    codec::decode_block(ndims, p, &mut reader, &mut blk);
+                    codec::decode_block(ndims, p, &mut reader, &mut blk)?;
                 }
                 ZfpMode::FixedAccuracy(_) => {
                     // Peek the zero flag and exponent to recompute the
@@ -161,12 +181,12 @@ impl Codec for Zfp {
                     }
                     let emax = peek.read_bits(12) as i32 - 1100;
                     let prec = self.maxprec(emax, ndims);
-                    codec::decode_block(ndims, prec, &mut reader, &mut blk);
+                    codec::decode_block(ndims, prec, &mut reader, &mut blk)?;
                 }
             }
             block::scatter(&blk, shape, b, &mut data);
         }
-        data
+        Ok(data)
     }
 }
 
@@ -191,7 +211,7 @@ mod tests {
         let (v, shape) = smooth_field_2d(33, 29);
         let z = Zfp::fixed_precision(32);
         let c = z.compress(&v, shape);
-        let d = z.decompress(&c, shape);
+        let d = z.decompress(&c, shape).expect("decode");
         let range = 80.0;
         for (a, b) in v.iter().zip(&d) {
             assert!((a - b).abs() < range * 1e-6, "{a} vs {b}");
@@ -219,7 +239,7 @@ mod tests {
             "all-zero field should be ~1 bit/block: {}",
             c.len()
         );
-        assert_eq!(z.decompress(&c, shape), v);
+        assert_eq!(z.decompress(&c, shape).expect("decode"), v);
     }
 
     #[test]
@@ -227,7 +247,7 @@ mod tests {
         let z = Zfp::fixed_precision(40);
         let s1 = Shape::d1(100);
         let v1: Vec<f64> = (0..100).map(|i| (i as f64 * 0.2).sin()).collect();
-        let d1 = z.decompress(&z.compress(&v1, s1), s1);
+        let d1 = z.decompress(&z.compress(&v1, s1), s1).expect("decode");
         for (a, b) in v1.iter().zip(&d1) {
             assert!((a - b).abs() < 1e-8);
         }
@@ -235,7 +255,7 @@ mod tests {
         let v3: Vec<f64> = (0..s3.len())
             .map(|i| (i as f64 * 0.01).cos() * 5.0)
             .collect();
-        let d3 = z.decompress(&z.compress(&v3, s3), s3);
+        let d3 = z.decompress(&z.compress(&v3, s3), s3).expect("decode");
         for (a, b) in v3.iter().zip(&d3) {
             assert!((a - b).abs() < 1e-7);
         }
@@ -249,7 +269,7 @@ mod tests {
         for &p in &[8u32, 16, 24, 32] {
             let z = Zfp::fixed_precision(p);
             let c = z.compress(&v, shape);
-            let d = z.decompress(&c, shape);
+            let d = z.decompress(&c, shape).expect("decode");
             let err = lrm_err(&v, &d);
             assert!(c.len() >= last_len, "precision {p}");
             assert!(err <= last_err * 1.01, "precision {p}: {err} vs {last_err}");
@@ -271,7 +291,7 @@ mod tests {
         for &tol in &[1e-1, 1e-3, 1e-6] {
             let z = Zfp::fixed_accuracy(tol);
             let c = z.compress(&v, shape);
-            let d = z.decompress(&c, shape);
+            let d = z.decompress(&c, shape).expect("decode");
             let err = lrm_err(&v, &d);
             assert!(err <= tol, "tol {tol}: err {err}");
         }
@@ -282,7 +302,7 @@ mod tests {
         let shape = Shape::d2(20, 20);
         let v: Vec<f64> = (0..400).map(|i| ((i as f64) - 200.0) * 0.3).collect();
         let z = Zfp::fixed_precision(48);
-        let d = z.decompress(&z.compress(&v, shape), shape);
+        let d = z.decompress(&z.compress(&v, shape), shape).expect("decode");
         for (a, b) in v.iter().zip(&d) {
             assert!((a - b).abs() < 1e-9, "{a} vs {b}");
         }
@@ -303,7 +323,7 @@ mod tests {
             .map(|i| ((i % 977) as f64 * 0.13).sin() * 25.0 + (i / 1600) as f64)
             .collect();
         let z = Zfp::fixed_precision(32);
-        let d = z.decompress(&z.compress(&v, shape), shape);
+        let d = z.decompress(&z.compress(&v, shape), shape).expect("decode");
         let maxv = v.iter().fold(0.0f64, |a, &b| a.max(b.abs()));
         for (a, b) in v.iter().zip(&d) {
             assert!((a - b).abs() <= maxv * 1e-6, "{a} vs {b}");
@@ -318,7 +338,9 @@ mod tests {
             let vals = rng.vec_f64(-1e6, 1e6, n);
             let shape = Shape::d1(vals.len());
             let z = Zfp::fixed_precision(48);
-            let d = z.decompress(&z.compress(&vals, shape), shape);
+            let d = z
+                .decompress(&z.compress(&vals, shape), shape)
+                .expect("decode");
             let maxv = vals.iter().fold(0.0f64, |a, &b| a.max(b.abs()));
             for (a, b) in vals.iter().zip(&d) {
                 assert!((a - b).abs() <= maxv * 1e-10 + 1e-12);

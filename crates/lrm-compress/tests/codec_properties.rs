@@ -27,7 +27,9 @@ fn fpc_is_lossless_on_any_shape() {
     for seed in 0..CASES {
         let (data, shape) = shaped_data(&mut Rng64::new(seed));
         let f = Fpc::new(12);
-        let d = f.decompress(&f.compress(&data, shape), shape);
+        let d = f
+            .decompress(&f.compress(&data, shape), shape)
+            .expect("decode");
         for (a, b) in data.iter().zip(&d) {
             assert_eq!(a.to_bits(), b.to_bits());
         }
@@ -39,7 +41,9 @@ fn sz_abs_bound_holds_on_any_shape() {
     for seed in 0..CASES {
         let (data, shape) = shaped_data(&mut Rng64::new(seed));
         let sz = Sz::absolute(1e-2);
-        let d = sz.decompress(&sz.compress(&data, shape), shape);
+        let d = sz
+            .decompress(&sz.compress(&data, shape), shape)
+            .expect("decode");
         for (a, b) in data.iter().zip(&d) {
             assert!((a - b).abs() <= 1e-2 * 1.000001, "{} vs {}", a, b);
         }
@@ -51,7 +55,9 @@ fn zfp_error_scales_with_magnitude_on_any_shape() {
     for seed in 0..CASES {
         let (data, shape) = shaped_data(&mut Rng64::new(seed));
         let z = Zfp::fixed_precision(40);
-        let d = z.decompress(&z.compress(&data, shape), shape);
+        let d = z
+            .decompress(&z.compress(&data, shape), shape)
+            .expect("decode");
         let maxv = data.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
         for (a, b) in data.iter().zip(&d) {
             assert!((a - b).abs() <= maxv * 1e-8 + 1e-12, "{} vs {}", a, b);
@@ -81,7 +87,9 @@ fn all_codecs_handle_single_value_fields() {
         Box::new(Zfp::fixed_precision(52)),
         Box::new(Fpc::new(8)),
     ] {
-        let d = c.decompress(&c.compress(&data, shape), shape);
+        let d = c
+            .decompress(&c.compress(&data, shape), shape)
+            .expect("decode");
         assert!((d[0] - 42.125).abs() < 1e-3, "{}: {}", c.name(), d[0]);
     }
 }
@@ -98,7 +106,7 @@ fn all_codecs_handle_all_zero_fields() {
         Box::new(Fpc::new(8)),
     ] {
         let bytes = c.compress(&data, shape);
-        let d = c.decompress(&bytes, shape);
+        let d = c.decompress(&bytes, shape).expect("decode");
         assert!(d.iter().all(|&v| v == 0.0), "{}", c.name());
         assert!(
             bytes.len() < data.len(),
@@ -121,7 +129,9 @@ fn mixed_magnitudes_respect_block_rel_semantics() {
         })
         .collect();
     let sz = Sz::block_rel(1e-4);
-    let d = sz.decompress(&sz.compress(&data, shape), shape);
+    let d = sz
+        .decompress(&sz.compress(&data, shape), shape)
+        .expect("decode");
     for (b, chunk) in data.chunks(256).enumerate() {
         let maxv = chunk.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
         for (j, &a) in chunk.iter().enumerate() {

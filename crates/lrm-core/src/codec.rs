@@ -16,7 +16,7 @@
 //! itself implements [`Codec`] by delegation, so it can be passed anywhere
 //! a `&dyn Codec` is expected.
 
-use lrm_compress::{Codec, Fpc, Shape, Sz, Zfp};
+use lrm_compress::{Codec, DecodeError, DecodeResult, Fpc, Shape, Sz, Zfp};
 
 /// A concrete lossy-codec configuration, serializable into artifact
 /// metadata.
@@ -52,8 +52,22 @@ impl LossyCodec {
     }
 
     /// Decompresses a buffer produced by [`LossyCodec::compress`].
-    pub fn decompress(&self, bytes: &[u8], shape: Shape) -> Vec<f64> {
+    /// Corrupt or truncated input is reported as a [`DecodeError`];
+    /// this never panics.
+    pub fn decompress(&self, bytes: &[u8], shape: Shape) -> DecodeResult<Vec<f64>> {
         self.as_codec().decompress(bytes, shape)
+    }
+
+    /// Decompresses a buffer this codec itself just produced, where a
+    /// decode failure would mean an encoder bug rather than bad input.
+    ///
+    /// # Panics
+    /// Panics if the stream does not decode — only use on freshly
+    /// encoded, trusted bytes.
+    pub(crate) fn decompress_own(&self, bytes: &[u8], shape: Shape) -> Vec<f64> {
+        self.as_codec()
+            .decompress(bytes, shape)
+            .expect("decode of freshly encoded stream")
     }
 
     /// Short display name for experiment tables.
@@ -90,19 +104,24 @@ impl LossyCodec {
     }
 
     /// Inverse of [`LossyCodec::to_bytes`].
-    pub fn from_bytes(b: &[u8]) -> Option<Self> {
-        if b.len() < 9 {
-            return None;
-        }
-        let param = f64::from_le_bytes(b[1..9].try_into().ok()?);
-        let int_param =
-            || -> Option<u32> { Some(u64::from_le_bytes(b[1..9].try_into().ok()?) as u32) };
-        match b[0] {
-            0 => Some(LossyCodec::SzRel(param)),
-            1 => Some(LossyCodec::SzAbs(param)),
-            2 => Some(LossyCodec::ZfpPrecision(int_param()?)),
-            3 => Some(LossyCodec::FpcLossless(int_param()?)),
-            _ => None,
+    pub fn from_bytes(b: &[u8]) -> DecodeResult<Self> {
+        let raw = b.get(..9).ok_or(DecodeError::Truncated {
+            what: "lossy-codec descriptor",
+        })?;
+        let param_bytes = [
+            raw[1], raw[2], raw[3], raw[4], raw[5], raw[6], raw[7], raw[8],
+        ];
+        let param = f64::from_le_bytes(param_bytes);
+        let int_param = u64::from_le_bytes(param_bytes) as u32;
+        match raw[0] {
+            0 => Ok(LossyCodec::SzRel(param)),
+            1 => Ok(LossyCodec::SzAbs(param)),
+            2 => Ok(LossyCodec::ZfpPrecision(int_param)),
+            3 => Ok(LossyCodec::FpcLossless(int_param)),
+            tag => Err(DecodeError::UnknownTag {
+                what: "lossy-codec descriptor",
+                tag,
+            }),
         }
     }
 }
@@ -119,7 +138,7 @@ impl Codec for LossyCodec {
         LossyCodec::compress(self, data, shape)
     }
 
-    fn decompress(&self, bytes: &[u8], shape: Shape) -> Vec<f64> {
+    fn decompress(&self, bytes: &[u8], shape: Shape) -> DecodeResult<Vec<f64>> {
         LossyCodec::decompress(self, bytes, shape)
     }
 }
@@ -164,10 +183,19 @@ mod tests {
     #[test]
     fn codec_bytes_roundtrip_all_variants() {
         for c in all_variants() {
-            assert_eq!(LossyCodec::from_bytes(&c.to_bytes()), Some(c));
+            assert_eq!(LossyCodec::from_bytes(&c.to_bytes()), Ok(c));
         }
-        assert_eq!(LossyCodec::from_bytes(&[9; 9]), None);
-        assert_eq!(LossyCodec::from_bytes(&[0]), None);
+        assert_eq!(
+            LossyCodec::from_bytes(&[9; 9]),
+            Err(DecodeError::UnknownTag {
+                what: "lossy-codec descriptor",
+                tag: 9
+            })
+        );
+        assert!(matches!(
+            LossyCodec::from_bytes(&[0]),
+            Err(DecodeError::Truncated { .. })
+        ));
     }
 
     #[test]
@@ -180,7 +208,9 @@ mod tests {
             LossyCodec::ZfpPrecision(32),
             LossyCodec::FpcLossless(12),
         ] {
-            let d = c.decompress(&c.compress(&data, shape), shape);
+            let d = c
+                .decompress(&c.compress(&data, shape), shape)
+                .expect("decode");
             for (a, b) in data.iter().zip(&d) {
                 assert!((a - b).abs() < 1e-3, "{c:?}: {a} vs {b}");
             }
@@ -192,7 +222,9 @@ mod tests {
         let shape = Shape::d1(257);
         let data: Vec<f64> = (0..257).map(|i| (i as f64 * 0.7).tan()).collect();
         let c = LossyCodec::FpcLossless(12);
-        let d = c.decompress(&c.compress(&data, shape), shape);
+        let d = c
+            .decompress(&c.compress(&data, shape), shape)
+            .expect("decode");
         for (a, b) in data.iter().zip(&d) {
             assert_eq!(a.to_bits(), b.to_bits());
         }

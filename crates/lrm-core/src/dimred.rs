@@ -16,7 +16,7 @@
 //!   matrix (lossless; its sparsity *is* the reduction).
 
 use crate::codec::LossyCodec;
-use lrm_compress::Shape;
+use lrm_compress::{DecodeError, DecodeResult, Shape};
 use lrm_datasets::Field;
 use lrm_linalg::{svd, Matrix, Pca};
 use lrm_wavelet::WaveletModel;
@@ -40,10 +40,14 @@ fn put_u32(out: &mut Vec<u8>, v: usize) {
     out.extend_from_slice(&(v as u32).to_le_bytes());
 }
 
-fn get_u32(b: &[u8], pos: &mut usize) -> usize {
-    let v = u32::from_le_bytes(b[*pos..*pos + 4].try_into().expect("u32")) as usize;
+fn get_u32(b: &[u8], pos: &mut usize) -> DecodeResult<usize> {
+    let s = b
+        .get(*pos..pos.saturating_add(4))
+        .ok_or(DecodeError::Truncated {
+            what: "reduced-model header field",
+        })?;
     *pos += 4;
-    v
+    Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]) as usize)
 }
 
 fn put_f64s(out: &mut Vec<u8>, vals: &[f64]) {
@@ -52,15 +56,19 @@ fn put_f64s(out: &mut Vec<u8>, vals: &[f64]) {
     }
 }
 
-fn get_f64s(b: &[u8], pos: &mut usize, count: usize) -> Vec<f64> {
-    let mut out = Vec::with_capacity(count);
-    for _ in 0..count {
-        out.push(f64::from_le_bytes(
-            b[*pos..*pos + 8].try_into().expect("f64"),
-        ));
-        *pos += 8;
-    }
-    out
+fn get_f64s(b: &[u8], pos: &mut usize, count: usize) -> DecodeResult<Vec<f64>> {
+    let nbytes = count.checked_mul(8).ok_or(DecodeError::Corrupt {
+        what: "reduced-model block size overflow",
+    })?;
+    let s = b
+        .get(*pos..pos.saturating_add(nbytes))
+        .ok_or(DecodeError::Truncated {
+            what: "reduced-model f64 block",
+        })?;
+    *pos += nbytes;
+    Ok(s.chunks_exact(8)
+        .map(|c| f64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]))
+        .collect())
 }
 
 /// PCA preconditioning of `field` with the paper's `variance_fraction`
@@ -90,7 +98,8 @@ pub fn pca_precondition(
     rep.extend_from_slice(&scores_bytes);
 
     // Reconstruct from the *lossy* scores, as the decoder will.
-    let scores_recon = Matrix::from_vec(m, k, orig_codec.decompress(&scores_bytes, scores_shape));
+    let scores_recon =
+        Matrix::from_vec(m, k, orig_codec.decompress_own(&scores_bytes, scores_shape));
     let approx = pca_rebuild(&scores_recon, &basis, &pca.means);
     let delta: Vec<f64> = field
         .data
@@ -113,27 +122,36 @@ fn pca_rebuild(scores: &Matrix, basis: &Matrix, means: &[f64]) -> Matrix {
 }
 
 /// Rebuilds the PCA base reconstruction from `rep_bytes` and adds `delta`.
-pub fn pca_reconstruct(rep_bytes: &[u8], delta: &[f64], orig_codec: &LossyCodec) -> Vec<f64> {
+pub fn pca_reconstruct(
+    rep_bytes: &[u8],
+    delta: &[f64],
+    orig_codec: &LossyCodec,
+) -> DecodeResult<Vec<f64>> {
     let mut pos = 0usize;
-    let m = get_u32(rep_bytes, &mut pos);
-    let n = get_u32(rep_bytes, &mut pos);
-    let k = get_u32(rep_bytes, &mut pos);
-    let means = get_f64s(rep_bytes, &mut pos, n);
-    let basis = Matrix::from_vec(n, k, get_f64s(rep_bytes, &mut pos, n * k));
-    let slen = get_u32(rep_bytes, &mut pos);
+    let m = get_u32(rep_bytes, &mut pos)?;
+    let n = get_u32(rep_bytes, &mut pos)?;
+    let k = get_u32(rep_bytes, &mut pos)?;
+    let nk = n.checked_mul(k).ok_or(DecodeError::Corrupt {
+        what: "pca basis size overflow",
+    })?;
+    let means = get_f64s(rep_bytes, &mut pos, n)?;
+    let basis = Matrix::from_vec(n, k, get_f64s(rep_bytes, &mut pos, nk)?);
+    let slen = get_u32(rep_bytes, &mut pos)?;
     let scores_shape = Shape::d2(k, m);
-    let scores = Matrix::from_vec(
-        m,
-        k,
-        orig_codec.decompress(&rep_bytes[pos..pos + slen], scores_shape),
-    );
+    let scores_bytes =
+        rep_bytes
+            .get(pos..pos.saturating_add(slen))
+            .ok_or(DecodeError::Truncated {
+                what: "pca score stream",
+            })?;
+    let scores = Matrix::from_vec(m, k, orig_codec.decompress(scores_bytes, scores_shape)?);
     let approx = pca_rebuild(&scores, &basis, &means);
-    approx
+    Ok(approx
         .as_slice()
         .iter()
         .zip(delta)
         .map(|(b, d)| b + d)
-        .collect()
+        .collect())
 }
 
 /// SVD preconditioning: keep the top-k singular triplets by the 95 %
@@ -163,7 +181,7 @@ pub fn svd_precondition(
     put_u32(&mut rep, u_bytes.len());
     rep.extend_from_slice(&u_bytes);
 
-    let u_recon = Matrix::from_vec(m, k, orig_codec.decompress(&u_bytes, u_shape));
+    let u_recon = Matrix::from_vec(m, k, orig_codec.decompress_own(&u_bytes, u_shape));
     let approx = svd_rebuild(&u_recon, sigma, &vk);
     let delta: Vec<f64> = field
         .data
@@ -186,26 +204,34 @@ fn svd_rebuild(u: &Matrix, sigma: &[f64], v: &Matrix) -> Matrix {
 }
 
 /// Inverse of [`svd_precondition`]'s representation, plus delta.
-pub fn svd_reconstruct(rep_bytes: &[u8], delta: &[f64], orig_codec: &LossyCodec) -> Vec<f64> {
+pub fn svd_reconstruct(
+    rep_bytes: &[u8],
+    delta: &[f64],
+    orig_codec: &LossyCodec,
+) -> DecodeResult<Vec<f64>> {
     let mut pos = 0usize;
-    let m = get_u32(rep_bytes, &mut pos);
-    let n = get_u32(rep_bytes, &mut pos);
-    let k = get_u32(rep_bytes, &mut pos);
-    let sigma = get_f64s(rep_bytes, &mut pos, k);
-    let vk = Matrix::from_vec(n, k, get_f64s(rep_bytes, &mut pos, n * k));
-    let ulen = get_u32(rep_bytes, &mut pos);
-    let u = Matrix::from_vec(
-        m,
-        k,
-        orig_codec.decompress(&rep_bytes[pos..pos + ulen], Shape::d2(k, m)),
-    );
+    let m = get_u32(rep_bytes, &mut pos)?;
+    let n = get_u32(rep_bytes, &mut pos)?;
+    let k = get_u32(rep_bytes, &mut pos)?;
+    let nk = n.checked_mul(k).ok_or(DecodeError::Corrupt {
+        what: "svd basis size overflow",
+    })?;
+    let sigma = get_f64s(rep_bytes, &mut pos, k)?;
+    let vk = Matrix::from_vec(n, k, get_f64s(rep_bytes, &mut pos, nk)?);
+    let ulen = get_u32(rep_bytes, &mut pos)?;
+    let u_bytes = rep_bytes
+        .get(pos..pos.saturating_add(ulen))
+        .ok_or(DecodeError::Truncated {
+            what: "svd u stream",
+        })?;
+    let u = Matrix::from_vec(m, k, orig_codec.decompress(u_bytes, Shape::d2(k, m))?);
     let approx = svd_rebuild(&u, &sigma, &vk);
-    approx
+    Ok(approx
         .as_slice()
         .iter()
         .zip(delta)
         .map(|(b, d)| b + d)
-        .collect()
+        .collect())
 }
 
 /// Randomized-SVD preconditioning (extension): like
@@ -247,7 +273,7 @@ pub fn svd_randomized_precondition(
     put_u32(&mut rep, u_bytes.len());
     rep.extend_from_slice(&u_bytes);
 
-    let u_recon = Matrix::from_vec(m, k, orig_codec.decompress(&u_bytes, u_shape));
+    let u_recon = Matrix::from_vec(m, k, orig_codec.decompress_own(&u_bytes, u_shape));
     let approx = svd_rebuild(&u_recon, sigma, &vk);
     let delta: Vec<f64> = field
         .data
@@ -283,20 +309,44 @@ pub fn wavelet_precondition(field: &Field, theta_fraction: f64) -> DimRedOutput 
 }
 
 /// Inverse of [`wavelet_precondition`]'s representation, plus delta.
-pub fn wavelet_reconstruct(rep_bytes: &[u8], delta: &[f64]) -> Vec<f64> {
+pub fn wavelet_reconstruct(rep_bytes: &[u8], delta: &[f64]) -> DecodeResult<Vec<f64>> {
     let mut pos = 0usize;
-    let m = get_u32(rep_bytes, &mut pos);
-    let n = get_u32(rep_bytes, &mut pos);
-    let slen = get_u32(rep_bytes, &mut pos);
-    let coeffs = lrm_wavelet::SparseMatrix::from_bytes(&rep_bytes[pos..pos + slen])
-        .expect("wavelet: corrupt sparse block");
+    let m = get_u32(rep_bytes, &mut pos)?;
+    let n = get_u32(rep_bytes, &mut pos)?;
+    let slen = get_u32(rep_bytes, &mut pos)?;
+    let sparse_bytes =
+        rep_bytes
+            .get(pos..pos.saturating_add(slen))
+            .ok_or(DecodeError::Truncated {
+                what: "wavelet sparse block",
+            })?;
+    let coeffs =
+        lrm_wavelet::SparseMatrix::from_bytes(sparse_bytes).ok_or(DecodeError::Corrupt {
+            what: "wavelet sparse block",
+        })?;
+    // The padded coefficient grid must cover the stored extents, or
+    // cropping the inverse transform would assert.
+    let (pr, pc) = coeffs.shape();
+    if m > pr || n > pc {
+        return Err(DecodeError::Corrupt {
+            what: "wavelet extents exceed coefficient grid",
+        });
+    }
+    // A valid grid pads each extent to the next power of two, so its area
+    // is under 4x the field; anything larger is corrupt (and would make
+    // the inverse transform allocate absurdly).
+    if pr.saturating_mul(pc) > delta.len().saturating_mul(4).max(64) {
+        return Err(DecodeError::Corrupt {
+            what: "wavelet coefficient grid too large",
+        });
+    }
     let model = WaveletModel {
         coeffs,
         rows: m,
         cols: n,
     };
     let approx = model.reconstruct();
-    approx.iter().zip(delta).map(|(b, d)| b + d).collect()
+    Ok(approx.iter().zip(delta).map(|(b, d)| b + d).collect())
 }
 
 #[cfg(test)]
@@ -323,7 +373,7 @@ mod tests {
         let f = column_correlated_field();
         let codec = LossyCodec::SzRel(1e-6);
         let out = pca_precondition(&f, 0.95, &codec);
-        let rec = pca_reconstruct(&out.rep_bytes, &out.delta, &codec);
+        let rec = pca_reconstruct(&out.rep_bytes, &out.delta, &codec).expect("decode");
         for (a, b) in f.data.iter().zip(&rec) {
             assert!((a - b).abs() < 1e-10, "{a} vs {b}");
         }
@@ -350,7 +400,7 @@ mod tests {
         let f = column_correlated_field();
         let codec = LossyCodec::ZfpPrecision(40);
         let out = svd_precondition(&f, 0.95, &codec);
-        let rec = svd_reconstruct(&out.rep_bytes, &out.delta, &codec);
+        let rec = svd_reconstruct(&out.rep_bytes, &out.delta, &codec).expect("decode");
         for (a, b) in f.data.iter().zip(&rec) {
             assert!((a - b).abs() < 1e-10);
         }
@@ -368,7 +418,7 @@ mod tests {
         let f = column_correlated_field();
         let codec = LossyCodec::SzRel(1e-6);
         let fast = svd_randomized_precondition(&f, 0.95, &codec);
-        let rec = svd_reconstruct(&fast.rep_bytes, &fast.delta, &codec);
+        let rec = svd_reconstruct(&fast.rep_bytes, &fast.delta, &codec).expect("decode");
         for (a, b) in f.data.iter().zip(&rec) {
             assert!((a - b).abs() < 1e-9, "{a} vs {b}");
         }
@@ -381,7 +431,7 @@ mod tests {
     fn wavelet_roundtrip() {
         let f = column_correlated_field();
         let out = wavelet_precondition(&f, 0.05);
-        let rec = wavelet_reconstruct(&out.rep_bytes, &out.delta);
+        let rec = wavelet_reconstruct(&out.rep_bytes, &out.delta).expect("decode");
         for (a, b) in f.data.iter().zip(&rec) {
             assert!((a - b).abs() < 1e-10);
         }
@@ -433,7 +483,7 @@ mod tests {
         let codec = LossyCodec::SzRel(1e-6);
         // m = 1 row; PCA degenerates but must not crash.
         let out = pca_precondition(&f, 0.95, &codec);
-        let rec = pca_reconstruct(&out.rep_bytes, &out.delta, &codec);
+        let rec = pca_reconstruct(&out.rep_bytes, &out.delta, &codec).expect("decode");
         for (a, b) in f.data.iter().zip(&rec) {
             assert!((a - b).abs() < 1e-9);
         }

@@ -44,7 +44,7 @@
 //! #     lrm_compress::Shape::d3(16, 16, 16),
 //! # );
 //! let artifact = pipeline.compress(&field);
-//! let (restored, shape) = pipeline.reconstruct(&artifact.bytes);
+//! let (restored, shape) = pipeline.reconstruct(&artifact.bytes).expect("valid artifact");
 //! assert_eq!(shape, field.shape);
 //! ```
 
@@ -53,7 +53,7 @@ use crate::pipeline::{
     model_tag, precondition_impl, reconstruct_impl, CompressionReport, PipelineConfig,
     PreconditionedArtifact, ReducedModelKind,
 };
-use lrm_compress::Shape;
+use lrm_compress::{DecodeError, DecodeResult, Shape};
 use lrm_datasets::Field;
 use lrm_io::{ChunkEntry, ChunkedArtifact};
 use lrm_parallel::{Decomposition, WorkerPool};
@@ -355,37 +355,49 @@ impl Pipeline {
     /// pool) or a version-0 single-chunk stream. Returns the data and
     /// its shape.
     ///
-    /// # Panics
-    /// Panics on a corrupt artifact.
-    pub fn reconstruct(&self, bytes: &[u8]) -> (Vec<f64>, Shape) {
-        let container =
-            ChunkedArtifact::from_bytes(bytes).expect("reconstruct: corrupt artifact stream");
+    /// Corrupt or truncated input is reported as a [`DecodeError`];
+    /// this never panics on bad bytes.
+    pub fn reconstruct(&self, bytes: &[u8]) -> DecodeResult<(Vec<f64>, Shape)> {
+        let container = ChunkedArtifact::from_bytes(bytes)?;
         if container.global_dims == [0, 0, 0] {
             // Version-0 wrap: the single payload is a complete artifact.
-            let (_, payload) = container
-                .chunks()
-                .next()
-                .expect("reconstruct: empty container");
+            let (_, payload) = container.chunks().next().ok_or(DecodeError::Corrupt {
+                what: "empty chunked container",
+            })?;
             return reconstruct_impl(payload);
         }
 
         let [nx, ny, nz] = container.global_dims.map(|d| d as usize);
+        nx.checked_mul(ny)
+            .and_then(|p| p.checked_mul(nz))
+            .ok_or(DecodeError::Corrupt {
+                what: "chunked global dims overflow",
+            })?;
         let shape = Shape::d3(nx, ny, nz);
         let plane = nx * ny;
         let parts: Vec<(usize, Vec<u8>)> = container
             .chunks()
             .map(|(e, p)| (e.z_offset as usize, p.to_vec()))
             .collect();
-        let decoded: Vec<(usize, Vec<f64>)> = self.pool().run(parts, |_, (z0, payload)| {
-            let (data, _) = reconstruct_impl(&payload);
-            (z0, data)
-        });
+        let decoded: Vec<(usize, DecodeResult<Vec<f64>>)> =
+            self.pool().run(parts, |_, (z0, payload)| {
+                (z0, reconstruct_impl(&payload).map(|(data, _)| data))
+            });
 
         let mut out = vec![0.0f64; shape.len()];
         for (z0, data) in decoded {
-            out[z0 * plane..z0 * plane + data.len()].copy_from_slice(&data);
+            let data = data?;
+            let start = z0.checked_mul(plane).ok_or(DecodeError::Corrupt {
+                what: "chunk offset overflow",
+            })?;
+            let slot = out.get_mut(start..start.saturating_add(data.len())).ok_or(
+                DecodeError::Corrupt {
+                    what: "chunk exceeds global extent",
+                },
+            )?;
+            slot.copy_from_slice(&data);
         }
-        (out, shape)
+        Ok((out, shape))
     }
 }
 
@@ -446,7 +458,7 @@ mod tests {
             .min_chunk_len(0)
             .build();
         let art = p.compress(&f);
-        let (rec, shape) = p.reconstruct(&art.bytes);
+        let (rec, shape) = p.reconstruct(&art.bytes).expect("decode");
         assert_eq!(shape, f.shape);
         let max = f.data.iter().fold(0.0f64, |a, &b| a.max(b.abs()));
         for (a, b) in f.data.iter().zip(&rec) {
@@ -504,7 +516,7 @@ mod tests {
         let cfg = PipelineConfig::sz(ReducedModelKind::Svd);
         let v0 = precondition_impl(&f, None, &cfg);
         let p = Pipeline::builder().build();
-        let (rec, shape) = p.reconstruct(&v0.bytes);
+        let (rec, shape) = p.reconstruct(&v0.bytes).expect("decode");
         assert_eq!(shape, f.shape);
         assert_eq!(rec.len(), f.len());
     }
@@ -520,7 +532,7 @@ mod tests {
             .build();
         let art = p.compress_with_aux(&f, &coarse);
         assert_eq!(&art.bytes[..4], b"LRM1");
-        let (rec, _) = p.reconstruct(&art.bytes);
+        let (rec, _) = p.reconstruct(&art.bytes).expect("decode");
         assert_eq!(rec.len(), f.len());
     }
 }

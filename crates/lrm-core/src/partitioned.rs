@@ -18,7 +18,7 @@
 
 use crate::codec::LossyCodec;
 use crate::dimred::DimRedOutput;
-use lrm_compress::Shape;
+use lrm_compress::{DecodeError, DecodeResult, Shape};
 use lrm_datasets::Field;
 use lrm_linalg::{svd, Matrix, Pca};
 use lrm_parallel::WorkerPool;
@@ -27,10 +27,14 @@ fn put_u32(out: &mut Vec<u8>, v: usize) {
     out.extend_from_slice(&(v as u32).to_le_bytes());
 }
 
-fn get_u32(b: &[u8], pos: &mut usize) -> usize {
-    let v = u32::from_le_bytes(b[*pos..*pos + 4].try_into().expect("u32")) as usize;
+fn get_u32(b: &[u8], pos: &mut usize) -> DecodeResult<usize> {
+    let s = b
+        .get(*pos..pos.saturating_add(4))
+        .ok_or(DecodeError::Truncated {
+            what: "partitioned header field",
+        })?;
     *pos += 4;
-    v
+    Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]) as usize)
 }
 
 fn put_f64s(out: &mut Vec<u8>, vals: &[f64]) {
@@ -39,15 +43,19 @@ fn put_f64s(out: &mut Vec<u8>, vals: &[f64]) {
     }
 }
 
-fn get_f64s(b: &[u8], pos: &mut usize, count: usize) -> Vec<f64> {
-    let mut out = Vec::with_capacity(count);
-    for _ in 0..count {
-        out.push(f64::from_le_bytes(
-            b[*pos..*pos + 8].try_into().expect("f64"),
-        ));
-        *pos += 8;
-    }
-    out
+fn get_f64s(b: &[u8], pos: &mut usize, count: usize) -> DecodeResult<Vec<f64>> {
+    let nbytes = count.checked_mul(8).ok_or(DecodeError::Corrupt {
+        what: "partitioned block size overflow",
+    })?;
+    let s = b
+        .get(*pos..pos.saturating_add(nbytes))
+        .ok_or(DecodeError::Truncated {
+            what: "partitioned f64 block",
+        })?;
+    *pos += nbytes;
+    Ok(s.chunks_exact(8)
+        .map(|c| f64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]))
+        .collect())
 }
 
 /// Row ranges of the `blocks` partitions of an `m`-row matrix.
@@ -88,7 +96,8 @@ fn fit_pca_block(
     put_u32(&mut rep, scores_bytes.len());
     rep.extend_from_slice(&scores_bytes);
 
-    let scores_recon = Matrix::from_vec(mrows, k, codec.decompress(&scores_bytes, scores_shape));
+    let scores_recon =
+        Matrix::from_vec(mrows, k, codec.decompress_own(&scores_bytes, scores_shape));
     let approx = scores_recon.matmul(&basis.transpose());
     let approx: Vec<f64> = approx
         .as_slice()
@@ -128,7 +137,7 @@ fn fit_svd_block(
     put_u32(&mut rep, u_bytes.len());
     rep.extend_from_slice(&u_bytes);
 
-    let u_recon = Matrix::from_vec(mrows, k, codec.decompress(&u_bytes, u_shape));
+    let u_recon = Matrix::from_vec(mrows, k, codec.decompress_own(&u_bytes, u_shape));
     let us = Matrix::from_fn(mrows, k, |r, c| u_recon.get(r, c) * sigma[c]);
     let approx = us.matmul(&vk.transpose());
     BlockFit {
@@ -196,27 +205,52 @@ pub fn partitioned_precondition(
 
 /// Rebuilds the base reconstruction from a partitioned representation and
 /// adds the delta.
-pub fn partitioned_reconstruct(rep_bytes: &[u8], delta: &[f64], codec: &LossyCodec) -> Vec<f64> {
-    let method = rep_bytes[0];
+pub fn partitioned_reconstruct(
+    rep_bytes: &[u8],
+    delta: &[f64],
+    codec: &LossyCodec,
+) -> DecodeResult<Vec<f64>> {
+    let method = *rep_bytes.first().ok_or(DecodeError::Truncated {
+        what: "partitioned method tag",
+    })?;
+    if method > 1 {
+        return Err(DecodeError::UnknownTag {
+            what: "partitioned method",
+            tag: method,
+        });
+    }
     let mut pos = 1usize;
-    let n = get_u32(rep_bytes, &mut pos);
-    let nblocks = get_u32(rep_bytes, &mut pos);
+    let n = get_u32(rep_bytes, &mut pos)?;
+    let nblocks = get_u32(rep_bytes, &mut pos)?;
     let mut approx = Vec::with_capacity(delta.len());
     for _ in 0..nblocks {
-        let blen = get_u32(rep_bytes, &mut pos);
-        let block = &rep_bytes[pos..pos + blen];
+        let blen = get_u32(rep_bytes, &mut pos)?;
+        let block = rep_bytes
+            .get(pos..pos.saturating_add(blen))
+            .ok_or(DecodeError::Truncated {
+                what: "partitioned block",
+            })?;
         pos += blen;
         let mut bp = 0usize;
-        let mrows = get_u32(block, &mut bp);
-        let k = get_u32(block, &mut bp);
+        let mrows = get_u32(block, &mut bp)?;
+        let k = get_u32(block, &mut bp)?;
+        let nk = n.checked_mul(k).ok_or(DecodeError::Corrupt {
+            what: "partitioned basis size overflow",
+        })?;
         if method == 0 {
-            let means = get_f64s(block, &mut bp, n);
-            let basis = Matrix::from_vec(n, k, get_f64s(block, &mut bp, n * k));
-            let slen = get_u32(block, &mut bp);
+            let means = get_f64s(block, &mut bp, n)?;
+            let basis = Matrix::from_vec(n, k, get_f64s(block, &mut bp, nk)?);
+            let slen = get_u32(block, &mut bp)?;
+            let scores_bytes =
+                block
+                    .get(bp..bp.saturating_add(slen))
+                    .ok_or(DecodeError::Truncated {
+                        what: "partitioned score stream",
+                    })?;
             let scores = Matrix::from_vec(
                 mrows,
                 k,
-                codec.decompress(&block[bp..bp + slen], Shape::d2(k, mrows)),
+                codec.decompress(scores_bytes, Shape::d2(k, mrows))?,
             );
             let a = scores.matmul(&basis.transpose());
             approx.extend(
@@ -226,19 +260,20 @@ pub fn partitioned_reconstruct(rep_bytes: &[u8], delta: &[f64], codec: &LossyCod
                     .map(|(i, v)| v + means[i % n]),
             );
         } else {
-            let sigma = get_f64s(block, &mut bp, k);
-            let vk = Matrix::from_vec(n, k, get_f64s(block, &mut bp, n * k));
-            let ulen = get_u32(block, &mut bp);
-            let u = Matrix::from_vec(
-                mrows,
-                k,
-                codec.decompress(&block[bp..bp + ulen], Shape::d2(k, mrows)),
-            );
+            let sigma = get_f64s(block, &mut bp, k)?;
+            let vk = Matrix::from_vec(n, k, get_f64s(block, &mut bp, nk)?);
+            let ulen = get_u32(block, &mut bp)?;
+            let u_bytes = block
+                .get(bp..bp.saturating_add(ulen))
+                .ok_or(DecodeError::Truncated {
+                    what: "partitioned u stream",
+                })?;
+            let u = Matrix::from_vec(mrows, k, codec.decompress(u_bytes, Shape::d2(k, mrows))?);
             let us = Matrix::from_fn(mrows, k, |r, c| u.get(r, c) * sigma[c]);
             approx.extend_from_slice(us.matmul(&vk.transpose()).as_slice());
         }
     }
-    approx.iter().zip(delta).map(|(b, d)| b + d).collect()
+    Ok(approx.iter().zip(delta).map(|(b, d)| b + d).collect())
 }
 
 #[cfg(test)]
@@ -264,7 +299,7 @@ mod tests {
         let codec = LossyCodec::SzRel(1e-6);
         for blocks in [1, 2, 4, 7] {
             let out = partitioned_precondition(&f, PartitionedMethod::Pca, blocks, 0.95, &codec);
-            let rec = partitioned_reconstruct(&out.rep_bytes, &out.delta, &codec);
+            let rec = partitioned_reconstruct(&out.rep_bytes, &out.delta, &codec).expect("decode");
             for (a, b) in f.data.iter().zip(&rec) {
                 assert!((a - b).abs() < 1e-9, "blocks {blocks}: {a} vs {b}");
             }
@@ -277,7 +312,7 @@ mod tests {
         let codec = LossyCodec::ZfpPrecision(44);
         for blocks in [1, 3, 8] {
             let out = partitioned_precondition(&f, PartitionedMethod::Svd, blocks, 0.95, &codec);
-            let rec = partitioned_reconstruct(&out.rep_bytes, &out.delta, &codec);
+            let rec = partitioned_reconstruct(&out.rep_bytes, &out.delta, &codec).expect("decode");
             for (a, b) in f.data.iter().zip(&rec) {
                 assert!((a - b).abs() < 1e-8, "blocks {blocks}: {a} vs {b}");
             }
@@ -316,7 +351,7 @@ mod tests {
         let codec = LossyCodec::SzRel(1e-5);
         // More blocks than rows must not panic.
         let out = partitioned_precondition(&f, PartitionedMethod::Pca, 10_000, 0.95, &codec);
-        let rec = partitioned_reconstruct(&out.rep_bytes, &out.delta, &codec);
+        let rec = partitioned_reconstruct(&out.rep_bytes, &out.delta, &codec).expect("decode");
         assert_eq!(rec.len(), f.len());
     }
 }

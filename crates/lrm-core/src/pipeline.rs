@@ -24,7 +24,7 @@ use crate::projection::{
     duo_model_precondition, duo_model_reconstruct, multi_base_precondition, multi_base_reconstruct,
     one_base_precondition, one_base_reconstruct,
 };
-use lrm_compress::Shape;
+use lrm_compress::{DecodeError, DecodeResult, Shape};
 use lrm_datasets::Field;
 use lrm_io::Artifact;
 
@@ -221,28 +221,35 @@ struct Meta {
     scan_1d: bool,
 }
 
-fn decode_meta(b: &[u8]) -> Option<Meta> {
+fn decode_meta(b: &[u8]) -> DecodeResult<Meta> {
     if b.len() < 1 + 4 + 9 + 9 + 24 + 1 {
-        return None;
+        return Err(DecodeError::Truncated {
+            what: "pipeline meta",
+        });
     }
     let tag = b[0];
-    let param = u32::from_le_bytes(b[1..5].try_into().ok()?);
+    let param = u32::from_le_bytes([b[1], b[2], b[3], b[4]]);
     let orig = LossyCodec::from_bytes(&b[5..14])?;
     let delta = LossyCodec::from_bytes(&b[14..23])?;
     let dim = |i: usize| -> usize {
-        u32::from_le_bytes(b[23 + 4 * i..27 + 4 * i].try_into().expect("dims")) as usize
+        u32::from_le_bytes([b[23 + 4 * i], b[24 + 4 * i], b[25 + 4 * i], b[26 + 4 * i]]) as usize
     };
-    Some(Meta {
+    let checked_shape = |dims: [usize; 3], what: &'static str| -> DecodeResult<Shape> {
+        // Shape::len multiplies the extents; a corrupt header must not
+        // make that overflow (or commit the decoder to absurd buffers).
+        dims[0]
+            .checked_mul(dims[1].max(1))
+            .and_then(|p| p.checked_mul(dims[2].max(1)))
+            .ok_or(DecodeError::Corrupt { what })?;
+        Ok(Shape { dims })
+    };
+    Ok(Meta {
         tag,
         param,
         orig,
         delta,
-        shape: Shape {
-            dims: [dim(0), dim(1), dim(2)],
-        },
-        aux_shape: Shape {
-            dims: [dim(3), dim(4), dim(5)],
-        },
+        shape: checked_shape([dim(0), dim(1), dim(2)], "pipeline meta shape overflow")?,
+        aux_shape: checked_shape([dim(3), dim(4), dim(5)], "pipeline meta aux shape overflow")?,
         scan_1d: b[47] != 0,
     })
 }
@@ -376,18 +383,25 @@ pub(crate) fn precondition_impl(
 /// phase). Returns the data and its shape.
 ///
 /// # Panics
-/// Panics on a corrupt artifact.
+/// Panics on a corrupt artifact. New code should use
+/// [`crate::Pipeline::reconstruct`], which reports corruption as a
+/// [`DecodeError`] instead.
 #[deprecated(since = "0.2.0", note = "use lrm_core::Pipeline::builder()")]
 pub fn reconstruct(bytes: &[u8]) -> (Vec<f64>, Shape) {
-    reconstruct_impl(bytes)
+    reconstruct_impl(bytes).expect("reconstruct: corrupt artifact")
 }
 
-pub(crate) fn reconstruct_impl(bytes: &[u8]) -> (Vec<f64>, Shape) {
-    let artifact = Artifact::from_bytes(bytes).expect("reconstruct: corrupt artifact");
-    let meta = decode_meta(artifact.get(META).expect("reconstruct: missing meta"))
-        .expect("reconstruct: corrupt meta");
-    let rep = artifact.get(REP).expect("reconstruct: missing rep");
-    let delta_bytes = artifact.get(DELTA).expect("reconstruct: missing delta");
+pub(crate) fn reconstruct_impl(bytes: &[u8]) -> DecodeResult<(Vec<f64>, Shape)> {
+    let artifact = Artifact::from_bytes(bytes)?;
+    let meta = decode_meta(artifact.get(META).ok_or(DecodeError::Corrupt {
+        what: "artifact missing meta section",
+    })?)?;
+    let rep = artifact.get(REP).ok_or(DecodeError::Corrupt {
+        what: "artifact missing rep section",
+    })?;
+    let delta_bytes = artifact.get(DELTA).ok_or(DecodeError::Corrupt {
+        what: "artifact missing delta section",
+    })?;
 
     let delta_codec = if meta.tag == 0 { meta.orig } else { meta.delta };
     let delta_shape = if meta.scan_1d {
@@ -395,22 +409,27 @@ pub(crate) fn reconstruct_impl(bytes: &[u8]) -> (Vec<f64>, Shape) {
     } else {
         meta.shape
     };
-    let delta = delta_codec.decompress(delta_bytes, delta_shape);
+    let delta = delta_codec.decompress(delta_bytes, delta_shape)?;
 
     let data = match meta.tag {
         0 => delta,
-        1 => one_base_reconstruct(rep, &delta, meta.shape, &meta.orig),
-        2 => multi_base_reconstruct(rep, &delta, meta.shape, meta.param as usize, &meta.orig),
-        3 => duo_model_reconstruct(rep, &delta, meta.shape, meta.aux_shape, &meta.orig),
-        4 => pca_reconstruct(rep, &delta, &meta.orig),
-        5 => svd_reconstruct(rep, &delta, &meta.orig),
-        6 => wavelet_reconstruct(rep, &delta),
-        7 | 8 => crate::partitioned::partitioned_reconstruct(rep, &delta, &meta.orig),
+        1 => one_base_reconstruct(rep, &delta, meta.shape, &meta.orig)?,
+        2 => multi_base_reconstruct(rep, &delta, meta.shape, meta.param as usize, &meta.orig)?,
+        3 => duo_model_reconstruct(rep, &delta, meta.shape, meta.aux_shape, &meta.orig)?,
+        4 => pca_reconstruct(rep, &delta, &meta.orig)?,
+        5 => svd_reconstruct(rep, &delta, &meta.orig)?,
+        6 => wavelet_reconstruct(rep, &delta)?,
+        7 | 8 => crate::partitioned::partitioned_reconstruct(rep, &delta, &meta.orig)?,
         // Randomized SVD shares the plain SVD representation format.
-        9 => svd_reconstruct(rep, &delta, &meta.orig),
-        t => panic!("reconstruct: unknown model tag {t}"),
+        9 => svd_reconstruct(rep, &delta, &meta.orig)?,
+        tag => {
+            return Err(DecodeError::UnknownTag {
+                what: "reduced-model",
+                tag,
+            })
+        }
     };
-    (data, meta.shape)
+    Ok((data, meta.shape))
 }
 
 #[cfg(test)]

@@ -7,7 +7,7 @@
 //! is governed solely by the delta codec's bound.
 
 use crate::codec::LossyCodec;
-use lrm_compress::Shape;
+use lrm_compress::{DecodeResult, Shape};
 use lrm_datasets::Field;
 
 /// The reduced representation plus the preconditioned delta, before
@@ -38,7 +38,7 @@ pub fn one_base_precondition(field: &Field, orig_codec: &LossyCodec) -> Projecti
         let rep_shape = Shape::d1(nx);
         let row: Vec<f64> = (0..nx).map(|x| field.at(x, mid, 0)).collect();
         let rep_bytes = orig_codec.compress(&row, rep_shape);
-        let row_recon = orig_codec.decompress(&rep_bytes, rep_shape);
+        let row_recon = orig_codec.decompress_own(&rep_bytes, rep_shape);
         let mut delta = Vec::with_capacity(field.len());
         for y in 0..ny {
             for x in 0..nx {
@@ -55,7 +55,7 @@ pub fn one_base_precondition(field: &Field, orig_codec: &LossyCodec) -> Projecti
     let plane = field.plane_z(mid);
     let rep_shape = Shape::d2(nx, ny);
     let rep_bytes = orig_codec.compress(&plane.data, rep_shape);
-    let plane_recon = orig_codec.decompress(&rep_bytes, rep_shape);
+    let plane_recon = orig_codec.decompress_own(&rep_bytes, rep_shape);
 
     let mut delta = Vec::with_capacity(field.len());
     for z in 0..nz {
@@ -79,19 +79,19 @@ pub fn one_base_reconstruct(
     delta: &[f64],
     shape: Shape,
     orig_codec: &LossyCodec,
-) -> Vec<f64> {
+) -> DecodeResult<Vec<f64>> {
     let [nx, ny, nz] = shape.dims;
     if shape.ndims() == 2 {
-        let row = orig_codec.decompress(rep_bytes, Shape::d1(nx));
+        let row = orig_codec.decompress(rep_bytes, Shape::d1(nx))?;
         let mut out = Vec::with_capacity(shape.len());
         for y in 0..ny {
             for x in 0..nx {
                 out.push(delta[shape.idx(x, y, 0)] + row[x]);
             }
         }
-        return out;
+        return Ok(out);
     }
-    let plane = orig_codec.decompress(rep_bytes, Shape::d2(nx, ny));
+    let plane = orig_codec.decompress(rep_bytes, Shape::d2(nx, ny))?;
     let mut out = Vec::with_capacity(shape.len());
     for z in 0..nz {
         for y in 0..ny {
@@ -100,7 +100,7 @@ pub fn one_base_reconstruct(
             }
         }
     }
-    out
+    Ok(out)
 }
 
 /// *Multi-base*: the field is split into `gz` z-blocks (the paper's
@@ -132,7 +132,7 @@ pub fn multi_base_precondition(
         }
         let rep_shape = Shape::d2(nx, g);
         let rep_bytes = orig_codec.compress(&rows, rep_shape);
-        let rows_recon = orig_codec.decompress(&rep_bytes, rep_shape);
+        let rows_recon = orig_codec.decompress_own(&rep_bytes, rep_shape);
         let mut delta = Vec::with_capacity(field.len());
         for y in 0..ny {
             let b = (y * g / ny).min(g - 1);
@@ -163,7 +163,7 @@ pub fn multi_base_precondition(
     }
     let rep_shape = Shape::d3(nx, ny, gz);
     let rep_bytes = orig_codec.compress(&planes, rep_shape);
-    let planes_recon = orig_codec.decompress(&rep_bytes, rep_shape);
+    let planes_recon = orig_codec.decompress_own(&rep_bytes, rep_shape);
 
     let mut delta = Vec::with_capacity(field.len());
     for z in 0..nz {
@@ -188,11 +188,11 @@ pub fn multi_base_reconstruct(
     shape: Shape,
     gz: usize,
     orig_codec: &LossyCodec,
-) -> Vec<f64> {
+) -> DecodeResult<Vec<f64>> {
     let [nx, ny, nz] = shape.dims;
     if shape.ndims() == 2 {
         let g = gz.clamp(1, ny);
-        let rows = orig_codec.decompress(rep_bytes, Shape::d2(nx, g));
+        let rows = orig_codec.decompress(rep_bytes, Shape::d2(nx, g))?;
         let mut out = Vec::with_capacity(shape.len());
         for y in 0..ny {
             let b = (y * g / ny).min(g - 1);
@@ -200,10 +200,10 @@ pub fn multi_base_reconstruct(
                 out.push(delta[shape.idx(x, y, 0)] + rows[b * nx + x]);
             }
         }
-        return out;
+        return Ok(out);
     }
     let gz = gz.clamp(1, nz);
-    let planes = orig_codec.decompress(rep_bytes, Shape::d3(nx, ny, gz));
+    let planes = orig_codec.decompress(rep_bytes, Shape::d3(nx, ny, gz))?;
     let mut out = Vec::with_capacity(shape.len());
     for z in 0..nz {
         let b = (z * gz / nz).min(gz - 1);
@@ -213,7 +213,7 @@ pub fn multi_base_reconstruct(
             }
         }
     }
-    out
+    Ok(out)
 }
 
 /// Trilinear upsampling of a coarse field onto `target` extents
@@ -259,7 +259,7 @@ pub fn duo_model_precondition(
     orig_codec: &LossyCodec,
 ) -> ProjectionOutput {
     let rep_bytes = orig_codec.compress(&coarse.data, coarse.shape);
-    let coarse_recon = orig_codec.decompress(&rep_bytes, coarse.shape);
+    let coarse_recon = orig_codec.decompress_own(&rep_bytes, coarse.shape);
     let up = upsample(&coarse_recon, coarse.shape, field.shape);
     let delta: Vec<f64> = field.data.iter().zip(&up).map(|(a, b)| a - b).collect();
     ProjectionOutput {
@@ -276,10 +276,10 @@ pub fn duo_model_reconstruct(
     shape: Shape,
     coarse_shape: Shape,
     orig_codec: &LossyCodec,
-) -> Vec<f64> {
-    let coarse = orig_codec.decompress(rep_bytes, coarse_shape);
+) -> DecodeResult<Vec<f64>> {
+    let coarse = orig_codec.decompress(rep_bytes, coarse_shape)?;
     let up = upsample(&coarse, coarse_shape, shape);
-    delta.iter().zip(&up).map(|(d, b)| d + b).collect()
+    Ok(delta.iter().zip(&up).map(|(d, b)| d + b).collect())
 }
 
 #[cfg(test)]
@@ -311,7 +311,8 @@ mod tests {
         let codec = LossyCodec::SzRel(1e-6);
         let out = one_base_precondition(&f, &codec);
         // Reconstruct with the exact delta: error must be zero.
-        let rec = one_base_reconstruct(&out.rep_bytes, &out.delta, f.shape, &codec);
+        let rec =
+            one_base_reconstruct(&out.rep_bytes, &out.delta, f.shape, &codec).expect("decode");
         for (a, b) in f.data.iter().zip(&rec) {
             assert!((a - b).abs() < 1e-12, "{a} vs {b}");
         }
@@ -340,7 +341,8 @@ mod tests {
         let f = heat_like_field(12);
         let codec = LossyCodec::ZfpPrecision(40);
         let out = multi_base_precondition(&f, 3, &codec);
-        let rec = multi_base_reconstruct(&out.rep_bytes, &out.delta, f.shape, 3, &codec);
+        let rec =
+            multi_base_reconstruct(&out.rep_bytes, &out.delta, f.shape, 3, &codec).expect("decode");
         for (a, b) in f.data.iter().zip(&rec) {
             assert!((a - b).abs() < 1e-12);
         }
@@ -414,7 +416,8 @@ mod tests {
         let cf = Field::new("coarse", coarse, cshape);
         let codec = LossyCodec::SzRel(1e-6);
         let out = duo_model_precondition(&f, &cf, &codec);
-        let rec = duo_model_reconstruct(&out.rep_bytes, &out.delta, f.shape, cshape, &codec);
+        let rec = duo_model_reconstruct(&out.rep_bytes, &out.delta, f.shape, cshape, &codec)
+            .expect("decode");
         for (a, b) in f.data.iter().zip(&rec) {
             assert!((a - b).abs() < 1e-10);
         }
@@ -439,7 +442,7 @@ mod tests {
         let f = Field::new("lap", data, shape);
         let codec = LossyCodec::SzRel(1e-6);
         let out = one_base_precondition(&f, &codec);
-        let rec = one_base_reconstruct(&out.rep_bytes, &out.delta, shape, &codec);
+        let rec = one_base_reconstruct(&out.rep_bytes, &out.delta, shape, &codec).expect("decode");
         for (a, b) in f.data.iter().zip(&rec) {
             assert!((a - b).abs() < 1e-12);
         }
@@ -454,7 +457,8 @@ mod tests {
         let f = Field::new("lap", data, shape);
         let codec = LossyCodec::ZfpPrecision(48);
         let out = multi_base_precondition(&f, 3, &codec);
-        let rec = multi_base_reconstruct(&out.rep_bytes, &out.delta, shape, 3, &codec);
+        let rec =
+            multi_base_reconstruct(&out.rep_bytes, &out.delta, shape, 3, &codec).expect("decode");
         for (a, b) in f.data.iter().zip(&rec) {
             assert!((a - b).abs() < 1e-12);
         }

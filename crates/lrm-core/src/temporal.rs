@@ -10,7 +10,7 @@
 //! drift — the same discipline the spatial pipeline applies).
 
 use crate::codec::LossyCodec;
-use lrm_compress::Shape;
+use lrm_compress::{DecodeError, DecodeResult, Shape};
 use lrm_datasets::Field;
 use lrm_io::Artifact;
 
@@ -73,9 +73,9 @@ pub fn compress_series(
         snapshot_bytes.push(bytes.len());
         // Track the decoder's view.
         let recon = match &prev_recon {
-            None => base_codec.decompress(&bytes, shape),
+            None => base_codec.decompress_own(&bytes, shape),
             Some(prev) => {
-                let d = delta_codec.decompress(&bytes, shape);
+                let d = delta_codec.decompress_own(&bytes, shape);
                 d.iter().zip(prev).map(|(d, p)| d + p).collect()
             }
         };
@@ -91,34 +91,58 @@ pub fn compress_series(
 }
 
 /// Decompresses a series produced by [`compress_series`]. Returns the
-/// snapshots in time order plus their shape.
-pub fn reconstruct_series(bytes: &[u8]) -> (Vec<Vec<f64>>, Shape) {
-    let artifact = Artifact::from_bytes(bytes).expect("temporal: corrupt container");
-    let meta = artifact.get("meta").expect("temporal: missing meta");
+/// snapshots in time order plus their shape. Corrupt input is reported
+/// as a [`DecodeError`]; this never panics.
+pub fn reconstruct_series(bytes: &[u8]) -> DecodeResult<(Vec<Vec<f64>>, Shape)> {
+    let artifact = Artifact::from_bytes(bytes)?;
+    let meta = artifact.get("meta").ok_or(DecodeError::Corrupt {
+        what: "temporal missing meta section",
+    })?;
+    if meta.len() < 34 {
+        return Err(DecodeError::Truncated {
+            what: "temporal meta",
+        });
+    }
     let dim = |i: usize| -> usize {
-        u32::from_le_bytes(meta[4 * i..4 * i + 4].try_into().expect("dims")) as usize
+        u32::from_le_bytes([
+            meta[4 * i],
+            meta[4 * i + 1],
+            meta[4 * i + 2],
+            meta[4 * i + 3],
+        ]) as usize
     };
-    let shape = Shape {
-        dims: [dim(0), dim(1), dim(2)],
-    };
-    let base_codec = LossyCodec::from_bytes(&meta[12..21]).expect("temporal: base codec");
-    let delta_codec = LossyCodec::from_bytes(&meta[21..30]).expect("temporal: delta codec");
-    let count = u32::from_le_bytes(meta[30..34].try_into().expect("count")) as usize;
+    let dims = [dim(0), dim(1), dim(2)];
+    dims[0]
+        .checked_mul(dims[1].max(1))
+        .and_then(|p| p.checked_mul(dims[2].max(1)))
+        .ok_or(DecodeError::Corrupt {
+            what: "temporal shape overflow",
+        })?;
+    let shape = Shape { dims };
+    let base_codec = LossyCodec::from_bytes(&meta[12..21])?;
+    let delta_codec = LossyCodec::from_bytes(&meta[21..30])?;
+    let count = u32::from_le_bytes([meta[30], meta[31], meta[32], meta[33]]) as usize;
+    // One section per snapshot plus the meta section bounds the count.
+    if count > artifact.len() {
+        return Err(DecodeError::Corrupt {
+            what: "temporal snapshot count",
+        });
+    }
 
     let mut out: Vec<Vec<f64>> = Vec::with_capacity(count);
     for i in 0..count {
-        let section = artifact
-            .get(&format!("t{i}"))
-            .expect("temporal: missing snapshot section");
+        let section = artifact.get(&format!("t{i}")).ok_or(DecodeError::Corrupt {
+            what: "temporal missing snapshot section",
+        })?;
         let snap = if i == 0 {
-            base_codec.decompress(section, shape)
+            base_codec.decompress(section, shape)?
         } else {
-            let d = delta_codec.decompress(section, shape);
+            let d = delta_codec.decompress(section, shape)?;
             d.iter().zip(&out[i - 1]).map(|(d, p)| d + p).collect()
         };
         out.push(snap);
     }
-    (out, shape)
+    Ok((out, shape))
 }
 
 #[cfg(test)]
@@ -148,7 +172,7 @@ mod tests {
     fn series_roundtrips_within_bounds() {
         let fields = drifting_series(6);
         let s = compress_series(&fields, &LossyCodec::SzRel(1e-5), &LossyCodec::SzRel(1e-3));
-        let (rec, shape) = reconstruct_series(&s.bytes);
+        let (rec, shape) = reconstruct_series(&s.bytes).expect("decode");
         assert_eq!(shape, fields[0].shape);
         assert_eq!(rec.len(), 6);
         for (f, r) in fields.iter().zip(&rec) {
@@ -177,7 +201,7 @@ mod tests {
         // order of magnitude.
         let fields = drifting_series(10);
         let s = compress_series(&fields, &LossyCodec::SzRel(1e-5), &LossyCodec::SzRel(1e-4));
-        let (rec, _) = reconstruct_series(&s.bytes);
+        let (rec, _) = reconstruct_series(&s.bytes).expect("decode");
         let e_first = nrmse(&fields[0].data, &rec[0]);
         let e_last = nrmse(&fields[9].data, &rec[9]);
         assert!(e_last < 10.0 * e_first + 1e-6, "{e_first} -> {e_last}");
@@ -187,7 +211,7 @@ mod tests {
     fn single_snapshot_series_works() {
         let fields = drifting_series(1);
         let s = compress_series(&fields, &LossyCodec::SzRel(1e-5), &LossyCodec::SzRel(1e-3));
-        let (rec, _) = reconstruct_series(&s.bytes);
+        let (rec, _) = reconstruct_series(&s.bytes).expect("decode");
         assert_eq!(rec.len(), 1);
     }
 

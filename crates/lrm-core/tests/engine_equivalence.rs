@@ -28,7 +28,7 @@ fn check_equivalence(field: &Field, model: ReducedModelKind) {
         .delta_codec(cfg.delta)
         .build();
     let serial_art = serial.compress(field);
-    let (serial_rec, _) = serial.reconstruct(&serial_art.bytes);
+    let (serial_rec, _) = serial.reconstruct(&serial_art.bytes).expect("decode");
     let serial_err = max_abs_err(&field.data, &serial_rec);
     let max = field.data.iter().fold(0.0f64, |a, &b| a.max(b.abs()));
     let tol = (serial_err * 4.0).max(1e-2 * max);
@@ -53,7 +53,7 @@ fn check_equivalence(field: &Field, model: ReducedModelKind) {
                     "{model:?} slabs={slabs}: output depends on thread count"
                 ),
             }
-            let (rec, shape) = p.reconstruct(&art.bytes);
+            let (rec, shape) = p.reconstruct(&art.bytes).expect("decode");
             assert_eq!(shape, field.shape);
             let err = max_abs_err(&field.data, &rec);
             assert!(
@@ -135,7 +135,7 @@ fn zfp_bounds_also_hold_chunked() {
         .min_chunk_len(0)
         .build();
     let art = p.compress(&field);
-    let (rec, _) = p.reconstruct(&art.bytes);
+    let (rec, _) = p.reconstruct(&art.bytes).expect("decode");
     let err = max_abs_err(&field.data, &rec);
     assert!(err <= 5e-2 * max, "zfp chunked err {err}");
 }
@@ -153,7 +153,7 @@ fn chunked_artifacts_decode_with_any_handle() {
         .build();
     let art = writer.compress(&field);
     let reader = Pipeline::builder().build();
-    let (rec, shape) = reader.reconstruct(&art.bytes);
+    let (rec, shape) = reader.reconstruct(&art.bytes).expect("decode");
     assert_eq!(shape, field.shape);
     assert_eq!(rec.len(), field.len());
 }

@@ -6,6 +6,8 @@
 //! layout, so it can be written as a single object and parsed back
 //! without external framing.
 
+use lrm_compress::{DecodeError, DecodeResult};
+
 /// Magic bytes identifying an artifact stream.
 const MAGIC: &[u8; 4] = b"LRM1";
 
@@ -73,29 +75,68 @@ impl Artifact {
         out
     }
 
-    /// Parses a buffer produced by [`Artifact::to_bytes`]. Returns `None`
-    /// on bad magic or truncation.
-    pub fn from_bytes(data: &[u8]) -> Option<Self> {
-        if data.len() < 8 || &data[..4] != MAGIC {
-            return None;
+    /// Parses a buffer produced by [`Artifact::to_bytes`]. Returns a
+    /// [`DecodeError`] on bad magic or truncation; never panics.
+    pub fn from_bytes(data: &[u8]) -> DecodeResult<Self> {
+        if data.len() < 8 {
+            return Err(DecodeError::Truncated {
+                what: "artifact header",
+            });
         }
-        let count = u32::from_le_bytes(data[4..8].try_into().ok()?) as usize;
+        if data.get(..4) != Some(MAGIC.as_slice()) {
+            return Err(DecodeError::Corrupt {
+                what: "artifact magic",
+            });
+        }
+        let count = data
+            .get(4..8)
+            .and_then(|s| s.try_into().ok())
+            .map(|s: [u8; 4]| u32::from_le_bytes(s) as usize)
+            .ok_or(DecodeError::Truncated {
+                what: "artifact section count",
+            })?;
+        // A section costs at least 12 bytes (name length + payload
+        // length); cap the pre-allocation so a corrupt count cannot
+        // trigger a huge allocation before the truncation is detected.
         let mut pos = 8usize;
-        let mut sections = Vec::with_capacity(count);
+        let mut sections = Vec::with_capacity(count.min(data.len() / 12));
         for _ in 0..count {
-            let nlen = u32::from_le_bytes(data.get(pos..pos + 4)?.try_into().ok()?) as usize;
+            let nlen = data
+                .get(pos..pos.saturating_add(4))
+                .and_then(|s| s.try_into().ok())
+                .map(|s: [u8; 4]| u32::from_le_bytes(s) as usize)
+                .ok_or(DecodeError::Truncated {
+                    what: "artifact name length",
+                })?;
             pos += 4;
-            let name = std::str::from_utf8(data.get(pos..pos + nlen)?)
-                .ok()?
-                .to_string();
+            let name = std::str::from_utf8(data.get(pos..pos.saturating_add(nlen)).ok_or(
+                DecodeError::Truncated {
+                    what: "artifact section name",
+                },
+            )?)
+            .map_err(|_| DecodeError::Corrupt {
+                what: "artifact name not utf-8",
+            })?
+            .to_string();
             pos += nlen;
-            let blen = u64::from_le_bytes(data.get(pos..pos + 8)?.try_into().ok()?) as usize;
+            let blen = data
+                .get(pos..pos.saturating_add(8))
+                .and_then(|s| s.try_into().ok())
+                .map(|s: [u8; 8]| u64::from_le_bytes(s) as usize)
+                .ok_or(DecodeError::Truncated {
+                    what: "artifact payload length",
+                })?;
             pos += 8;
-            let bytes = data.get(pos..pos + blen)?.to_vec();
+            let bytes = data
+                .get(pos..pos.saturating_add(blen))
+                .ok_or(DecodeError::Truncated {
+                    what: "artifact section payload",
+                })?
+                .to_vec();
             pos += blen;
             sections.push((name, bytes));
         }
-        Some(Self { sections })
+        Ok(Self { sections })
     }
 }
 
@@ -127,8 +168,8 @@ mod tests {
 
     #[test]
     fn bad_magic_is_rejected() {
-        assert!(Artifact::from_bytes(b"NOPE\x00\x00\x00\x00").is_none());
-        assert!(Artifact::from_bytes(&[]).is_none());
+        assert!(Artifact::from_bytes(b"NOPE\x00\x00\x00\x00").is_err());
+        assert!(Artifact::from_bytes(&[]).is_err());
     }
 
     #[test]
@@ -136,7 +177,7 @@ mod tests {
         let mut a = Artifact::new();
         a.push("s", vec![7; 64]);
         let bytes = a.to_bytes();
-        assert!(Artifact::from_bytes(&bytes[..bytes.len() - 1]).is_none());
+        assert!(Artifact::from_bytes(&bytes[..bytes.len() - 1]).is_err());
     }
 
     #[test]

@@ -32,6 +32,8 @@
 //! * Version numbers only grow; decoders reject versions they don't
 //!   know rather than guessing at the layout.
 
+use lrm_compress::{DecodeError, DecodeResult};
+
 /// Magic bytes identifying a chunked artifact stream.
 const MAGIC: &[u8; 4] = b"LRMC";
 
@@ -134,13 +136,17 @@ impl ChunkedArtifact {
     }
 
     /// Parses a chunked stream, or wraps a version-0 single-chunk stream
-    /// as a one-chunk container. Returns `None` on any structural error
-    /// (bad magic, unknown version, truncation).
-    pub fn from_bytes(b: &[u8]) -> Option<Self> {
-        if b.len() >= 4 && &b[..4] == MAGIC_V0 {
+    /// as a one-chunk container. Returns a [`DecodeError`] on any
+    /// structural error (bad magic, unknown version, truncation); never
+    /// panics.
+    pub fn from_bytes(b: &[u8]) -> DecodeResult<Self> {
+        if b.get(..4) == Some(MAGIC_V0.as_slice()) {
             // Version-0 backward compatibility: the whole stream is one
-            // chunk; its shape lives in its own metadata.
-            return Some(Self {
+            // chunk; its shape lives in its own metadata. Validate the
+            // wrapped stream here so a truncated v0 artifact is rejected
+            // at the container boundary instead of deep in a decoder.
+            crate::Artifact::from_bytes(b)?;
+            return Ok(Self {
                 global_dims: [0, 0, 0],
                 chunks: vec![(
                     ChunkEntry {
@@ -152,45 +158,94 @@ impl ChunkedArtifact {
                 )],
             });
         }
-        if b.len() < HEADER_LEN || &b[..4] != MAGIC {
-            return None;
+        if b.len() < HEADER_LEN {
+            return Err(DecodeError::Truncated {
+                what: "chunked header",
+            });
         }
-        let u32_at = |pos: usize| -> Option<u32> {
-            Some(u32::from_le_bytes(b.get(pos..pos + 4)?.try_into().ok()?))
+        if b.get(..4) != Some(MAGIC.as_slice()) {
+            return Err(DecodeError::Corrupt {
+                what: "chunked magic",
+            });
+        }
+        let u32_at = |pos: usize| -> DecodeResult<u32> {
+            b.get(pos..pos.saturating_add(4))
+                .and_then(|s| s.try_into().ok())
+                .map(u32::from_le_bytes)
+                .ok_or(DecodeError::Truncated {
+                    what: "chunked header field",
+                })
         };
-        let version = u16::from_le_bytes(b[4..6].try_into().ok()?);
+        let version = b
+            .get(4..6)
+            .and_then(|s| s.try_into().ok())
+            .map(u16::from_le_bytes)
+            .ok_or(DecodeError::Truncated {
+                what: "chunked version",
+            })?;
         if version != FORMAT_VERSION {
-            return None;
+            return Err(DecodeError::UnsupportedVersion {
+                found: version.min(u8::MAX as u16) as u8,
+                supported: FORMAT_VERSION as u8,
+            });
         }
         let global_dims = [u32_at(6)?, u32_at(10)?, u32_at(14)?];
         let count = u32_at(18)? as usize;
+
+        // The whole directory must fit before anything is allocated, so a
+        // corrupt count cannot trigger a huge up-front allocation.
+        let dir_len = count
+            .checked_mul(ENTRY_LEN)
+            .and_then(|d| d.checked_add(HEADER_LEN))
+            .ok_or(DecodeError::Corrupt {
+                what: "chunked directory size overflow",
+            })?;
+        if b.len() < dir_len {
+            return Err(DecodeError::Truncated {
+                what: "chunked directory",
+            });
+        }
 
         let mut entries = Vec::with_capacity(count);
         let mut lens = Vec::with_capacity(count);
         for i in 0..count {
             let pos = HEADER_LEN + i * ENTRY_LEN;
-            if b.len() < pos + ENTRY_LEN {
-                return None;
-            }
+            let tag = *b.get(pos + 16).ok_or(DecodeError::Truncated {
+                what: "chunked entry tag",
+            })?;
             entries.push(ChunkEntry {
                 z_offset: u32_at(pos)?,
                 dims: [u32_at(pos + 4)?, u32_at(pos + 8)?, u32_at(pos + 12)?],
-                model_tag: b[pos + 16],
+                model_tag: tag,
             });
-            lens.push(u64::from_le_bytes(b[pos + 17..pos + 25].try_into().ok()?) as usize);
+            let len = b
+                .get(pos.saturating_add(17)..pos.saturating_add(25))
+                .and_then(|s| s.try_into().ok())
+                .map(|s: [u8; 8]| u64::from_le_bytes(s) as usize)
+                .ok_or(DecodeError::Truncated {
+                    what: "chunked entry length",
+                })?;
+            lens.push(len);
         }
 
-        let mut pos = HEADER_LEN + count * ENTRY_LEN;
+        let mut pos = dir_len;
         let mut chunks = Vec::with_capacity(count);
         for (entry, len) in entries.into_iter().zip(lens) {
-            let payload = b.get(pos..pos + len)?.to_vec();
+            let payload = b
+                .get(pos..pos.saturating_add(len))
+                .ok_or(DecodeError::Truncated {
+                    what: "chunked payload",
+                })?
+                .to_vec();
             pos += len;
             chunks.push((entry, payload));
         }
         if pos != b.len() {
-            return None; // trailing garbage
+            return Err(DecodeError::Corrupt {
+                what: "chunked trailing bytes",
+            });
         }
-        Some(Self {
+        Ok(Self {
             global_dims,
             chunks,
         })
@@ -268,21 +323,46 @@ mod tests {
         // Bad magic.
         let mut bad = good.clone();
         bad[0] = b'X';
-        assert_eq!(ChunkedArtifact::from_bytes(&bad), None);
+        assert!(matches!(
+            ChunkedArtifact::from_bytes(&bad),
+            Err(DecodeError::Corrupt { .. })
+        ));
         // Unknown (future) version.
         let mut bad = good.clone();
         bad[4] = 99;
-        assert_eq!(ChunkedArtifact::from_bytes(&bad), None);
+        assert!(matches!(
+            ChunkedArtifact::from_bytes(&bad),
+            Err(DecodeError::UnsupportedVersion { .. })
+        ));
         // Truncated payload.
-        assert_eq!(ChunkedArtifact::from_bytes(&good[..good.len() - 1]), None);
+        assert!(ChunkedArtifact::from_bytes(&good[..good.len() - 1]).is_err());
         // Truncated directory.
-        assert_eq!(ChunkedArtifact::from_bytes(&good[..30]), None);
+        assert!(ChunkedArtifact::from_bytes(&good[..30]).is_err());
         // Trailing garbage.
         let mut bad = good.clone();
         bad.push(0);
-        assert_eq!(ChunkedArtifact::from_bytes(&bad), None);
+        assert!(matches!(
+            ChunkedArtifact::from_bytes(&bad),
+            Err(DecodeError::Corrupt { .. })
+        ));
         // Too short for a header.
-        assert_eq!(ChunkedArtifact::from_bytes(b"LRMC"), None);
+        assert!(ChunkedArtifact::from_bytes(b"LRMC").is_err());
+    }
+
+    #[test]
+    fn truncated_v0_wrap_is_rejected() {
+        // A stream that starts with the v0 magic but is otherwise
+        // truncated must error at the container boundary, not deep in a
+        // decoder downstream.
+        let mut a = crate::Artifact::new();
+        a.push("meta", vec![9; 32]);
+        let v0 = a.to_bytes();
+        for cut in 5..v0.len() {
+            assert!(
+                ChunkedArtifact::from_bytes(&v0[..cut]).is_err(),
+                "cut {cut}"
+            );
+        }
     }
 
     #[test]

@@ -17,6 +17,11 @@
 //!   preconditioner costs the application almost nothing once staging
 //!   absorbs it.
 
+// Container parsers consume untrusted bytes and must surface failures
+// as `DecodeError`, never abort. Promoted per the decode-path contract
+// in DESIGN.md; test code may still panic freely.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod artifact;
 pub mod chunked;
 pub mod disk;
@@ -26,5 +31,6 @@ pub mod storage;
 pub use artifact::Artifact;
 pub use chunked::{ChunkEntry, ChunkedArtifact, FORMAT_VERSION};
 pub use disk::{DiskStore, WriteReceipt};
+pub use lrm_compress::{DecodeError, DecodeResult};
 pub use staging::{StagedResult, StagingPipeline};
 pub use storage::{table4_rows, EndToEndRow, InterconnectModel, StorageModel};

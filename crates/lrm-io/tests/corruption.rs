@@ -1,0 +1,116 @@
+//! Corruption-robustness harness for the container layer: every strict
+//! prefix of a serialized container must be rejected with a
+//! `DecodeError`, and ≥ 1000 deterministically mutated streams per
+//! container format must never panic or over-allocate. Companion to the
+//! codec-level harness in `lrm-compress/tests/corruption.rs`; the
+//! static side of the same contract is enforced by `lrm-lint`.
+
+use lrm_io::{Artifact, ChunkEntry, ChunkedArtifact};
+use lrm_rng::Rng64;
+
+const FLIP_TRIALS: usize = 1200;
+const GARBAGE_TRIALS: usize = 500;
+
+fn sample_artifact(rng: &mut Rng64) -> Artifact {
+    let mut a = Artifact::new();
+    a.push("meta", rng.vec_u8(48));
+    a.push("reduced", rng.vec_u8(600));
+    a.push("delta", rng.vec_u8(1200));
+    a.push("empty", Vec::new());
+    a
+}
+
+fn sample_chunked(rng: &mut Rng64) -> ChunkedArtifact {
+    let mut c = ChunkedArtifact::new([16, 16, 12]);
+    for z in 0..4u32 {
+        c.push(
+            ChunkEntry {
+                z_offset: z * 3,
+                dims: [16, 16, 3],
+                model_tag: z as u8,
+            },
+            rng.vec_u8(300 + 7 * z as usize),
+        );
+    }
+    c
+}
+
+fn flip_bytes(rng: &mut Rng64, stream: &mut [u8]) {
+    if stream.is_empty() {
+        return;
+    }
+    for _ in 0..1 + rng.range_usize(4) {
+        let at = rng.range_usize(stream.len());
+        let mask = 1 + rng.range_usize(255) as u8;
+        stream[at] ^= mask;
+    }
+}
+
+#[test]
+fn artifact_prefix_truncation_is_always_an_error() {
+    let bytes = sample_artifact(&mut Rng64::new(7)).to_bytes();
+    for cut in 0..bytes.len() {
+        assert!(
+            Artifact::from_bytes(&bytes[..cut]).is_err(),
+            "artifact prefix of {cut}/{} bytes decoded Ok",
+            bytes.len()
+        );
+    }
+    assert!(Artifact::from_bytes(&bytes).is_ok());
+}
+
+#[test]
+fn chunked_prefix_truncation_is_always_an_error() {
+    let bytes = sample_chunked(&mut Rng64::new(8)).to_bytes();
+    for cut in 0..bytes.len() {
+        assert!(
+            ChunkedArtifact::from_bytes(&bytes[..cut]).is_err(),
+            "chunked prefix of {cut}/{} bytes decoded Ok",
+            bytes.len()
+        );
+    }
+    assert!(ChunkedArtifact::from_bytes(&bytes).is_ok());
+}
+
+#[test]
+fn artifact_byte_flips_never_panic() {
+    let mut rng = Rng64::new(9);
+    let bytes = sample_artifact(&mut rng).to_bytes();
+    for _ in 0..FLIP_TRIALS {
+        let mut mutated = bytes.clone();
+        flip_bytes(&mut rng, &mut mutated);
+        let _ = Artifact::from_bytes(&mutated);
+    }
+}
+
+#[test]
+fn chunked_byte_flips_never_panic() {
+    let mut rng = Rng64::new(10);
+    let bytes = sample_chunked(&mut rng).to_bytes();
+    for _ in 0..FLIP_TRIALS {
+        let mut mutated = bytes.clone();
+        flip_bytes(&mut rng, &mut mutated);
+        let _ = ChunkedArtifact::from_bytes(&mutated);
+    }
+}
+
+#[test]
+fn garbage_streams_never_panic_in_either_container() {
+    let mut rng = Rng64::new(11);
+    for _ in 0..GARBAGE_TRIALS {
+        let len = rng.range_usize(256);
+        let garbage = rng.vec_u8(len);
+        let _ = Artifact::from_bytes(&garbage);
+        let _ = ChunkedArtifact::from_bytes(&garbage);
+    }
+    // Valid magic + garbage body, the worst case for header parsers.
+    for magic in [*b"LRM1", *b"LRMC"] {
+        for _ in 0..GARBAGE_TRIALS {
+            let len = rng.range_usize(256);
+            let mut stream = magic.to_vec();
+            stream.extend(rng.vec_u8(len));
+            let _ = Artifact::from_bytes(&stream);
+            let _ = ChunkedArtifact::from_bytes(&stream);
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! `lint.toml` — the decode-path registry.
+//!
+//! The linter does not guess which code is decode-reachable; the
+//! registry at the repository root declares it. The file is a small,
+//! explicit subset of TOML (sections containing a `paths` string
+//! array), parsed here without any external dependency:
+//!
+//! ```toml
+//! [decode]
+//! paths = [
+//!     "crates/lrm-compress/src/sz",       # a directory: every .rs inside
+//!     "crates/lrm-io/src/artifact.rs",    # or a single file
+//! ]
+//!
+//! [wire]
+//! paths = ["crates/lrm-io/src/artifact.rs"]
+//! ```
+
+use crate::rules::FileKind;
+
+/// Parsed registry: path prefixes (relative to the repo root) for each
+/// rule family.
+#[derive(Debug, Default, Clone)]
+pub struct Config {
+    /// Decode-reachable modules: panic-free rules apply.
+    pub decode: Vec<String>,
+    /// Wire-format modules: serialization rules apply.
+    pub wire: Vec<String>,
+}
+
+impl Config {
+    /// Which rule families apply to the file at `rel_path` (repo-root
+    /// relative, `/`-separated). A registry entry matches the file
+    /// itself or, for directories, anything beneath it.
+    pub fn kind_of(&self, rel_path: &str) -> FileKind {
+        let matches = |paths: &[String]| {
+            paths.iter().any(|p| {
+                rel_path == p
+                    || rel_path
+                        .strip_prefix(p.as_str())
+                        .is_some_and(|rest| rest.starts_with('/'))
+            })
+        };
+        FileKind {
+            decode: matches(&self.decode),
+            wire: matches(&self.wire),
+        }
+    }
+}
+
+/// Parses the registry text. Returns `Err` with a line-tagged message
+/// on anything outside the supported subset, so a typo in the registry
+/// fails CI loudly instead of silently linting nothing.
+pub fn parse(text: &str) -> Result<Config, String> {
+    let mut cfg = Config::default();
+    let mut section = String::new();
+    let mut in_array = false;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let ln = idx + 1;
+        let line = strip_comment(raw).trim().to_owned();
+        if line.is_empty() {
+            continue;
+        }
+
+        if in_array {
+            in_array = !collect_strings(&line, &section, &mut cfg, ln)?;
+            continue;
+        }
+
+        if let Some(name) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+            section = name.trim().to_owned();
+            match section.as_str() {
+                "decode" | "wire" => {}
+                other => return Err(format!("lint.toml:{ln}: unknown section [{other}]")),
+            }
+            continue;
+        }
+
+        if let Some(rest) = line.strip_prefix("paths") {
+            let rest = rest.trim_start();
+            let rest = rest
+                .strip_prefix('=')
+                .ok_or_else(|| format!("lint.toml:{ln}: expected `paths = [...]`"))?
+                .trim_start();
+            let rest = rest
+                .strip_prefix('[')
+                .ok_or_else(|| format!("lint.toml:{ln}: expected `[` after `paths =`"))?;
+            in_array = !collect_strings(rest, &section, &mut cfg, ln)?;
+            continue;
+        }
+
+        return Err(format!("lint.toml:{ln}: unsupported syntax: {line}"));
+    }
+
+    if in_array {
+        return Err("lint.toml: unterminated paths array".to_owned());
+    }
+    Ok(cfg)
+}
+
+/// Pulls quoted strings out of one line of an array body. Returns
+/// `Ok(true)` when the closing `]` was seen.
+fn collect_strings(line: &str, section: &str, cfg: &mut Config, ln: usize) -> Result<bool, String> {
+    let mut rest = line;
+    loop {
+        rest = rest.trim_start_matches([',', ' ', '\t']);
+        if rest.is_empty() {
+            return Ok(false);
+        }
+        if let Some(after) = rest.strip_prefix(']') {
+            if !after.trim().is_empty() {
+                return Err(format!("lint.toml:{ln}: trailing text after `]`"));
+            }
+            return Ok(true);
+        }
+        let body = rest
+            .strip_prefix('"')
+            .ok_or_else(|| format!("lint.toml:{ln}: expected quoted path"))?;
+        let end = body
+            .find('"')
+            .ok_or_else(|| format!("lint.toml:{ln}: unterminated string"))?;
+        let path = &body[..end];
+        match section {
+            "decode" => cfg.decode.push(path.to_owned()),
+            "wire" => cfg.wire.push(path.to_owned()),
+            _ => return Err(format!("lint.toml:{ln}: paths outside a section")),
+        }
+        rest = &body[end + 1..];
+    }
+}
+
+/// Drops a `#` comment, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_both_sections() {
+        let cfg = parse(
+            r#"
+# registry
+[decode]
+paths = [
+    "crates/a/src/x.rs",  # file
+    "crates/a/src/sub",
+]
+
+[wire]
+paths = ["crates/b/src/w.rs"]
+"#,
+        )
+        .expect("parse");
+        assert_eq!(cfg.decode, vec!["crates/a/src/x.rs", "crates/a/src/sub"]);
+        assert_eq!(cfg.wire, vec!["crates/b/src/w.rs"]);
+    }
+
+    #[test]
+    fn single_line_array() {
+        let cfg = parse("[decode]\npaths = [\"a.rs\", \"b.rs\"]\n").expect("parse");
+        assert_eq!(cfg.decode, vec!["a.rs", "b.rs"]);
+    }
+
+    #[test]
+    fn unknown_section_is_an_error() {
+        assert!(parse("[decoder]\npaths = []\n").is_err());
+    }
+
+    #[test]
+    fn unterminated_array_is_an_error() {
+        assert!(parse("[decode]\npaths = [\n\"a.rs\",\n").is_err());
+    }
+
+    #[test]
+    fn stray_syntax_is_an_error() {
+        assert!(parse("[decode]\nfiles = [\"a.rs\"]\n").is_err());
+    }
+
+    #[test]
+    fn kind_of_matches_files_and_directories() {
+        let cfg = Config {
+            decode: vec!["crates/a/src/sub".into(), "crates/a/src/x.rs".into()],
+            wire: vec!["crates/a/src/x.rs".into()],
+        };
+        assert!(cfg.kind_of("crates/a/src/sub/inner.rs").decode);
+        assert!(cfg.kind_of("crates/a/src/x.rs").decode);
+        assert!(cfg.kind_of("crates/a/src/x.rs").wire);
+        // Prefix must be a whole path component: `subtle.rs` is not in
+        // the `sub` directory.
+        assert!(!cfg.kind_of("crates/a/src/subtle.rs").decode);
+        assert!(!cfg.kind_of("crates/a/src/other.rs").decode);
+        assert!(!cfg.kind_of("crates/a/src/sub/inner.rs").wire);
+    }
+}

@@ -1,0 +1,30 @@
+//! `lrm-lint` — static analysis for the decode-path contract.
+//!
+//! Lossy-compression artifacts are read back on machines and at times
+//! their writer never sees, so every decode path in this workspace must
+//! treat its input as hostile: corrupt or truncated bytes map to
+//! [`DecodeError`](https://docs.rs/--/lrm-compress), never to a panic,
+//! an abort, or an over-allocation. The compiler cannot check that
+//! contract; this crate does, with a deliberately small lexical
+//! analyzer instead of a full Rust parser (the workspace has no
+//! external dependencies, so `syn` is not an option — and none of the
+//! rules need one).
+//!
+//! * [`mask`] strips comments and string literals while preserving
+//!   line structure, so token scans cannot be fooled by text.
+//! * [`config`] reads `lint.toml`, the registry of decode-reachable
+//!   and wire-format modules at the repository root.
+//! * [`rules`] applies the rule set (see its docs for the list).
+//! * [`report`] renders the findings table.
+//!
+//! Run it as `cargo run -p lrm-lint`; CI treats a non-zero exit as a
+//! build failure. Suppress a single proven-safe site with
+//! `// lint:allow(<rule>): <reason>` — the reason is mandatory.
+
+pub mod config;
+pub mod mask;
+pub mod report;
+pub mod rules;
+
+pub use config::Config;
+pub use rules::{lint_source, FileKind, Finding};

@@ -1,0 +1,209 @@
+//! CLI for `lrm-lint`. See the library docs for the rule set.
+//!
+//! ```text
+//! cargo run -p lrm-lint                      # lint the repository
+//! cargo run -p lrm-lint -- --root <dir>      # lint another tree
+//! cargo run -p lrm-lint -- --fix-safety-stubs
+//! ```
+//!
+//! Exit status: 0 when the tree is clean, 1 on findings, 2 on usage or
+//! I/O errors (missing `lint.toml`, unreadable files).
+
+use lrm_lint::rules::Finding;
+use lrm_lint::{config, report, rules};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const SAFETY_STUB: &str = "// SAFETY: TODO(lint): document why this unsafe block is sound.";
+
+fn main() -> ExitCode {
+    let mut root_arg: Option<PathBuf> = None;
+    let mut fix_stubs = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root_arg = Some(PathBuf::from(p)),
+                None => return usage_error("--root needs a directory argument"),
+            },
+            "--fix-safety-stubs" => fix_stubs = true,
+            "--help" | "-h" => {
+                println!(
+                    "lrm-lint: decode-path static analysis\n\n\
+                     USAGE: lrm-lint [--root <dir>] [--fix-safety-stubs]\n\n\
+                     Reads lint.toml at the repository root; see DESIGN.md\n\
+                     (\"Decode-path contract\") for the rules."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let Some(root) = root_arg.or_else(find_root) else {
+        return usage_error("no lint.toml found above the current directory");
+    };
+
+    let registry = match std::fs::read_to_string(root.join("lint.toml")) {
+        Ok(text) => text,
+        Err(e) => return io_error(&format!("reading {}/lint.toml: {e}", root.display())),
+    };
+    let cfg = match config::parse(&registry) {
+        Ok(cfg) => cfg,
+        Err(e) => return io_error(&e),
+    };
+
+    let files = collect_rust_files(&root);
+    let mut scanned = 0usize;
+    let mut findings: Vec<Finding> = Vec::new();
+    for path in &files {
+        let rel = rel_path(&root, path);
+        let src = match std::fs::read_to_string(path) {
+            Ok(src) => src,
+            Err(e) => return io_error(&format!("reading {}: {e}", path.display())),
+        };
+        scanned += 1;
+        findings.extend(rules::lint_source(&rel, &src, cfg.kind_of(&rel)));
+    }
+
+    if fix_stubs {
+        let stubbed = insert_safety_stubs(&root, &findings);
+        if stubbed > 0 {
+            println!("inserted {stubbed} SAFETY stub(s); re-linting\n");
+            // Re-lint so the report reflects the tree on disk: the
+            // stubbed sites downgrade to `safety-todo`, which still
+            // fails the gate until a human writes the justification.
+            findings.clear();
+            for path in &files {
+                let rel = rel_path(&root, path);
+                match std::fs::read_to_string(path) {
+                    Ok(src) => findings.extend(rules::lint_source(&rel, &src, cfg.kind_of(&rel))),
+                    Err(e) => return io_error(&format!("re-reading {}: {e}", path.display())),
+                }
+            }
+        }
+    }
+
+    print!("{}", report::render_table(&findings));
+    if findings.is_empty() {
+        println!("lrm-lint: clean ({scanned} files scanned)");
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "\nlrm-lint: {} finding(s) in {scanned} files",
+            findings.len()
+        );
+        ExitCode::from(1)
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("lrm-lint: {msg} (try --help)");
+    ExitCode::from(2)
+}
+
+fn io_error(msg: &str) -> ExitCode {
+    eprintln!("lrm-lint: {msg}");
+    ExitCode::from(2)
+}
+
+/// Walks up from the current directory (then from this crate's
+/// manifest, for `cargo run` from a subdirectory) looking for the
+/// directory that holds `lint.toml`.
+fn find_root() -> Option<PathBuf> {
+    let starts = [
+        std::env::current_dir().ok(),
+        std::env::var_os("CARGO_MANIFEST_DIR").map(PathBuf::from),
+    ];
+    for start in starts.into_iter().flatten() {
+        let mut dir = start.as_path();
+        loop {
+            if dir.join("lint.toml").is_file() {
+                return Some(dir.to_path_buf());
+            }
+            match dir.parent() {
+                Some(parent) => dir = parent,
+                None => break,
+            }
+        }
+    }
+    None
+}
+
+/// Every `.rs` file under `root`, skipping VCS metadata and build
+/// output. Sorted so runs are deterministic.
+fn collect_rust_files(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if name != "target" && !name.starts_with('.') {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Repo-root-relative path with `/` separators, as used in `lint.toml`.
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Inserts a `// SAFETY: TODO` stub above every `unsafe-safety`
+/// finding so the author has a template to fill in. Returns the number
+/// of stubs written.
+fn insert_safety_stubs(root: &Path, findings: &[Finding]) -> usize {
+    use std::collections::HashMap;
+    let mut by_file: HashMap<&str, Vec<usize>> = HashMap::new();
+    for f in findings {
+        if f.rule == "unsafe-safety" {
+            by_file.entry(&f.file).or_default().push(f.line);
+        }
+    }
+    let mut inserted = 0usize;
+    let mut files: Vec<_> = by_file.into_iter().collect();
+    files.sort();
+    for (rel, mut lines) in files {
+        let path = root.join(rel);
+        let Ok(src) = std::fs::read_to_string(&path) else {
+            eprintln!("lrm-lint: cannot re-read {rel} to insert stubs");
+            continue;
+        };
+        let mut text: Vec<String> = src.split('\n').map(str::to_owned).collect();
+        lines.sort_unstable();
+        lines.dedup();
+        // Bottom-up so earlier insertions don't shift later targets.
+        for &ln in lines.iter().rev() {
+            if ln == 0 || ln > text.len() {
+                continue;
+            }
+            let indent: String = text[ln - 1]
+                .chars()
+                .take_while(|c| c.is_whitespace())
+                .collect();
+            text.insert(ln - 1, format!("{indent}{SAFETY_STUB}"));
+            inserted += 1;
+        }
+        if std::fs::write(&path, text.join("\n")).is_err() {
+            eprintln!("lrm-lint: cannot write stubs into {rel}");
+        }
+    }
+    inserted
+}

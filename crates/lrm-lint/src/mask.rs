@@ -1,0 +1,300 @@
+//! A lightweight, comment- and string-aware scan of Rust source.
+//!
+//! The linter deliberately avoids a full parser: every rule it enforces
+//! is a *lexical* property (a token that must not appear, or a comment
+//! that must appear next to a token). All it needs is a view of the
+//! source in which comment and string-literal *contents* can no longer
+//! produce false matches. [`mask`] produces exactly that: a copy of the
+//! source where every comment and literal body is replaced by spaces —
+//! preserving line and column structure so findings point at the real
+//! location — plus the list of comments with their start lines, for the
+//! `// SAFETY:` and `// lint:allow(...)` rules.
+
+/// Result of masking one source file.
+pub struct Masked {
+    /// Source lines with comment and string/char-literal contents
+    /// replaced by spaces. Line N of the input is `lines[N - 1]`.
+    pub lines: Vec<String>,
+    /// Every comment in the file as `(start_line, text)`, 1-indexed.
+    /// The text includes the `//` / `/*` marker and, for block
+    /// comments, the full (possibly multi-line) body.
+    pub comments: Vec<(usize, String)>,
+}
+
+/// Masks comments and literals out of `src`. See the module docs.
+pub fn mask(src: &str) -> Masked {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = String::with_capacity(src.len());
+    let mut comments = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+
+    // Pushes `c` to the masked output, tracking line numbers.
+    macro_rules! emit {
+        ($c:expr) => {{
+            let c = $c;
+            if c == '\n' {
+                line += 1;
+            }
+            out.push(c);
+        }};
+    }
+    // Pushes a blank in place of a literal/comment char, keeping
+    // newlines so line numbers stay aligned.
+    macro_rules! blank {
+        ($c:expr) => {{
+            let c = $c;
+            if c == '\n' {
+                line += 1;
+                out.push('\n');
+            } else {
+                out.push(' ');
+            }
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+
+        // Line comment (also covers `///` and `//!` doc comments).
+        if c == '/' && next == Some('/') {
+            let start = line;
+            let mut text = String::new();
+            while i < chars.len() && chars[i] != '\n' {
+                text.push(chars[i]);
+                blank!(chars[i]);
+                i += 1;
+            }
+            comments.push((start, text));
+            continue;
+        }
+
+        // Block comment, with nesting as in Rust.
+        if c == '/' && next == Some('*') {
+            let start = line;
+            let mut text = String::new();
+            let mut depth = 0usize;
+            while i < chars.len() {
+                let c = chars[i];
+                let n = chars.get(i + 1).copied();
+                if c == '/' && n == Some('*') {
+                    depth += 1;
+                    text.push_str("/*");
+                    blank!('/');
+                    blank!('*');
+                    i += 2;
+                } else if c == '*' && n == Some('/') {
+                    depth -= 1;
+                    text.push_str("*/");
+                    blank!('*');
+                    blank!('/');
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    text.push(c);
+                    blank!(c);
+                    i += 1;
+                }
+            }
+            comments.push((start, text));
+            continue;
+        }
+
+        // Raw string: r"..." / r#"..."# (optionally with a `b` prefix).
+        // Only treated as such when not glued onto a preceding
+        // identifier, so `for r in ...` followed by `"x"` stays sane.
+        let prev_is_ident = out
+            .as_bytes()
+            .last()
+            .is_some_and(|&p| p.is_ascii_alphanumeric() || p == b'_');
+        let raw_at = if c == 'r' && !prev_is_ident {
+            Some(i)
+        } else if c == 'b' && next == Some('r') && !prev_is_ident {
+            Some(i + 1)
+        } else {
+            None
+        };
+        if let Some(r) = raw_at {
+            let mut j = r + 1;
+            let mut hashes = 0usize;
+            while chars.get(j) == Some(&'#') {
+                hashes += 1;
+                j += 1;
+            }
+            if chars.get(j) == Some(&'"') {
+                // Emit the prefix (`r`, optional `b`, hashes, quote).
+                while i <= j {
+                    emit!(chars[i]);
+                    i += 1;
+                }
+                // Blank the body until `"` followed by `hashes` hashes.
+                'body: while i < chars.len() {
+                    if chars[i] == '"' {
+                        let mut k = 0;
+                        while k < hashes && chars.get(i + 1 + k) == Some(&'#') {
+                            k += 1;
+                        }
+                        if k == hashes {
+                            for _ in 0..=hashes {
+                                emit!(chars[i]);
+                                i += 1;
+                            }
+                            break 'body;
+                        }
+                    }
+                    blank!(chars[i]);
+                    i += 1;
+                }
+                continue;
+            }
+        }
+
+        // Ordinary string literal (covers `b"..."` once the `b` has
+        // been emitted as a plain char).
+        if c == '"' {
+            emit!(c);
+            i += 1;
+            while i < chars.len() {
+                let c = chars[i];
+                if c == '\\' {
+                    blank!(c);
+                    if let Some(&e) = chars.get(i + 1) {
+                        blank!(e);
+                    }
+                    i += 2;
+                } else if c == '"' {
+                    emit!(c);
+                    i += 1;
+                    break;
+                } else {
+                    blank!(c);
+                    i += 1;
+                }
+            }
+            continue;
+        }
+
+        // Char literal vs. lifetime. `'\...'` and `'x'` are literals;
+        // anything else (`'a` in `&'a str`) is a lifetime and passes
+        // through untouched.
+        if c == '\'' {
+            let is_char = match next {
+                Some('\\') => true,
+                Some(_) => chars.get(i + 2) == Some(&'\''),
+                None => false,
+            };
+            if is_char {
+                emit!(c);
+                i += 1;
+                while i < chars.len() {
+                    let c = chars[i];
+                    if c == '\\' {
+                        blank!(c);
+                        if let Some(&e) = chars.get(i + 1) {
+                            blank!(e);
+                        }
+                        i += 2;
+                    } else if c == '\'' {
+                        emit!(c);
+                        i += 1;
+                        break;
+                    } else {
+                        blank!(c);
+                        i += 1;
+                    }
+                }
+                continue;
+            }
+        }
+
+        emit!(c);
+        i += 1;
+    }
+
+    Masked {
+        lines: out.split('\n').map(str::to_owned).collect(),
+        comments,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_comments_are_blanked_and_collected() {
+        let m = mask("let x = 1; // has .unwrap() inside\nlet y = 2;\n");
+        assert!(!m.lines[0].contains("unwrap"));
+        assert!(m.lines[0].starts_with("let x = 1; "));
+        assert_eq!(m.comments.len(), 1);
+        assert_eq!(m.comments[0].0, 1);
+        assert!(m.comments[0].1.contains("unwrap"));
+    }
+
+    #[test]
+    fn string_contents_are_blanked() {
+        let m = mask("let s = \"call .unwrap() now\"; s.len();");
+        assert!(!m.lines[0].contains("unwrap"));
+        assert!(m.lines[0].contains("s.len()"));
+        // Quotes survive so column structure is intact.
+        assert_eq!(m.lines[0].matches('"').count(), 2);
+    }
+
+    #[test]
+    fn escaped_quote_does_not_end_string() {
+        let m = mask(r#"let s = "a\"b.unwrap()"; x();"#);
+        assert!(!m.lines[0].contains("unwrap"));
+        assert!(m.lines[0].contains("x()"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let m = mask("a /* outer /* inner.unwrap() */ still */ b");
+        assert!(!m.lines[0].contains("unwrap"));
+        assert!(m.lines[0].contains('a'));
+        assert!(m.lines[0].contains('b'));
+    }
+
+    #[test]
+    fn block_comment_preserves_line_numbers() {
+        let m = mask("a\n/* one\ntwo.unwrap()\n*/\nb.unwrap()\n");
+        assert_eq!(m.lines.len(), 6); // trailing newline -> empty last
+        assert!(m.lines[4].contains("b.unwrap()"));
+        assert!(!m.lines[2].contains("unwrap"));
+        assert_eq!(m.comments[0].0, 2);
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let m = mask(r##"let s = r#"has "quotes" and .unwrap()"#; y();"##);
+        assert!(!m.lines[0].contains("unwrap"));
+        assert!(m.lines[0].contains("y()"));
+    }
+
+    #[test]
+    fn lifetimes_survive_char_literal_handling() {
+        let m = mask("fn f<'a>(x: &'a str, c: char) { if c == 'x' { x.g() } }");
+        assert!(m.lines[0].contains("&'a str"));
+        assert!(m.lines[0].contains("x.g()"));
+        // 'x' is a char literal: quotes survive, content blanked.
+        assert!(m.lines[0].contains("' '"));
+    }
+
+    #[test]
+    fn char_literal_with_bracket_is_blanked() {
+        // A '[' inside a char literal must not look like indexing.
+        let m = mask("let c = '['; v.push(c);");
+        assert!(!m.lines[0].contains('['));
+        assert!(m.lines[0].contains("v.push(c)"));
+    }
+
+    #[test]
+    fn identifier_ending_in_r_is_not_raw_string() {
+        let m = mask("let for_var = var; let s = \"x.unwrap()\";");
+        assert!(m.lines[0].contains("let for_var = var"));
+        assert!(!m.lines[0].contains("unwrap"));
+    }
+}

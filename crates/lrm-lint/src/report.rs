@@ -1,0 +1,81 @@
+//! Plain-text findings table for terminals and CI logs.
+
+use crate::rules::Finding;
+
+/// Renders the findings as an aligned three-column table
+/// (rule, file:line, snippet) followed by a one-line-per-rule legend.
+/// Returns an empty string when there is nothing to report.
+pub fn render_table(findings: &[Finding]) -> String {
+    if findings.is_empty() {
+        return String::new();
+    }
+    let rows: Vec<(String, String, String)> = findings
+        .iter()
+        .map(|f| {
+            (
+                f.rule.to_owned(),
+                format!("{}:{}", f.file, f.line),
+                f.snippet.clone(),
+            )
+        })
+        .collect();
+    let w0 = column_width("rule", rows.iter().map(|r| r.0.as_str()));
+    let w1 = column_width("location", rows.iter().map(|r| r.1.as_str()));
+
+    let mut out = String::new();
+    out.push_str(&format!("{:w0$}  {:w1$}  snippet\n", "rule", "location"));
+    out.push_str(&format!(
+        "{}  {}  {}\n",
+        "-".repeat(w0),
+        "-".repeat(w1),
+        "-".repeat(7)
+    ));
+    for (rule, loc, snippet) in &rows {
+        out.push_str(&format!("{rule:w0$}  {loc:w1$}  {snippet}\n"));
+    }
+
+    out.push('\n');
+    let mut seen: Vec<&str> = Vec::new();
+    for f in findings {
+        if !seen.contains(&f.rule) {
+            seen.push(f.rule);
+            out.push_str(&format!("{}: {}\n", f.rule, f.message));
+        }
+    }
+    out
+}
+
+fn column_width<'a>(header: &str, cells: impl Iterator<Item = &'a str>) -> usize {
+    cells
+        .map(|c| c.chars().count())
+        .chain(std::iter::once(header.chars().count()))
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_findings_render_nothing() {
+        assert_eq!(render_table(&[]), "");
+    }
+
+    #[test]
+    fn table_lists_every_finding_and_each_rule_once() {
+        let f = |rule, line| Finding {
+            rule,
+            file: "a.rs".to_owned(),
+            line,
+            snippet: "x".to_owned(),
+            message: format!("about {rule}"),
+        };
+        let out = render_table(&[f("no-unwrap", 3), f("no-unwrap", 9), f("no-index", 4)]);
+        assert_eq!(out.matches("a.rs:").count(), 3);
+        assert_eq!(out.matches("about no-unwrap").count(), 1);
+        assert_eq!(out.matches("about no-index").count(), 1);
+        assert!(out.contains("rule"));
+        assert!(out.contains("location"));
+    }
+}

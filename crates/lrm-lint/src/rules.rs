@@ -1,0 +1,784 @@
+//! The decode-path rules and the engine that applies them.
+//!
+//! Scope model, mirroring DESIGN.md's decode-path contract:
+//!
+//! * **Registered decode files** (from `lint.toml [decode]`) must be
+//!   panic-free outside `#[cfg(test)]` code: `no-unwrap` applies to the
+//!   whole file, while `no-panic`, `no-index` and `range-add` apply
+//!   inside *decode-named* functions (`decompress*`, `*decode*`,
+//!   `*from_bytes*`, `*reconstruct*`, `*parse*`, `read_*`), where every
+//!   byte is untrusted input.
+//! * **Registered wire files** (`lint.toml [wire]`) must not write
+//!   platform-width integers (`wire-usize`) or iterate unordered maps
+//!   (`wire-hashmap`) in non-test code.
+//! * **Every file** must precede `unsafe` with a `// SAFETY:` comment
+//!   (`unsafe-safety`); a `SAFETY: TODO` stub — as inserted by
+//!   `--fix-safety-stubs` — still fails the gate (`safety-todo`).
+//!
+//! Suppression is per-site only: `// lint:allow(<rule>): <reason>`
+//! silences `<rule>` on its own line and the next line. An allow
+//! without a reason (`allow-no-reason`) or naming an unknown rule
+//! (`allow-unknown`) is itself a finding and cannot be suppressed.
+
+use crate::mask::{mask, Masked};
+use std::collections::{HashMap, HashSet};
+
+/// Every rule the engine can emit, for `lint:allow` validation.
+pub const RULE_NAMES: &[&str] = &[
+    "no-unwrap",
+    "no-panic",
+    "no-index",
+    "range-add",
+    "unsafe-safety",
+    "safety-todo",
+    "wire-usize",
+    "wire-hashmap",
+    "allow-no-reason",
+    "allow-unknown",
+];
+
+/// Which rule families apply to a file.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FileKind {
+    /// Registered in `lint.toml [decode]`.
+    pub decode: bool,
+    /// Registered in `lint.toml [wire]`.
+    pub wire: bool,
+}
+
+/// One rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub rule: &'static str,
+    pub file: String,
+    /// 1-indexed.
+    pub line: usize,
+    /// The offending source line, trimmed and truncated.
+    pub snippet: String,
+    pub message: String,
+}
+
+/// Lints one file's source text. `file` is used only for reporting.
+pub fn lint_source(file: &str, src: &str, kind: FileKind) -> Vec<Finding> {
+    let masked = mask(src);
+    let originals: Vec<&str> = src.split('\n').collect();
+    let scopes = classify_lines(&masked);
+    let (allows, mut findings) = parse_allows(file, &masked, &originals);
+
+    for (idx, line) in masked.lines.iter().enumerate() {
+        let ln = idx + 1;
+        let in_test = scopes.test.contains(&ln);
+        let in_decode = scopes.decode.contains(&ln);
+        let snippet = || snippet_of(&originals, ln);
+        let mut push = |rule: &'static str, message: String| {
+            findings.push(Finding {
+                rule,
+                file: file.to_owned(),
+                line: ln,
+                snippet: snippet(),
+                message,
+            });
+        };
+
+        if kind.decode && !in_test {
+            if line.contains(".unwrap()") || line.contains(".expect(") {
+                push(
+                    "no-unwrap",
+                    "decode-reachable module: return DecodeError instead of unwrapping".into(),
+                );
+            }
+            if in_decode {
+                for mac in [
+                    "panic!",
+                    "unreachable!",
+                    "todo!",
+                    "unimplemented!",
+                    "assert!",
+                    "assert_eq!",
+                    "assert_ne!",
+                ] {
+                    if has_macro(line, mac) {
+                        push(
+                            "no-panic",
+                            format!("`{mac}` in a decode function: corrupt input must map to Err"),
+                        );
+                        break;
+                    }
+                }
+                if has_direct_index(line) {
+                    push(
+                        "no-index",
+                        "direct indexing in a decode function: use .get()/.get_mut()".into(),
+                    );
+                }
+                if has_range_arith(line) {
+                    push(
+                        "range-add",
+                        "unchecked arithmetic in a range bound: use checked_/saturating_ ops"
+                            .into(),
+                    );
+                }
+            }
+        }
+
+        if kind.wire && !in_test {
+            for pat in [
+                ".len().to_le_bytes(",
+                ".len().to_be_bytes(",
+                "usize).to_le_bytes(",
+                "usize).to_be_bytes(",
+            ] {
+                if line.contains(pat) {
+                    push(
+                        "wire-usize",
+                        "platform-width integer written to the wire: cast to u32/u64 first".into(),
+                    );
+                    break;
+                }
+            }
+            if has_word(line, "HashMap") || has_word(line, "HashSet") {
+                push(
+                    "wire-hashmap",
+                    "unordered container in a wire module: iteration order is not canonical".into(),
+                );
+            }
+        }
+
+        if has_word(line, "unsafe") {
+            match safety_comment_for(&masked, ln) {
+                Safety::Documented => {}
+                Safety::Todo => push(
+                    "safety-todo",
+                    "SAFETY comment is still the TODO stub: write the real justification".into(),
+                ),
+                Safety::Missing => push(
+                    "unsafe-safety",
+                    "`unsafe` without a `// SAFETY:` comment on the preceding line".into(),
+                ),
+            }
+        }
+    }
+
+    findings.retain(|f| {
+        !matches!(
+            allows.get(f.rule),
+            Some(lines) if lines.contains(&f.line)
+                && f.rule != "allow-no-reason"
+                && f.rule != "allow-unknown"
+        )
+    });
+    findings.sort_by(|a, b| a.line.cmp(&b.line).then(a.rule.cmp(b.rule)));
+    findings
+}
+
+// ---------------------------------------------------------------------------
+// Scope classification: which lines are test code / decode-fn bodies.
+// ---------------------------------------------------------------------------
+
+struct Scopes {
+    test: HashSet<usize>,
+    decode: HashSet<usize>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum RegionKind {
+    Anonymous,
+    Test,
+    Decode,
+}
+
+/// Walks the masked lines with a brace stack, marking each line that
+/// falls inside a `#[cfg(test)]` item or a decode-named `fn` body.
+fn classify_lines(masked: &Masked) -> Scopes {
+    let mut scopes = Scopes {
+        test: HashSet::new(),
+        decode: HashSet::new(),
+    };
+    let mut stack: Vec<RegionKind> = Vec::new();
+    // A region kind waiting for its opening `{` (set at `fn`/`mod`).
+    let mut pending: Option<RegionKind> = None;
+    // Paren/bracket depth since `pending` was set, so the `;` that ends
+    // a trait-method *declaration* is not confused with `[u8; 4]`.
+    let mut pending_nest = 0usize;
+    // A `#[cfg(test)]` attribute waiting for its item.
+    let mut pending_test_attr = false;
+    let mut awaiting_fn_name = false;
+
+    for (idx, line) in masked.lines.iter().enumerate() {
+        let ln = idx + 1;
+        if line.trim_start().starts_with("#[cfg(test") {
+            pending_test_attr = true;
+        }
+        let mark = |scopes: &mut Scopes, stack: &[RegionKind], ln: usize| {
+            if stack.contains(&RegionKind::Test) {
+                scopes.test.insert(ln);
+            }
+            if stack.contains(&RegionKind::Decode) {
+                scopes.decode.insert(ln);
+            }
+        };
+        mark(&mut scopes, &stack, ln);
+
+        let bytes = line.as_bytes();
+        let mut j = 0usize;
+        while j < bytes.len() {
+            let c = bytes[j];
+            if c.is_ascii_alphabetic() || c == b'_' {
+                let start = j;
+                while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+                    j += 1;
+                }
+                let word = &line[start..j];
+                if awaiting_fn_name {
+                    awaiting_fn_name = false;
+                    let is_test = pending_test_attr;
+                    pending_test_attr = false;
+                    pending = Some(if is_test {
+                        RegionKind::Test
+                    } else if is_decode_fn(word) {
+                        RegionKind::Decode
+                    } else {
+                        RegionKind::Anonymous
+                    });
+                    pending_nest = 0;
+                } else if word == "fn" {
+                    awaiting_fn_name = true;
+                } else if word == "mod" && pending_test_attr {
+                    pending_test_attr = false;
+                    pending = Some(RegionKind::Test);
+                    pending_nest = 0;
+                }
+                continue;
+            }
+            match c {
+                b'{' => {
+                    stack.push(pending.take().unwrap_or(RegionKind::Anonymous));
+                    mark(&mut scopes, &stack, ln);
+                }
+                b'}' => {
+                    stack.pop();
+                }
+                b'(' | b'[' if pending.is_some() => pending_nest += 1,
+                b')' | b']' if pending.is_some() => {
+                    pending_nest = pending_nest.saturating_sub(1);
+                }
+                b';' if pending_nest == 0 => {
+                    // End of a declaration: the pending fn had no body
+                    // (trait method) and any `#[cfg(test)] use ...;`
+                    // attribute is spent.
+                    pending = None;
+                    pending_test_attr = false;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+    scopes
+}
+
+/// Functions whose bodies handle untrusted bytes, by naming convention.
+fn is_decode_fn(name: &str) -> bool {
+    ["decompress", "decode", "from_bytes", "reconstruct", "parse"]
+        .iter()
+        .any(|p| name.contains(p))
+        || name.starts_with("read_")
+}
+
+// ---------------------------------------------------------------------------
+// Per-line token checks.
+// ---------------------------------------------------------------------------
+
+/// `mac` (e.g. `"assert!"`) as a macro invocation, rejecting matches
+/// glued to an identifier (`debug_assert!` must not match `assert!`).
+fn has_macro(line: &str, mac: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(mac) {
+        let at = from + pos;
+        let prev = line[..at].bytes().next_back();
+        if !prev.is_some_and(|p| p.is_ascii_alphanumeric() || p == b'_') {
+            return true;
+        }
+        from = at + mac.len();
+    }
+    false
+}
+
+/// Standalone word match (`unsafe`, `HashMap`), not a substring of a
+/// longer identifier.
+fn has_word(line: &str, word: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(word) {
+        let at = from + pos;
+        let prev = line[..at].bytes().next_back();
+        let next = line[at + word.len()..].bytes().next();
+        let bounded = |b: Option<u8>| !b.is_some_and(|x| x.is_ascii_alphanumeric() || x == b'_');
+        if bounded(prev) && bounded(next) {
+            return true;
+        }
+        from = at + word.len();
+    }
+    false
+}
+
+/// `expr[...]` indexing: a `[` whose previous non-space token ends an
+/// expression (identifier, `)`, or `]`). Attribute (`#[...]`) and
+/// array-literal (`= [`, `vec![`) brackets don't match, and neither do
+/// slice patterns or types, where the preceding word is a keyword
+/// (`let [a, b] = ...`, `&mut [f64]`).
+fn has_direct_index(line: &str) -> bool {
+    const KEYWORDS: &[&str] = &[
+        "let", "mut", "ref", "in", "if", "else", "match", "return", "move", "as", "box", "dyn",
+        "break", "continue",
+    ];
+    let bytes = line.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'[' {
+            continue;
+        }
+        let mut j = i;
+        while j > 0 && bytes[j - 1] == b' ' {
+            j -= 1;
+        }
+        let Some(&p) = bytes[..j].last() else {
+            continue;
+        };
+        if p == b')' || p == b']' {
+            return true;
+        }
+        if p.is_ascii_alphanumeric() || p == b'_' {
+            let mut s = j;
+            while s > 0 && (bytes[s - 1].is_ascii_alphanumeric() || bytes[s - 1] == b'_') {
+                s -= 1;
+            }
+            if !KEYWORDS.contains(&&line[s..j]) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// `+` or `*` inside a `..` range bound — `pos..pos + n` panics or
+/// overflows before the slice check can reject it.
+fn has_range_arith(line: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = line[from..].find("..") {
+        let after = &line[from + pos + 2..];
+        let bound_end = after
+            .find([')', ']', '}', ',', ';', '{'])
+            .unwrap_or(after.len());
+        let bound = &after[..bound_end];
+        if bound.contains('+') || bound.contains('*') {
+            return true;
+        }
+        from += pos + 2;
+    }
+    false
+}
+
+enum Safety {
+    Documented,
+    Todo,
+    Missing,
+}
+
+/// Looks for a `// SAFETY:` comment on the `unsafe` line or up to two
+/// lines above it (one line of slack for an attribute in between).
+fn safety_comment_for(masked: &Masked, ln: usize) -> Safety {
+    let lo = ln.saturating_sub(2);
+    let mut best = Safety::Missing;
+    for &(cl, ref text) in &masked.comments {
+        if cl >= lo && cl <= ln && text.contains("SAFETY:") {
+            if text.contains("SAFETY: TODO") {
+                best = Safety::Todo;
+            } else {
+                return Safety::Documented;
+            }
+        }
+    }
+    best
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions.
+// ---------------------------------------------------------------------------
+
+type AllowMap = HashMap<&'static str, HashSet<usize>>;
+
+/// Parses every `lint:allow(...)` comment. Returns the suppression map
+/// (rule -> lines it silences: the comment's line and the next) plus
+/// findings for malformed allows.
+fn parse_allows(file: &str, masked: &Masked, originals: &[&str]) -> (AllowMap, Vec<Finding>) {
+    let mut allows: AllowMap = HashMap::new();
+    let mut findings = Vec::new();
+    for &(ln, ref text) in &masked.comments {
+        let mut rest = text.as_str();
+        while let Some(pos) = rest.find("lint:allow(") {
+            rest = &rest[pos + "lint:allow(".len()..];
+            let Some(close) = rest.find(')') else {
+                break;
+            };
+            let rule = rest[..close].trim();
+            rest = &rest[close + 1..];
+            // Documentation *about* the syntax writes placeholders like
+            // `lint:allow(<rule>)` or `lint:allow(...)`; anything that
+            // is not a well-formed rule slug is not an allow attempt.
+            if rule.is_empty()
+                || !rule
+                    .bytes()
+                    .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'-')
+            {
+                continue;
+            }
+            let reason = rest
+                .strip_prefix(':')
+                .map(str::trim)
+                .filter(|r| !r.is_empty());
+            match RULE_NAMES.iter().find(|&&r| r == rule) {
+                Some(&canonical) => {
+                    if reason.is_none() {
+                        findings.push(Finding {
+                            rule: "allow-no-reason",
+                            file: file.to_owned(),
+                            line: ln,
+                            snippet: snippet_of(originals, ln),
+                            message: format!(
+                                "lint:allow({rule}) without a reason: write `): <why it is safe>`"
+                            ),
+                        });
+                    } else {
+                        let lines = allows.entry(canonical).or_default();
+                        lines.insert(ln);
+                        lines.insert(ln + 1);
+                    }
+                }
+                None => findings.push(Finding {
+                    rule: "allow-unknown",
+                    file: file.to_owned(),
+                    line: ln,
+                    snippet: snippet_of(originals, ln),
+                    message: format!("lint:allow names unknown rule `{rule}`"),
+                }),
+            }
+        }
+    }
+    (allows, findings)
+}
+
+/// Trimmed, length-capped copy of the original source line.
+fn snippet_of(originals: &[&str], ln: usize) -> String {
+    let line = originals.get(ln - 1).copied().unwrap_or("").trim();
+    if line.chars().count() > 60 {
+        let cut: String = line.chars().take(57).collect();
+        format!("{cut}...")
+    } else {
+        line.to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DECODE: FileKind = FileKind {
+        decode: true,
+        wire: false,
+    };
+    const WIRE: FileKind = FileKind {
+        decode: false,
+        wire: true,
+    };
+    const PLAIN: FileKind = FileKind {
+        decode: false,
+        wire: false,
+    };
+
+    fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn planted_unwrap_in_decode_file_is_found() {
+        let src = "pub fn helper(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\n";
+        let f = lint_source("a.rs", src, DECODE);
+        assert_eq!(rules_of(&f), ["no-unwrap"]);
+        assert_eq!(f[0].line, 2);
+        assert_eq!(f[0].snippet, "x.unwrap()");
+    }
+
+    #[test]
+    fn expect_counts_as_unwrap() {
+        let src = "fn g(x: Option<u8>) -> u8 { x.expect(\"boom\") }\n";
+        assert_eq!(rules_of(&lint_source("a.rs", src, DECODE)), ["no-unwrap"]);
+    }
+
+    #[test]
+    fn unwrap_in_test_module_is_exempt() {
+        let src = "\
+fn ok() {}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        Some(1).unwrap();
+    }
+}
+";
+        assert!(lint_source("a.rs", src, DECODE).is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_non_decode_file_is_not_flagged() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        assert!(lint_source("a.rs", src, PLAIN).is_empty());
+    }
+
+    #[test]
+    fn panic_macros_only_inside_decode_fns() {
+        let src = "\
+fn compress(x: u8) {
+    assert!(x > 0);
+}
+fn decompress(b: &[u8]) {
+    assert!(!b.is_empty());
+}
+";
+        let f = lint_source("a.rs", src, DECODE);
+        assert_eq!(rules_of(&f), ["no-panic"]);
+        assert_eq!(f[0].line, 5);
+    }
+
+    #[test]
+    fn debug_assert_is_allowed() {
+        let src = "fn decode(b: &[u8]) { debug_assert!(b.len() > 1); }\n";
+        assert!(lint_source("a.rs", src, DECODE).is_empty());
+    }
+
+    #[test]
+    fn direct_index_in_decode_fn() {
+        let src = "\
+fn from_bytes(b: &[u8]) -> u8 {
+    b[0]
+}
+fn encode(v: &mut [u8]) {
+    v[0] = 1;
+}
+";
+        let f = lint_source("a.rs", src, DECODE);
+        assert_eq!(rules_of(&f), ["no-index"]);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn array_literal_and_attribute_brackets_are_fine() {
+        let src = "\
+#[derive(Debug)]
+struct S;
+fn parse(b: &[u8]) -> [u8; 2] {
+    let t = [0u8, 1];
+    let v = vec![1, 2];
+    drop(v);
+    t
+}
+";
+        assert!(lint_source("a.rs", src, DECODE).is_empty());
+    }
+
+    #[test]
+    fn range_add_in_decode_fn() {
+        let src = "fn read_hdr(b: &[u8], pos: usize) { let _ = b.get(pos..pos + 4); }\n";
+        assert_eq!(rules_of(&lint_source("a.rs", src, DECODE)), ["range-add"]);
+    }
+
+    #[test]
+    fn saturating_range_is_fine() {
+        let src =
+            "fn read_hdr(b: &[u8], pos: usize) { let _ = b.get(pos..pos.saturating_add(4)); }\n";
+        assert!(lint_source("a.rs", src, DECODE).is_empty());
+    }
+
+    #[test]
+    fn allow_suppresses_same_and_next_line() {
+        let src = "\
+fn decode(b: &[u8]) -> u8 {
+    // lint:allow(no-index): len checked by caller
+    b[0]
+}
+";
+        assert!(lint_source("a.rs", src, DECODE).is_empty());
+    }
+
+    #[test]
+    fn allow_does_not_reach_two_lines_down() {
+        let src = "\
+fn decode(b: &[u8]) -> u8 {
+    // lint:allow(no-index): only covers the next line
+    let x = b[0];
+    x + b[1]
+}
+";
+        let f = lint_source("a.rs", src, DECODE);
+        assert_eq!(rules_of(&f), ["no-index"]);
+        assert_eq!(f[0].line, 4);
+    }
+
+    #[test]
+    fn allow_without_reason_is_a_finding() {
+        let src = "\
+fn decode(b: &[u8]) -> u8 {
+    // lint:allow(no-index)
+    b[0]
+}
+";
+        let f = lint_source("a.rs", src, DECODE);
+        let rules = rules_of(&f);
+        assert!(rules.contains(&"allow-no-reason"));
+        // ...and it did not suppress anything.
+        assert!(rules.contains(&"no-index"));
+    }
+
+    #[test]
+    fn allow_with_unknown_rule_is_a_finding() {
+        let src = "fn f() {} // lint:allow(no-bugs): please\n";
+        assert_eq!(
+            rules_of(&lint_source("a.rs", src, PLAIN)),
+            ["allow-unknown"]
+        );
+    }
+
+    #[test]
+    fn allow_placeholders_in_docs_are_ignored() {
+        let src = "//! Suppress with `lint:allow(<rule>): <reason>`.\n\
+                   // see lint:allow(...) above\nfn f() {}\n";
+        assert!(lint_source("a.rs", src, PLAIN).is_empty());
+    }
+
+    #[test]
+    fn slice_patterns_and_types_are_not_indexing() {
+        let src = "\
+fn decode(b: &[u8], dims: [usize; 3]) -> usize {
+    let [nx, ny, nz] = dims;
+    if let [a, ..] = b {
+        return *a as usize + nx + ny + nz;
+    }
+    0
+}
+fn read_into(out: &mut [f64]) {
+    out.fill(0.0);
+}
+";
+        assert!(lint_source("a.rs", src, DECODE).is_empty());
+    }
+
+    #[test]
+    fn allow_only_silences_its_own_rule() {
+        let src = "\
+fn decode(b: &[u8]) -> u8 {
+    // lint:allow(no-panic): wrong rule named
+    b[0]
+}
+";
+        assert_eq!(rules_of(&lint_source("a.rs", src, DECODE)), ["no-index"]);
+    }
+
+    #[test]
+    fn unsafe_requires_safety_comment() {
+        let src = "fn f(p: *const u8) -> u8 { unsafe { *p } }\n";
+        let f = lint_source("a.rs", src, PLAIN);
+        assert_eq!(rules_of(&f), ["unsafe-safety"]);
+    }
+
+    #[test]
+    fn safety_comment_satisfies_the_rule() {
+        let src = "\
+fn f(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees p is valid for reads.
+    unsafe { *p }
+}
+";
+        assert!(lint_source("a.rs", src, PLAIN).is_empty());
+    }
+
+    #[test]
+    fn safety_todo_stub_still_fails() {
+        let src = "\
+fn f(p: *const u8) -> u8 {
+    // SAFETY: TODO(lint): document why this unsafe block is sound.
+    unsafe { *p }
+}
+";
+        assert_eq!(rules_of(&lint_source("a.rs", src, PLAIN)), ["safety-todo"]);
+    }
+
+    #[test]
+    fn unsafe_in_string_or_comment_is_ignored() {
+        let src = "fn f() { let _ = \"unsafe\"; } // unsafe mentioned here\n";
+        assert!(lint_source("a.rs", src, PLAIN).is_empty());
+    }
+
+    #[test]
+    fn wire_usize_write_is_flagged() {
+        let src = "\
+fn to_bytes(v: &[u8], out: &mut Vec<u8>) {
+    out.extend_from_slice(&v.len().to_le_bytes());
+    out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+}
+";
+        let f = lint_source("w.rs", src, WIRE);
+        assert_eq!(rules_of(&f), ["wire-usize"]);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn usize_cast_written_raw_is_flagged() {
+        let src = "fn w(n: u64, o: &mut Vec<u8>) { o.extend(&(n as usize).to_le_bytes()); }\n";
+        assert_eq!(rules_of(&lint_source("w.rs", src, WIRE)), ["wire-usize"]);
+    }
+
+    #[test]
+    fn hashmap_in_wire_file_is_flagged() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(rules_of(&lint_source("w.rs", src, WIRE)), ["wire-hashmap"]);
+    }
+
+    #[test]
+    fn trait_method_declaration_does_not_open_a_decode_region() {
+        let src = "\
+trait Codec {
+    fn decompress(&self, b: &[u8]) -> Vec<u8>;
+}
+impl Codec for X {
+    fn other(&self) {
+        self.v[0];
+    }
+}
+";
+        // `other` is not decode-named, so the indexing is fine; the
+        // trait declaration's `;` must not leak the decode region.
+        assert!(lint_source("a.rs", src, DECODE).is_empty());
+    }
+
+    #[test]
+    fn multi_line_signature_is_tracked() {
+        let src = "\
+fn decompress(
+    b: &[u8],
+    n: usize,
+) -> u8 {
+    b[n]
+}
+";
+        assert_eq!(rules_of(&lint_source("a.rs", src, DECODE)), ["no-index"]);
+    }
+
+    #[test]
+    fn long_snippets_are_truncated() {
+        let pad = "x".repeat(80);
+        let src = format!("fn decode(b: &[u8]) -> u8 {{ let {pad} = 1; b[0] }}\n");
+        let f = lint_source("a.rs", &src, DECODE);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].snippet.chars().count() <= 60);
+        assert!(f[0].snippet.ends_with("..."));
+    }
+}

@@ -102,6 +102,11 @@ impl SparseMatrix {
         let rows = u32::from_le_bytes(bytes[0..4].try_into().ok()?) as usize;
         let cols = u32::from_le_bytes(bytes[4..8].try_into().ok()?) as usize;
         let nnz = u64::from_le_bytes(bytes[8..16].try_into().ok()?) as usize;
+        // Every entry costs at least 9 bytes (1 varint byte + 8 value
+        // bytes); reject impossible counts before allocating for them.
+        if nnz > bytes.len() {
+            return None;
+        }
         let mut pos = 16usize;
         let mut positions = Vec::with_capacity(nnz);
         let mut prev = 0u64;

@@ -72,7 +72,9 @@ fn main() {
 
     // 4. Read back and reconstruct — the artifact is self-describing.
     let bytes = store.read("snapshot").expect("read back");
-    let (restored, rshape) = pipeline.reconstruct(&bytes);
+    let (restored, rshape) = pipeline
+        .reconstruct(&bytes)
+        .expect("artifact just produced must decode");
     assert_eq!(rshape, field.shape);
     println!(
         "reconstructed with nrmse {:.3e}",

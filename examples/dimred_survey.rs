@@ -25,7 +25,9 @@ fn main() {
         ] {
             let pipeline = Pipeline::from_config(PipelineConfig::sz(model).with_scan_1d(true));
             let art = pipeline.compress(&field);
-            let (rec, _) = pipeline.reconstruct(&art.bytes);
+            let (rec, _) = pipeline
+                .reconstruct(&art.bytes)
+                .expect("artifact just produced must decode");
             println!(
                 "{:<14} {:<9} {:>8.2} {:>12} {:>12.3e} {:>4}",
                 kind.name(),

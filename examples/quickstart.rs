@@ -58,7 +58,9 @@ fn main() {
 
     // 4. The artifact is self-describing: reconstruction needs only the
     //    bytes.
-    let (restored, shape) = pipeline.reconstruct(&onebase.bytes);
+    let (restored, shape) = pipeline
+        .reconstruct(&onebase.bytes)
+        .expect("artifact just produced must decode");
     assert_eq!(shape, field.shape);
     println!(
         "reconstruction:   rmse {:.3e}, max abs err {:.3e}",

@@ -60,7 +60,7 @@ fn temporal_series_over_real_heat3d_snapshots() {
     let fields = snapshots(DatasetKind::Heat3d, 5, SizeClass::Tiny);
     let (base, delta) = sz_paper_bounds();
     let series = compress_series(&fields, &base, &delta);
-    let (rec, shape) = reconstruct_series(&series.bytes);
+    let (rec, shape) = reconstruct_series(&series.bytes).expect("decode");
     assert_eq!(shape, fields[0].shape);
     assert_eq!(rec.len(), 5);
     for (f, r) in fields.iter().zip(&rec) {

@@ -5,6 +5,7 @@
 // are the compile-time proof that pre-0.2 call sites still work through
 // the shims.
 #![allow(deprecated)]
+use lrm::core::Pipeline;
 use lrm::core::{precondition_and_compress, reconstruct, PipelineConfig, ReducedModelKind};
 use lrm::datasets::Field;
 use lrm::io::Artifact;
@@ -26,18 +27,28 @@ fn reconstruct_rejects_corrupt_magic() {
     );
     let mut bytes = art.bytes.clone();
     bytes[0] ^= 0xFF;
+    // The modern API reports corruption as a typed error...
+    let p = Pipeline::builder().build();
+    assert!(
+        p.reconstruct(&bytes).is_err(),
+        "corrupt magic must not decode silently"
+    );
+    // ...while the deprecated shim keeps its documented panic contract.
     let r = std::panic::catch_unwind(|| reconstruct(&bytes));
-    assert!(r.is_err(), "corrupt magic must not decode silently");
+    assert!(r.is_err(), "deprecated shim must keep panicking");
 }
 
 #[test]
 fn reconstruct_rejects_truncated_artifacts() {
     let art =
         precondition_and_compress(&sample_field(), &PipelineConfig::sz(ReducedModelKind::Pca));
-    for cut in [1usize, 8, 20] {
-        let bytes = &art.bytes[..art.bytes.len().saturating_sub(cut)];
-        let r = std::panic::catch_unwind(|| reconstruct(bytes));
-        assert!(r.is_err(), "truncation by {cut} must not decode silently");
+    let p = Pipeline::builder().build();
+    // Every strict prefix of the stream must decode to Err, never panic.
+    for cut in 0..art.bytes.len() {
+        assert!(
+            p.reconstruct(&art.bytes[..cut]).is_err(),
+            "truncation to {cut} bytes must not decode silently"
+        );
     }
 }
 
