@@ -211,7 +211,7 @@ pub fn fig4(size: SizeClass, outputs: usize) -> Vec<Fig4Point> {
             });
         }
     }
-    points.sort_by(|a, b| a.zfp_ratio.partial_cmp(&b.zfp_ratio).expect("finite"));
+    points.sort_by(|a, b| a.zfp_ratio.total_cmp(&b.zfp_ratio));
     points
 }
 

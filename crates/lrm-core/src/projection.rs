@@ -227,7 +227,7 @@ pub fn upsample(coarse: &[f64], cshape: Shape, target: Shape) -> Vec<f64> {
             return (0, 0, 0.0);
         }
         let f = t as f64 * (cn - 1) as f64 / (tn - 1) as f64;
-        let i0 = f.floor() as usize;
+        let i0 = (f.floor().max(0.0) as usize).min(cn - 1);
         let i1 = (i0 + 1).min(cn - 1);
         (i0, i1, f - i0 as f64)
     };

@@ -54,12 +54,7 @@ pub fn select_best_model(
         !results.is_empty(),
         "select_best_model: no applicable candidate"
     );
-    results.sort_by(|a, b| {
-        b.report
-            .ratio()
-            .partial_cmp(&a.report.ratio())
-            .expect("finite ratios")
-    });
+    results.sort_by(|a, b| b.report.ratio().total_cmp(&a.report.ratio()));
     (results[0].model, results)
 }
 

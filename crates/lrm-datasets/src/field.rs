@@ -50,7 +50,7 @@ impl Field {
         let [nx, ny, nz] = self.shape.dims;
         match self.shape.ndims() {
             1 => {
-                let mut cols = (nx as f64).sqrt() as usize;
+                let mut cols = (nx as f64).sqrt().min(nx as f64).max(1.0) as usize;
                 while cols > 1 && nx % cols != 0 {
                     cols -= 1;
                 }

@@ -60,7 +60,7 @@ impl MdState {
     fn new(cfg: &MdConfig) -> Self {
         let n = cfg.n_atoms;
         // Lattice initial positions: simple cubic filling of the box.
-        let per_edge = (n as f64).cbrt().ceil() as usize;
+        let per_edge = (n as f64).cbrt().ceil().clamp(1.0, n.max(1) as f64) as usize;
         let spacing = cfg.box_len / per_edge as f64;
         let mut pos = Vec::with_capacity(n);
         'fill: for z in 0..per_edge {

@@ -144,7 +144,7 @@ mod tests {
             f.data
                 .iter()
                 .enumerate()
-                .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).expect("finite"))
+                .max_by(|a, b| a.1.abs().total_cmp(&b.1.abs()))
                 .expect("non-empty")
                 .0
         };

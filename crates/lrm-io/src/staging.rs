@@ -59,6 +59,7 @@ impl StagingPipeline {
         let (tx, rx) = sync_channel::<StagedItem>(capacity.max(1));
         let store: Arc<Mutex<Vec<StagedResult>>> = Arc::new(Mutex::new(Vec::new()));
         let store2 = Arc::clone(&store);
+        // lint:allow(no-unscoped-spawn): long-lived worker with an owned JoinHandle; finish()/Drop join it
         let worker = std::thread::spawn(move || {
             for item in rx {
                 let out = process(&item.name, &item.data);

@@ -87,7 +87,7 @@ pub fn symmetric_eigen(a: &Matrix) -> EigenDecomposition {
 
     // Extract eigenpairs and sort by descending eigenvalue.
     let mut pairs: Vec<(f64, usize)> = (0..n).map(|i| (m.get(i, i), i)).collect();
-    pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite eigenvalues"));
+    pairs.sort_by(|a, b| b.0.total_cmp(&a.0));
     let values: Vec<f64> = pairs.iter().map(|&(l, _)| l).collect();
     let vectors = Matrix::from_fn(n, n, |r, c| v.get(r, pairs[c].1));
     EigenDecomposition { values, vectors }

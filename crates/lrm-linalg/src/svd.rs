@@ -142,7 +142,7 @@ pub fn svd(a: &Matrix) -> Svd {
             (norm, c)
         })
         .collect();
-    triplets.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite norms"));
+    triplets.sort_by(|a, b| b.0.total_cmp(&a.0));
 
     let sigma: Vec<f64> = triplets.iter().map(|&(s, _)| s).collect();
     let u = Matrix::from_fn(m, n, |r, c| {

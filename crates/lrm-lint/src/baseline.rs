@@ -1,0 +1,167 @@
+//! The `--baseline` ratchet: land a new rule without fixing the world
+//! first, while guaranteeing the count only goes down.
+//!
+//! A baseline file records, per `(rule, file)` pair, how many findings
+//! were present when the rule landed. Under `--baseline <file>` the
+//! gate fails only for pairs whose *current* count exceeds the recorded
+//! one — new findings — while grandfathered sites merely print a
+//! suppressed-count note. Re-running `--write-baseline` after fixes
+//! shrinks the recorded counts, so the gate ratchets monotonically
+//! toward zero.
+//!
+//! Format: one `rule<SP>count<SP>file` triple per line, `#` comments
+//! and blank lines ignored. Written sorted so diffs are stable.
+
+use crate::rules::Finding;
+use std::collections::HashMap;
+
+/// Recorded finding counts, keyed by `(rule, file)`.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    counts: HashMap<(String, String), usize>,
+}
+
+/// The result of applying a baseline to a findings list.
+pub struct Ratchet {
+    /// Findings in `(rule, file)` groups that exceed their recorded
+    /// count — the gate fails on these.
+    pub new: Vec<Finding>,
+    /// Number of findings absorbed by the baseline.
+    pub suppressed: usize,
+}
+
+impl Baseline {
+    /// Parses a baseline file. Malformed lines are hard errors: a typo
+    /// must not silently widen the gate.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut counts = HashMap::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let ln = idx + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let (Some(rule), Some(count), Some(file), None) =
+                (parts.next(), parts.next(), parts.next(), parts.next())
+            else {
+                return Err(format!("baseline:{ln}: expected `rule count file`"));
+            };
+            let count: usize = count
+                .parse()
+                .map_err(|_| format!("baseline:{ln}: `{count}` is not a count"))?;
+            if counts
+                .insert((rule.to_owned(), file.to_owned()), count)
+                .is_some()
+            {
+                return Err(format!("baseline:{ln}: duplicate entry for {rule} {file}"));
+            }
+        }
+        Ok(Baseline { counts })
+    }
+
+    /// Splits `findings` into new (over-baseline) and suppressed.
+    ///
+    /// When a group exceeds its recorded count, *all* of the group's
+    /// findings are reported: line numbers shift under edits, so there
+    /// is no stable way to say which of them are the new ones.
+    pub fn apply(&self, findings: Vec<Finding>) -> Ratchet {
+        let mut current: HashMap<(String, String), usize> = HashMap::new();
+        for f in &findings {
+            *current
+                .entry((f.rule.to_owned(), f.file.clone()))
+                .or_default() += 1;
+        }
+        let mut new = Vec::new();
+        let mut suppressed = 0usize;
+        for f in findings {
+            let key = (f.rule.to_owned(), f.file.clone());
+            let seen = current.get(&key).copied().unwrap_or(0);
+            let allowed = self.counts.get(&key).copied().unwrap_or(0);
+            if seen > allowed {
+                new.push(f);
+            } else {
+                suppressed += 1;
+            }
+        }
+        Ratchet { new, suppressed }
+    }
+}
+
+/// Renders `findings` as baseline text (sorted, deduplicated counts).
+pub fn render(findings: &[Finding]) -> String {
+    let mut counts: HashMap<(&str, &str), usize> = HashMap::new();
+    for f in findings {
+        *counts.entry((f.rule, f.file.as_str())).or_default() += 1;
+    }
+    let mut entries: Vec<_> = counts.into_iter().collect();
+    entries.sort();
+    let mut out = String::from("# lrm-lint baseline: rule count file\n");
+    for ((rule, file), count) in entries {
+        out.push_str(&format!("{rule} {count} {file}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, file: &str, line: usize) -> Finding {
+        Finding {
+            rule,
+            file: file.to_owned(),
+            line,
+            snippet: String::new(),
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_render_and_parse() {
+        let fs = vec![
+            finding("no-unwrap", "a.rs", 3),
+            finding("no-unwrap", "a.rs", 9),
+            finding("div-abs", "b.rs", 1),
+        ];
+        let text = render(&fs);
+        let base = Baseline::parse(&text).expect("parse");
+        let r = base.apply(fs);
+        assert!(r.new.is_empty());
+        assert_eq!(r.suppressed, 3);
+    }
+
+    #[test]
+    fn extra_finding_in_known_group_fails_the_gate() {
+        let base = Baseline::parse("no-unwrap 1 a.rs\n").expect("parse");
+        let r = base.apply(vec![
+            finding("no-unwrap", "a.rs", 3),
+            finding("no-unwrap", "a.rs", 9),
+        ]);
+        assert_eq!(r.new.len(), 2); // whole group reported
+        assert_eq!(r.suppressed, 0);
+    }
+
+    #[test]
+    fn unknown_group_is_entirely_new() {
+        let base = Baseline::parse("# empty\n").expect("parse");
+        let r = base.apply(vec![finding("div-abs", "b.rs", 1)]);
+        assert_eq!(r.new.len(), 1);
+    }
+
+    #[test]
+    fn fixed_findings_just_shrink() {
+        let base = Baseline::parse("no-unwrap 5 a.rs\n").expect("parse");
+        let r = base.apply(vec![finding("no-unwrap", "a.rs", 3)]);
+        assert!(r.new.is_empty());
+        assert_eq!(r.suppressed, 1);
+    }
+
+    #[test]
+    fn malformed_lines_are_errors() {
+        assert!(Baseline::parse("no-unwrap a.rs\n").is_err());
+        assert!(Baseline::parse("no-unwrap x a.rs\n").is_err());
+        assert!(Baseline::parse("no-unwrap 1 a.rs extra\n").is_err());
+        assert!(Baseline::parse("no-unwrap 1 a.rs\nno-unwrap 2 a.rs\n").is_err());
+    }
+}

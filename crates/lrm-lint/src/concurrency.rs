@@ -1,0 +1,463 @@
+//! The `[concurrency]` rule pack: lock discipline and thread hygiene in
+//! the parallel runtime.
+//!
+//! The chunk-parallel engine hands user callbacks to a worker pool; the
+//! three failure modes worth machine-checking are deadlock-by-design
+//! (holding a pool lock while running user code), threads that outlive
+//! their data (unscoped spawns), and result slots written twice or not
+//! at all (lost or duplicated chunk outputs):
+//!
+//! * `lock-across-call` — a `MutexGuard` bound by `let g = ….lock()…`
+//!   is still live when a closure-typed parameter of the enclosing
+//!   function is invoked (or a fresh guard is passed straight into the
+//!   call). User code must never run under a runtime lock: it can
+//!   block indefinitely or re-enter the pool and deadlock.
+//! * `no-unscoped-spawn` — `thread::spawn` outside tests. The runtime
+//!   uses `std::thread::scope`, whose joins are enforced by the
+//!   borrow checker; a free-running thread needs an explained allow
+//!   naming its shutdown path.
+//! * `result-slot-discipline` — an indexed assignment into a
+//!   result-carrying container (identifier contains `result`, `out`,
+//!   or `slot`) must write `Some(..)`: slots are `Option<R>` written
+//!   exactly once, and the `take()`-based collection relies on it.
+//!
+//! All three are heuristic token scans over the [`SourceMap`]; the
+//! fixture corpus under `tests/fixtures/` pins their behavior.
+
+use crate::mask::Masked;
+use crate::rules::{snippet_of, Finding};
+use crate::tokens::{FnScope, SourceMap};
+
+/// Applies the concurrency rules to one masked file.
+pub fn apply(
+    file: &str,
+    masked: &Masked,
+    originals: &[&str],
+    map: &SourceMap,
+    findings: &mut Vec<Finding>,
+) {
+    let mut push = |rule: &'static str, ln: usize, message: String| {
+        findings.push(Finding {
+            rule,
+            file: file.to_owned(),
+            line: ln,
+            snippet: snippet_of(originals, ln),
+            message,
+        });
+    };
+
+    for (idx, line) in masked.lines.iter().enumerate() {
+        let ln = idx + 1;
+        if map.is_test_line(ln) {
+            continue;
+        }
+
+        if has_thread_spawn(line) {
+            push(
+                "no-unscoped-spawn",
+                ln,
+                "unscoped thread::spawn: use std::thread::scope, or document the \
+                 join/shutdown path in an allow"
+                    .into(),
+            );
+        }
+
+        for root in bad_slot_writes(line) {
+            push(
+                "result-slot-discipline",
+                ln,
+                format!(
+                    "result slot `{root}[..]` assigned a non-`Some(..)` value: slots are \
+                     Option<R> written exactly once"
+                ),
+            );
+        }
+    }
+
+    for f in &map.fns {
+        if f.is_test || f.callback_params.is_empty() {
+            continue;
+        }
+        lock_across_call(masked, f, &mut push);
+    }
+}
+
+/// `thread::spawn` as a token sequence (`std::thread::spawn` included;
+/// `scope.spawn` and `s.spawn` are not).
+fn has_thread_spawn(line: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = line[from..].find("thread") {
+        let at = from + pos;
+        from = at + "thread".len();
+        let prev = line[..at].bytes().next_back();
+        if prev.is_some_and(|p| p.is_ascii_alphanumeric() || p == b'_') {
+            continue;
+        }
+        let rest = line[at + "thread".len()..].trim_start();
+        if let Some(rest) = rest.strip_prefix("::") {
+            if rest.trim_start().starts_with("spawn") {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Roots of indexed assignments `root…[..] = RHS` where the root
+/// identifier looks result-carrying and the RHS is not `Some(..)`.
+fn bad_slot_writes(line: &str) -> Vec<String> {
+    let bytes = line.as_bytes();
+    let mut out = Vec::new();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b']' {
+            continue;
+        }
+        // `] =` with a single `=`: an indexed assignment.
+        let mut j = i + 1;
+        while j < bytes.len() && bytes[j] == b' ' {
+            j += 1;
+        }
+        if bytes.get(j) != Some(&b'=') || bytes.get(j + 1) == Some(&b'=') {
+            continue;
+        }
+        // Walk back over the `[..]` group to the indexed chain.
+        let mut depth = 0usize;
+        let mut k = i + 1;
+        let mut open = None;
+        while k > 0 {
+            match bytes[k - 1] {
+                b']' => depth += 1,
+                b'[' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        open = Some(k - 1);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            k -= 1;
+        }
+        let Some(open) = open else {
+            continue;
+        };
+        let chain = crate::tokens::expr_before(line, open);
+        let root: String = chain
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        let lower = root.to_ascii_lowercase();
+        let resulty = ["result", "out", "slot"].iter().any(|w| lower.contains(w));
+        if !resulty {
+            continue;
+        }
+        let rhs = line[j + 1..].trim_start();
+        if !rhs.starts_with("Some(") {
+            out.push(root);
+        }
+    }
+    out
+}
+
+/// Flags callback invocations made while a `let`-bound lock guard is
+/// live, and guards passed directly into a callback's argument list.
+fn lock_across_call(
+    masked: &Masked,
+    f: &FnScope,
+    push: &mut impl FnMut(&'static str, usize, String),
+) {
+    // (guard name, brace depth at binding)
+    let mut guards: Vec<(String, usize)> = Vec::new();
+    let mut depth = f.body_depth;
+
+    for ln in f.body_start..=f.body_end {
+        let Some(line) = masked.lines.get(ln - 1) else {
+            continue;
+        };
+        let call = callback_call(line, &f.callback_params);
+
+        // A guard temporary inside the callback's own argument list:
+        // `f(store.lock().unwrap())`.
+        if let Some((cb, open)) = call {
+            let span = paren_span(line, open);
+            if line[open..span].contains(".lock(") {
+                push(
+                    "lock-across-call",
+                    ln,
+                    format!(
+                        "MutexGuard passed into callback `{cb}`: user code runs under the lock"
+                    ),
+                );
+            }
+        }
+
+        // Positional event walk: braces, drops, bindings, and the call.
+        let bytes = line.as_bytes();
+        let bind = lock_binding(line);
+        let mut j = 0usize;
+        while j < bytes.len() {
+            if let Some((cb, open)) = call {
+                if j == open && !guards.is_empty() {
+                    push(
+                        "lock-across-call",
+                        ln,
+                        format!(
+                            "callback `{cb}` invoked while guard `{}` is live: drop the \
+                             guard before running user code",
+                            guards[guards.len() - 1].0
+                        ),
+                    );
+                }
+            }
+            match bytes[j] {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth = depth.saturating_sub(1);
+                    guards.retain(|g| g.1 <= depth);
+                }
+                b'd' if line[j..].starts_with("drop(") => {
+                    let inner: String = line[j + 5..]
+                        .chars()
+                        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                        .collect();
+                    guards.retain(|g| g.0 != inner);
+                }
+                _ => {}
+            }
+            if let Some((name, pos)) = &bind {
+                if j == *pos {
+                    guards.push((name.clone(), depth));
+                }
+            }
+            j += 1;
+        }
+    }
+}
+
+/// First invocation of a callback parameter on this line: `(name,
+/// offset of its opening paren)`.
+fn callback_call<'a>(line: &str, params: &'a [String]) -> Option<(&'a str, usize)> {
+    let mut best: Option<(&str, usize)> = None;
+    for cb in params {
+        let mut from = 0;
+        while let Some(pos) = line[from..].find(cb.as_str()) {
+            let at = from + pos;
+            from = at + cb.len();
+            let prev = line[..at].bytes().next_back();
+            if prev.is_some_and(|p| p.is_ascii_alphanumeric() || p == b'_' || p == b'.') {
+                continue;
+            }
+            let after = &line[at + cb.len()..];
+            let trimmed = after.trim_start();
+            if !trimmed.starts_with('(') {
+                continue;
+            }
+            let open = at + cb.len() + (after.len() - trimmed.len());
+            if best.is_none_or(|(_, b)| open < b) {
+                best = Some((cb, open));
+            }
+            break;
+        }
+    }
+    best
+}
+
+/// End offset (exclusive) of the paren group opening at `open`, or the
+/// line end if unbalanced.
+fn paren_span(line: &str, open: usize) -> usize {
+    let bytes = line.as_bytes();
+    let mut depth = 0usize;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    line.len()
+}
+
+/// `let [mut] <name> = … .lock( …` on one line: `(name, offset of the
+/// binding)`.
+fn lock_binding(line: &str) -> Option<(String, usize)> {
+    let let_pos = find_keyword(line, "let")?;
+    let rest = &line[let_pos + 3..];
+    let rest = rest.trim_start();
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect();
+    if name.is_empty() {
+        return None;
+    }
+    let after_let = &line[let_pos..];
+    if after_let.contains(".lock(") {
+        Some((name, let_pos))
+    } else {
+        None
+    }
+}
+
+/// Offset of keyword `kw` as a standalone word.
+fn find_keyword(line: &str, kw: &str) -> Option<usize> {
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(kw) {
+        let at = from + pos;
+        let prev = line[..at].bytes().next_back();
+        let next = line[at + kw.len()..].bytes().next();
+        let bounded = |b: Option<u8>| !b.is_some_and(|x| x.is_ascii_alphanumeric() || x == b'_');
+        if bounded(prev) && bounded(next) {
+            return Some(at);
+        }
+        from = at + kw.len();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mask::mask;
+    use crate::tokens::build;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let masked = mask(src);
+        let originals: Vec<&str> = src.split('\n').collect();
+        let map = build(&masked);
+        let mut findings = Vec::new();
+        apply("c.rs", &masked, &originals, &map, &mut findings);
+        findings
+    }
+
+    fn rules_of(f: &[Finding]) -> Vec<&'static str> {
+        f.iter().map(|x| x.rule).collect()
+    }
+
+    #[test]
+    fn unscoped_spawn_is_flagged() {
+        let src = "fn s() { std::thread::spawn(|| {}); }\n";
+        assert_eq!(rules_of(&run(src)), ["no-unscoped-spawn"]);
+    }
+
+    #[test]
+    fn scoped_spawn_is_clean() {
+        let src = "fn s() { std::thread::scope(|sc| { sc.spawn(|| {}); }); }\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn spawn_in_test_is_exempt() {
+        let src = "#[test]\nfn t() { std::thread::spawn(|| {}); }\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn non_some_result_write_is_flagged() {
+        let src = "fn w(results: &mut Vec<Option<u8>>, i: usize, r: u8) { results[i] = r; }\n";
+        let f = run(src);
+        assert_eq!(rules_of(&f), ["result-slot-discipline"]);
+    }
+
+    #[test]
+    fn some_result_write_is_clean() {
+        let src = "fn w(out: &mut Vec<Option<u8>>, i: usize, r: u8) { out[i] = Some(r); }\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn locked_slot_write_with_some_is_clean() {
+        let src = "fn w(i: usize, r: u8) { results.lock().expect(\"p\")[i] = Some(r); }\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn non_result_container_is_not_a_slot() {
+        let src = "fn w(plane: &mut [f64], i: usize, v: f64) { plane[i] = v; }\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn comparison_is_not_an_assignment() {
+        let src = "fn w(out: &[u8], i: usize) -> bool { out[i] == 3 }\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn guard_held_across_callback_is_flagged() {
+        let src = "\
+fn run<F: Fn(usize) -> u8>(f: F, m: &std::sync::Mutex<u8>) {
+    let g = m.lock().unwrap();
+    f(*g as usize);
+}
+";
+        let fs = run(src);
+        assert_eq!(rules_of(&fs), ["lock-across-call"]);
+        assert_eq!(fs[0].line, 3);
+    }
+
+    #[test]
+    fn guard_dropped_before_callback_is_clean() {
+        let src = "\
+fn run<F: Fn(usize) -> u8>(f: F, m: &std::sync::Mutex<u8>) {
+    let g = m.lock().unwrap();
+    let v = *g as usize;
+    drop(g);
+    f(v);
+}
+";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn guard_scope_closed_before_callback_is_clean() {
+        let src = "\
+fn run<F: Fn(usize) -> u8>(f: F, m: &std::sync::Mutex<u8>) {
+    let v = {
+        let g = m.lock().unwrap();
+        *g as usize
+    };
+    f(v);
+}
+";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn guard_temporary_then_callback_is_clean() {
+        let src = "\
+fn run<F: Fn(usize) -> u8>(f: F, m: &std::sync::Mutex<u8>) {
+    *m.lock().unwrap() += 1;
+    f(3);
+}
+";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn guard_passed_into_callback_args_is_flagged() {
+        let src = "\
+fn run<F: Fn(u8) -> u8>(f: F, m: &std::sync::Mutex<u8>) {
+    f(*m.lock().unwrap());
+}
+";
+        assert_eq!(rules_of(&run(src)), ["lock-across-call"]);
+    }
+
+    #[test]
+    fn callback_passed_along_without_call_is_clean() {
+        let src = "\
+fn outer<F: Fn(usize) -> u8>(f: F, m: &std::sync::Mutex<u8>) {
+    let _g = m.lock().unwrap();
+    helper(f);
+}
+";
+        // `helper(f)` passes the callback, it does not invoke it.
+        assert!(run(src).is_empty());
+    }
+}

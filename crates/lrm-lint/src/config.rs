@@ -26,6 +26,10 @@ pub struct Config {
     pub decode: Vec<String>,
     /// Wire-format modules: serialization rules apply.
     pub wire: Vec<String>,
+    /// Metric/linalg modules: the numerics pack applies.
+    pub numerics: Vec<String>,
+    /// Parallel-runtime modules: the concurrency pack applies.
+    pub concurrency: Vec<String>,
 }
 
 impl Config {
@@ -44,6 +48,8 @@ impl Config {
         FileKind {
             decode: matches(&self.decode),
             wire: matches(&self.wire),
+            numerics: matches(&self.numerics),
+            concurrency: matches(&self.concurrency),
         }
     }
 }
@@ -71,7 +77,7 @@ pub fn parse(text: &str) -> Result<Config, String> {
         if let Some(name) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
             section = name.trim().to_owned();
             match section.as_str() {
-                "decode" | "wire" => {}
+                "decode" | "wire" | "numerics" | "concurrency" => {}
                 other => return Err(format!("lint.toml:{ln}: unknown section [{other}]")),
             }
             continue;
@@ -124,6 +130,8 @@ fn collect_strings(line: &str, section: &str, cfg: &mut Config, ln: usize) -> Re
         match section {
             "decode" => cfg.decode.push(path.to_owned()),
             "wire" => cfg.wire.push(path.to_owned()),
+            "numerics" => cfg.numerics.push(path.to_owned()),
+            "concurrency" => cfg.concurrency.push(path.to_owned()),
             _ => return Err(format!("lint.toml:{ln}: paths outside a section")),
         }
         rest = &body[end + 1..];
@@ -179,6 +187,18 @@ paths = ["crates/b/src/w.rs"]
     }
 
     #[test]
+    fn numerics_and_concurrency_sections_parse() {
+        let cfg = parse(
+            "[numerics]\npaths = [\"crates/n/src\"]\n\
+             [concurrency]\npaths = [\"crates/c/src/pool.rs\"]\n",
+        )
+        .expect("parse");
+        assert!(cfg.kind_of("crates/n/src/error.rs").numerics);
+        assert!(!cfg.kind_of("crates/n/src/error.rs").concurrency);
+        assert!(cfg.kind_of("crates/c/src/pool.rs").concurrency);
+    }
+
+    #[test]
     fn unterminated_array_is_an_error() {
         assert!(parse("[decode]\npaths = [\n\"a.rs\",\n").is_err());
     }
@@ -193,6 +213,7 @@ paths = ["crates/b/src/w.rs"]
         let cfg = Config {
             decode: vec!["crates/a/src/sub".into(), "crates/a/src/x.rs".into()],
             wire: vec!["crates/a/src/x.rs".into()],
+            ..Config::default()
         };
         assert!(cfg.kind_of("crates/a/src/sub/inner.rs").decode);
         assert!(cfg.kind_of("crates/a/src/x.rs").decode);

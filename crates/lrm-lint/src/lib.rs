@@ -12,19 +12,30 @@
 //!
 //! * [`mask`] strips comments and string literals while preserving
 //!   line structure, so token scans cannot be fooled by text.
-//! * [`config`] reads `lint.toml`, the registry of decode-reachable
-//!   and wire-format modules at the repository root.
-//! * [`rules`] applies the rule set (see its docs for the list).
+//! * [`tokens`] builds the nesting-aware [`tokens::SourceMap`] —
+//!   function scopes, signatures, callback parameters, test regions —
+//!   that the rule packs share.
+//! * [`config`] reads `lint.toml`, the registry of decode-reachable,
+//!   wire-format, numerics, and concurrency modules at the repository
+//!   root.
+//! * [`rules`] applies the decode/wire rule set and dispatches the
+//!   [`numerics`] and [`concurrency`] packs.
+//! * [`baseline`] implements the `--baseline` ratchet (fail only on
+//!   findings not present in a committed baseline).
 //! * [`report`] renders the findings table.
 //!
 //! Run it as `cargo run -p lrm-lint`; CI treats a non-zero exit as a
 //! build failure. Suppress a single proven-safe site with
 //! `// lint:allow(<rule>): <reason>` — the reason is mandatory.
 
+pub mod baseline;
+pub mod concurrency;
 pub mod config;
 pub mod mask;
+pub mod numerics;
 pub mod report;
 pub mod rules;
+pub mod tokens;
 
 pub use config::Config;
 pub use rules::{lint_source, FileKind, Finding};

@@ -2,7 +2,10 @@
 //!
 //! ```text
 //! cargo run -p lrm-lint                      # lint the repository
+//! cargo run -p lrm-lint -- --all             # same (the default scope)
 //! cargo run -p lrm-lint -- --root <dir>      # lint another tree
+//! cargo run -p lrm-lint -- --baseline lint-baseline.txt
+//! cargo run -p lrm-lint -- --write-baseline lint-baseline.txt
 //! cargo run -p lrm-lint -- --fix-safety-stubs
 //! ```
 //!
@@ -10,7 +13,7 @@
 //! I/O errors (missing `lint.toml`, unreadable files).
 
 use lrm_lint::rules::Finding;
-use lrm_lint::{config, report, rules};
+use lrm_lint::{baseline, config, report, rules};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -19,6 +22,8 @@ const SAFETY_STUB: &str = "// SAFETY: TODO(lint): document why this unsafe block
 fn main() -> ExitCode {
     let mut root_arg: Option<PathBuf> = None;
     let mut fix_stubs = false;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut write_baseline: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -26,13 +31,28 @@ fn main() -> ExitCode {
                 Some(p) => root_arg = Some(PathBuf::from(p)),
                 None => return usage_error("--root needs a directory argument"),
             },
+            // The full registry is the default scope; the flag exists
+            // so CI invocations state their intent explicitly.
+            "--all" => {}
+            "--baseline" => match args.next() {
+                Some(p) => baseline_path = Some(PathBuf::from(p)),
+                None => return usage_error("--baseline needs a file argument"),
+            },
+            "--write-baseline" => match args.next() {
+                Some(p) => write_baseline = Some(PathBuf::from(p)),
+                None => return usage_error("--write-baseline needs a file argument"),
+            },
             "--fix-safety-stubs" => fix_stubs = true,
             "--help" | "-h" => {
                 println!(
-                    "lrm-lint: decode-path static analysis\n\n\
-                     USAGE: lrm-lint [--root <dir>] [--fix-safety-stubs]\n\n\
+                    "lrm-lint: decode-path, numerics & concurrency static analysis\n\n\
+                     USAGE: lrm-lint [--all] [--root <dir>] [--baseline <file>]\n\
+                            [--write-baseline <file>] [--fix-safety-stubs]\n\n\
                      Reads lint.toml at the repository root; see DESIGN.md\n\
-                     (\"Decode-path contract\") for the rules."
+                     (\"Decode-path contract\", \"Numerics & concurrency lint\n\
+                     rules\") for the rules. --baseline fails only on findings\n\
+                     beyond the recorded per-(rule, file) counts; --write-baseline\n\
+                     records the current findings and exits 0."
                 );
                 return ExitCode::SUCCESS;
             }
@@ -84,13 +104,46 @@ fn main() -> ExitCode {
         }
     }
 
+    if let Some(path) = write_baseline {
+        let text = baseline::render(&findings);
+        if let Err(e) = std::fs::write(&path, text) {
+            return io_error(&format!("writing {}: {e}", path.display()));
+        }
+        println!(
+            "lrm-lint: wrote baseline for {} finding(s) to {}",
+            findings.len(),
+            path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let mut suppressed = 0usize;
+    if let Some(path) = baseline_path {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) => return io_error(&format!("reading baseline {}: {e}", path.display())),
+        };
+        let base = match baseline::Baseline::parse(&text) {
+            Ok(base) => base,
+            Err(e) => return io_error(&e),
+        };
+        let ratchet = base.apply(findings);
+        findings = ratchet.new;
+        suppressed = ratchet.suppressed;
+    }
+
     print!("{}", report::render_table(&findings));
+    let note = if suppressed > 0 {
+        format!(" ({suppressed} baseline finding(s) suppressed)")
+    } else {
+        String::new()
+    };
     if findings.is_empty() {
-        println!("lrm-lint: clean ({scanned} files scanned)");
+        println!("lrm-lint: clean ({scanned} files scanned){note}");
         ExitCode::SUCCESS
     } else {
         println!(
-            "\nlrm-lint: {} finding(s) in {scanned} files",
+            "\nlrm-lint: {} finding(s) in {scanned} files{note}",
             findings.len()
         );
         ExitCode::from(1)
@@ -144,7 +197,12 @@ fn collect_rust_files(root: &Path) -> Vec<PathBuf> {
             let name = entry.file_name();
             let name = name.to_string_lossy();
             if path.is_dir() {
-                if name != "target" && !name.starts_with('.') {
+                // `tests/fixtures/` holds the linter's known-bad
+                // snippet corpus: deliberately failing code that only
+                // the fixture harness should read.
+                let is_fixture_corpus =
+                    name == "fixtures" && dir.file_name().is_some_and(|d| d == "tests");
+                if name != "target" && !name.starts_with('.') && !is_fixture_corpus {
                     stack.push(path);
                 }
             } else if name.ends_with(".rs") {

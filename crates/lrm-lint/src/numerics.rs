@@ -1,0 +1,495 @@
+//! The `[numerics]` rule pack: float comparison, NaN handling, and
+//! cast/division safety in metric code.
+//!
+//! The paper's contract is the pointwise error bound; the code that
+//! *verifies* that bound must itself be total over floats. A decoded
+//! NaN flowing into a `partial_cmp(..).expect(..)` sort panics the
+//! bound check at exactly the moment it matters, and a zero true value
+//! turns a relative error into NaN/inf that silently poisons a maximum.
+//! These rules make those failure modes un-writable:
+//!
+//! * `float-total-cmp` — any `partial_cmp` call (the footgun under
+//!   float `sort_by` / `max_by` comparators). Use `f64::total_cmp`,
+//!   which is total over NaN, or write an explained allow. Applies to
+//!   test code too: a panicking comparator in a test is flaky-test
+//!   fuel.
+//! * `nan-guard` — a non-test metric function (name contains `error`,
+//!   `mse`, `rmse`, `nrmse`, `psnr`, or `ratio`) that takes float
+//!   parameters must classify non-finite inputs (`is_finite`,
+//!   `is_nan`, `is_infinite`, `is_normal`, `classify`, `nonfinite`) or
+//!   delegate to another metric function that does.
+//! * `float-cast-bounds` — an `as <int>` cast whose source expression
+//!   is visibly floating-point (a float method like `.ceil()` or an
+//!   `as f64` within it) without a `.clamp(` / `.min(` / `.max(` on
+//!   the chain. `f64 as usize` saturates, so an unclamped cast of an
+//!   unexpectedly huge or NaN value silently becomes `usize::MAX` or 0
+//!   and indexes the wrong element.
+//! * `div-abs` — inside a non-test metric function, division by a bare
+//!   identifier or `<ident>.abs()` that the function body never proves
+//!   nonzero (no `x > ...`, `x != ...`, `.is_finite()`, `.is_normal()`
+//!   or `.max(eps)` guard). This is the `lrm-stats` relative-error bug
+//!   class: `err / x.abs()` is NaN when both are zero.
+
+use crate::mask::Masked;
+use crate::rules::{snippet_of, Finding};
+use crate::tokens::{expr_before, has_word, FnScope, SourceMap};
+
+const INT_TARGETS: &[&str] = &[
+    "usize", "isize", "u8", "u16", "u32", "u64", "u128", "i8", "i16", "i32", "i64", "i128",
+];
+
+const FLOAT_METHODS: &[&str] = &[
+    ".ceil(", ".floor(", ".round(", ".trunc(", ".sqrt(", ".log2(", ".log10(", ".ln(", ".exp(",
+    ".exp2(", ".powi(", ".powf(", ".abs(",
+];
+
+const CLAMP_METHODS: &[&str] = &[".clamp(", ".min(", ".max("];
+
+const CLASSIFY_TOKENS: &[&str] = &[
+    "is_finite",
+    "is_nan",
+    "is_infinite",
+    "is_normal",
+    "classify",
+    "nonfinite",
+];
+
+/// Names that mark a function as an error/ratio metric.
+fn is_metric_name(name: &str) -> bool {
+    ["error", "mse", "rmse", "nrmse", "psnr", "ratio"]
+        .iter()
+        .any(|m| name.contains(m))
+}
+
+/// Applies the numerics rules to one masked file.
+pub fn apply(
+    file: &str,
+    masked: &Masked,
+    originals: &[&str],
+    map: &SourceMap,
+    findings: &mut Vec<Finding>,
+) {
+    let mut push = |rule: &'static str, ln: usize, message: String| {
+        findings.push(Finding {
+            rule,
+            file: file.to_owned(),
+            line: ln,
+            snippet: snippet_of(originals, ln),
+            message,
+        });
+    };
+
+    for (idx, line) in masked.lines.iter().enumerate() {
+        let ln = idx + 1;
+
+        // float-total-cmp: file-wide, tests included.
+        if has_word(line, "partial_cmp") {
+            push(
+                "float-total-cmp",
+                ln,
+                "partial_cmp on floats panics or misorders on NaN: use f64::total_cmp".into(),
+            );
+        }
+
+        if map.is_test_line(ln) {
+            continue;
+        }
+
+        // float-cast-bounds.
+        for cast_at in as_cast_sites(line) {
+            let expr = expr_before(line, cast_at);
+            let floaty = FLOAT_METHODS.iter().any(|m| expr.contains(m))
+                || has_word(expr, "f64")
+                || has_word(expr, "f32");
+            let clamped = CLAMP_METHODS.iter().any(|m| expr.contains(m));
+            if floaty && !clamped {
+                push(
+                    "float-cast-bounds",
+                    ln,
+                    "float-to-int cast without .clamp()/.min()/.max(): saturates silently on \
+                     NaN or out-of-range values"
+                        .into(),
+                );
+                break;
+            }
+        }
+
+        // div-abs: only inside metric-named functions.
+        let Some(f) = map.enclosing_fn(ln) else {
+            continue;
+        };
+        if f.is_test || !is_metric_name(&f.name) {
+            continue;
+        }
+        for root in unguarded_divisors(line) {
+            if !divisor_guarded(masked, f, &root) {
+                push(
+                    "div-abs",
+                    ln,
+                    format!(
+                        "division by `{root}` not proven nonzero in `{}`: guard with \
+                         `{root} > eps` / `.max(eps)` or classify the point",
+                        f.name
+                    ),
+                );
+            }
+        }
+    }
+
+    // nan-guard: per metric function.
+    for f in &map.fns {
+        if f.is_test || !is_metric_name(&f.name) || !f.has_float_params() {
+            continue;
+        }
+        if !classifies_nonfinite(masked, f) && !delegates_to_metric(masked, f) {
+            push(
+                "nan-guard",
+                f.sig_line,
+                format!(
+                    "metric `{}` takes floats but never classifies non-finite inputs \
+                     (is_finite/is_nan/...): NaN propagates silently",
+                    f.name
+                ),
+            );
+        }
+    }
+}
+
+/// Byte offsets of `as` keywords that cast to an integer type.
+fn as_cast_sites(line: &str) -> Vec<usize> {
+    let bytes = line.as_bytes();
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = line[from..].find("as") {
+        let at = from + pos;
+        from = at + 2;
+        let prev = line[..at].bytes().next_back();
+        let next = bytes.get(at + 2).copied();
+        let bounded = |b: Option<u8>| !b.is_some_and(|x| x.is_ascii_alphanumeric() || x == b'_');
+        if !bounded(prev) || !bounded(next) {
+            continue;
+        }
+        let target: String = line[at + 2..]
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        if INT_TARGETS.contains(&target.as_str()) {
+            out.push(at);
+        }
+    }
+    out
+}
+
+/// Divisor roots on this line in the flagged forms: a bare identifier
+/// or `<ident>.abs()`. Literals, parenthesized expressions, and chains
+/// that carry an inline `.max(` / `.len(` / `.clamp(` are skipped.
+fn unguarded_divisors(line: &str) -> Vec<String> {
+    let bytes = line.as_bytes();
+    let mut out = Vec::new();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'/' {
+            continue;
+        }
+        // Not part of `//`, `*/`, or `/*` (mask leaves none, but be
+        // safe), and step over `/=`.
+        if bytes.get(i + 1) == Some(&b'/') || (i > 0 && bytes[i - 1] == b'/') {
+            continue;
+        }
+        let mut j = i + 1;
+        if bytes.get(j) == Some(&b'=') {
+            j += 1;
+        }
+        while j < bytes.len() && bytes[j] == b' ' {
+            j += 1;
+        }
+        let Some(&first) = bytes.get(j) else {
+            continue;
+        };
+        if !(first.is_ascii_alphabetic() || first == b'_') {
+            continue; // literal, paren group, etc.
+        }
+        // Consume the chain: ident ( .ident | (..) | [..] )*
+        let start = j;
+        while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+            j += 1;
+        }
+        let root = line[start..j].to_owned();
+        let chain_start = j;
+        let mut depth = 0usize;
+        while j < bytes.len() {
+            match bytes[j] {
+                b'(' | b'[' => depth += 1,
+                b')' | b']' => {
+                    if depth == 0 {
+                        break;
+                    }
+                    depth -= 1;
+                }
+                b'.' if depth == 0 => {}
+                c if depth == 0 && !(c.is_ascii_alphanumeric() || c == b'_') => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        let chain = &line[chain_start..j];
+        if root == "self"
+            || chain.contains(".len(")
+            || CLAMP_METHODS.iter().any(|m| chain.contains(m))
+        {
+            continue; // integer length, or inline floor/clamp.
+        }
+        let flagged = chain.is_empty() || chain.starts_with(".abs()");
+        if flagged && !matches!(root.as_str(), "f64" | "f32") {
+            out.push(root);
+        }
+    }
+    out.dedup();
+    out
+}
+
+/// Whether `root` is proven nonzero anywhere in `f`'s body: compared
+/// with `>`/`>=`/`!=`, classified, floored with `.max(`, or bound from
+/// an expression that is.
+fn divisor_guarded(masked: &Masked, f: &FnScope, root: &str) -> bool {
+    for ln in f.body_start..=f.body_end {
+        let Some(line) = masked.lines.get(ln - 1) else {
+            continue;
+        };
+        let mut from = 0;
+        while let Some(pos) = find_word_at(line, root, from) {
+            from = pos + root.len();
+            let mut rest = line[from..].trim_start();
+            rest = rest.strip_prefix(".abs()").unwrap_or(rest).trim_start();
+            if rest.starts_with('>') || rest.starts_with("!=") {
+                return true;
+            }
+            if rest.starts_with(".is_finite")
+                || rest.starts_with(".is_normal")
+                || rest.starts_with(".max(")
+            {
+                return true;
+            }
+            // `let root = <expr>.max(eps);` — bound pre-floored.
+            if let Some(binding) = rest.strip_prefix('=') {
+                if !binding.starts_with('=') && CLAMP_METHODS.iter().any(|m| binding.contains(m)) {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Whether the body mentions a non-finite classification token.
+fn classifies_nonfinite(masked: &Masked, f: &FnScope) -> bool {
+    (f.body_start..=f.body_end).any(|ln| {
+        masked
+            .lines
+            .get(ln - 1)
+            .is_some_and(|line| CLASSIFY_TOKENS.iter().any(|t| has_word(line, t)))
+    })
+}
+
+/// Whether the body calls another metric-named function (which carries
+/// its own nan-guard obligation).
+fn delegates_to_metric(masked: &Masked, f: &FnScope) -> bool {
+    for ln in f.body_start..=f.body_end {
+        let Some(line) = masked.lines.get(ln - 1) else {
+            continue;
+        };
+        let bytes = line.as_bytes();
+        let mut j = 0usize;
+        while j < bytes.len() {
+            if bytes[j].is_ascii_alphabetic() || bytes[j] == b'_' {
+                let start = j;
+                while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+                    j += 1;
+                }
+                let word = &line[start..j];
+                let called = bytes.get(j) == Some(&b'(');
+                if called && word != f.name && is_metric_name(word) {
+                    return true;
+                }
+                continue;
+            }
+            j += 1;
+        }
+    }
+    false
+}
+
+/// Position of `word` in `line` at or after `from`, as a standalone
+/// word.
+fn find_word_at(line: &str, word: &str, mut from: usize) -> Option<usize> {
+    while let Some(pos) = line[from..].find(word) {
+        let at = from + pos;
+        let prev = line[..at].bytes().next_back();
+        let next = line[at + word.len()..].bytes().next();
+        let bounded = |b: Option<u8>| !b.is_some_and(|x| x.is_ascii_alphanumeric() || x == b'_');
+        if bounded(prev) && bounded(next) {
+            return Some(at);
+        }
+        from = at + word.len();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mask::mask;
+    use crate::tokens::build;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let masked = mask(src);
+        let originals: Vec<&str> = src.split('\n').collect();
+        let map = build(&masked);
+        let mut findings = Vec::new();
+        apply("n.rs", &masked, &originals, &map, &mut findings);
+        findings
+    }
+
+    fn rules_of(f: &[Finding]) -> Vec<&'static str> {
+        f.iter().map(|x| x.rule).collect()
+    }
+
+    #[test]
+    fn partial_cmp_is_flagged_even_in_tests() {
+        let src = "\
+#[cfg(test)]
+mod tests {
+    fn t(v: &mut Vec<f64>) {
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    }
+}
+";
+        assert_eq!(rules_of(&run(src)), ["float-total-cmp"]);
+    }
+
+    #[test]
+    fn total_cmp_is_clean() {
+        let src = "fn s(v: &mut [f64]) { v.sort_by(|a, b| a.total_cmp(b)); }\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn unclamped_float_cast_is_flagged() {
+        let src = "fn f(p: f64, n: usize) -> usize { (p * n as f64).ceil() as usize }\n";
+        assert_eq!(rules_of(&run(src)), ["float-cast-bounds"]);
+    }
+
+    #[test]
+    fn clamped_float_cast_is_clean() {
+        let src =
+            "fn f(p: f64, n: usize) -> usize { (p * n as f64).ceil().clamp(0.0, 1e9) as usize }\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn integer_cast_is_clean() {
+        let src = "fn f(q: u32) -> usize { q as usize }\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn nan_guard_fires_on_bare_metric() {
+        let src = "\
+pub fn mse(a: &[f64], b: &[f64]) -> f64 {
+    let s: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+    s
+}
+";
+        let f = run(src);
+        assert_eq!(rules_of(&f), ["nan-guard"]);
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn nan_guard_satisfied_by_classification() {
+        let src = "\
+pub fn mse(a: &[f64], b: &[f64]) -> u32 {
+    a.iter().zip(b).filter(|(x, y)| !x.is_finite() || !y.is_finite()).count() as u32
+}
+";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn nan_guard_satisfied_by_delegation() {
+        let src = "\
+pub fn mse(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).filter(|(x, _)| x.is_finite()).count() as f64
+}
+pub fn rmse(a: &[f64], b: &[f64]) -> f64 {
+    mse(a, b).sqrt()
+}
+";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn nan_guard_skips_non_float_and_test_fns() {
+        let src = "\
+fn ratio(&self) -> f64 { self.a }
+#[test]
+fn rmse_check(a: f64) { a; }
+";
+        // `ratio` has no float params; the test fn is exempt.
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn div_abs_fires_without_guard() {
+        let src = "\
+fn rel_error(xs: &[f64], ys: &[f64]) -> f64 {
+    let x = xs[0].is_finite();
+    let d = ys[0];
+    1.0 / d
+}
+";
+        assert_eq!(rules_of(&run(src)), ["div-abs"]);
+    }
+
+    #[test]
+    fn div_abs_guarded_by_comparison() {
+        let src = "\
+fn rel_error(x: f64, d: f64) -> f64 {
+    if !x.is_finite() || d.abs() > 1e-12 {
+        return x / d.abs();
+    }
+    0.0
+}
+";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn div_abs_guarded_by_max_floor() {
+        let src = "\
+fn rel_error(x: f64, raw: f64) -> f64 {
+    let d = raw.abs().max(1e-12);
+    if !x.is_finite() { return 0.0; }
+    x / d
+}
+";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn div_by_len_or_literal_is_clean() {
+        let src = "\
+fn mse(a: &[f64]) -> f64 {
+    let n = a.iter().filter(|x| x.is_finite()).count();
+    if n > 0 { a[0] / a.len() as f64 + a[0] / 2.0 } else { 0.0 }
+}
+";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn div_outside_metric_fn_is_clean() {
+        let src = "fn scale(x: f64, d: f64) -> f64 { x / d }\n";
+        assert!(run(src).is_empty());
+    }
+}

@@ -14,6 +14,13 @@
 //! * **Every file** must precede `unsafe` with a `// SAFETY:` comment
 //!   (`unsafe-safety`); a `SAFETY: TODO` stub — as inserted by
 //!   `--fix-safety-stubs` — still fails the gate (`safety-todo`).
+//! * **Registered numerics files** (`lint.toml [numerics]`) get the
+//!   float-safety pack (see [`crate::numerics`]): `float-total-cmp`,
+//!   `nan-guard`, `float-cast-bounds`, `div-abs`.
+//! * **Registered concurrency files** (`lint.toml [concurrency]`) get
+//!   the lock/thread pack (see [`crate::concurrency`]):
+//!   `lock-across-call`, `no-unscoped-spawn`,
+//!   `result-slot-discipline`.
 //!
 //! Suppression is per-site only: `// lint:allow(<rule>): <reason>`
 //! silences `<rule>` on its own line and the next line. An allow
@@ -21,6 +28,7 @@
 //! (`allow-unknown`) is itself a finding and cannot be suppressed.
 
 use crate::mask::{mask, Masked};
+use crate::tokens::{self, has_word};
 use std::collections::{HashMap, HashSet};
 
 /// Every rule the engine can emit, for `lint:allow` validation.
@@ -33,6 +41,13 @@ pub const RULE_NAMES: &[&str] = &[
     "safety-todo",
     "wire-usize",
     "wire-hashmap",
+    "float-total-cmp",
+    "nan-guard",
+    "float-cast-bounds",
+    "div-abs",
+    "lock-across-call",
+    "no-unscoped-spawn",
+    "result-slot-discipline",
     "allow-no-reason",
     "allow-unknown",
 ];
@@ -44,6 +59,10 @@ pub struct FileKind {
     pub decode: bool,
     /// Registered in `lint.toml [wire]`.
     pub wire: bool,
+    /// Registered in `lint.toml [numerics]`.
+    pub numerics: bool,
+    /// Registered in `lint.toml [concurrency]`.
+    pub concurrency: bool,
 }
 
 /// One rule violation.
@@ -62,13 +81,13 @@ pub struct Finding {
 pub fn lint_source(file: &str, src: &str, kind: FileKind) -> Vec<Finding> {
     let masked = mask(src);
     let originals: Vec<&str> = src.split('\n').collect();
-    let scopes = classify_lines(&masked);
+    let map = tokens::build(&masked);
     let (allows, mut findings) = parse_allows(file, &masked, &originals);
 
     for (idx, line) in masked.lines.iter().enumerate() {
         let ln = idx + 1;
-        let in_test = scopes.test.contains(&ln);
-        let in_decode = scopes.decode.contains(&ln);
+        let in_test = map.is_test_line(ln);
+        let in_decode = map.decode_lines.contains(&ln);
         let snippet = || snippet_of(&originals, ln);
         let mut push = |rule: &'static str, message: String| {
             findings.push(Finding {
@@ -159,6 +178,13 @@ pub fn lint_source(file: &str, src: &str, kind: FileKind) -> Vec<Finding> {
         }
     }
 
+    if kind.numerics {
+        crate::numerics::apply(file, &masked, &originals, &map, &mut findings);
+    }
+    if kind.concurrency {
+        crate::concurrency::apply(file, &masked, &originals, &map, &mut findings);
+    }
+
     findings.retain(|f| {
         !matches!(
             allows.get(f.rule),
@@ -172,121 +198,7 @@ pub fn lint_source(file: &str, src: &str, kind: FileKind) -> Vec<Finding> {
 }
 
 // ---------------------------------------------------------------------------
-// Scope classification: which lines are test code / decode-fn bodies.
-// ---------------------------------------------------------------------------
-
-struct Scopes {
-    test: HashSet<usize>,
-    decode: HashSet<usize>,
-}
-
-#[derive(Clone, Copy, PartialEq)]
-enum RegionKind {
-    Anonymous,
-    Test,
-    Decode,
-}
-
-/// Walks the masked lines with a brace stack, marking each line that
-/// falls inside a `#[cfg(test)]` item or a decode-named `fn` body.
-fn classify_lines(masked: &Masked) -> Scopes {
-    let mut scopes = Scopes {
-        test: HashSet::new(),
-        decode: HashSet::new(),
-    };
-    let mut stack: Vec<RegionKind> = Vec::new();
-    // A region kind waiting for its opening `{` (set at `fn`/`mod`).
-    let mut pending: Option<RegionKind> = None;
-    // Paren/bracket depth since `pending` was set, so the `;` that ends
-    // a trait-method *declaration* is not confused with `[u8; 4]`.
-    let mut pending_nest = 0usize;
-    // A `#[cfg(test)]` attribute waiting for its item.
-    let mut pending_test_attr = false;
-    let mut awaiting_fn_name = false;
-
-    for (idx, line) in masked.lines.iter().enumerate() {
-        let ln = idx + 1;
-        if line.trim_start().starts_with("#[cfg(test") {
-            pending_test_attr = true;
-        }
-        let mark = |scopes: &mut Scopes, stack: &[RegionKind], ln: usize| {
-            if stack.contains(&RegionKind::Test) {
-                scopes.test.insert(ln);
-            }
-            if stack.contains(&RegionKind::Decode) {
-                scopes.decode.insert(ln);
-            }
-        };
-        mark(&mut scopes, &stack, ln);
-
-        let bytes = line.as_bytes();
-        let mut j = 0usize;
-        while j < bytes.len() {
-            let c = bytes[j];
-            if c.is_ascii_alphabetic() || c == b'_' {
-                let start = j;
-                while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
-                    j += 1;
-                }
-                let word = &line[start..j];
-                if awaiting_fn_name {
-                    awaiting_fn_name = false;
-                    let is_test = pending_test_attr;
-                    pending_test_attr = false;
-                    pending = Some(if is_test {
-                        RegionKind::Test
-                    } else if is_decode_fn(word) {
-                        RegionKind::Decode
-                    } else {
-                        RegionKind::Anonymous
-                    });
-                    pending_nest = 0;
-                } else if word == "fn" {
-                    awaiting_fn_name = true;
-                } else if word == "mod" && pending_test_attr {
-                    pending_test_attr = false;
-                    pending = Some(RegionKind::Test);
-                    pending_nest = 0;
-                }
-                continue;
-            }
-            match c {
-                b'{' => {
-                    stack.push(pending.take().unwrap_or(RegionKind::Anonymous));
-                    mark(&mut scopes, &stack, ln);
-                }
-                b'}' => {
-                    stack.pop();
-                }
-                b'(' | b'[' if pending.is_some() => pending_nest += 1,
-                b')' | b']' if pending.is_some() => {
-                    pending_nest = pending_nest.saturating_sub(1);
-                }
-                b';' if pending_nest == 0 => {
-                    // End of a declaration: the pending fn had no body
-                    // (trait method) and any `#[cfg(test)] use ...;`
-                    // attribute is spent.
-                    pending = None;
-                    pending_test_attr = false;
-                }
-                _ => {}
-            }
-            j += 1;
-        }
-    }
-    scopes
-}
-
-/// Functions whose bodies handle untrusted bytes, by naming convention.
-fn is_decode_fn(name: &str) -> bool {
-    ["decompress", "decode", "from_bytes", "reconstruct", "parse"]
-        .iter()
-        .any(|p| name.contains(p))
-        || name.starts_with("read_")
-}
-
-// ---------------------------------------------------------------------------
-// Per-line token checks.
+// Per-line token checks. (Scope classification lives in `tokens`.)
 // ---------------------------------------------------------------------------
 
 /// `mac` (e.g. `"assert!"`) as a macro invocation, rejecting matches
@@ -300,23 +212,6 @@ fn has_macro(line: &str, mac: &str) -> bool {
             return true;
         }
         from = at + mac.len();
-    }
-    false
-}
-
-/// Standalone word match (`unsafe`, `HashMap`), not a substring of a
-/// longer identifier.
-fn has_word(line: &str, word: &str) -> bool {
-    let mut from = 0;
-    while let Some(pos) = line[from..].find(word) {
-        let at = from + pos;
-        let prev = line[..at].bytes().next_back();
-        let next = line[at + word.len()..].bytes().next();
-        let bounded = |b: Option<u8>| !b.is_some_and(|x| x.is_ascii_alphanumeric() || x == b'_');
-        if bounded(prev) && bounded(next) {
-            return true;
-        }
-        from = at + word.len();
     }
     false
 }
@@ -467,7 +362,7 @@ fn parse_allows(file: &str, masked: &Masked, originals: &[&str]) -> (AllowMap, V
 }
 
 /// Trimmed, length-capped copy of the original source line.
-fn snippet_of(originals: &[&str], ln: usize) -> String {
+pub(crate) fn snippet_of(originals: &[&str], ln: usize) -> String {
     let line = originals.get(ln - 1).copied().unwrap_or("").trim();
     if line.chars().count() > 60 {
         let cut: String = line.chars().take(57).collect();
@@ -484,14 +379,20 @@ mod tests {
     const DECODE: FileKind = FileKind {
         decode: true,
         wire: false,
+        numerics: false,
+        concurrency: false,
     };
     const WIRE: FileKind = FileKind {
         decode: false,
         wire: true,
+        numerics: false,
+        concurrency: false,
     };
     const PLAIN: FileKind = FileKind {
         decode: false,
         wire: false,
+        numerics: false,
+        concurrency: false,
     };
 
     fn rules_of(findings: &[Finding]) -> Vec<&'static str> {

@@ -1,0 +1,617 @@
+//! Nesting-aware tokenization: the token-tree layer under the rules.
+//!
+//! The v1 linter classified lines with a flat brace stack that only knew
+//! "test region" and "decode-named fn". The numerics and concurrency
+//! packs need more: *which* function encloses a line, what that
+//! function's signature says (float parameters? closure-typed callback
+//! parameters?), and where its body begins and ends. [`SourceMap`]
+//! computes all of that in one walk over the masked source, so every
+//! rule shares a single structural view instead of re-lexing.
+//!
+//! The walk is still deliberately not a Rust parser: it tracks brace /
+//! paren / bracket nesting over the comment- and string-masked text
+//! (see [`crate::mask`]), which is exactly enough structure for rules
+//! that ask "does this token appear inside that scope".
+
+use crate::mask::Masked;
+use std::collections::HashSet;
+
+/// One function item found in the source.
+#[derive(Debug, Clone)]
+pub struct FnScope {
+    /// The function's name.
+    pub name: String,
+    /// 1-indexed line of the `fn` keyword.
+    pub sig_line: usize,
+    /// Line of the opening `{` of the body (equals `sig_line` for
+    /// single-line functions).
+    pub body_start: usize,
+    /// Line of the closing `}` of the body.
+    pub body_end: usize,
+    /// Inside `#[cfg(test)]` code or carrying `#[test]`.
+    pub is_test: bool,
+    /// Signature text from `fn` to the opening `{`, masked, with line
+    /// breaks collapsed to spaces.
+    pub signature: String,
+    /// Parameter names whose type is closure-shaped (`impl Fn…`, or a
+    /// generic with an `Fn`/`FnMut`/`FnOnce` bound in the generics or
+    /// where-clause).
+    pub callback_params: Vec<String>,
+    /// Brace depth of the body interior (depth of the `{` + 1).
+    pub body_depth: usize,
+}
+
+impl FnScope {
+    /// Whether any *parameter* mentions a float type (`f64` / `f32`) —
+    /// the function can receive floating-point inputs. The return type
+    /// deliberately does not count: `fn ratio(&self) -> f64` cannot be
+    /// handed a NaN.
+    pub fn has_float_params(&self) -> bool {
+        let params = param_list(&self.signature);
+        has_word(params, "f64") || has_word(params, "f32")
+    }
+
+    /// Whether `ln` falls in the body (inclusive of the brace lines).
+    pub fn contains(&self, ln: usize) -> bool {
+        ln >= self.body_start && ln <= self.body_end
+    }
+}
+
+/// Structural view of one masked file.
+#[derive(Debug, Default)]
+pub struct SourceMap {
+    /// Every `fn` item, in source order (nested fns appear after their
+    /// parent).
+    pub fns: Vec<FnScope>,
+    /// Lines inside `#[cfg(test)]` items or `#[test]` functions.
+    pub test_lines: HashSet<usize>,
+    /// Lines inside decode-named function bodies (non-test).
+    pub decode_lines: HashSet<usize>,
+}
+
+impl SourceMap {
+    /// The innermost function whose body contains `ln`, if any.
+    pub fn enclosing_fn(&self, ln: usize) -> Option<&FnScope> {
+        // Later entries open later; the innermost enclosing scope is the
+        // last one started at or before `ln` that still contains it.
+        self.fns.iter().rfind(|f| f.contains(ln))
+    }
+
+    /// True when `ln` is test code.
+    pub fn is_test_line(&self, ln: usize) -> bool {
+        self.test_lines.contains(&ln)
+    }
+}
+
+/// Functions whose bodies handle untrusted bytes, by naming convention.
+pub fn is_decode_fn(name: &str) -> bool {
+    ["decompress", "decode", "from_bytes", "reconstruct", "parse"]
+        .iter()
+        .any(|p| name.contains(p))
+        || name.starts_with("read_")
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum RegionKind {
+    Anonymous,
+    Test,
+    /// A function scope; index into the in-progress `fns` vec.
+    Fn(usize),
+}
+
+/// Builds the [`SourceMap`] for one masked file.
+pub fn build(masked: &Masked) -> SourceMap {
+    let mut map = SourceMap::default();
+    let mut stack: Vec<RegionKind> = Vec::new();
+    // Region kind waiting for its opening `{` (set at `fn` / `mod`).
+    let mut pending: Option<RegionKind> = None;
+    // Paren/bracket depth since `pending` was set, so the `;` ending a
+    // trait-method *declaration* is not confused with `[u8; 4]`.
+    let mut pending_nest = 0usize;
+    // `#[cfg(test)]` / `#[test]` attribute waiting for its item.
+    let mut pending_test_attr = false;
+    let mut awaiting_fn_name = false;
+    // Signature text accumulating between `fn` and its `{`.
+    let mut sig: Option<String> = None;
+
+    let mark = |map: &mut SourceMap, stack: &[RegionKind], ln: usize| {
+        let in_test = stack.contains(&RegionKind::Test)
+            || stack.iter().any(
+                |r| matches!(r, RegionKind::Fn(i) if map.fns.get(*i).is_some_and(|f| f.is_test)),
+            );
+        if in_test {
+            map.test_lines.insert(ln);
+        }
+        let in_decode = stack.iter().any(|r| {
+            matches!(r, RegionKind::Fn(i)
+                if map.fns.get(*i).is_some_and(|f| is_decode_fn(&f.name) && !f.is_test))
+        });
+        if in_decode && !in_test {
+            map.decode_lines.insert(ln);
+        }
+    };
+
+    for (idx, line) in masked.lines.iter().enumerate() {
+        let ln = idx + 1;
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("#[cfg(test") || trimmed.starts_with("#[test]") {
+            pending_test_attr = true;
+        }
+        mark(&mut map, &stack, ln);
+
+        let bytes = line.as_bytes();
+        let mut j = 0usize;
+        while j < bytes.len() {
+            let c = bytes[j];
+            if c.is_ascii_alphabetic() || c == b'_' {
+                let start = j;
+                while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+                    j += 1;
+                }
+                let word = &line[start..j];
+                if let Some(s) = sig.as_mut() {
+                    s.push(' ');
+                    s.push_str(word);
+                }
+                if awaiting_fn_name {
+                    awaiting_fn_name = false;
+                    let is_test = pending_test_attr
+                        || stack.contains(&RegionKind::Test)
+                        || stack.iter().any(|r| {
+                            matches!(r, RegionKind::Fn(i)
+                                if map.fns.get(*i).is_some_and(|f| f.is_test))
+                        });
+                    pending_test_attr = false;
+                    map.fns.push(FnScope {
+                        name: word.to_owned(),
+                        sig_line: ln,
+                        body_start: 0,
+                        body_end: 0,
+                        is_test,
+                        signature: String::new(),
+                        callback_params: Vec::new(),
+                        body_depth: 0,
+                    });
+                    pending = Some(RegionKind::Fn(map.fns.len() - 1));
+                    pending_nest = 0;
+                    sig = Some(format!("fn {word}"));
+                } else if word == "fn" {
+                    awaiting_fn_name = true;
+                } else if word == "mod" && pending_test_attr {
+                    pending_test_attr = false;
+                    pending = Some(RegionKind::Test);
+                    pending_nest = 0;
+                }
+                continue;
+            }
+            if let Some(s) = sig.as_mut() {
+                if c != b'{' {
+                    s.push(c as char);
+                }
+            }
+            match c {
+                b'{' => {
+                    let kind = pending.take().unwrap_or(RegionKind::Anonymous);
+                    if let RegionKind::Fn(i) = kind {
+                        let depth = stack.len() + 1;
+                        if let Some(f) = map.fns.get_mut(i) {
+                            f.body_start = ln;
+                            f.body_depth = depth;
+                            f.signature = sig.take().unwrap_or_default();
+                            f.callback_params = callback_params(&f.signature);
+                        }
+                    }
+                    stack.push(kind);
+                    mark(&mut map, &stack, ln);
+                }
+                b'}' => {
+                    if let Some(RegionKind::Fn(i)) = stack.pop() {
+                        if let Some(f) = map.fns.get_mut(i) {
+                            f.body_end = ln;
+                        }
+                    }
+                }
+                b'(' | b'[' if pending.is_some() => pending_nest += 1,
+                b')' | b']' if pending.is_some() => {
+                    pending_nest = pending_nest.saturating_sub(1);
+                }
+                b';' if pending_nest == 0 => {
+                    // End of a declaration: a pending fn had no body
+                    // (trait method); drop its half-built scope so it
+                    // never claims the following lines.
+                    if let Some(RegionKind::Fn(i)) = pending.take() {
+                        if i + 1 == map.fns.len() {
+                            map.fns.pop();
+                        }
+                    }
+                    pending_test_attr = false;
+                    sig = None;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+    // A truncated file can leave a body open; close it at EOF so range
+    // queries stay sane.
+    let last = masked.lines.len();
+    for f in &mut map.fns {
+        if f.body_start > 0 && f.body_end == 0 {
+            f.body_end = last;
+        }
+    }
+    map.fns.retain(|f| f.body_start > 0);
+    map
+}
+
+/// Extracts the names of closure-typed parameters from a masked
+/// signature (`fn name<...>(params) -> ret where ...`).
+fn callback_params(sig: &str) -> Vec<String> {
+    // 1. Generic type names carrying an Fn bound, from `<...>` generics
+    //    or the where-clause: `F: Fn(..)`, `F: FnMut(..) + Sync`, ...
+    let mut fn_generics: Vec<String> = Vec::new();
+    let mut rest = sig;
+    while let Some(pos) = rest.find(':') {
+        let before = rest[..pos].trim_end();
+        let name: String = before
+            .chars()
+            .rev()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect::<String>()
+            .chars()
+            .rev()
+            .collect();
+        let after = rest[pos + 1..].trim_start();
+        if !name.is_empty()
+            && (after.starts_with("Fn(")
+                || after.starts_with("FnMut")
+                || after.starts_with("FnOnce")
+                || after.starts_with("Fn "))
+        {
+            fn_generics.push(name);
+        }
+        rest = &rest[pos + 1..];
+    }
+
+    // 2. The parameter list: the first top-level paren group.
+    let params = param_list(sig);
+
+    let mut out = Vec::new();
+    for part in split_top_level(params) {
+        let Some(colon) = part.find(':') else {
+            continue; // `self` and friends
+        };
+        let name = part[..colon].trim().trim_start_matches("mut ").trim();
+        let ty = part[colon + 1..].trim();
+        if name.is_empty() || !name.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'_') {
+            continue;
+        }
+        let is_callback = has_word(ty, "Fn")
+            || has_word(ty, "FnMut")
+            || has_word(ty, "FnOnce")
+            || fn_generics.iter().any(|g| has_word(ty, g));
+        if is_callback {
+            out.push(name.to_owned());
+        }
+    }
+    out
+}
+
+/// The parameter list of a masked signature: the first paren group at
+/// angle-bracket depth 0, so `Fn(..)` bounds inside `<...>` generics
+/// are not mistaken for it.
+fn param_list(sig: &str) -> &str {
+    let bytes = sig.as_bytes();
+    let mut angle = 0i32;
+    let mut open = None;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'<' => angle += 1,
+            b'-' if bytes.get(i + 1) == Some(&b'>') => i += 1, // skip `->`
+            b'>' => angle -= 1,
+            b'(' if angle <= 0 => {
+                open = Some(i);
+                break;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    let Some(open) = open else {
+        return "";
+    };
+    let mut depth = 0usize;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return &sig[open + 1..i];
+                }
+            }
+            _ => {}
+        }
+    }
+    &sig[open + 1..]
+}
+
+/// Splits a parameter list on commas at paren/bracket/angle depth 0.
+fn split_top_level(s: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut start = 0usize;
+    let bytes = s.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'(' | b'[' | b'<' => depth += 1,
+            b')' | b']' => depth -= 1,
+            b'-' if bytes.get(i + 1) == Some(&b'>') => i += 1, // skip `->`
+            b'>' => depth -= 1,
+            b',' if depth <= 0 => {
+                out.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    if start < s.len() {
+        out.push(&s[start..]);
+    }
+    out
+}
+
+/// Standalone word match, not a substring of a longer identifier.
+pub fn has_word(line: &str, word: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(word) {
+        let at = from + pos;
+        let prev = line[..at].bytes().next_back();
+        let next = line[at + word.len()..].bytes().next();
+        let bounded = |b: Option<u8>| !b.is_some_and(|x| x.is_ascii_alphanumeric() || x == b'_');
+        if bounded(prev) && bounded(next) {
+            return true;
+        }
+        from = at + word.len();
+    }
+    false
+}
+
+/// The chained expression ending immediately before byte offset `at` on
+/// `line`: walks backwards over identifiers, float literals, `.` method
+/// chains, and balanced `(..)` / `[..]` groups. Used to inspect the
+/// source operand of an `as` cast.
+pub fn expr_before(line: &str, at: usize) -> &str {
+    let bytes = line.as_bytes();
+    let mut end = at;
+    while end > 0 && bytes[end - 1] == b' ' {
+        end -= 1;
+    }
+    let mut start = end;
+    loop {
+        if start == 0 {
+            break;
+        }
+        let c = bytes[start - 1];
+        if c == b')' || c == b']' {
+            // Match backwards to the opener.
+            let (open, close) = if c == b')' {
+                (b'(', b')')
+            } else {
+                (b'[', b']')
+            };
+            let mut depth = 0usize;
+            let mut k = start;
+            let mut matched = false;
+            while k > 0 {
+                let b = bytes[k - 1];
+                if b == close {
+                    depth += 1;
+                } else if b == open {
+                    depth -= 1;
+                    if depth == 0 {
+                        start = k - 1;
+                        matched = true;
+                        break;
+                    }
+                }
+                k -= 1;
+            }
+            if !matched {
+                break;
+            }
+            continue;
+        }
+        if c.is_ascii_alphanumeric() || c == b'_' {
+            while start > 0
+                && (bytes[start - 1].is_ascii_alphanumeric() || bytes[start - 1] == b'_')
+            {
+                start -= 1;
+            }
+            continue;
+        }
+        if c == b'.' {
+            // Part of a method chain or a float literal.
+            start -= 1;
+            continue;
+        }
+        break;
+    }
+    &line[start..end]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mask::mask;
+
+    fn map_of(src: &str) -> SourceMap {
+        build(&mask(src))
+    }
+
+    #[test]
+    fn fn_scopes_record_name_and_body_range() {
+        let m = map_of("fn alpha() {\n    work();\n}\nfn beta() { x() }\n");
+        assert_eq!(m.fns.len(), 2);
+        assert_eq!(m.fns[0].name, "alpha");
+        assert_eq!((m.fns[0].body_start, m.fns[0].body_end), (1, 3));
+        assert_eq!(m.fns[1].name, "beta");
+        assert_eq!((m.fns[1].body_start, m.fns[1].body_end), (4, 4));
+    }
+
+    #[test]
+    fn enclosing_fn_prefers_innermost() {
+        let src = "\
+fn outer() {
+    fn inner() {
+        deep();
+    }
+    shallow();
+}
+";
+        let m = map_of(src);
+        assert_eq!(m.enclosing_fn(3).map(|f| f.name.as_str()), Some("inner"));
+        assert_eq!(m.enclosing_fn(5).map(|f| f.name.as_str()), Some("outer"));
+        assert!(m.enclosing_fn(7).is_none());
+    }
+
+    #[test]
+    fn test_attribute_and_cfg_test_mark_scopes() {
+        let src = "\
+#[test]
+fn t() {
+    boom();
+}
+#[cfg(test)]
+mod tests {
+    fn helper() {
+        x();
+    }
+}
+fn real() {
+    y();
+}
+";
+        let m = map_of(src);
+        assert!(m.is_test_line(3));
+        assert!(m.is_test_line(8));
+        assert!(!m.is_test_line(12));
+        let t = m.fns.iter().find(|f| f.name == "t").expect("t");
+        assert!(t.is_test);
+        let h = m.fns.iter().find(|f| f.name == "helper").expect("helper");
+        assert!(h.is_test);
+        let r = m.fns.iter().find(|f| f.name == "real").expect("real");
+        assert!(!r.is_test);
+    }
+
+    #[test]
+    fn decode_lines_cover_decode_named_fns_only() {
+        let src = "\
+fn decompress(b: &[u8]) {
+    inner();
+}
+fn compress(b: &[u8]) {
+    other();
+}
+";
+        let m = map_of(src);
+        assert!(m.decode_lines.contains(&2));
+        assert!(!m.decode_lines.contains(&5));
+    }
+
+    #[test]
+    fn trait_method_declaration_leaves_no_scope() {
+        let src = "\
+trait T {
+    fn decompress(&self, b: &[u8]) -> Vec<u8>;
+}
+fn after() {
+    x();
+}
+";
+        let m = map_of(src);
+        assert_eq!(m.fns.len(), 1);
+        assert_eq!(m.fns[0].name, "after");
+        assert!(!m.decode_lines.contains(&5));
+    }
+
+    #[test]
+    fn signature_captures_multi_line_and_floats() {
+        let src = "\
+fn metric(
+    a: &[f64],
+    floor: f64,
+) -> f64 {
+    body()
+}
+";
+        let m = map_of(src);
+        let f = &m.fns[0];
+        assert!(f.has_float_params());
+        assert_eq!(f.body_start, 4);
+        assert_eq!(f.body_end, 6);
+    }
+
+    #[test]
+    fn float_return_type_alone_is_not_float_params() {
+        let m = map_of("fn ratio(&self) -> f64 {\n    self.x\n}\n");
+        assert!(!m.fns[0].has_float_params());
+    }
+
+    #[test]
+    fn callback_params_via_generic_bound() {
+        let src = "\
+fn run<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    F: Fn(usize, T) -> R + Sync,
+{
+    f(0, items.into_iter().next().unwrap())
+}
+";
+        let m = map_of(src);
+        assert_eq!(m.fns[0].callback_params, vec!["f"]);
+    }
+
+    #[test]
+    fn callback_params_via_impl_fn_and_inline_bound() {
+        let src = "\
+fn a(process: impl Fn(&str) -> usize, n: usize) { process; n; }
+fn b<F: FnMut() -> u8>(cb: F, data: Vec<u8>) { cb; data; }
+";
+        let m = map_of(src);
+        assert_eq!(m.fns[0].callback_params, vec!["process"]);
+        assert_eq!(m.fns[1].callback_params, vec!["cb"]);
+    }
+
+    #[test]
+    fn non_callback_params_are_not_confused() {
+        let src = "fn f(map: HashMap<String, usize>, v: Vec<f64>) { map; v; }\n";
+        let m = map_of(src);
+        assert!(m.fns[0].callback_params.is_empty());
+    }
+
+    #[test]
+    fn expr_before_walks_method_chains() {
+        let line = "let idx = (p * n as f64).ceil() as usize;";
+        let at = line.rfind("as").expect("as");
+        assert_eq!(expr_before(line, at), "(p * n as f64).ceil()");
+    }
+
+    #[test]
+    fn expr_before_stops_at_operators() {
+        let line = "let x = 1 + q as i64;";
+        let at = line.rfind("as").expect("as");
+        assert_eq!(expr_before(line, at), "q");
+    }
+
+    #[test]
+    fn unterminated_body_is_closed_at_eof() {
+        let m = map_of("fn broken() {\n    x();\n");
+        assert_eq!(m.fns.len(), 1);
+        // Closed at the last (empty trailing) line rather than left at 0.
+        assert_eq!(m.fns[0].body_end, 3);
+    }
+}

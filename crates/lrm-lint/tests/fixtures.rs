@@ -1,0 +1,121 @@
+//! Fixture-based self-tests for the lint engine.
+//!
+//! Every `tests/fixtures/*.rs` file is a known snippet — bad code that a
+//! rule must flag, next to the corrected idiom it must accept. The file
+//! name's prefix (up to `__`) selects the rule families applied, mirroring
+//! a `lint.toml` registration; `//~ rule-name` trailer comments record the
+//! expected findings as (line, rule) pairs. The harness fails on any
+//! missed *or* spurious finding, so the fixtures double as a
+//! false-positive regression corpus. The fixture directory itself is
+//! excluded from workspace scans by `collect_rust_files`.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+use lrm_lint::rules::{lint_source, FileKind};
+
+fn fixtures_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn fixture_paths() -> Vec<PathBuf> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(fixtures_dir())
+        .expect("fixtures directory exists")
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("rs"))
+        .collect();
+    paths.sort();
+    paths
+}
+
+/// The rule families a fixture opts into, from its `<prefix>__` name.
+fn kind_for(prefix: &str) -> FileKind {
+    let mut kind = FileKind::default();
+    match prefix {
+        "decode" => kind.decode = true,
+        "wire" => kind.wire = true,
+        "numerics" => kind.numerics = true,
+        "concurrency" => kind.concurrency = true,
+        "plain" => {}
+        other => panic!("fixture prefix {other:?} does not name a rule family"),
+    }
+    kind
+}
+
+/// Parses `//~ rule-name` markers into the expected (line, rule) set.
+fn expectations(src: &str) -> BTreeSet<(usize, String)> {
+    let mut want = BTreeSet::new();
+    for (idx, line) in src.lines().enumerate() {
+        let mut rest = line;
+        while let Some(pos) = rest.find("//~") {
+            rest = &rest[pos + 3..];
+            let rule = rest.split_whitespace().next().unwrap_or("");
+            assert!(!rule.is_empty(), "empty //~ marker on line {}", idx + 1);
+            want.insert((idx + 1, rule.to_string()));
+        }
+    }
+    want
+}
+
+fn stem(path: &Path) -> &str {
+    path.file_stem()
+        .and_then(|s| s.to_str())
+        .expect("fixture has a utf-8 stem")
+}
+
+#[test]
+fn fixture_corpus_matches_expected_findings() {
+    let paths = fixture_paths();
+    assert!(
+        paths.len() >= 10,
+        "expected a fixture corpus, found {} files",
+        paths.len()
+    );
+    for path in &paths {
+        let name = stem(path);
+        let prefix = name.split("__").next().expect("split never empty");
+        let src = std::fs::read_to_string(path).expect("fixture readable");
+        let want = expectations(&src);
+        let got: BTreeSet<(usize, String)> = lint_source(name, &src, kind_for(prefix))
+            .into_iter()
+            .map(|f| (f.line, f.rule.to_string()))
+            .collect();
+        assert_eq!(
+            got, want,
+            "fixture {name}: findings diverge from //~ markers \
+             (left = engine, right = expected)"
+        );
+    }
+}
+
+#[test]
+fn every_new_rule_fires_somewhere_in_the_corpus() {
+    let mut fired = BTreeSet::new();
+    for path in fixture_paths() {
+        let src = std::fs::read_to_string(&path).expect("fixture readable");
+        for (_, rule) in expectations(&src) {
+            fired.insert(rule);
+        }
+    }
+    for rule in [
+        "float-total-cmp",
+        "nan-guard",
+        "float-cast-bounds",
+        "div-abs",
+        "lock-across-call",
+        "no-unscoped-spawn",
+        "result-slot-discipline",
+    ] {
+        assert!(fired.contains(rule), "no fixture exercises rule {rule}");
+    }
+}
+
+#[test]
+fn clean_fixture_exists_and_is_clean() {
+    // At least one fixture must assert the zero-findings path explicitly.
+    let path = fixtures_dir().join("plain__clean.rs");
+    let src = std::fs::read_to_string(&path).expect("plain__clean.rs exists");
+    assert!(expectations(&src).is_empty());
+    assert!(lint_source("plain__clean", &src, FileKind::default()).is_empty());
+}

@@ -1,0 +1,31 @@
+//! Fixture: holding a mutex guard across a caller-supplied callback
+//! invites deadlock (the callback may take the same lock).
+
+use std::sync::Mutex;
+
+pub fn for_each_locked<F: Fn(usize)>(m: &Mutex<Vec<usize>>, f: F) {
+    let guard = m.lock().expect("poisoned");
+    for &v in guard.iter() {
+        f(v); //~ lock-across-call
+    }
+}
+
+pub fn for_each_dropped<F: Fn(usize)>(m: &Mutex<Vec<usize>>, f: F) {
+    let guard = m.lock().expect("poisoned");
+    let items = guard.clone();
+    drop(guard);
+    for v in items {
+        f(v); // good: guard explicitly dropped before the callback
+    }
+}
+
+pub fn for_each_scoped<F: Fn(usize)>(m: &Mutex<Vec<usize>>, f: F) {
+    let items;
+    {
+        let guard = m.lock().expect("poisoned");
+        items = guard.clone();
+    }
+    for v in items {
+        f(v); // good: guard's scope closed before the callback
+    }
+}

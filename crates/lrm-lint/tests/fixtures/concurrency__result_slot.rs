@@ -1,0 +1,10 @@
+//! Fixture: writes into shared result slots must store `Some(..)` so a
+//! lost result is distinguishable from a never-scheduled task.
+
+pub fn record_raw(out_slots: &mut [u64], i: usize, r: u64) {
+    out_slots[i] = r; //~ result-slot-discipline
+}
+
+pub fn record(slots: &mut [Option<u64>], i: usize, r: u64) {
+    slots[i] = Some(r); // good: absence stays observable
+}

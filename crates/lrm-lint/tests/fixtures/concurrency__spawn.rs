@@ -1,0 +1,25 @@
+//! Fixture: unscoped `thread::spawn` leaks workers on early return;
+//! scoped threads or a documented join path are required.
+
+pub fn fire_and_forget() {
+    std::thread::spawn(|| { //~ no-unscoped-spawn
+        let _ = 1 + 1;
+    });
+}
+
+pub fn scoped_work(data: &mut [u64]) {
+    std::thread::scope(|s| {
+        for chunk in data.chunks_mut(2) {
+            s.spawn(move || {
+                for v in chunk.iter_mut() {
+                    *v += 1;
+                }
+            });
+        }
+    });
+}
+
+pub fn documented_worker() -> std::thread::JoinHandle<()> {
+    // lint:allow(no-unscoped-spawn): handle is returned; the caller joins it
+    std::thread::spawn(|| {})
+}

@@ -1,0 +1,7 @@
+//! Fixture: decode-path hardening rules fire inside decoder functions.
+
+pub fn decode_header(bytes: &[u8]) -> u16 {
+    let hi = bytes.first().copied().unwrap(); //~ no-unwrap
+    let lo = bytes[1]; //~ no-index
+    (u16::from(hi) << 8) | u16::from(lo)
+}

@@ -1,0 +1,14 @@
+//! Fixture: `lint:allow` with a reason suppresses a finding; without a
+//! reason the allow itself is the finding and suppresses nothing.
+
+pub fn sort_with_reason(mut v: Vec<f64>) -> Vec<f64> {
+    // lint:allow(float-total-cmp): inputs pre-filtered to finite values
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    v
+}
+
+pub fn sort_without_reason(mut v: Vec<f64>) -> Vec<f64> {
+    // lint:allow(float-total-cmp) //~ allow-no-reason
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite")); //~ float-total-cmp
+    v
+}

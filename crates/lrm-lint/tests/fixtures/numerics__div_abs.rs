@@ -1,0 +1,25 @@
+//! Fixture: inside an error-metric function, dividing by an unguarded
+//! value risks inf/NaN when the divisor is zero or subnormal.
+
+pub fn rel_error(x: f64, scale: f64) -> f64 {
+    if !x.is_finite() {
+        return f64::NAN;
+    }
+    x / scale //~ div-abs
+}
+
+pub fn rel_error_guarded(x: f64, scale: f64) -> f64 {
+    if x.is_finite() && scale.abs() > 1e-300 {
+        x / scale // good: magnitude checked above
+    } else {
+        0.0
+    }
+}
+
+pub fn rel_error_floored(x: f64, scale: f64) -> f64 {
+    if !x.is_finite() {
+        return f64::NAN;
+    }
+    let denom = scale.abs().max(1e-300);
+    x / denom // good: denominator floored at binding time
+}

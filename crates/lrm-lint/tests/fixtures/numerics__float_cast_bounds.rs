@@ -1,0 +1,10 @@
+//! Fixture: a float expression cast to an integer type silently
+//! saturates on NaN/inf/overflow; the value must be clamped first.
+
+pub fn grid_side(n: usize) -> usize {
+    (n as f64).sqrt() as usize //~ float-cast-bounds
+}
+
+pub fn grid_side_clamped(n: usize) -> usize {
+    (n as f64).sqrt().clamp(0.0, n as f64) as usize // good: clamped
+}

@@ -1,0 +1,12 @@
+//! Fixture: sorting floats with `partial_cmp(..).expect(..)` panics on
+//! NaN; `f64::total_cmp` gives a total order and must be used instead.
+
+pub fn sort_values(mut v: Vec<f64>) -> Vec<f64> {
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite")); //~ float-total-cmp
+    v
+}
+
+pub fn sorted_total(mut v: Vec<f64>) -> Vec<f64> {
+    v.sort_by(f64::total_cmp); // good: total order, NaN cannot panic
+    v
+}

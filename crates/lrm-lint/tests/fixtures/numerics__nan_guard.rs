@@ -1,0 +1,26 @@
+//! Fixture: error-metric functions must classify non-finite input (or
+//! delegate to a metric that does) so NaN never silently poisons a
+//! report.
+
+pub fn mean_error(a: &[f64], b: &[f64]) -> f64 { //~ nan-guard
+    let mut s = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        s += (x - y) * (x - y);
+    }
+    s / a.len() as f64
+}
+
+pub fn guarded_error(a: &[f64], b: &[f64]) -> f64 {
+    let mut s = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        if x.is_finite() && y.is_finite() {
+            s += (x - y).abs();
+        }
+    }
+    s
+}
+
+pub fn rel_error(a: &[f64], b: &[f64]) -> f64 {
+    // good: delegates to a metric that classifies non-finite input.
+    guarded_error(a, b)
+}

@@ -1,0 +1,8 @@
+//! Fixture: a well-behaved file produces zero findings.
+
+/// Doubles every element in place.
+pub fn double(v: &mut [f64]) {
+    for x in v.iter_mut() {
+        *x *= 2.0;
+    }
+}

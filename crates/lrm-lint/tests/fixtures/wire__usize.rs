@@ -1,0 +1,10 @@
+//! Fixture: wire formats must not serialize platform-width integers or
+//! iterate unordered containers.
+
+use std::collections::HashMap; //~ wire-hashmap
+
+pub fn write_len(v: &[u8], out: &mut Vec<u8>) {
+    out.extend_from_slice(&v.len().to_le_bytes()); //~ wire-usize
+    out.extend_from_slice(&(v.len() as u32).to_le_bytes()); // good: fixed width
+    let _: Option<HashMap<String, u32>> = None; //~ wire-hashmap
+}

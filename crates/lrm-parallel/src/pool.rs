@@ -97,7 +97,12 @@ impl WorkerPool {
                     scope.spawn(move || {
                         while let Some((i, item)) = find_task(w, queues) {
                             let r = f(i, item);
-                            results.lock().expect("pool: result store poisoned")[i] = Some(r);
+                            let mut slots = results.lock().expect("pool: result store poisoned");
+                            debug_assert!(
+                                slots[i].is_none(),
+                                "pool: result slot {i} written twice"
+                            );
+                            slots[i] = Some(r);
                         }
                     })
                 })

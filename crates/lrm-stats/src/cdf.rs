@@ -15,7 +15,7 @@ impl EmpiricalCdf {
     /// Builds the CDF from a sample, sorting a private copy.
     pub fn new(sample: &[f64]) -> Self {
         let mut sorted: Vec<f64> = sample.iter().copied().filter(|v| v.is_finite()).collect();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        sorted.sort_by(|a, b| a.total_cmp(b));
         Self { sorted }
     }
 
@@ -47,7 +47,7 @@ impl EmpiricalCdf {
         }
         let p = p.clamp(0.0, 1.0);
         let n = self.sorted.len();
-        let idx = ((p * n as f64).ceil() as usize)
+        let idx = ((p * n as f64).ceil().clamp(0.0, n as f64) as usize)
             .saturating_sub(1)
             .min(n - 1);
         Some(self.sorted[idx])

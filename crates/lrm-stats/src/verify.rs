@@ -21,6 +21,8 @@ pub enum Bound {
     },
 }
 
+use crate::error::StatsError;
+
 /// One-pass verification summary.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BoundReport {
@@ -86,6 +88,26 @@ impl BoundReport {
     pub fn holds(&self) -> bool {
         self.violations == 0
     }
+
+    /// Non-panicking [`check`](Self::check): a length mismatch or a
+    /// NaN/inf on either side is a typed [`StatsError`], because a
+    /// bound is meaningless at a non-finite point — `NaN <= e` is
+    /// false for every `e`, and a report computed through it would
+    /// claim violations (or worse, compare NaN and claim none).
+    pub fn try_check(orig: &[f64], recon: &[f64], bound: Bound) -> Result<Self, StatsError> {
+        if orig.len() != recon.len() {
+            return Err(StatsError::LengthMismatch {
+                left: orig.len(),
+                right: recon.len(),
+            });
+        }
+        for (i, (&a, &b)) in orig.iter().zip(recon).enumerate() {
+            if !a.is_finite() || !b.is_finite() {
+                return Err(StatsError::NonFiniteInput { index: i });
+            }
+        }
+        Ok(Self::check(orig, recon, bound))
+    }
 }
 
 #[cfg(test)]
@@ -142,6 +164,30 @@ mod tests {
         let r = BoundReport::check(&[], &[], Bound::Absolute(1.0));
         assert!(r.holds());
         assert_eq!(r.count, 0);
+    }
+
+    #[test]
+    fn try_check_rejects_nan_with_typed_error() {
+        let e = BoundReport::try_check(&[1.0, f64::NAN], &[1.0, 1.0], Bound::Absolute(0.1));
+        assert_eq!(e, Err(StatsError::NonFiniteInput { index: 1 }));
+        let e = BoundReport::try_check(&[1.0], &[f64::INFINITY], Bound::Absolute(0.1));
+        assert_eq!(e, Err(StatsError::NonFiniteInput { index: 0 }));
+    }
+
+    #[test]
+    fn try_check_rejects_length_mismatch() {
+        let e = BoundReport::try_check(&[1.0], &[1.0, 2.0], Bound::Absolute(0.1));
+        assert_eq!(e, Err(StatsError::LengthMismatch { left: 1, right: 2 }));
+    }
+
+    #[test]
+    fn try_check_matches_check_on_finite_data() {
+        let orig = [1.0, 2.0, 3.0];
+        let recon = [1.05, 2.0, 3.02];
+        let bound = Bound::Absolute(0.1);
+        let r = BoundReport::try_check(&orig, &recon, bound).expect("finite");
+        assert_eq!(r, BoundReport::check(&orig, &recon, bound));
+        assert!(r.holds());
     }
 
     #[test]
