@@ -30,6 +30,8 @@ pub mod bitstream;
 pub mod error;
 pub mod fpc;
 pub mod lossless;
+#[doc(hidden)]
+pub mod reference;
 pub mod sz;
 pub mod zfp;
 

@@ -20,6 +20,38 @@ fn hash4(data: &[u8], i: usize) -> usize {
     ((v.wrapping_mul(0x9E37_79B1)) >> (32 - HASH_BITS)) as usize
 }
 
+/// Unaligned little-endian load of 8 bytes at `i`; zero-fills if fewer
+/// than 8 bytes remain (callers only rely on fully in-bounds loads).
+#[inline]
+fn load_u64(data: &[u8], i: usize) -> u64 {
+    let mut w = [0u8; 8];
+    if let Some(s) = data.get(i..i.saturating_add(8)) {
+        w.copy_from_slice(s);
+    }
+    u64::from_le_bytes(w)
+}
+
+/// Length of the common prefix of `data[a..]` and `data[b..]`, capped at
+/// `limit`. Compares 8 bytes per step — XOR plus `trailing_zeros` finds
+/// the first differing byte — with a scalar tail. Both `a + limit` and
+/// `b + limit` must be within `data` (the caller derives `limit` from
+/// `data.len()`), so the word loads never cross the end.
+#[inline]
+fn match_len(data: &[u8], a: usize, b: usize, limit: usize) -> usize {
+    let mut l = 0;
+    while l + 8 <= limit {
+        let x = load_u64(data, a + l) ^ load_u64(data, b + l);
+        if x != 0 {
+            return l + (x.trailing_zeros() >> 3) as usize;
+        }
+        l += 8;
+    }
+    while l < limit && data.get(a + l) == data.get(b + l) {
+        l += 1;
+    }
+    l
+}
+
 /// Compresses `data`. The output begins with the original length as a
 /// little-endian `u32`.
 pub fn lzss_compress(data: &[u8]) -> Vec<u8> {
@@ -54,10 +86,7 @@ pub fn lzss_compress(data: &[u8]) -> Vec<u8> {
             let mut chain = 0;
             while cand != usize::MAX && i - cand <= WINDOW && chain < MAX_CHAIN {
                 let limit = (data.len() - i).min(MAX_MATCH);
-                let mut l = 0;
-                while l < limit && data[cand + l] == data[i + l] {
-                    l += 1;
-                }
+                let l = match_len(data, cand, i, limit);
                 if l > best_len {
                     best_len = l;
                     best_dist = i - cand;
@@ -143,13 +172,21 @@ pub fn lzss_decompress(data: &[u8]) -> DecodeResult<Vec<u8>> {
                 });
             }
             let start = out.len() - dist;
-            for k in 0..len {
-                // In-range: start + k < out.len() by construction (each
-                // push grows out, and start + k starts below out.len()).
-                let b = *out.get(start + k).ok_or(DecodeError::Corrupt {
-                    what: "lzss match copy",
-                })?;
-                out.push(b);
+            if dist >= len {
+                // Non-overlapping: one chunked copy (memcpy-class).
+                let stop = start + len; // <= out.len() because len <= dist
+                out.extend_from_within(start..stop);
+            } else {
+                // Overlapping run with period `dist`: each pass copies the
+                // whole materialized tail, doubling the run per iteration
+                // instead of pushing byte by byte.
+                let mut remaining = len;
+                while remaining > 0 {
+                    let chunk = (out.len() - start).min(remaining);
+                    let stop = start + chunk; // <= out.len() by the min above
+                    out.extend_from_within(start..stop);
+                    remaining -= chunk;
+                }
             }
         } else {
             out.push(*data.get(pos).ok_or(DecodeError::Truncated {
@@ -226,6 +263,31 @@ mod tests {
             lzss_decompress(&lzss_compress(&data)).expect("decode"),
             data
         );
+    }
+
+    #[test]
+    fn matches_scalar_reference_bytes() {
+        use crate::reference::{lzss_compress_ref, lzss_decompress_ref};
+        let mut rng = lrm_rng::Rng64::new(21);
+        for _ in 0..20 {
+            let n = rng.range_usize(20_000);
+            // Mixed regime: runs, structure, and noise.
+            let data: Vec<u8> = (0..n)
+                .map(|j| {
+                    if rng.bool(0.5) {
+                        (j % 17) as u8
+                    } else {
+                        rng.range_u64(5) as u8
+                    }
+                })
+                .collect();
+            let fast = lzss_compress(&data);
+            assert_eq!(fast, lzss_compress_ref(&data));
+            assert_eq!(
+                lzss_decompress(&fast).expect("decode"),
+                lzss_decompress_ref(&fast).expect("ref decode")
+            );
+        }
     }
 
     #[test]

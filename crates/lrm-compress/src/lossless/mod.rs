@@ -11,7 +11,7 @@ pub mod lzss;
 pub mod rle;
 pub mod varint;
 
-pub use huffman::{huffman_decode, huffman_encode};
+pub use huffman::{huffman_decode, huffman_encode, HuffmanDecoder};
 pub use lzss::{lzss_compress, lzss_decompress};
 pub use rle::{rle_decode_zeros, rle_encode_zeros};
 pub use varint::{decode_uvarint, encode_uvarint, zigzag_decode, zigzag_encode};

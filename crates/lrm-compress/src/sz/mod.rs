@@ -36,9 +36,9 @@ pub mod predictor;
 use crate::bitstream::{BitReader, BitWriter};
 use crate::error::{DecodeError, DecodeResult};
 use crate::lossless::varint::{decode_uvarint, encode_uvarint};
-use crate::lossless::{huffman_decode, huffman_encode, pipeline_compress, pipeline_decompress};
+use crate::lossless::{huffman_encode, pipeline_compress, pipeline_decompress, HuffmanDecoder};
 use crate::{Codec, Shape};
-use predictor::lorenzo_predict;
+use predictor::{lorenzo_predict, lorenzo_predict_interior};
 
 /// Scan-order block length for [`SzErrorBound::BlockRel`].
 pub const BLOCK_LEN: usize = 256;
@@ -139,6 +139,67 @@ impl Bounds {
     }
 }
 
+/// Sequential-scan view of [`Bounds`]: the scan order visits indices in
+/// increasing order, so the block bound is resolved once per [`BLOCK_LEN`]
+/// run instead of per point (a divide, a match, and an `exp2` each time).
+struct BoundCursor<'a> {
+    bounds: &'a Bounds,
+    cur: Option<f64>,
+    /// `⌊log2 e⌋` for the current bound, cached because the outlier path
+    /// needs it per miss and `f64::log2` is a libm call. For per-block
+    /// bounds `e = 2^k` so this is the stored exponent itself.
+    exp: i32,
+    /// First index at which `cur` must be refreshed.
+    until: usize,
+}
+
+impl<'a> BoundCursor<'a> {
+    fn new(bounds: &'a Bounds) -> Self {
+        Self {
+            bounds,
+            cur: None,
+            exp: 0,
+            until: 0,
+        }
+    }
+
+    /// Bound for point `i`; `None` means "inside an all-zero block".
+    /// Callers must present indices in non-decreasing order.
+    #[inline]
+    fn at(&mut self, i: usize) -> Option<f64> {
+        if i >= self.until {
+            self.cur = self.bounds.at(i);
+            self.until = match self.bounds {
+                Bounds::Uniform(_) => usize::MAX,
+                Bounds::PerBlock(_) => (i / BLOCK_LEN + 1) * BLOCK_LEN,
+            };
+            self.exp = match (self.bounds, self.cur) {
+                (Bounds::Uniform(e), _) => e.log2().floor() as i32,
+                // exp2i(k) = 2^k exactly, so log2().floor() would
+                // reproduce k; skip the libm round-trip.
+                // lint:allow(no-index): same index Bounds::at just used
+                (Bounds::PerBlock(exps), Some(_)) => exps[i / BLOCK_LEN] as i32,
+                (Bounds::PerBlock(_), None) => 0, // zero block: never read
+            };
+        }
+        self.cur
+    }
+
+    /// `⌊log2 e⌋` for the bound last returned by [`Self::at`]; only
+    /// meaningful while that result was `Some`.
+    #[inline]
+    fn bound_exp(&self) -> i32 {
+        self.exp
+    }
+
+    /// Exclusive end of the run over which the last [`Self::at`] result
+    /// stays valid; lets the scan skip all-zero blocks wholesale.
+    #[inline]
+    fn run_end(&self) -> usize {
+        self.until
+    }
+}
+
 /// `2^e` for clamped exponents (always normal, never zero).
 #[inline]
 fn exp2i(e: i16) -> f64 {
@@ -172,15 +233,15 @@ fn block_exponents(data: &[f64], rel: f64) -> Vec<i16> {
     exps
 }
 
-/// Number of mantissa bits needed to store `v` with absolute error <= e/2.
-fn mantissa_bits_needed(v: f64, e: f64) -> u32 {
+/// Number of mantissa bits needed to store `v` with absolute error <= e/2,
+/// given `ee = ⌊log2 e⌋` (cached per block by [`BoundCursor`]).
+fn mantissa_bits_needed(v: f64, ee: i32) -> u32 {
     let bits = v.abs().to_bits();
     let raw_exp = ((bits >> 52) & 0x7ff) as i32;
     if raw_exp == 0x7ff || raw_exp == 0 {
         return 52; // non-finite or subnormal: store everything
     }
     let ev = raw_exp - 1023; // v in [2^ev, 2^(ev+1))
-    let ee = e.log2().floor() as i32;
     (ev - ee + 1).clamp(0, 52) as u32
 }
 
@@ -190,18 +251,37 @@ fn core_compress(data: &[f64], shape: Shape, bounds: &Bounds, quant_bits: u32) -
     let mut codes: Vec<u64> = Vec::with_capacity(data.len());
     let mut outliers = BitWriter::new();
     let mut recon = vec![0.0f64; data.len()];
+    let mut bounds = BoundCursor::new(bounds);
 
     let [nx, ny, nz] = shape.dims;
+    let ndims = shape.ndims();
+    let sxy = nx * ny;
+    let xmin = if ndims == 1 { 2 } else { 1 };
     for z in 0..nz {
         for y in 0..ny {
-            for x in 0..nx {
-                let i = shape.idx(x, y, z);
+            // Rows with a full complement of preceding neighbors take the
+            // interior predictor (bit-identical, incremental indices).
+            let row_interior = match ndims {
+                1 => true,
+                2 => y >= 1,
+                _ => y >= 1 && z >= 1,
+            };
+            let base = shape.idx(0, y, z);
+            let mut x = 0;
+            while x < nx {
+                let i = base + x;
                 let Some(e) = bounds.at(i) else {
-                    // All-zero block: nothing stored, recon stays 0.
+                    // All-zero block: nothing stored, recon stays 0 — skip
+                    // the rest of the run (clamped to this row) wholesale.
+                    x = bounds.run_end().min(base + nx) - base;
                     continue;
                 };
                 let v = data[i];
-                let pred = lorenzo_predict(&recon, shape, x, y, z);
+                let pred = if row_interior && x >= xmin {
+                    lorenzo_predict_interior(&recon, i, nx, sxy, ndims)
+                } else {
+                    lorenzo_predict(&recon, shape, x, y, z)
+                };
                 let q = if v.is_finite() && pred.is_finite() {
                     ((v - pred) / (2.0 * e)).round()
                 } else {
@@ -221,7 +301,7 @@ fn core_compress(data: &[f64], shape: Shape, bounds: &Bounds, quant_bits: u32) -
                     let vb = v.to_bits();
                     let sign = vb >> 63;
                     let raw_exp = (vb >> 52) & 0x7ff;
-                    let mb = mantissa_bits_needed(v, e);
+                    let mb = mantissa_bits_needed(v, bounds.bound_exp());
                     outliers.write_bit(sign);
                     outliers.write_bits(raw_exp, 11);
                     // Store the TOP mb mantissa bits.
@@ -232,6 +312,7 @@ fn core_compress(data: &[f64], shape: Shape, bounds: &Bounds, quant_bits: u32) -
                     let sv = f64::from_bits(stored);
                     recon[i] = if sv.is_finite() { sv } else { 0.0 };
                 }
+                x += 1;
             }
         }
     }
@@ -265,7 +346,7 @@ fn core_decompress(
         .ok_or(DecodeError::Truncated {
             what: "sz huffman block",
         })?;
-    let codes = huffman_decode(huff)?;
+    let mut codes = HuffmanDecoder::new(huff)?;
     pos += hlen;
     let olen = decode_uvarint(&body, &mut pos).ok_or(DecodeError::Truncated {
         what: "sz outlier length",
@@ -278,28 +359,50 @@ fn core_decompress(
     let mut outliers = BitReader::new(obytes);
 
     let mut recon = vec![0.0f64; shape.len()];
-    let mut out = vec![0.0f64; shape.len()];
+    // The returned field differs from the reconstruction buffer only at
+    // non-finite outliers (prediction must see 0.0 there); those rare
+    // positions are patched in after the scan instead of maintaining a
+    // second full-size output array.
+    let mut patches: Vec<(usize, f64)> = Vec::new();
+    let mut bounds = BoundCursor::new(bounds);
     let [nx, ny, nz] = shape.dims;
-    let mut ci = 0usize;
+    let ndims = shape.ndims();
+    let sxy = nx * ny;
+    let xmin = if ndims == 1 { 2 } else { 1 };
     for z in 0..nz {
         for y in 0..ny {
-            for x in 0..nx {
-                let i = shape.idx(x, y, z);
+            // Rows with a full complement of preceding neighbors take the
+            // interior predictor (bit-identical, incremental indices).
+            let row_interior = match ndims {
+                1 => true,
+                2 => y >= 1,
+                _ => y >= 1 && z >= 1,
+            };
+            let base = shape.idx(0, y, z);
+            let mut x = 0;
+            while x < nx {
+                let i = base + x;
                 let Some(e) = bounds.at(i) else {
-                    continue; // all-zero block
+                    // All-zero block: skip the run (clamped to this row).
+                    x = bounds.run_end().min(base + nx) - base;
+                    continue;
                 };
-                let code = *codes.get(ci).ok_or(DecodeError::Corrupt {
-                    what: "sz quantization codes exhausted",
-                })?;
-                ci += 1;
+                if codes.remaining() == 0 {
+                    return Err(DecodeError::Corrupt {
+                        what: "sz quantization codes exhausted",
+                    });
+                }
+                let code = codes.next_symbol()?;
                 if code != 0 {
                     let q = (code as i64).wrapping_sub(radius);
-                    let pred = lorenzo_predict(&recon, shape, x, y, z);
+                    let pred = if row_interior && x >= xmin {
+                        lorenzo_predict_interior(&recon, i, nx, sxy, ndims)
+                    } else {
+                        lorenzo_predict(&recon, shape, x, y, z)
+                    };
                     let v = pred + q as f64 * 2.0 * e;
                     // lint:allow(no-index): i = shape.idx(x, y, z) < shape.len() = recon.len()
                     recon[i] = v;
-                    // lint:allow(no-index): same bound as the preceding line
-                    out[i] = v;
                 } else {
                     let sign = outliers.read_bit();
                     let raw_exp = outliers.read_bits(11);
@@ -308,21 +411,28 @@ fn core_decompress(
                         52
                     } else {
                         let ev = raw_exp as i32 - 1023;
-                        let ee = e.log2().floor() as i32;
+                        let ee = bounds.bound_exp();
                         (ev - ee + 1).clamp(0, 52) as u32
                     };
                     let top = outliers.read_bits(mb);
                     let vb = (sign << 63) | (raw_exp << 52) | (top << (52 - mb));
                     let v = f64::from_bits(vb);
-                    // lint:allow(no-index): i = shape.idx(x, y, z) < shape.len() = recon.len()
-                    recon[i] = if v.is_finite() { v } else { 0.0 };
-                    // lint:allow(no-index): same bound as the preceding line
-                    out[i] = v;
+                    if v.is_finite() {
+                        // lint:allow(no-index): i = shape.idx(x, y, z) < shape.len() = recon.len()
+                        recon[i] = v;
+                    } else {
+                        patches.push((i, v));
+                    }
                 }
+                x += 1;
             }
         }
     }
-    Ok(out)
+    for &(i, v) in &patches {
+        // lint:allow(no-index): i was produced by the scan loop above
+        recon[i] = v;
+    }
+    Ok(recon)
 }
 
 /// Header tags for the bound modes.

@@ -31,6 +31,36 @@ pub fn lorenzo_predict(recon: &[f64], shape: Shape, x: usize, y: usize, z: usize
     }
 }
 
+/// Interior fast path of [`lorenzo_predict`]: same neighbors, same
+/// floating-point evaluation order (so reconstructions are bit-identical),
+/// but with the flat index `i` maintained incrementally by the caller
+/// instead of seven `shape.idx` recomputations and boundary branches.
+///
+/// Caller contract: `i == shape.idx(x, y, z)` with `x >= 2` for 1-D
+/// fields and `x >= 1, y >= 1` (and `z >= 1` in 3-D) otherwise, so every
+/// neighbor index below is in range. `nx` is `dims[0]`, `sxy` is
+/// `dims[0] * dims[1]`.
+#[inline]
+pub fn lorenzo_predict_interior(
+    recon: &[f64],
+    i: usize,
+    nx: usize,
+    sxy: usize,
+    ndims: usize,
+) -> f64 {
+    match ndims {
+        1 => 2.0 * recon[i - 1] - recon[i - 2],
+        2 => recon[i - 1] + recon[i - nx] - recon[i - nx - 1],
+        _ => {
+            recon[i - 1] + recon[i - nx] + recon[i - sxy]
+                - recon[i - nx - 1]
+                - recon[i - sxy - 1]
+                - recon[i - sxy - nx]
+                + recon[i - sxy - nx - 1]
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -79,6 +109,28 @@ mod tests {
         }
         // Row 0 behaves like a 1-D predictor: pred(x=2,y=0) = recon[1,0].
         assert_eq!(lorenzo_predict(&recon, shape, 2, 0, 0), 10.0);
+    }
+
+    #[test]
+    fn interior_fast_path_is_bit_identical_to_general() {
+        let mut rng = lrm_rng::Rng64::new(0x10E);
+        for shape in [Shape::d1(64), Shape::d2(9, 7), Shape::d3(6, 5, 4)] {
+            let recon = rng.vec_f64(-1e9, 1e9, shape.len());
+            let [nx, ny, nz] = shape.dims;
+            let ndims = shape.ndims();
+            let sxy = nx * ny;
+            let xmin = if ndims == 1 { 2 } else { 1 };
+            for z in (nz > 1) as usize..nz {
+                for y in (ny > 1) as usize..ny {
+                    for x in xmin..nx {
+                        let i = shape.idx(x, y, z);
+                        let fast = lorenzo_predict_interior(&recon, i, nx, sxy, ndims);
+                        let general = lorenzo_predict(&recon, shape, x, y, z);
+                        assert_eq!(fast.to_bits(), general.to_bits(), "{shape:?} ({x},{y},{z})");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

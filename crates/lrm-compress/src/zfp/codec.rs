@@ -86,10 +86,59 @@ fn block_exponent(block: &[f64]) -> Option<i32> {
     }
 }
 
+/// Reusable per-block scratch buffers. The chunk-parallel loops in
+/// [`crate::zfp`] thread one of these through each worker so no per-block
+/// heap allocation happens on the hot path; `blk` doubles as the
+/// gather/scatter staging area for the caller.
+#[derive(Debug, Clone)]
+pub struct BlockScratch {
+    /// Block values: the encoder reads its input from here and the
+    /// decoder leaves its output here (first `4^ndims` entries).
+    pub blk: [f64; 64],
+    ints: [i64; 64],
+    uints: [u64; 64],
+}
+
+impl Default for BlockScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BlockScratch {
+    /// Creates zeroed scratch space.
+    pub fn new() -> Self {
+        Self {
+            blk: [0.0; 64],
+            ints: [0; 64],
+            uints: [0; 64],
+        }
+    }
+}
+
 /// Encodes one 4^d block of doubles at `maxprec` bit planes.
+///
+/// Convenience wrapper over [`encode_block_scratch`] for one-off calls;
+/// chunk loops should hold a [`BlockScratch`] and call the `_scratch`
+/// variant directly.
 pub fn encode_block(block: &[f64], ndims: usize, maxprec: u32, out: &mut BitWriter) {
     let n = 1usize << (2 * ndims);
     debug_assert_eq!(block.len(), n);
+    let mut scratch = BlockScratch::new();
+    scratch.blk[..n].copy_from_slice(block);
+    encode_block_scratch(&mut scratch, ndims, maxprec, out);
+}
+
+/// Encodes the first `4^ndims` values of `scratch.blk` at `maxprec` bit
+/// planes, reusing the caller's scratch buffers.
+pub fn encode_block_scratch(
+    scratch: &mut BlockScratch,
+    ndims: usize,
+    maxprec: u32,
+    out: &mut BitWriter,
+) {
+    let n = 1usize << (2 * ndims);
+    let block = &scratch.blk[..n];
     let Some(emax) = block_exponent(block) else {
         out.write_bit(0); // all-zero (or non-finite) block
         return;
@@ -100,20 +149,18 @@ pub fn encode_block(block: &[f64], ndims: usize, maxprec: u32, out: &mut BitWrit
     // Block-floating-point: scale values (|v| < 2^emax) up to |i| < 2^62,
     // leaving two headroom bits for transform growth.
     let shift = INT_PREC as i32 - 2 - emax;
-    let mut ints = [0i64; 64];
     for (i, &v) in block.iter().enumerate() {
-        ints[i] = ldexp(v, shift) as i64;
+        scratch.ints[i] = ldexp(v, shift) as i64;
     }
-    fwd_xform(&mut ints[..n], ndims);
+    fwd_xform(&mut scratch.ints[..n], ndims);
 
     // Negabinary in sequency order.
     let perm = sequency_perm(ndims);
-    let mut uints = [0u64; 64];
     for i in 0..n {
-        uints[i] = int2uint(ints[perm[i]]);
+        scratch.uints[i] = int2uint(scratch.ints[perm[i]]);
     }
 
-    encode_ints(&uints[..n], maxprec, out);
+    encode_ints(&scratch.uints[..n], maxprec, out);
 }
 
 /// Decodes one block previously produced by [`encode_block`]. Returns
@@ -128,8 +175,27 @@ pub fn decode_block(
 ) -> DecodeResult<()> {
     let n = 1usize << (2 * ndims);
     debug_assert_eq!(block.len(), n);
+    let mut scratch = BlockScratch::new();
+    decode_block_scratch(&mut scratch, ndims, maxprec, input)?;
+    for (dst, &src) in block.iter_mut().zip(scratch.blk.iter()) {
+        *dst = src;
+    }
+    Ok(())
+}
+
+/// Decodes one block into `scratch.blk[..4^ndims]`, reusing the caller's
+/// scratch buffers. Same error contract as [`decode_block`].
+pub fn decode_block_scratch(
+    scratch: &mut BlockScratch,
+    ndims: usize,
+    maxprec: u32,
+    input: &mut BitReader<'_>,
+) -> DecodeResult<()> {
+    let n = 1usize << (2 * ndims);
+    debug_assert!(n <= 64);
     if input.read_bit() == 0 {
-        block.fill(0.0);
+        // lint:allow(no-index): n = 4^ndims <= 64 and blk is [f64; 64]
+        scratch.blk[..n].fill(0.0);
         return Ok(());
     }
     let emax = input.read_bits(E_BITS) as i32 - E_BIAS;
@@ -142,56 +208,64 @@ pub fn decode_block(
         });
     }
 
-    let mut uints = [0u64; 64];
     // lint:allow(no-index): n = 4^ndims <= 64 and uints is [u64; 64]
-    decode_ints(&mut uints[..n], maxprec, input);
+    decode_ints(&mut scratch.uints[..n], maxprec, input);
 
     let perm = sequency_perm(ndims);
-    let mut ints = [0i64; 64];
     for i in 0..n {
         // lint:allow(no-index): i < n <= 64; perm values < n by construction
-        ints[perm[i]] = uint2int(uints[i]);
+        scratch.ints[perm[i]] = uint2int(scratch.uints[i]);
     }
     // lint:allow(no-index): n = 4^ndims <= 64 and ints is [i64; 64]
-    inv_xform(&mut ints[..n], ndims);
+    inv_xform(&mut scratch.ints[..n], ndims);
 
     let shift = emax - (INT_PREC as i32 - 2);
-    for (i, v) in block.iter_mut().enumerate() {
-        // lint:allow(no-index): i < block.len() = n <= 64 (debug-asserted above)
-        *v = ldexp(ints[i] as f64, shift);
+    for i in 0..n {
+        // lint:allow(no-index): i < n <= 64; blk and ints are 64-entry arrays
+        scratch.blk[i] = ldexp(scratch.ints[i] as f64, shift);
     }
     Ok(())
 }
 
-/// Length of the prefix of coefficients holding any set bit at plane `k`
-/// or above. Encoder and decoder both derive `n` from this, keeping the
-/// verbatim/run-length split in lock-step across planes.
-fn significant_prefix(uints: &[u64], k: u32) -> usize {
-    let mut n = 0;
+/// Embedded coding of negabinary coefficients, `maxprec` planes from the
+/// top. Word-level: the 4^d × 64-bit coefficient matrix is transposed
+/// once into per-plane masks by sparse bit scatter, each plane's
+/// verbatim prefix goes out in one `write_bits` call, and the
+/// significant-prefix length is a running OR + `leading_zeros` instead
+/// of an O(size) rescan per plane. Bit-for-bit identical to
+/// [`crate::reference::encode_ints_ref`].
+#[doc(hidden)]
+pub fn encode_ints(uints: &[u64], maxprec: u32, out: &mut BitWriter) {
+    let size = uints.len();
+    debug_assert!(size <= 64);
+    let kmin = INT_PREC.saturating_sub(maxprec);
+    // Transpose: bit i of planes[k] = bit k of coefficient i. Negabinary
+    // coefficients are sparse in the low planes, so scatter set bits
+    // instead of probing all 64 planes per coefficient.
+    let mut planes = [0u64; 64];
     for (i, &u) in uints.iter().enumerate() {
-        if u >> k != 0 {
-            n = i + 1;
+        let mut u = u;
+        while u != 0 {
+            let k = u.trailing_zeros() as usize;
+            // lint:allow(no-index): k < 64 by trailing_zeros of a nonzero u64
+            planes[k] |= 1u64 << i;
+            u &= u - 1;
         }
     }
-    n
-}
-
-/// Embedded coding of negabinary coefficients, `maxprec` planes from the
-/// top.
-fn encode_ints(uints: &[u64], maxprec: u32, out: &mut BitWriter) {
-    let size = uints.len();
-    let kmin = INT_PREC.saturating_sub(maxprec);
+    // `sig` bit i = coefficient i has a set bit at the current plane or
+    // above; its highest set bit position + 1 is the verbatim prefix
+    // length `n` (what significant_prefix() recomputed per plane).
+    let mut sig: u64 = 0;
     let mut n = 0usize;
     for k in (kmin..INT_PREC).rev() {
-        // Step 1: gather bit plane k (bit i of x = plane bit of coeff i).
-        let mut x: u64 = 0;
-        for (i, &u) in uints.iter().enumerate() {
-            x |= ((u >> k) & 1) << i;
-        }
-        // Step 2: verbatim bits of already-significant coefficients.
-        out.write_bits(x, n as u32);
-        x = if n >= 64 { 0 } else { x >> n };
-        // Step 3: unary run-length encode the remainder.
+        // lint:allow(no-index): k < INT_PREC = 64 and planes is [u64; 64]
+        let plane = planes[k as usize];
+        // Verbatim bits of already-significant coefficients, one call.
+        out.write_bits(plane, n as u32);
+        let mut x = if n >= 64 { 0 } else { plane >> n };
+        // Unary run-length encode the remainder: each group emits the
+        // zero-run up to the next set bit plus the terminating one-bit
+        // in a single write (LSB-first, so `1 << tz` is tz zeros then 1).
         let mut m = n;
         while m < size {
             let any = x != 0;
@@ -199,33 +273,37 @@ fn encode_ints(uints: &[u64], maxprec: u32, out: &mut BitWriter) {
             if !any {
                 break;
             }
-            loop {
-                if m == size - 1 {
-                    // Only one coefficient remains and the group test said
-                    // a one exists: its bit is implied.
-                    m = size;
-                    break;
-                }
-                let bit = x & 1;
-                x >>= 1;
-                m += 1;
-                out.write_bit(bit);
-                if bit == 1 {
-                    break;
-                }
+            let tz = x.trailing_zeros() as usize;
+            if m + tz >= size - 1 {
+                // The zero-run reaches the final coefficient, whose set
+                // bit is implied by the group test.
+                out.write_bits(0, (size - 1 - m) as u32);
+                m = size;
+            } else {
+                out.write_bits(1u64 << tz, tz as u32 + 1);
+                x >>= tz + 1;
+                m += tz + 1;
             }
         }
-        n = significant_prefix(uints, k);
+        sig |= plane;
+        n = 64 - sig.leading_zeros() as usize;
     }
 }
 
-/// Inverse of [`encode_ints`].
-fn decode_ints(uints: &mut [u64], maxprec: u32, input: &mut BitReader<'_>) {
+/// Inverse of [`encode_ints`]. Bit-for-bit identical to
+/// [`crate::reference::decode_ints_ref`].
+#[doc(hidden)]
+pub fn decode_ints(uints: &mut [u64], maxprec: u32, input: &mut BitReader<'_>) {
     let size = uints.len();
+    debug_assert!(size <= 64);
     uints.fill(0);
     let kmin = INT_PREC.saturating_sub(maxprec);
+    let mut sig: u64 = 0;
     let mut n = 0usize;
     for k in (kmin..INT_PREC).rev() {
+        // Verbatim prefix in one read; run-length groups stay bitwise
+        // (their lengths are data-dependent), but each read_bit is now a
+        // cached-word shift.
         let mut x = input.read_bits(n as u32);
         let mut m = n;
         while m < size {
@@ -247,11 +325,17 @@ fn decode_ints(uints: &mut [u64], maxprec: u32, input: &mut BitReader<'_>) {
                 m += 1;
             }
         }
-        for i in 0..size {
-            // lint:allow(no-index): i < size = uints.len()
-            uints[i] |= ((x >> i) & 1) << k;
+        // Scatter plane k back into the coefficients (sparse).
+        let mut y = x;
+        while y != 0 {
+            let i = y.trailing_zeros() as usize;
+            if let Some(u) = uints.get_mut(i) {
+                *u |= 1u64 << k;
+            }
+            y &= y - 1;
         }
-        n = significant_prefix(uints, k);
+        sig |= x;
+        n = 64 - sig.leading_zeros() as usize;
     }
 }
 

@@ -99,9 +99,9 @@ impl Codec for Zfp {
         let groups: Vec<BitWriter> =
             lrm_parallel::WorkerPool::auto().run(group_inputs, |_, chunk| {
                 let mut w = BitWriter::with_capacity_bits(chunk.len() * bsize * 20);
-                let mut blk = vec![0.0f64; bsize];
+                let mut scratch = codec::BlockScratch::new();
                 for &b in chunk {
-                    block::gather(data, shape, b, &mut blk);
+                    block::gather(data, shape, b, &mut scratch.blk[..bsize]);
                     // Fixed-accuracy derives the plane budget per block;
                     // fixed precision is uniform. Either way the decoder
                     // recomputes it from the stored exponent, so nothing
@@ -109,7 +109,7 @@ impl Codec for Zfp {
                     let prec = match self.mode {
                         ZfpMode::FixedPrecision(p) => p,
                         ZfpMode::FixedAccuracy(_) => {
-                            let emax = blk
+                            let emax = scratch.blk[..bsize]
                                 .iter()
                                 .filter(|v| **v != 0.0 && v.is_finite())
                                 .map(|&v| {
@@ -127,7 +127,7 @@ impl Codec for Zfp {
                             self.maxprec(emax, ndims)
                         }
                     };
-                    codec::encode_block(&blk, ndims, prec, &mut w);
+                    codec::encode_block_scratch(&mut scratch, ndims, prec, &mut w);
                 }
                 w
             });
@@ -163,11 +163,11 @@ impl Codec for Zfp {
         let bsize = 1usize << (2 * ndims);
         let mut reader = BitReader::new(payload);
         let mut data = vec![0.0f64; shape.len()];
-        let mut blk = vec![0.0f64; bsize];
+        let mut scratch = codec::BlockScratch::new();
         for b in block::block_coords(shape) {
             match self.mode {
                 ZfpMode::FixedPrecision(p) => {
-                    codec::decode_block(ndims, p, &mut reader, &mut blk)?;
+                    codec::decode_block_scratch(&mut scratch, ndims, p, &mut reader)?;
                 }
                 ZfpMode::FixedAccuracy(_) => {
                     // Peek the zero flag and exponent to recompute the
@@ -175,16 +175,24 @@ impl Codec for Zfp {
                     let mut peek = reader.clone();
                     if peek.read_bit() == 0 {
                         reader.read_bit();
+                        // bsize = 4^ndims <= 64 by construction, but the
+                        // decode path stays panic-free via .get().
+                        let blk = scratch.blk.get_mut(..bsize).ok_or(DecodeError::Corrupt {
+                            what: "zfp block size exceeds scratch",
+                        })?;
                         blk.fill(0.0);
-                        block::scatter(&blk, shape, b, &mut data);
+                        block::scatter(blk, shape, b, &mut data);
                         continue;
                     }
                     let emax = peek.read_bits(12) as i32 - 1100;
                     let prec = self.maxprec(emax, ndims);
-                    codec::decode_block(ndims, prec, &mut reader, &mut blk)?;
+                    codec::decode_block_scratch(&mut scratch, ndims, prec, &mut reader)?;
                 }
             }
-            block::scatter(&blk, shape, b, &mut data);
+            let blk = scratch.blk.get(..bsize).ok_or(DecodeError::Corrupt {
+                what: "zfp block size exceeds scratch",
+            })?;
+            block::scatter(blk, shape, b, &mut data);
         }
         Ok(data)
     }
