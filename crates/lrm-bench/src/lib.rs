@@ -138,8 +138,67 @@ pub fn measure_one(codec: &dyn Codec, kind: DatasetKind, config: &BenchConfig) -
     }
 }
 
+/// Times the serving layer end to end: an in-process `lrm-server` on an
+/// ephemeral loopback port, one blocking client, Heat3d at the
+/// configured size. For this row the two throughput columns carry
+/// **requests per second** (a request is a full frame round trip:
+/// connect, send, compute, receive), not MB/s, and `ratio` is the
+/// artifact's compression ratio. The committed baselines carry no
+/// (`serve`, `loopback`) pair, so [`regressions`] never gates on it —
+/// the row records the trajectory.
+pub fn measure_serve(config: &BenchConfig) -> BenchResult {
+    use lrm_core::{LossyCodec, ReducedModelKind};
+    use lrm_server::{Client, CompressRequest, Server, ServerConfig};
+
+    let field = generate(DatasetKind::Heat3d, config.size).full;
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            threads: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr().expect("local addr");
+    let handle = std::thread::spawn(move || server.serve());
+
+    let client = Client::new(addr).expect("client");
+    let request = CompressRequest {
+        model: ReducedModelKind::OneBase,
+        orig: LossyCodec::SzRel(1e-5),
+        delta: LossyCodec::SzRel(1e-3),
+        scan_1d: true,
+        chunks: 0,
+        shape: field.shape,
+        data: field.data.clone(),
+    };
+    let (report, artifact) = client.compress(request.clone()).expect("compress");
+    let ratio = report.ratio();
+
+    let enc_t = time_per_call(config.reps, || {
+        let out = client.compress(request.clone()).expect("compress");
+        std::hint::black_box(&out);
+    });
+    let dec_t = time_per_call(config.reps, || {
+        let out = client.decompress(&artifact).expect("decompress");
+        std::hint::black_box(&out);
+    });
+
+    client.shutdown().expect("shutdown");
+    let _ = handle.join();
+
+    BenchResult {
+        codec: "serve".to_string(),
+        dataset: "loopback".to_string(),
+        encode_mbps: 1.0 / enc_t.max(1e-12),
+        decode_mbps: 1.0 / dec_t.max(1e-12),
+        ratio,
+    }
+}
+
 /// Runs the full grid (or the quick diagonal) and returns one result per
-/// (codec, dataset) pair. `progress` is called before each measurement
+/// (codec, dataset) pair, plus the [`measure_serve`] loopback row.
+/// `progress` is called before each measurement
 /// with a human-readable label.
 pub fn run(config: &BenchConfig, mut progress: impl FnMut(&str)) -> Vec<BenchResult> {
     let codecs = paper_codecs();
@@ -165,6 +224,10 @@ pub fn run(config: &BenchConfig, mut progress: impl FnMut(&str)) -> Vec<BenchRes
                 results.push(measure_one(codec.as_ref(), kind, config));
             }
         }
+    }
+    if config.selected("serve", "loopback") {
+        progress("serve / loopback (req/s)");
+        results.push(measure_serve(config));
     }
     results
 }
@@ -394,11 +457,30 @@ mod tests {
             only: None,
         };
         let results = run(&config, |_| {});
-        assert_eq!(results.len(), 3);
+        assert_eq!(results.len(), 4);
         let codecs: Vec<&str> = results.iter().map(|r| r.codec.as_str()).collect();
-        assert_eq!(codecs, vec!["SZ", "ZFP", "FPC"]);
+        assert_eq!(codecs, vec!["SZ", "ZFP", "FPC", "serve"]);
         for r in &results {
             assert!(r.encode_mbps > 0.0 && r.decode_mbps > 0.0 && r.ratio > 0.0);
         }
+    }
+
+    #[test]
+    fn serve_row_measures_loopback_requests() {
+        let config = BenchConfig {
+            size: SizeClass::Tiny,
+            reps: 1,
+            quick: true,
+            only: None,
+        };
+        let row = measure_serve(&config);
+        assert_eq!(
+            (row.codec.as_str(), row.dataset.as_str()),
+            ("serve", "loopback")
+        );
+        // req/s in the throughput columns; a loopback round trip on a
+        // tiny field comfortably clears one request per second.
+        assert!(row.encode_mbps > 1.0 && row.decode_mbps > 1.0);
+        assert!(row.ratio > 1.0);
     }
 }

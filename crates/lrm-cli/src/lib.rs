@@ -7,4 +7,5 @@
 //! measure" and "what the tests assert" are the same code path.
 
 pub mod experiments;
+pub mod service;
 pub mod table;

@@ -95,7 +95,9 @@ fn print_help() {
     println!(
         "lrm-cli <experiment> [--size tiny|small|paper] [--outputs N] [--procs N] [--threads N] [--chunks N]\n\
          experiments: fig1 table2 fig3 fig4 fig6 fig7 fig8 fig9 fig10 fig11 fig12 table4 select chunked dist temporal verify all\n\
-         bench: run the lrm-bench throughput harness at the chosen --size"
+         bench: run the lrm-bench throughput harness at the chosen --size\n\
+         serve: run the compression service (lrm-cli serve --help-style flags: --addr --threads --max-inflight)\n\
+         client: talk to a running service (lrm-cli client <ping|compress|decompress|stats|select|roundtrip|shutdown>)"
     );
 }
 
@@ -637,6 +639,14 @@ fn run_chunked(size: SizeClass, threads: usize, chunks: usize) {
 }
 
 fn main() {
+    // The serving-layer subcommands have their own flag grammar; they
+    // are dispatched before the experiment parser sees the arguments.
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("serve") => std::process::exit(lrm_cli::service::run_serve(&argv[1..])),
+        Some("client") => std::process::exit(lrm_cli::service::run_client(&argv[1..])),
+        _ => {}
+    }
     let args = parse_args();
     let run = |name: &str| match name {
         "fig1" => run_fig1(args.size),

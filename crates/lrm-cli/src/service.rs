@@ -1,0 +1,411 @@
+//! `lrm-cli serve` / `lrm-cli client` — the serving-layer front end.
+//!
+//! `serve` runs the blocking `lrm-server` accept loop in the foreground
+//! (announcing `listening on <addr>` so scripts can poll readiness);
+//! `client` drives one request against a running server: ping, compress
+//! a generated dataset, decompress an artifact file, field statistics,
+//! model selection, a compress→decompress `roundtrip` with an error
+//! gate (the CI smoke check), and shutdown.
+
+use std::time::Duration;
+
+use lrm_core::ReducedModelKind;
+use lrm_datasets::{generate, DatasetKind, Field, SizeClass};
+use lrm_server::{Client, CompressRequest, SelectRequest, Server, ServerConfig};
+
+fn parse_size(s: &str) -> Option<SizeClass> {
+    match s {
+        "tiny" => Some(SizeClass::Tiny),
+        "small" => Some(SizeClass::Small),
+        "paper" => Some(SizeClass::Paper),
+        _ => None,
+    }
+}
+
+/// Parses a model name as the CLI spells it: `direct`, `one-base`,
+/// `multi-base:N`, `pca`, `svd`, `wavelet`, `pca-blocked:N`,
+/// `svd-blocked:N`, `svd-randomized`.
+fn parse_model(s: &str) -> Option<ReducedModelKind> {
+    let (name, param) = match s.split_once(':') {
+        Some((n, p)) => (n, p.parse::<usize>().ok()?.max(1)),
+        None => (s, 0),
+    };
+    match name {
+        "direct" | "original" => Some(ReducedModelKind::Direct),
+        "one-base" => Some(ReducedModelKind::OneBase),
+        "multi-base" => Some(ReducedModelKind::MultiBase(param.max(2))),
+        "pca" => Some(ReducedModelKind::Pca),
+        "svd" => Some(ReducedModelKind::Svd),
+        "wavelet" => Some(ReducedModelKind::Wavelet),
+        "pca-blocked" => Some(ReducedModelKind::PcaBlocked(param.max(2))),
+        "svd-blocked" => Some(ReducedModelKind::SvdBlocked(param.max(2))),
+        "svd-randomized" => Some(ReducedModelKind::SvdRandomized),
+        _ => None,
+    }
+}
+
+/// Flag map over `--key value` pairs plus boolean switches.
+struct Flags {
+    pairs: Vec<(String, String)>,
+    switches: Vec<String>,
+    positional: Vec<String>,
+}
+
+const SWITCHES: &[&str] = &["--scan-1d", "--exhaustive", "--quick"];
+
+impl Flags {
+    fn parse(args: &[String]) -> Flags {
+        let mut flags = Flags {
+            pairs: Vec::new(),
+            switches: Vec::new(),
+            positional: Vec::new(),
+        };
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            if SWITCHES.contains(&a.as_str()) {
+                flags.switches.push(a.clone());
+            } else if let Some(key) = a.strip_prefix("--") {
+                match it.next() {
+                    Some(v) => flags.pairs.push((key.to_string(), v.clone())),
+                    None => flags.positional.push(a.clone()),
+                }
+            } else {
+                flags.positional.push(a.clone());
+            }
+        }
+        flags
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn has(&self, switch: &str) -> bool {
+        self.switches.iter().any(|s| s == switch)
+    }
+
+    fn usize_or(&self, key: &str, default: usize) -> usize {
+        self.get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+}
+
+fn fail(msg: &str) -> i32 {
+    eprintln!("{msg}");
+    2
+}
+
+const SERVE_USAGE: &str = "lrm-cli serve [--addr HOST:PORT] [--threads N] [--max-inflight N] \
+                           [--max-payload-mb N] [--deadline-secs N] [--chunks N]";
+
+/// `lrm-cli serve`: bind, announce, serve until a Shutdown request.
+pub fn run_serve(args: &[String]) -> i32 {
+    let flags = Flags::parse(args);
+    if let Some(p) = flags.positional.first() {
+        return fail(&format!("serve: unexpected argument {p:?}\n{SERVE_USAGE}"));
+    }
+    let addr = flags.get("addr").unwrap_or("127.0.0.1:7421").to_string();
+    let config = ServerConfig {
+        threads: flags.usize_or("threads", 0),
+        max_inflight: flags.usize_or("max-inflight", 32).max(1),
+        max_payload: flags.usize_or("max-payload-mb", 256).max(1) << 20,
+        deadline: Duration::from_secs(flags.usize_or("deadline-secs", 30).max(1) as u64),
+        default_chunks: flags.usize_or("chunks", 1).max(1),
+    };
+    let server = match Server::bind(addr.as_str(), config) {
+        Ok(s) => s,
+        Err(e) => return fail(&format!("serve: cannot bind {addr}: {e}")),
+    };
+    match server.local_addr() {
+        Ok(a) => println!("lrm-server listening on {a}"),
+        Err(e) => return fail(&format!("serve: no local address: {e}")),
+    }
+    match server.serve() {
+        Ok(stats) => {
+            println!(
+                "lrm-server drained and stopped: {} served, {} rejected busy",
+                stats.served, stats.rejected_busy
+            );
+            0
+        }
+        Err(e) => fail(&format!("serve: {e}")),
+    }
+}
+
+const CLIENT_USAGE: &str =
+    "lrm-cli client <ping|compress|decompress|stats|select|roundtrip|shutdown> \
+                            [--addr HOST:PORT] [--dataset NAME] [--size tiny|small|paper] \
+                            [--model NAME[:N]] [--scan-1d] [--chunks N] [--exhaustive] \
+                            [--out FILE] [--in FILE] [--max-err X]";
+
+fn dataset_field(flags: &Flags) -> Result<Field, String> {
+    let name = flags.get("dataset").ok_or("missing --dataset")?;
+    let kind = DatasetKind::parse(name).ok_or_else(|| format!("unknown dataset {name:?}"))?;
+    let size = match flags.get("size") {
+        Some(s) => parse_size(s).ok_or_else(|| format!("unknown size {s:?}"))?,
+        None => SizeClass::Tiny,
+    };
+    Ok(generate(kind, size).full)
+}
+
+fn client_for(flags: &Flags) -> Result<Client, String> {
+    let addr = flags.get("addr").unwrap_or("127.0.0.1:7421");
+    Client::new(addr).map_err(|e| format!("cannot resolve {addr}: {e}"))
+}
+
+fn compress_request_from(flags: &Flags, field: &Field) -> Result<CompressRequest, String> {
+    let model = match flags.get("model") {
+        Some(m) => parse_model(m).ok_or_else(|| format!("unknown model {m:?}"))?,
+        None => ReducedModelKind::OneBase,
+    };
+    let (orig, delta) = lrm_core::sz_paper_bounds();
+    Ok(CompressRequest {
+        model,
+        orig,
+        delta,
+        scan_1d: flags.has("--scan-1d"),
+        chunks: flags.usize_or("chunks", 0).min(u16::MAX as usize) as u16,
+        shape: field.shape,
+        data: field.data.clone(),
+    })
+}
+
+/// `lrm-cli client <command>`: one request, human-readable result.
+pub fn run_client(args: &[String]) -> i32 {
+    let Some(command) = args.first().map(String::as_str) else {
+        return fail(CLIENT_USAGE);
+    };
+    let flags = Flags::parse(&args[1..]);
+    let client = match client_for(&flags) {
+        Ok(c) => c,
+        Err(e) => return fail(&format!("client: {e}")),
+    };
+    let outcome = match command {
+        "ping" => client.ping(b"lrm").map(|echo| {
+            println!("pong ({} bytes echoed) from {}", echo.len(), client.addr());
+        }),
+        "compress" => dataset_field(&flags)
+            .map_err(|e| fail_now(&e))
+            .and_then(|field| {
+                let req = compress_request_from(&flags, &field).map_err(|e| fail_now(&e))?;
+                let model = req.model;
+                client.compress(req).map(|(report, artifact)| {
+                    println!(
+                        "{} via {}: {} -> {} bytes (ratio {:.2}x)",
+                        field.name,
+                        model.name(),
+                        report.raw_bytes,
+                        report.rep_bytes + report.delta_bytes,
+                        report.ratio()
+                    );
+                    if let Some(path) = flags.get("out") {
+                        match std::fs::write(path, &artifact) {
+                            Ok(()) => println!("artifact written to {path}"),
+                            Err(e) => eprintln!("cannot write {path}: {e}"),
+                        }
+                    }
+                })
+            }),
+        "decompress" => {
+            let Some(path) = flags.get("in") else {
+                return fail("decompress: missing --in FILE");
+            };
+            match std::fs::read(path) {
+                Ok(bytes) => client.decompress(&bytes).map(|(shape, data)| {
+                    println!(
+                        "reconstructed {} values, shape {:?}, from {path}",
+                        data.len(),
+                        shape.dims
+                    );
+                }),
+                Err(e) => return fail(&format!("cannot read {path}: {e}")),
+            }
+        }
+        "stats" => dataset_field(&flags)
+            .map_err(|e| fail_now(&e))
+            .and_then(|field| {
+                client.field_stats(field.shape, &field.data).map(|s| {
+                    println!(
+                        "{}: count {} min {:.6} max {:.6} mean {:.6} variance {:.6e} \
+                         byte-entropy {:.3}",
+                        field.name, s.count, s.min, s.max, s.mean, s.variance, s.byte_entropy
+                    );
+                })
+            }),
+        "select" => dataset_field(&flags)
+            .map_err(|e| fail_now(&e))
+            .and_then(|field| {
+                let (orig, delta) = lrm_core::sz_paper_bounds();
+                client
+                    .select_model(SelectRequest {
+                        exhaustive: flags.has("--exhaustive"),
+                        orig,
+                        delta,
+                        shape: field.shape,
+                        data: field.data.clone(),
+                    })
+                    .map(|reply| {
+                        println!(
+                            "{}: winner {} ({}; {} trials)",
+                            field.name,
+                            reply.winner.name(),
+                            if reply.sampled {
+                                "strided sample"
+                            } else {
+                                "full field"
+                            },
+                            reply.trials.len()
+                        );
+                        for t in &reply.trials {
+                            println!(
+                                "  {:<16} {:>10} -> {:>8} bytes (ratio {:.2}x)",
+                                t.model.name(),
+                                t.raw_bytes,
+                                t.total_bytes,
+                                t.ratio()
+                            );
+                        }
+                    })
+            }),
+        "roundtrip" => return run_roundtrip(&client, &flags),
+        "shutdown" => client.shutdown().map(|()| {
+            println!("server at {} acknowledged shutdown", client.addr());
+        }),
+        other => {
+            return fail(&format!(
+                "client: unknown command {other:?}\n{CLIENT_USAGE}"
+            ))
+        }
+    };
+    match outcome {
+        Ok(()) => 0,
+        Err(e) => fail(&format!("client {command}: {e}")),
+    }
+}
+
+/// Maps a usage error onto the client-call error type so the two error
+/// paths share one exit; prints immediately.
+fn fail_now(msg: &str) -> lrm_server::ClientError {
+    lrm_server::ClientError::Io(std::io::Error::other(msg.to_string()))
+}
+
+/// Compress then decompress one dataset through the server and gate on
+/// the worst pointwise error — the CI server-smoke check.
+fn run_roundtrip(client: &Client, flags: &Flags) -> i32 {
+    let field = match dataset_field(flags) {
+        Ok(f) => f,
+        Err(e) => return fail(&format!("roundtrip: {e}")),
+    };
+    let req = match compress_request_from(flags, &field) {
+        Ok(r) => r,
+        Err(e) => return fail(&format!("roundtrip: {e}")),
+    };
+    let model = req.model;
+    let (report, artifact) = match client.compress(req) {
+        Ok(r) => r,
+        Err(e) => return fail(&format!("roundtrip compress: {e}")),
+    };
+    let (shape, data) = match client.decompress(&artifact) {
+        Ok(r) => r,
+        Err(e) => return fail(&format!("roundtrip decompress: {e}")),
+    };
+    if shape != field.shape || data.len() != field.len() {
+        return fail(&format!(
+            "roundtrip: shape mismatch, sent {:?} got back {:?}",
+            field.shape.dims, shape.dims
+        ));
+    }
+    let worst = data
+        .iter()
+        .zip(&field.data)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    // Default gate: 2e-3 of the value range, the dual-bound SZ envelope
+    // (rep at rel 1e-5 + delta at rel 1e-3) with slack.
+    let (lo, hi) = field.min_max();
+    let default_tol = 2e-3 * (hi - lo).max(f64::MIN_POSITIVE);
+    let tol = flags
+        .get("max-err")
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(default_tol);
+    println!(
+        "{} via {}: ratio {:.2}x, max abs err {worst:.3e} (gate {tol:.3e})",
+        field.name,
+        model.name(),
+        report.ratio()
+    );
+    if worst.is_finite() && worst <= tol {
+        println!("roundtrip OK");
+        0
+    } else {
+        eprintln!("roundtrip FAILED: error exceeds gate");
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_names_parse() {
+        assert_eq!(parse_model("direct"), Some(ReducedModelKind::Direct));
+        assert_eq!(parse_model("one-base"), Some(ReducedModelKind::OneBase));
+        assert_eq!(
+            parse_model("multi-base:4"),
+            Some(ReducedModelKind::MultiBase(4))
+        );
+        assert_eq!(
+            parse_model("svd-blocked:3"),
+            Some(ReducedModelKind::SvdBlocked(3))
+        );
+        assert_eq!(parse_model("duo"), None);
+    }
+
+    #[test]
+    fn flags_parse_pairs_switches_and_positional() {
+        let args: Vec<String> = ["--addr", "1.2.3.4:9", "--scan-1d", "extra"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let f = Flags::parse(&args);
+        assert_eq!(f.get("addr"), Some("1.2.3.4:9"));
+        assert!(f.has("--scan-1d"));
+        assert_eq!(f.positional, vec!["extra".to_string()]);
+        assert_eq!(f.usize_or("missing", 7), 7);
+    }
+
+    #[test]
+    fn serve_and_client_roundtrip_over_loopback() {
+        // End-to-end through the CLI entry points (ephemeral port).
+        let server = Server::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
+        let addr = server.local_addr().expect("addr").to_string();
+        let handle = std::thread::spawn(move || server.serve().expect("serve"));
+
+        let args: Vec<String> = [
+            "--addr",
+            &addr,
+            "--dataset",
+            "heat3d",
+            "--size",
+            "tiny",
+            "--model",
+            "one-base",
+            "--scan-1d",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let flags = Flags::parse(&args);
+        let client = client_for(&flags).expect("client");
+        assert_eq!(run_roundtrip(&client, &flags), 0);
+
+        client.shutdown().expect("shutdown");
+        handle.join().expect("join");
+    }
+}

@@ -44,5 +44,8 @@ pub use partitioned::{partitioned_precondition, partitioned_reconstruct, Partiti
 #[allow(deprecated)]
 pub use pipeline::{precondition_and_compress, precondition_and_compress_with_aux, reconstruct};
 pub use pipeline::{CompressionReport, PipelineConfig, PreconditionedArtifact, ReducedModelKind};
-pub use selection::{default_candidates, select_best_model, CandidateResult};
+pub use selection::{
+    default_candidates, select_best_model, select_best_model_with, CandidateResult,
+    SelectionOptions, SelectionOutcome,
+};
 pub use temporal::{compress_series, reconstruct_series, TemporalSeries};

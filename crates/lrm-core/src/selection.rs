@@ -10,6 +10,7 @@
 //! selector correctly refuses to precondition.
 
 use crate::pipeline::{precondition_impl, CompressionReport, PipelineConfig, ReducedModelKind};
+use lrm_compress::Shape;
 use lrm_datasets::Field;
 
 /// Outcome of one candidate trial.
@@ -21,22 +22,75 @@ pub struct CandidateResult {
     pub report: CompressionReport,
 }
 
-/// Tries every candidate model on `field` and returns the winner (by
-/// compression ratio) along with every trial's report, sorted best-first.
+/// How [`select_best_model_with`] runs its candidate trials.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SelectionOptions {
+    /// Target fraction of the field each trial sees (default `0.05`).
+    /// Sampling is strided — whole z-planes (3-D) or rows (2-D) — so
+    /// every candidate still sees real spatial structure.
+    pub sample_fraction: f64,
+    /// Fields at or below this many values always run full-field: on
+    /// tiny fields the trials are already cheap and a subsample would
+    /// be too small to rank models faithfully (default `4096`).
+    pub min_sample_len: usize,
+    /// Force full-field trials regardless of size (the original
+    /// brute-force behavior; what [`select_best_model`] uses).
+    pub exhaustive: bool,
+}
+
+impl Default for SelectionOptions {
+    fn default() -> Self {
+        Self {
+            sample_fraction: 0.05,
+            min_sample_len: 4096,
+            exhaustive: false,
+        }
+    }
+}
+
+/// What [`select_best_model_with`] found.
+#[derive(Debug, Clone)]
+pub struct SelectionOutcome {
+    /// The model with the best trial compression ratio.
+    pub winner: ReducedModelKind,
+    /// Every trial's report, sorted best-first. When `sampled` is true
+    /// the byte counts describe the subsample, not the full field.
+    pub results: Vec<CandidateResult>,
+    /// Whether trials ran on a strided subsample (false = full field).
+    pub sampled: bool,
+}
+
+/// Tries every candidate model and returns the winner by compression
+/// ratio, or `None` when no candidate applies to the field.
 ///
 /// `base` supplies the codecs/bounds; its `model` field is ignored.
 /// Candidates that cannot apply (e.g. one-base on a 1-D field) are
-/// skipped.
-pub fn select_best_model(
+/// skipped. Unless [`SelectionOptions::exhaustive`] is set, trials run
+/// on a strided subsample of the field ([`SelectionOptions`]'s
+/// `sample_fraction`), falling back to the full field when it is too
+/// small to subsample — this is what makes a long-lived service's
+/// SelectModel request cheap enough to run per-field.
+pub fn select_best_model_with(
     field: &Field,
     candidates: &[ReducedModelKind],
     base: &PipelineConfig,
-) -> (ReducedModelKind, Vec<CandidateResult>) {
+    options: &SelectionOptions,
+) -> Option<SelectionOutcome> {
+    let subsample = if options.exhaustive {
+        None
+    } else {
+        strided_subsample(field, options)
+    };
+    let sampled = subsample.is_some();
+    let subject = subsample.as_ref().unwrap_or(field);
+
     let mut results: Vec<CandidateResult> = Vec::new();
     for &model in candidates {
         // Skip inapplicable combinations rather than panic.
         let applicable = match model {
-            ReducedModelKind::OneBase | ReducedModelKind::MultiBase(_) => field.shape.ndims() >= 2,
+            ReducedModelKind::OneBase | ReducedModelKind::MultiBase(_) => {
+                subject.shape.ndims() >= 2
+            }
             ReducedModelKind::DuoModel => false, // needs an aux field
             _ => true,
         };
@@ -44,18 +98,105 @@ pub fn select_best_model(
             continue;
         }
         let cfg = PipelineConfig { model, ..*base };
-        let art = precondition_impl(field, None, &cfg);
+        let art = precondition_impl(subject, None, &cfg);
         results.push(CandidateResult {
             model,
             report: art.report,
         });
     }
-    assert!(
-        !results.is_empty(),
-        "select_best_model: no applicable candidate"
-    );
+    if results.is_empty() {
+        return None;
+    }
     results.sort_by(|a, b| b.report.ratio().total_cmp(&a.report.ratio()));
-    (results[0].model, results)
+    Some(SelectionOutcome {
+        winner: results[0].model,
+        results,
+        sampled,
+    })
+}
+
+/// Tries every candidate model on the **full** `field` and returns the
+/// winner (by compression ratio) along with every trial's report,
+/// sorted best-first.
+///
+/// `base` supplies the codecs/bounds; its `model` field is ignored.
+/// Candidates that cannot apply (e.g. one-base on a 1-D field) are
+/// skipped.
+///
+/// # Panics
+/// Panics when no candidate applies; use [`select_best_model_with`]
+/// for the non-panicking (and subsampled) variant.
+pub fn select_best_model(
+    field: &Field,
+    candidates: &[ReducedModelKind],
+    base: &PipelineConfig,
+) -> (ReducedModelKind, Vec<CandidateResult>) {
+    let options = SelectionOptions {
+        exhaustive: true,
+        ..SelectionOptions::default()
+    };
+    match select_best_model_with(field, candidates, base, &options) {
+        Some(outcome) => (outcome.winner, outcome.results),
+        None => panic!("select_best_model: no applicable candidate"),
+    }
+}
+
+/// Builds the strided trial field: every `stride`-th z-plane (3-D) or
+/// row (2-D) or element (1-D), keeping enough slabs that blocked models
+/// still see structure. Returns `None` when the field is too small to
+/// subsample — the caller then runs full-field.
+fn strided_subsample(field: &Field, options: &SelectionOptions) -> Option<Field> {
+    let n = field.shape.len();
+    if n <= options.min_sample_len
+        || options.sample_fraction.is_nan()
+        || options.sample_fraction <= 0.0
+        || options.sample_fraction >= 1.0
+    {
+        return None;
+    }
+    let [nx, ny, nz] = field.shape.dims;
+    let stride = (1.0 / options.sample_fraction).ceil().clamp(1.0, 1e9) as usize;
+    if nz > 1 {
+        let keep = slab_indices(nz, stride, 4)?;
+        let plane = nx * ny;
+        let mut data = Vec::with_capacity(keep.len() * plane);
+        for &z in &keep {
+            data.extend_from_slice(&field.data[z * plane..(z + 1) * plane]);
+        }
+        let shape = Shape::d3(nx, ny, keep.len());
+        Some(Field::new(format!("{}~sample", field.name), data, shape))
+    } else if ny > 1 {
+        let keep = slab_indices(ny, stride, 4)?;
+        let mut data = Vec::with_capacity(keep.len() * nx);
+        for &y in &keep {
+            data.extend_from_slice(&field.data[y * nx..(y + 1) * nx]);
+        }
+        let shape = Shape::d2(nx, keep.len());
+        Some(Field::new(format!("{}~sample", field.name), data, shape))
+    } else {
+        let keep: Vec<f64> = field.data.iter().step_by(stride).copied().collect();
+        if keep.len() < 16 || keep.len() >= n {
+            return None;
+        }
+        let shape = Shape::d1(keep.len());
+        Some(Field::new(format!("{}~sample", field.name), keep, shape))
+    }
+}
+
+/// Indices of the slabs a strided sample keeps: every `stride`-th of
+/// `count`, with `stride` shrunk so at least `min_keep` slabs survive.
+/// `None` means the sample would not actually shrink the field.
+fn slab_indices(count: usize, stride: usize, min_keep: usize) -> Option<Vec<usize>> {
+    let stride = stride.min(count.div_ceil(min_keep)).max(1);
+    if stride <= 1 {
+        return None;
+    }
+    let keep: Vec<usize> = (0..count).step_by(stride).collect();
+    if keep.len() >= count {
+        None
+    } else {
+        Some(keep)
+    }
 }
 
 /// The default candidate set: direct plus every self-contained reduced
@@ -136,5 +277,77 @@ mod tests {
         let f = Field::new("x", vec![0.0; 4], Shape::d1(4));
         let base = PipelineConfig::sz(ReducedModelKind::Direct);
         select_best_model(&f, &[ReducedModelKind::DuoModel], &base);
+    }
+
+    #[test]
+    fn no_applicable_candidate_is_none_not_panic() {
+        let f = Field::new("x", vec![0.0; 4], Shape::d1(4));
+        let base = PipelineConfig::sz(ReducedModelKind::Direct);
+        let out = select_best_model_with(
+            &f,
+            &[ReducedModelKind::DuoModel],
+            &base,
+            &SelectionOptions::default(),
+        );
+        assert!(out.is_none());
+    }
+
+    #[test]
+    fn tiny_fields_fall_back_to_full_field() {
+        // At or below min_sample_len the trials must run full-field.
+        let shape = Shape::d3(8, 8, 8);
+        let data: Vec<f64> = (0..shape.len()).map(|i| (i as f64 * 0.01).sin()).collect();
+        let f = Field::new("tiny", data, shape);
+        let base = PipelineConfig::sz(ReducedModelKind::Direct);
+        let out = select_best_model_with(
+            &f,
+            &default_candidates(),
+            &base,
+            &SelectionOptions::default(),
+        )
+        .expect("candidates apply");
+        assert!(!out.sampled);
+    }
+
+    #[test]
+    fn subsample_keeps_whole_planes_and_shrinks() {
+        let shape = Shape::d3(16, 16, 64);
+        let data: Vec<f64> = (0..shape.len()).map(|i| i as f64).collect();
+        let f = Field::new("big", data, shape);
+        let sub = strided_subsample(&f, &SelectionOptions::default()).expect("sampled");
+        let [nx, ny, nz] = sub.shape.dims;
+        assert_eq!((nx, ny), (16, 16));
+        assert!((4..64).contains(&nz), "kept {nz} planes");
+        // First kept plane is plane 0, verbatim.
+        assert_eq!(sub.data[..256], f.data[..256]);
+    }
+
+    #[test]
+    fn sampled_winner_matches_exhaustive_winner_on_seed_datasets() {
+        use lrm_datasets::{generate, DatasetKind, SizeClass};
+        let base = PipelineConfig::sz(ReducedModelKind::Direct);
+        let sampled_opts = SelectionOptions::default();
+        let exhaustive_opts = SelectionOptions {
+            exhaustive: true,
+            ..SelectionOptions::default()
+        };
+        for kind in [DatasetKind::Heat3d, DatasetKind::Laplace, DatasetKind::Fish] {
+            let field = generate(kind, SizeClass::Small).full;
+            let sampled =
+                select_best_model_with(&field, &default_candidates(), &base, &sampled_opts)
+                    .expect("candidates apply");
+            let exhaustive =
+                select_best_model_with(&field, &default_candidates(), &base, &exhaustive_opts)
+                    .expect("candidates apply");
+            assert!(!exhaustive.sampled);
+            assert_eq!(
+                sampled.winner,
+                exhaustive.winner,
+                "{}: sampled ({}) vs exhaustive ({}) winner diverged",
+                field.name,
+                sampled.winner.name(),
+                exhaustive.winner.name(),
+            );
+        }
     }
 }

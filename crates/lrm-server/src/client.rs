@@ -1,0 +1,214 @@
+//! Blocking client for the framed protocol.
+//!
+//! One connection per request (mirroring the server's
+//! connect-per-request model): each call dials, writes one request
+//! frame, reads one response frame, and closes. Server-side error
+//! frames surface as [`ClientError::Server`] with the typed
+//! [`ServerErrorKind`], so callers (and the loopback tests) can match
+//! on `Busy`/`TooLarge`/`Timeout` rather than string-compare messages.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use lrm_compress::{DecodeError, Shape};
+
+use crate::protocol::{
+    CompressRequest, FieldStatsReply, Frame, Request, Response, SelectReply, SelectRequest,
+    ServerErrorKind, WireReport, HEADER_LEN,
+};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure (connect, read, write, timeout).
+    Io(std::io::Error),
+    /// The server's response frame failed to decode.
+    Decode(DecodeError),
+    /// The server answered with a typed error frame.
+    Server {
+        /// Which error class the server reported.
+        kind: ServerErrorKind,
+        /// The server's human-readable context.
+        message: String,
+    },
+    /// The server answered with a response of the wrong kind for the
+    /// request (protocol confusion; carries the kind byte received).
+    Unexpected {
+        /// The frame kind byte received.
+        kind: u8,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "socket error: {e}"),
+            ClientError::Decode(e) => write!(f, "bad response frame: {e}"),
+            ClientError::Server { kind, message } => {
+                write!(f, "server error ({}): {message}", kind.name())
+            }
+            ClientError::Unexpected { kind } => {
+                write!(f, "unexpected response kind 0x{kind:02X}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<DecodeError> for ClientError {
+    fn from(e: DecodeError) -> Self {
+        ClientError::Decode(e)
+    }
+}
+
+/// Result alias for client calls.
+pub type ClientResult<T> = Result<T, ClientError>;
+
+/// A blocking protocol client bound to one server address.
+#[derive(Debug, Clone)]
+pub struct Client {
+    addr: SocketAddr,
+    timeout: Duration,
+}
+
+impl Client {
+    /// Creates a client for `addr` with a 30 s per-call timeout.
+    pub fn new(addr: impl ToSocketAddrs) -> ClientResult<Client> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| ClientError::Io(std::io::Error::other("address resolved to nothing")))?;
+        Ok(Client {
+            addr,
+            timeout: Duration::from_secs(30),
+        })
+    }
+
+    /// Overrides the per-call socket timeout.
+    pub fn with_timeout(mut self, timeout: Duration) -> Client {
+        self.timeout = timeout;
+        self
+    }
+
+    /// The server address this client dials.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Sends one request frame and reads the one response frame.
+    pub fn call(&self, request: &Request) -> ClientResult<Response> {
+        let mut stream = TcpStream::connect_timeout(&self.addr, self.timeout)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+        let _ = stream.set_nodelay(true);
+        stream.write_all(&request.to_frame())?;
+
+        let mut header = [0u8; HEADER_LEN];
+        stream.read_exact(&mut header)?;
+        let (kind, payload_len) = Frame::parse_header(&header)?;
+        let payload_len = usize::try_from(payload_len).map_err(|_| {
+            ClientError::Decode(DecodeError::Corrupt {
+                what: "response length exceeds address space",
+            })
+        })?;
+        let mut payload = vec![0u8; payload_len];
+        stream.read_exact(&mut payload)?;
+        let response = Response::decode(kind, &payload)?;
+        if let Response::Error { kind, message } = response {
+            return Err(ClientError::Server { kind, message });
+        }
+        Ok(response)
+    }
+
+    /// Liveness probe; returns the echoed bytes.
+    pub fn ping(&self, echo: &[u8]) -> ClientResult<Vec<u8>> {
+        match self.call(&Request::Ping {
+            echo: echo.to_vec(),
+        })? {
+            Response::Pong { echo } => Ok(echo),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Compresses a field; returns the size report and artifact bytes.
+    pub fn compress(&self, request: CompressRequest) -> ClientResult<(WireReport, Vec<u8>)> {
+        match self.call(&Request::Compress(request))? {
+            Response::Compressed { report, artifact } => Ok((report, artifact)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Reconstructs a field from artifact bytes.
+    pub fn decompress(&self, artifact: &[u8]) -> ClientResult<(Shape, Vec<f64>)> {
+        match self.call(&Request::Decompress {
+            artifact: artifact.to_vec(),
+        })? {
+            Response::Decompressed { shape, data } => Ok((shape, data)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Summary statistics for a field.
+    pub fn field_stats(&self, shape: Shape, data: &[f64]) -> ClientResult<FieldStatsReply> {
+        match self.call(&Request::FieldStats {
+            shape,
+            data: data.to_vec(),
+        })? {
+            Response::Stats(reply) => Ok(reply),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Runs model selection on a field.
+    pub fn select_model(&self, request: SelectRequest) -> ClientResult<SelectReply> {
+        match self.call(&Request::SelectModel(request))? {
+            Response::Selected(reply) => Ok(reply),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Asks the server to drain and stop.
+    pub fn shutdown(&self) -> ClientResult<()> {
+        match self.call(&Request::Shutdown)? {
+            Response::ShutdownAck => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+}
+
+fn unexpected(response: &Response) -> ClientError {
+    ClientError::Unexpected {
+        kind: response.kind(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_every_variant() {
+        let msgs = [
+            ClientError::Io(std::io::Error::other("boom")).to_string(),
+            ClientError::Decode(DecodeError::Truncated { what: "header" }).to_string(),
+            ClientError::Server {
+                kind: ServerErrorKind::Busy,
+                message: "full".into(),
+            }
+            .to_string(),
+            ClientError::Unexpected { kind: 0x42 }.to_string(),
+        ];
+        assert!(msgs[0].contains("boom"));
+        assert!(msgs[1].contains("header"));
+        assert!(msgs[2].contains("busy"));
+        assert!(msgs[3].contains("0x42"));
+    }
+}

@@ -1,0 +1,34 @@
+//! `lrm-server` — a concurrent compression service over `std::net`.
+//!
+//! The crate has three layers:
+//!
+//! * [`protocol`] — the framed wire protocol: a 16-byte header (magic,
+//!   version, kind, payload length) followed by a typed payload. The
+//!   decoder follows the workspace's hardened decode-path contract and
+//!   is registered in `lint.toml`.
+//! * [`server`] — a bounded TCP listener that dispatches accepted
+//!   connections onto the `lrm-parallel` [`WorkerPool`]
+//!   with explicit backpressure: max in-flight requests, max payload
+//!   size, and a per-request deadline, each mapped to a typed error
+//!   frame (`Busy`, `TooLarge`, `Timeout`). Shutdown drains in-flight
+//!   requests before the listener closes.
+//! * [`client`] — a blocking client used by `lrm-cli client`, the
+//!   loopback tests, and the `serve` bench row.
+//!
+//! The server is a consumer of every workspace layer: `lrm-compress`
+//! codecs, the `lrm-core` pipeline and model selector, `lrm-io`
+//! artifact containers, and the `lrm-parallel` pool.
+//!
+//! [`WorkerPool`]: lrm_parallel::WorkerPool
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, ClientError, ClientResult};
+pub use lrm_compress::{DecodeError, DecodeResult, Shape};
+pub use protocol::{
+    CompressRequest, FieldStatsReply, Frame, Request, Response, SelectReply, SelectRequest,
+    ServerErrorKind, TrialReport, WireReport,
+};
+pub use server::{Server, ServerConfig, ServerStats};

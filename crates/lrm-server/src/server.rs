@@ -1,0 +1,489 @@
+//! Bounded TCP service: accept loop, backpressure, worker dispatch.
+//!
+//! ```text
+//!             accept loop (serve thread)
+//!   TcpListener ──► inflight < max? ──► queue ──► WorkerPool workers
+//!        │               │ no                        │
+//!        │               └──► Busy frame, close      └──► handle one
+//!        │                                                request,
+//!        └── closes after Shutdown, workers drain the     reply, close
+//!            queue before serve() returns
+//! ```
+//!
+//! Backpressure is explicit and typed: a connection beyond
+//! [`ServerConfig::max_inflight`] receives a `Busy` error frame (never a
+//! hang or a silent drop), a payload beyond
+//! [`ServerConfig::max_payload`] receives `TooLarge` before the payload
+//! is read, and a request that cannot be read or served within
+//! [`ServerConfig::deadline`] receives `Timeout`. A `Shutdown` request
+//! flips the shutdown flag: the accept loop stops taking connections,
+//! workers drain everything already accepted, and [`Server::serve`]
+//! returns.
+//!
+//! Each connection carries exactly one request and one response frame
+//! (connect-per-request, like HTTP/1.0); the protocol needs no request
+//! IDs or reordering logic, and "in-flight" is simply the number of
+//! accepted-but-unanswered connections.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use lrm_core::{
+    default_candidates, selection::SelectionOptions, Pipeline, PipelineConfig, ReducedModelKind,
+};
+use lrm_datasets::Field;
+use lrm_parallel::WorkerPool;
+use lrm_stats::{byte_entropy, bytes_of, Summary};
+
+use crate::protocol::{
+    FieldStatsReply, Frame, Request, Response, SelectReply, ServerErrorKind, TrialReport,
+    WireReport, HEADER_LEN,
+};
+
+/// Tunable limits for a [`Server`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Worker threads serving requests (`0` = one per available core).
+    pub threads: usize,
+    /// Maximum accepted-but-unanswered connections; beyond this the
+    /// acceptor replies with a typed `Busy` frame and closes.
+    pub max_inflight: usize,
+    /// Maximum request payload in bytes; larger frames receive
+    /// `TooLarge` before the payload is read.
+    pub max_payload: usize,
+    /// Per-request deadline covering socket reads and execution; an
+    /// overrun receives a `Timeout` frame.
+    pub deadline: Duration,
+    /// Chunk count used when a compress request leaves it at `0`.
+    pub default_chunks: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            threads: 0,
+            max_inflight: 32,
+            max_payload: 256 << 20,
+            deadline: Duration::from_secs(30),
+            default_chunks: 1,
+        }
+    }
+}
+
+/// Counters reported by [`Server::serve`] after shutdown.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Requests pulled off the queue and answered (any response kind).
+    pub served: u64,
+    /// Connections refused with a `Busy` frame.
+    pub rejected_busy: u64,
+}
+
+/// Whether a handled connection asked the server to stop.
+enum Handled {
+    Normal,
+    ShutdownRequested,
+}
+
+/// Queue + flags shared between the acceptor and the workers.
+struct Shared {
+    queue: Mutex<std::collections::VecDeque<TcpStream>>,
+    available: Condvar,
+    inflight: AtomicUsize,
+    shutdown: AtomicBool,
+}
+
+/// A bound-but-not-yet-serving compression service.
+pub struct Server {
+    listener: TcpListener,
+    config: ServerConfig,
+}
+
+impl Server {
+    /// Binds to `addr` (use port `0` for an ephemeral test port).
+    pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server { listener, config })
+    }
+
+    /// The bound address (the real port when bound to port `0`).
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Runs the accept loop and worker pool until a `Shutdown` request
+    /// arrives, then drains in-flight requests and returns counters.
+    ///
+    /// The acceptor runs on the calling thread; workers run on the
+    /// `lrm-parallel` [`WorkerPool`] inside a [`std::thread::scope`], so
+    /// every thread is joined before this returns.
+    pub fn serve(self) -> std::io::Result<ServerStats> {
+        let threads = if self.config.threads == 0 {
+            lrm_parallel::available_threads()
+        } else {
+            self.config.threads
+        };
+        let pool = WorkerPool::new(threads);
+        let shared = Shared {
+            queue: Mutex::new(std::collections::VecDeque::new()),
+            available: Condvar::new(),
+            inflight: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+        };
+        self.listener.set_nonblocking(true)?;
+
+        let mut rejected_busy = 0u64;
+        let served = std::thread::scope(|s| {
+            let workers = s.spawn(|| {
+                pool.run((0..threads).collect::<Vec<_>>(), |_, _| {
+                    worker_loop(&shared, &self.config)
+                })
+            });
+
+            loop {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                match self.listener.accept() {
+                    Ok((stream, _)) => {
+                        if shared.inflight.load(Ordering::SeqCst) >= self.config.max_inflight {
+                            rejected_busy += 1;
+                            reject_busy(stream, &self.config);
+                            continue;
+                        }
+                        shared.inflight.fetch_add(1, Ordering::SeqCst);
+                        let mut q = shared.queue.lock().expect("connection queue poisoned");
+                        q.push_back(stream);
+                        drop(q);
+                        shared.available.notify_one();
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(_) => {
+                        // Transient accept failure (e.g. aborted
+                        // handshake); keep serving.
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                }
+            }
+
+            // Listener closes when `self` drops; workers drain whatever
+            // was accepted before the flag flipped.
+            let per_worker = workers.join().unwrap_or_default();
+            per_worker.into_iter().sum::<u64>()
+        });
+
+        Ok(ServerStats {
+            served,
+            rejected_busy,
+        })
+    }
+}
+
+/// Sends a `Busy` frame on a connection the acceptor refuses to queue.
+fn reject_busy(mut stream: TcpStream, config: &ServerConfig) {
+    // Some platforms hand accepted sockets the listener's non-blocking
+    // flag; request plain blocking I/O with timeouts.
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_write_timeout(Some(config.deadline));
+    send(
+        &mut stream,
+        &Response::Error {
+            kind: ServerErrorKind::Busy,
+            message: format!("server at max in-flight ({})", config.max_inflight),
+        },
+    );
+    close_gracefully(stream);
+}
+
+/// Consumes whatever the peer still has in flight so the close sends
+/// FIN rather than RST — an RST can destroy a response the client has
+/// not read yet (the error paths reply without reading the payload).
+/// Bounded by a byte budget and a short timeout.
+fn close_gracefully(mut stream: TcpStream) {
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut sink = [0u8; 4096];
+    let mut budget: usize = 256 * 1024;
+    loop {
+        match stream.read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => {
+                budget = budget.saturating_sub(n);
+                if budget == 0 {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// One worker: pop connections until shutdown, handle each fully.
+/// Returns the number of requests this worker answered.
+fn worker_loop(shared: &Shared, config: &ServerConfig) -> u64 {
+    let mut served = 0u64;
+    loop {
+        let conn = {
+            let mut q = shared.queue.lock().expect("connection queue poisoned");
+            loop {
+                if let Some(c) = q.pop_front() {
+                    break Some(c);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                let (guard, _) = shared
+                    .available
+                    .wait_timeout(q, Duration::from_millis(20))
+                    .expect("connection queue poisoned");
+                q = guard;
+            }
+            // Guard drops here: requests never execute under the queue
+            // lock.
+        };
+        let Some(stream) = conn else {
+            return served;
+        };
+        let handled = handle_connection(stream, config);
+        served += 1;
+        shared.inflight.fetch_sub(1, Ordering::SeqCst);
+        if matches!(handled, Handled::ShutdownRequested) {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            shared.available.notify_all();
+        }
+    }
+}
+
+/// True for the error kinds a socket read/write timeout surfaces as.
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+}
+
+/// Writes one response frame; a vanished peer is not an error worth
+/// tracking (the client already gave up).
+fn send(stream: &mut TcpStream, resp: &Response) {
+    let _ = stream.write_all(&resp.to_frame());
+}
+
+fn timeout_response(context: &str) -> Response {
+    Response::Error {
+        kind: ServerErrorKind::Timeout,
+        message: context.to_owned(),
+    }
+}
+
+fn malformed_response(context: String) -> Response {
+    Response::Error {
+        kind: ServerErrorKind::Malformed,
+        message: context,
+    }
+}
+
+/// Serves one connection, then closes it without risking an RST.
+fn handle_connection(mut stream: TcpStream, config: &ServerConfig) -> Handled {
+    let handled = serve_one(&mut stream, config);
+    close_gracefully(stream);
+    handled
+}
+
+/// Serves one connection end to end: read a frame within the deadline,
+/// enforce the payload cap, execute, reply. Every failure mode is a
+/// typed error frame; a panic inside execution becomes `Internal`.
+fn serve_one(stream: &mut TcpStream, config: &ServerConfig) -> Handled {
+    let start = Instant::now();
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(config.deadline));
+    let _ = stream.set_write_timeout(Some(config.deadline));
+    let _ = stream.set_nodelay(true);
+
+    let mut header = [0u8; HEADER_LEN];
+    if let Err(e) = stream.read_exact(&mut header) {
+        if is_timeout(&e) {
+            send(
+                stream,
+                &timeout_response("deadline elapsed while reading the frame header"),
+            );
+        }
+        return Handled::Normal;
+    }
+    let (kind, payload_len) = match Frame::parse_header(&header) {
+        Ok(v) => v,
+        Err(e) => {
+            send(stream, &malformed_response(e.to_string()));
+            return Handled::Normal;
+        }
+    };
+    let payload_len = match usize::try_from(payload_len) {
+        Ok(n) if n <= config.max_payload => n,
+        _ => {
+            send(
+                stream,
+                &Response::Error {
+                    kind: ServerErrorKind::TooLarge,
+                    message: format!(
+                        "payload of {payload_len} bytes exceeds the {} byte limit",
+                        config.max_payload
+                    ),
+                },
+            );
+            return Handled::Normal;
+        }
+    };
+    let mut payload = vec![0u8; payload_len];
+    if let Err(e) = stream.read_exact(&mut payload) {
+        if is_timeout(&e) {
+            send(
+                stream,
+                &timeout_response("deadline elapsed while reading the request payload"),
+            );
+        }
+        return Handled::Normal;
+    }
+    let request = match Request::decode(kind, &payload) {
+        Ok(r) => r,
+        Err(e) => {
+            send(stream, &malformed_response(e.to_string()));
+            return Handled::Normal;
+        }
+    };
+    drop(payload);
+
+    if matches!(request, Request::Shutdown) {
+        send(stream, &Response::ShutdownAck);
+        return Handled::ShutdownRequested;
+    }
+
+    // Model/codec execution walks real numerical kernels; a panic there
+    // must kill one request, not a worker thread.
+    let response = match std::panic::catch_unwind(AssertUnwindSafe(|| execute(&request, config))) {
+        Ok(r) => r,
+        Err(_) => Response::Error {
+            kind: ServerErrorKind::Internal,
+            message: "request execution panicked".to_owned(),
+        },
+    };
+    let response = if start.elapsed() > config.deadline {
+        timeout_response("deadline elapsed during execution")
+    } else {
+        response
+    };
+    send(stream, &response);
+    Handled::Normal
+}
+
+/// Executes one decoded request against the engine.
+fn execute(request: &Request, config: &ServerConfig) -> Response {
+    match request {
+        Request::Ping { echo } => Response::Pong { echo: echo.clone() },
+        Request::Compress(c) => {
+            if c.shape.is_empty() {
+                return malformed_response("compress request carries an empty field".to_owned());
+            }
+            let chunks = if c.chunks == 0 {
+                config.default_chunks
+            } else {
+                c.chunks as usize
+            };
+            // Parallelism lives across requests (the worker pool), so
+            // each pipeline runs single-threaded.
+            let pipeline = Pipeline::builder()
+                .model(c.model)
+                .codec(c.orig)
+                .delta_codec(c.delta)
+                .scan_1d(c.scan_1d)
+                .threads(1)
+                .chunks(chunks)
+                .build();
+            let field = Field::new("wire", c.data.clone(), c.shape);
+            let artifact = pipeline.compress(&field);
+            Response::Compressed {
+                report: WireReport::from_report(&artifact.report),
+                artifact: artifact.bytes,
+            }
+        }
+        Request::Decompress { artifact } => {
+            match Pipeline::builder().threads(1).build().reconstruct(artifact) {
+                Ok((data, shape)) => Response::Decompressed { shape, data },
+                Err(e) => malformed_response(format!("artifact rejected: {e}")),
+            }
+        }
+        Request::FieldStats { shape: _, data } => {
+            let s = Summary::of(data);
+            Response::Stats(FieldStatsReply {
+                count: s.count(),
+                min: s.min(),
+                max: s.max(),
+                mean: s.mean(),
+                variance: s.variance(),
+                byte_entropy: byte_entropy(&bytes_of(data)),
+            })
+        }
+        Request::SelectModel(sel) => {
+            if sel.shape.is_empty() {
+                return malformed_response("select request carries an empty field".to_owned());
+            }
+            let base = PipelineConfig {
+                orig: sel.orig,
+                delta: sel.delta,
+                ..PipelineConfig::sz(ReducedModelKind::Direct)
+            };
+            let options = SelectionOptions {
+                exhaustive: sel.exhaustive,
+                ..SelectionOptions::default()
+            };
+            let field = Field::new("wire", sel.data.clone(), sel.shape);
+            match lrm_core::selection::select_best_model_with(
+                &field,
+                &default_candidates(),
+                &base,
+                &options,
+            ) {
+                Some(outcome) => Response::Selected(SelectReply {
+                    winner: outcome.winner,
+                    sampled: outcome.sampled,
+                    trials: outcome
+                        .results
+                        .iter()
+                        .map(|r| TrialReport {
+                            model: r.model,
+                            raw_bytes: r.report.raw_bytes as u64,
+                            total_bytes: r.report.total_bytes() as u64,
+                        })
+                        .collect(),
+                }),
+                None => Response::Error {
+                    kind: ServerErrorKind::Internal,
+                    message: "no applicable candidate model".to_owned(),
+                },
+            }
+        }
+        // Handled before execute(); answered again defensively.
+        Request::Shutdown => Response::ShutdownAck,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_sane() {
+        let c = ServerConfig::default();
+        assert!(c.max_inflight > 0);
+        assert!(c.max_payload >= 1 << 20);
+        assert!(c.deadline >= Duration::from_secs(1));
+        assert!(c.default_chunks >= 1);
+    }
+
+    #[test]
+    fn bind_reports_ephemeral_port() {
+        let server = Server::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
+        let addr = server.local_addr().expect("addr");
+        assert_ne!(addr.port(), 0);
+    }
+}

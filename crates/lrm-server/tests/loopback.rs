@@ -1,0 +1,308 @@
+//! Loopback integration tests: real sockets, real worker pool.
+//!
+//! Covers the acceptance criteria for the serving layer: ≥ 4 concurrent
+//! client threads round-tripping Heat3d/Laplace fields within the
+//! requested error bound, a typed `Busy` frame once `max_inflight` is
+//! exceeded (not a hang or a drop), a `Timeout` frame when the deadline
+//! elapses mid-request, a `TooLarge` frame for oversized payloads, and
+//! shutdown draining in-flight requests before `serve()` returns.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use lrm_core::{LossyCodec, PipelineConfig, ReducedModelKind};
+use lrm_datasets::{generate, DatasetKind, SizeClass};
+use lrm_server::protocol::{RESP_ERR_MALFORMED, RESP_ERR_TIMEOUT, RESP_PONG};
+use lrm_server::{
+    Client, ClientError, CompressRequest, Frame, Request, SelectRequest, Server, ServerConfig,
+    ServerErrorKind, ServerStats,
+};
+
+fn start(config: ServerConfig) -> (SocketAddr, std::thread::JoinHandle<ServerStats>) {
+    let server = Server::bind("127.0.0.1:0", config).expect("bind loopback");
+    let addr = server.local_addr().expect("local addr");
+    let handle = std::thread::spawn(move || server.serve().expect("serve"));
+    (addr, handle)
+}
+
+fn compress_request(field: &lrm_datasets::Field, model: ReducedModelKind) -> CompressRequest {
+    CompressRequest {
+        model,
+        orig: LossyCodec::SzRel(1e-5),
+        delta: LossyCodec::SzRel(1e-3),
+        scan_1d: true,
+        chunks: 0,
+        shape: field.shape,
+        data: field.data.clone(),
+    }
+}
+
+/// Writes a ping frame in two halves with a pause in between, keeping a
+/// worker (or the queue) occupied for `hold`; returns the response
+/// frame kind. This is how the tests pin down Busy/drain behavior
+/// deterministically.
+fn slow_ping(addr: SocketAddr, hold: Duration) -> Option<u8> {
+    let frame = Request::Ping {
+        echo: vec![0xAB; 64],
+    }
+    .to_frame();
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    let split = frame.len() / 2;
+    stream.write_all(&frame[..split]).expect("first half");
+    std::thread::sleep(hold);
+    // Best-effort: when the hold outlives the server's deadline the
+    // server has already replied and closed, and this write may fail.
+    let _ = stream.write_all(&frame[split..]);
+    read_response_kind(&mut stream)
+}
+
+/// Reads whatever single response frame the server sends and returns
+/// its kind byte.
+fn read_response_kind(stream: &mut TcpStream) -> Option<u8> {
+    let mut bytes = Vec::new();
+    stream.read_to_end(&mut bytes).ok()?;
+    Frame::from_bytes(&bytes).ok().map(|f| f.kind)
+}
+
+#[test]
+fn concurrent_clients_roundtrip_within_bound() {
+    let (addr, handle) = start(ServerConfig {
+        threads: 4,
+        max_inflight: 16,
+        ..ServerConfig::default()
+    });
+
+    let heat = generate(DatasetKind::Heat3d, SizeClass::Tiny).full;
+    let laplace = generate(DatasetKind::Laplace, SizeClass::Tiny).full;
+    let jobs: Vec<(&lrm_datasets::Field, ReducedModelKind)> = vec![
+        (&heat, ReducedModelKind::OneBase),
+        (&heat, ReducedModelKind::MultiBase(2)),
+        (&laplace, ReducedModelKind::OneBase),
+        (&laplace, ReducedModelKind::Direct),
+        (&heat, ReducedModelKind::Direct),
+        (&laplace, ReducedModelKind::MultiBase(2)),
+    ];
+
+    std::thread::scope(|s| {
+        for (field, model) in &jobs {
+            s.spawn(move || {
+                let client = Client::new(addr).expect("client");
+                let (report, artifact) = client
+                    .compress(compress_request(field, *model))
+                    .expect("compress");
+                assert_eq!(report.raw_bytes as usize, field.len() * 8);
+                assert!(report.ratio() > 1.0, "{}: no compression", field.name);
+
+                let (shape, data) = client.decompress(&artifact).expect("decompress");
+                assert_eq!(shape, field.shape);
+                assert_eq!(data.len(), field.len());
+                // Dual-bound SZ: rep at rel 1e-5, delta at rel 1e-3 of
+                // their value ranges; 2e-3 of the field range bounds the
+                // sum with slack.
+                let (lo, hi) = field.min_max();
+                let tol = 2e-3 * (hi - lo).max(f64::MIN_POSITIVE);
+                let worst = data
+                    .iter()
+                    .zip(&field.data)
+                    .map(|(a, b)| (a - b).abs())
+                    .fold(0.0f64, f64::max);
+                assert!(
+                    worst <= tol,
+                    "{}/{}: max err {worst:.3e} > {tol:.3e}",
+                    field.name,
+                    model.name()
+                );
+            });
+        }
+    });
+
+    let client = Client::new(addr).expect("client");
+    client.shutdown().expect("shutdown");
+    let stats = handle.join().expect("join");
+    // 6 compress + 6 decompress + 1 shutdown.
+    assert_eq!(stats.served, 13);
+    assert_eq!(stats.rejected_busy, 0);
+}
+
+#[test]
+fn stats_and_selection_are_served() {
+    let (addr, handle) = start(ServerConfig {
+        threads: 2,
+        ..ServerConfig::default()
+    });
+    let field = generate(DatasetKind::Heat3d, SizeClass::Tiny).full;
+    let client = Client::new(addr).expect("client");
+
+    let stats = client.field_stats(field.shape, &field.data).expect("stats");
+    assert_eq!(stats.count as usize, field.len());
+    let (lo, hi) = field.min_max();
+    assert_eq!(stats.min, lo);
+    assert_eq!(stats.max, hi);
+    assert!(stats.byte_entropy > 0.0 && stats.byte_entropy <= 8.0);
+
+    let (orig, delta) = lrm_core::sz_paper_bounds();
+    let reply = client
+        .select_model(SelectRequest {
+            exhaustive: false,
+            orig,
+            delta,
+            shape: field.shape,
+            data: field.data.clone(),
+        })
+        .expect("select");
+    assert!(!reply.trials.is_empty());
+    assert_eq!(reply.winner, reply.trials[0].model);
+    // The server must agree with a local selection run.
+    let base = PipelineConfig {
+        orig,
+        delta,
+        ..PipelineConfig::sz(ReducedModelKind::Direct)
+    };
+    let local = lrm_core::select_best_model_with(
+        &field,
+        &lrm_core::default_candidates(),
+        &base,
+        &lrm_core::SelectionOptions::default(),
+    )
+    .expect("local selection");
+    assert_eq!(reply.winner, local.winner);
+    assert_eq!(reply.sampled, local.sampled);
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("join");
+}
+
+#[test]
+fn over_inflight_request_gets_typed_busy_frame() {
+    let (addr, handle) = start(ServerConfig {
+        threads: 1,
+        max_inflight: 1,
+        deadline: Duration::from_secs(20),
+        ..ServerConfig::default()
+    });
+
+    // Occupy the single in-flight slot with a half-sent ping.
+    let holder = std::thread::spawn(move || slow_ping(addr, Duration::from_millis(800)));
+    std::thread::sleep(Duration::from_millis(300));
+
+    // The next request must be refused with Busy — not hang, not drop.
+    let client = Client::new(addr).expect("client");
+    match client.ping(b"over capacity") {
+        Err(ClientError::Server {
+            kind: ServerErrorKind::Busy,
+            ..
+        }) => {}
+        other => panic!("expected Busy frame, got {other:?}"),
+    }
+
+    // The held request still completes normally.
+    assert_eq!(holder.join().expect("holder"), Some(RESP_PONG));
+
+    // Wait for the slot to free, then shut down.
+    let mut acked = false;
+    for _ in 0..100 {
+        if client.shutdown().is_ok() {
+            acked = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    assert!(acked, "shutdown never accepted");
+    let stats = handle.join().expect("join");
+    assert!(stats.rejected_busy >= 1);
+    assert!(stats.served >= 2);
+}
+
+#[test]
+fn shutdown_drains_inflight_requests() {
+    let (addr, handle) = start(ServerConfig {
+        threads: 2,
+        max_inflight: 4,
+        deadline: Duration::from_secs(20),
+        ..ServerConfig::default()
+    });
+
+    // Worker 1 blocks mid-read on a half-sent ping...
+    let holder = std::thread::spawn(move || slow_ping(addr, Duration::from_millis(900)));
+    std::thread::sleep(Duration::from_millis(300));
+
+    // ...while worker 2 acks a shutdown request.
+    let client = Client::new(addr).expect("client");
+    client.shutdown().expect("shutdown ack");
+
+    // The in-flight ping must still be answered before serve() returns.
+    assert_eq!(holder.join().expect("holder"), Some(RESP_PONG));
+    let stats = handle.join().expect("join");
+    assert_eq!(stats.served, 2);
+}
+
+#[test]
+fn deadline_overrun_gets_typed_timeout_frame() {
+    let (addr, handle) = start(ServerConfig {
+        threads: 1,
+        deadline: Duration::from_millis(250),
+        ..ServerConfig::default()
+    });
+
+    // Stall far past the deadline mid-payload; the server must answer
+    // with a Timeout error frame rather than hanging or dropping.
+    let kind = slow_ping(addr, Duration::from_millis(1200));
+    assert_eq!(kind, Some(RESP_ERR_TIMEOUT));
+
+    let client = Client::new(addr).expect("client");
+    client.shutdown().expect("shutdown");
+    handle.join().expect("join");
+}
+
+#[test]
+fn oversized_payload_gets_typed_too_large_frame() {
+    let (addr, handle) = start(ServerConfig {
+        threads: 1,
+        max_payload: 1024,
+        ..ServerConfig::default()
+    });
+
+    let client = Client::new(addr).expect("client");
+    match client.ping(&vec![7u8; 4096]) {
+        Err(ClientError::Server {
+            kind: ServerErrorKind::TooLarge,
+            ..
+        }) => {}
+        other => panic!("expected TooLarge frame, got {other:?}"),
+    }
+    // A small request still succeeds afterwards.
+    assert_eq!(client.ping(b"ok").expect("ping"), b"ok");
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("join");
+}
+
+#[test]
+fn hostile_bytes_get_typed_malformed_frame() {
+    let (addr, handle) = start(ServerConfig {
+        threads: 1,
+        ..ServerConfig::default()
+    });
+
+    // Garbage that is not even a frame header.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(b"GET / HTTP/1.1\r\n\r\n").expect("write");
+    stream
+        .shutdown(std::net::Shutdown::Write)
+        .expect("half-close");
+    assert_eq!(read_response_kind(&mut stream), Some(RESP_ERR_MALFORMED));
+
+    // A well-framed payload that fails request decoding (bad codec tag).
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let frame = Frame::encode(0x01, &[0xFF; 40]);
+    stream.write_all(&frame).expect("write");
+    assert_eq!(read_response_kind(&mut stream), Some(RESP_ERR_MALFORMED));
+
+    let client = Client::new(addr).expect("client");
+    client.shutdown().expect("shutdown");
+    handle.join().expect("join");
+}

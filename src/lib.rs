@@ -17,6 +17,7 @@ pub use lrm_datasets as datasets;
 pub use lrm_io as io;
 pub use lrm_linalg as linalg;
 pub use lrm_parallel as parallel;
+pub use lrm_server as server;
 pub use lrm_stats as stats;
 pub use lrm_wavelet as wavelet;
 
