@@ -147,44 +147,37 @@ pub fn measure_one(codec: &dyn Codec, kind: DatasetKind, config: &BenchConfig) -
 /// (`serve`, `loopback`) pair, so [`regressions`] never gates on it —
 /// the row records the trajectory.
 pub fn measure_serve(config: &BenchConfig) -> BenchResult {
-    use lrm_core::{LossyCodec, ReducedModelKind};
-    use lrm_server::{Client, CompressRequest, Server, ServerConfig};
+    use lrm_server::{Connection, Server};
 
     let field = generate(DatasetKind::Heat3d, config.size).full;
-    let server = Server::bind(
-        "127.0.0.1:0",
-        ServerConfig {
-            threads: 2,
-            ..ServerConfig::default()
-        },
-    )
-    .expect("bind loopback");
+    let server = Server::builder().threads(2).bind().expect("bind loopback");
     let addr = server.local_addr().expect("local addr");
     let handle = std::thread::spawn(move || server.serve());
 
-    let client = Client::new(addr).expect("client");
-    let request = CompressRequest {
-        model: ReducedModelKind::OneBase,
-        orig: LossyCodec::SzRel(1e-5),
-        delta: LossyCodec::SzRel(1e-3),
-        scan_1d: true,
-        chunks: 0,
-        shape: field.shape,
-        data: field.data.clone(),
-    };
-    let (report, artifact) = client.compress(request.clone()).expect("compress");
+    let request = serve_compress_request(&field);
+    let (report, artifact) = Connection::open(addr)
+        .expect("connect")
+        .compress(request.clone())
+        .expect("compress");
     let ratio = report.ratio();
 
+    // Connect-per-request on purpose: this row is the historical
+    // baseline the sweep rows are judged against.
     let enc_t = time_per_call(config.reps, || {
-        let out = client.compress(request.clone()).expect("compress");
+        let mut session = Connection::open(addr).expect("connect");
+        let out = session.compress(request.clone()).expect("compress");
         std::hint::black_box(&out);
     });
     let dec_t = time_per_call(config.reps, || {
-        let out = client.decompress(&artifact).expect("decompress");
+        let mut session = Connection::open(addr).expect("connect");
+        let out = session.decompress(&artifact).expect("decompress");
         std::hint::black_box(&out);
     });
 
-    client.shutdown().expect("shutdown");
+    Connection::open(addr)
+        .expect("connect")
+        .shutdown()
+        .expect("shutdown");
     let _ = handle.join();
 
     BenchResult {
@@ -196,10 +189,140 @@ pub fn measure_serve(config: &BenchConfig) -> BenchResult {
     }
 }
 
+fn serve_compress_request(field: &lrm_datasets::Field) -> lrm_server::CompressRequest {
+    use lrm_core::{LossyCodec, ReducedModelKind};
+    lrm_server::CompressRequest {
+        model: ReducedModelKind::OneBase,
+        orig: LossyCodec::SzRel(1e-5),
+        delta: LossyCodec::SzRel(1e-3),
+        scan_1d: true,
+        chunks: 0,
+        shape: field.shape,
+        data: field.data.clone(),
+    }
+}
+
+/// Connection counts for the persistent-connection sweep rows.
+pub const SWEEP_CONNS: [usize; 3] = [1, 64, 1024];
+
+/// One row of the concurrency sweep: `conns` persistent sessions stay
+/// open while pipelined requests are pushed through all of them at
+/// once. `decode_mbps` carries ping requests per second (protocol +
+/// event-loop overhead), `encode_mbps` carries compress requests per
+/// second (compute through the worker pool), and `ratio` is the
+/// artifact's compression ratio from one untimed round trip. Every
+/// request is answered on the connection that sent it and matched by
+/// request id, so the row also doubles as a large-scale pipelining
+/// check.
+pub fn measure_serve_conns(config: &BenchConfig, conns: usize) -> BenchResult {
+    use lrm_server::{Connection, Request, Server};
+
+    let field = generate(DatasetKind::Heat3d, config.size).full;
+    let server = Server::builder()
+        .threads(2)
+        .max_inflight(4096)
+        .max_connections(conns + 8)
+        .max_pipeline_depth(64)
+        .deadline(std::time::Duration::from_secs(120))
+        .bind()
+        .expect("bind loopback");
+    let addr = server.local_addr().expect("local addr");
+    let handle = std::thread::spawn(move || server.serve());
+
+    let compress = Request::Compress(serve_compress_request(&field));
+    let ratio = match Connection::open(addr).expect("connect").call(&compress) {
+        Ok(lrm_server::Response::Compressed { report, .. }) => report.ratio(),
+        other => panic!("probe compress failed: {other:?}"),
+    };
+
+    let ping = Request::Ping {
+        echo: vec![0x5A; 16],
+    };
+    let (ping_total, compress_total) = if config.quick { (512, 32) } else { (2048, 96) };
+    let ping_rps = sweep_round(addr, conns, ping_total, &ping);
+    let compress_rps = sweep_round(addr, conns, compress_total, &compress);
+
+    Connection::open(addr)
+        .expect("connect")
+        .shutdown()
+        .expect("shutdown");
+    let _ = handle.join();
+
+    BenchResult {
+        codec: "serve".to_string(),
+        dataset: format!("sweep-c{conns}"),
+        encode_mbps: compress_rps,
+        decode_mbps: ping_rps,
+        ratio,
+    }
+}
+
+/// Drives at least `total` copies of `request` through `conns`
+/// persistent sessions and returns requests per second. Sessions are
+/// opened untimed; the clock covers only the request traffic. Each
+/// driver thread owns a share of the sessions and pipelines batches of
+/// up to 16 requests per session (send all, then wait all), so many
+/// requests ride each socket round trip without exceeding the server's
+/// per-connection depth.
+fn sweep_round(
+    addr: std::net::SocketAddr,
+    conns: usize,
+    total: usize,
+    request: &lrm_server::Request,
+) -> f64 {
+    use lrm_server::Connection;
+    use std::sync::Barrier;
+
+    let conns = conns.max(1);
+    let threads = conns.min(8);
+    let mut share = vec![conns / threads; threads];
+    for slot in share.iter_mut().take(conns % threads) {
+        *slot += 1;
+    }
+    let per_conn = total.div_ceil(conns).max(1);
+    let barrier = Barrier::new(threads + 1);
+
+    let elapsed = std::thread::scope(|scope| {
+        let barrier = &barrier;
+        let drivers: Vec<_> = share
+            .iter()
+            .map(|&count| {
+                scope.spawn(move || {
+                    let mut sessions: Vec<Connection> = (0..count)
+                        .map(|_| Connection::open(addr).expect("connect"))
+                        .collect();
+                    barrier.wait();
+                    for session in &mut sessions {
+                        let mut remaining = per_conn;
+                        while remaining > 0 {
+                            let batch = remaining.min(16);
+                            let handles: Vec<_> = (0..batch)
+                                .map(|_| session.send(request).expect("send"))
+                                .collect();
+                            for h in handles {
+                                session.wait(h).expect("wait");
+                            }
+                            remaining -= batch;
+                        }
+                    }
+                })
+            })
+            .collect();
+        barrier.wait();
+        let clock = std::time::Instant::now();
+        for driver in drivers {
+            driver.join().expect("driver thread");
+        }
+        clock.elapsed()
+    });
+
+    (per_conn * conns) as f64 / elapsed.as_secs_f64().max(1e-9)
+}
+
 /// Runs the full grid (or the quick diagonal) and returns one result per
-/// (codec, dataset) pair, plus the [`measure_serve`] loopback row.
-/// `progress` is called before each measurement
-/// with a human-readable label.
+/// (codec, dataset) pair, plus the [`measure_serve`] loopback row and
+/// the [`measure_serve_conns`] persistent-connection sweep. `progress`
+/// is called before each measurement with a human-readable label.
 pub fn run(config: &BenchConfig, mut progress: impl FnMut(&str)) -> Vec<BenchResult> {
     let codecs = paper_codecs();
     let mut results = Vec::new();
@@ -228,6 +351,22 @@ pub fn run(config: &BenchConfig, mut progress: impl FnMut(&str)) -> Vec<BenchRes
     if config.selected("serve", "loopback") {
         progress("serve / loopback (req/s)");
         results.push(measure_serve(config));
+    }
+    // The persistent-connection sweep; quick mode stops at 64
+    // connections so the smoke run stays short, the full run also
+    // covers the c1024 row.
+    let sweep: &[usize] = if config.quick {
+        &SWEEP_CONNS[..2]
+    } else {
+        &SWEEP_CONNS
+    };
+    for &conns in sweep {
+        let dataset = format!("sweep-c{conns}");
+        if !config.selected("serve", &dataset) {
+            continue;
+        }
+        progress(&format!("serve / {dataset} (req/s)"));
+        results.push(measure_serve_conns(config, conns));
     }
     results
 }
@@ -457,9 +596,11 @@ mod tests {
             only: None,
         };
         let results = run(&config, |_| {});
-        assert_eq!(results.len(), 4);
+        assert_eq!(results.len(), 6);
         let codecs: Vec<&str> = results.iter().map(|r| r.codec.as_str()).collect();
-        assert_eq!(codecs, vec!["SZ", "ZFP", "FPC", "serve"]);
+        assert_eq!(codecs, vec!["SZ", "ZFP", "FPC", "serve", "serve", "serve"]);
+        let serve_sets: Vec<&str> = results[3..].iter().map(|r| r.dataset.as_str()).collect();
+        assert_eq!(serve_sets, vec!["loopback", "sweep-c1", "sweep-c64"]);
         for r in &results {
             assert!(r.encode_mbps > 0.0 && r.decode_mbps > 0.0 && r.ratio > 0.0);
         }
@@ -480,6 +621,25 @@ mod tests {
         );
         // req/s in the throughput columns; a loopback round trip on a
         // tiny field comfortably clears one request per second.
+        assert!(row.encode_mbps > 1.0 && row.decode_mbps > 1.0);
+        assert!(row.ratio > 1.0);
+    }
+
+    #[test]
+    fn sweep_row_pipelines_over_persistent_connections() {
+        let config = BenchConfig {
+            size: SizeClass::Tiny,
+            reps: 1,
+            quick: true,
+            only: None,
+        };
+        // An off-grid connection count proves the row is parameterized,
+        // not hard-coded to the committed sweep points.
+        let row = measure_serve_conns(&config, 3);
+        assert_eq!(
+            (row.codec.as_str(), row.dataset.as_str()),
+            ("serve", "sweep-c3")
+        );
         assert!(row.encode_mbps > 1.0 && row.decode_mbps > 1.0);
         assert!(row.ratio > 1.0);
     }

@@ -1,17 +1,19 @@
 //! `lrm-cli serve` / `lrm-cli client` — the serving-layer front end.
 //!
-//! `serve` runs the blocking `lrm-server` accept loop in the foreground
+//! `serve` runs the `lrm-server` event loop in the foreground
 //! (announcing `listening on <addr>` so scripts can poll readiness);
-//! `client` drives one request against a running server: ping, compress
-//! a generated dataset, decompress an artifact file, field statistics,
-//! model selection, a compress→decompress `roundtrip` with an error
-//! gate (the CI smoke check), and shutdown.
+//! `client` drives requests against a running server over one
+//! persistent [`Connection`]: ping, compress a generated dataset,
+//! decompress an artifact file, field statistics, model selection, a
+//! compress→decompress `roundtrip` with an error gate, a `pipeline`
+//! check that keeps many requests in flight on one socket and matches
+//! responses by request id (the CI server-smoke check), and shutdown.
 
 use std::time::Duration;
 
 use lrm_core::ReducedModelKind;
 use lrm_datasets::{generate, DatasetKind, Field, SizeClass};
-use lrm_server::{Client, CompressRequest, SelectRequest, Server, ServerConfig};
+use lrm_server::{CompressRequest, Connection, Request, Response, SelectRequest, Server};
 
 fn parse_size(s: &str) -> Option<SizeClass> {
     match s {
@@ -101,7 +103,8 @@ fn fail(msg: &str) -> i32 {
 }
 
 const SERVE_USAGE: &str = "lrm-cli serve [--addr HOST:PORT] [--threads N] [--max-inflight N] \
-                           [--max-payload-mb N] [--deadline-secs N] [--chunks N]";
+                           [--max-payload-mb N] [--deadline-secs N] [--chunks N] \
+                           [--max-connections N] [--max-pipeline-depth N]";
 
 /// `lrm-cli serve`: bind, announce, serve until a Shutdown request.
 pub fn run_serve(args: &[String]) -> i32 {
@@ -109,17 +112,20 @@ pub fn run_serve(args: &[String]) -> i32 {
     if let Some(p) = flags.positional.first() {
         return fail(&format!("serve: unexpected argument {p:?}\n{SERVE_USAGE}"));
     }
-    let addr = flags.get("addr").unwrap_or("127.0.0.1:7421").to_string();
-    let config = ServerConfig {
-        threads: flags.usize_or("threads", 0),
-        max_inflight: flags.usize_or("max-inflight", 32).max(1),
-        max_payload: flags.usize_or("max-payload-mb", 256).max(1) << 20,
-        deadline: Duration::from_secs(flags.usize_or("deadline-secs", 30).max(1) as u64),
-        default_chunks: flags.usize_or("chunks", 1).max(1),
-    };
-    let server = match Server::bind(addr.as_str(), config) {
+    let builder = Server::builder()
+        .addr(flags.get("addr").unwrap_or("127.0.0.1:7421"))
+        .threads(flags.usize_or("threads", 0))
+        .max_inflight(flags.usize_or("max-inflight", 32).max(1))
+        .max_payload(flags.usize_or("max-payload-mb", 256).max(1) << 20)
+        .deadline(Duration::from_secs(
+            flags.usize_or("deadline-secs", 30).max(1) as u64,
+        ))
+        .default_chunks(flags.usize_or("chunks", 1).max(1))
+        .max_connections(flags.usize_or("max-connections", 1024).max(1))
+        .max_pipeline_depth(flags.usize_or("max-pipeline-depth", 64).max(1));
+    let server = match builder.bind() {
         Ok(s) => s,
-        Err(e) => return fail(&format!("serve: cannot bind {addr}: {e}")),
+        Err(e) => return fail(&format!("serve: cannot bind: {e}")),
     };
     match server.local_addr() {
         Ok(a) => println!("lrm-server listening on {a}"),
@@ -128,8 +134,8 @@ pub fn run_serve(args: &[String]) -> i32 {
     match server.serve() {
         Ok(stats) => {
             println!(
-                "lrm-server drained and stopped: {} served, {} rejected busy",
-                stats.served, stats.rejected_busy
+                "lrm-server drained and stopped: {} served, {} rejected busy, {} connections",
+                stats.served, stats.rejected_busy, stats.connections
             );
             0
         }
@@ -138,10 +144,10 @@ pub fn run_serve(args: &[String]) -> i32 {
 }
 
 const CLIENT_USAGE: &str =
-    "lrm-cli client <ping|compress|decompress|stats|select|roundtrip|shutdown> \
+    "lrm-cli client <ping|compress|decompress|stats|select|roundtrip|pipeline|shutdown> \
                             [--addr HOST:PORT] [--dataset NAME] [--size tiny|small|paper] \
                             [--model NAME[:N]] [--scan-1d] [--chunks N] [--exhaustive] \
-                            [--out FILE] [--in FILE] [--max-err X]";
+                            [--out FILE] [--in FILE] [--max-err X] [--requests N]";
 
 fn dataset_field(flags: &Flags) -> Result<Field, String> {
     let name = flags.get("dataset").ok_or("missing --dataset")?;
@@ -153,9 +159,11 @@ fn dataset_field(flags: &Flags) -> Result<Field, String> {
     Ok(generate(kind, size).full)
 }
 
-fn client_for(flags: &Flags) -> Result<Client, String> {
-    let addr = flags.get("addr").unwrap_or("127.0.0.1:7421");
-    Client::new(addr).map_err(|e| format!("cannot resolve {addr}: {e}"))
+/// Opens the one persistent session every client subcommand runs over.
+fn connect(flags: &Flags) -> Result<(Connection, String), String> {
+    let addr = flags.get("addr").unwrap_or("127.0.0.1:7421").to_string();
+    let conn = Connection::open(addr.as_str()).map_err(|e| format!("cannot reach {addr}: {e}"))?;
+    Ok((conn, addr))
 }
 
 fn compress_request_from(flags: &Flags, field: &Field) -> Result<CompressRequest, String> {
@@ -175,26 +183,26 @@ fn compress_request_from(flags: &Flags, field: &Field) -> Result<CompressRequest
     })
 }
 
-/// `lrm-cli client <command>`: one request, human-readable result.
+/// `lrm-cli client <command>`: one session, human-readable result.
 pub fn run_client(args: &[String]) -> i32 {
     let Some(command) = args.first().map(String::as_str) else {
         return fail(CLIENT_USAGE);
     };
     let flags = Flags::parse(&args[1..]);
-    let client = match client_for(&flags) {
+    let (mut conn, addr) = match connect(&flags) {
         Ok(c) => c,
         Err(e) => return fail(&format!("client: {e}")),
     };
     let outcome = match command {
-        "ping" => client.ping(b"lrm").map(|echo| {
-            println!("pong ({} bytes echoed) from {}", echo.len(), client.addr());
+        "ping" => conn.ping(b"lrm").map(|echo| {
+            println!("pong ({} bytes echoed) from {addr}", echo.len());
         }),
         "compress" => dataset_field(&flags)
             .map_err(|e| fail_now(&e))
             .and_then(|field| {
                 let req = compress_request_from(&flags, &field).map_err(|e| fail_now(&e))?;
                 let model = req.model;
-                client.compress(req).map(|(report, artifact)| {
+                conn.compress(req).map(|(report, artifact)| {
                     println!(
                         "{} via {}: {} -> {} bytes (ratio {:.2}x)",
                         field.name,
@@ -216,7 +224,7 @@ pub fn run_client(args: &[String]) -> i32 {
                 return fail("decompress: missing --in FILE");
             };
             match std::fs::read(path) {
-                Ok(bytes) => client.decompress(&bytes).map(|(shape, data)| {
+                Ok(bytes) => conn.decompress(&bytes).map(|(shape, data)| {
                     println!(
                         "reconstructed {} values, shape {:?}, from {path}",
                         data.len(),
@@ -229,7 +237,7 @@ pub fn run_client(args: &[String]) -> i32 {
         "stats" => dataset_field(&flags)
             .map_err(|e| fail_now(&e))
             .and_then(|field| {
-                client.field_stats(field.shape, &field.data).map(|s| {
+                conn.field_stats(field.shape, &field.data).map(|s| {
                     println!(
                         "{}: count {} min {:.6} max {:.6} mean {:.6} variance {:.6e} \
                          byte-entropy {:.3}",
@@ -241,40 +249,40 @@ pub fn run_client(args: &[String]) -> i32 {
             .map_err(|e| fail_now(&e))
             .and_then(|field| {
                 let (orig, delta) = lrm_core::sz_paper_bounds();
-                client
-                    .select_model(SelectRequest {
-                        exhaustive: flags.has("--exhaustive"),
-                        orig,
-                        delta,
-                        shape: field.shape,
-                        data: field.data.clone(),
-                    })
-                    .map(|reply| {
+                conn.select_model(SelectRequest {
+                    exhaustive: flags.has("--exhaustive"),
+                    orig,
+                    delta,
+                    shape: field.shape,
+                    data: field.data.clone(),
+                })
+                .map(|reply| {
+                    println!(
+                        "{}: winner {} ({}; {} trials)",
+                        field.name,
+                        reply.winner.name(),
+                        if reply.sampled {
+                            "strided sample"
+                        } else {
+                            "full field"
+                        },
+                        reply.trials.len()
+                    );
+                    for t in &reply.trials {
                         println!(
-                            "{}: winner {} ({}; {} trials)",
-                            field.name,
-                            reply.winner.name(),
-                            if reply.sampled {
-                                "strided sample"
-                            } else {
-                                "full field"
-                            },
-                            reply.trials.len()
+                            "  {:<16} {:>10} -> {:>8} bytes (ratio {:.2}x)",
+                            t.model.name(),
+                            t.raw_bytes,
+                            t.total_bytes,
+                            t.ratio()
                         );
-                        for t in &reply.trials {
-                            println!(
-                                "  {:<16} {:>10} -> {:>8} bytes (ratio {:.2}x)",
-                                t.model.name(),
-                                t.raw_bytes,
-                                t.total_bytes,
-                                t.ratio()
-                            );
-                        }
-                    })
+                    }
+                })
             }),
-        "roundtrip" => return run_roundtrip(&client, &flags),
-        "shutdown" => client.shutdown().map(|()| {
-            println!("server at {} acknowledged shutdown", client.addr());
+        "roundtrip" => return run_roundtrip(&mut conn, &flags),
+        "pipeline" => return run_pipeline(&mut conn, &flags),
+        "shutdown" => conn.shutdown().map(|()| {
+            println!("server at {addr} acknowledged shutdown");
         }),
         other => {
             return fail(&format!(
@@ -295,8 +303,8 @@ fn fail_now(msg: &str) -> lrm_server::ClientError {
 }
 
 /// Compress then decompress one dataset through the server and gate on
-/// the worst pointwise error — the CI server-smoke check.
-fn run_roundtrip(client: &Client, flags: &Flags) -> i32 {
+/// the worst pointwise error.
+fn run_roundtrip(conn: &mut Connection, flags: &Flags) -> i32 {
     let field = match dataset_field(flags) {
         Ok(f) => f,
         Err(e) => return fail(&format!("roundtrip: {e}")),
@@ -306,11 +314,11 @@ fn run_roundtrip(client: &Client, flags: &Flags) -> i32 {
         Err(e) => return fail(&format!("roundtrip: {e}")),
     };
     let model = req.model;
-    let (report, artifact) = match client.compress(req) {
+    let (report, artifact) = match conn.compress(req) {
         Ok(r) => r,
         Err(e) => return fail(&format!("roundtrip compress: {e}")),
     };
-    let (shape, data) = match client.decompress(&artifact) {
+    let (shape, data) = match conn.decompress(&artifact) {
         Ok(r) => r,
         Err(e) => return fail(&format!("roundtrip decompress: {e}")),
     };
@@ -348,9 +356,57 @@ fn run_roundtrip(client: &Client, flags: &Flags) -> i32 {
     }
 }
 
+/// Pipelined smoke: queue a compress plus `--requests N` pings on ONE
+/// connection before reading anything, then wait on the compress handle
+/// first so every pong must be matched to its handle by request id —
+/// the CI check that v2 pipelining actually works end to end.
+fn run_pipeline(conn: &mut Connection, flags: &Flags) -> i32 {
+    let field = match dataset_field(flags) {
+        Ok(f) => f,
+        Err(e) => return fail(&format!("pipeline: {e}")),
+    };
+    let req = match compress_request_from(flags, &field) {
+        Ok(r) => r,
+        Err(e) => return fail(&format!("pipeline: {e}")),
+    };
+    let n = flags.usize_or("requests", 8).clamp(1, 1024);
+
+    let compress = match conn.send(&Request::Compress(req)) {
+        Ok(h) => h,
+        Err(e) => return fail(&format!("pipeline send compress: {e}")),
+    };
+    let mut pings = Vec::with_capacity(n);
+    for i in 0..n {
+        let echo = (i as u64).to_le_bytes().to_vec();
+        match conn.send(&Request::Ping { echo: echo.clone() }) {
+            Ok(h) => pings.push((h, echo)),
+            Err(e) => return fail(&format!("pipeline send ping {i}: {e}")),
+        }
+    }
+    let ratio = match conn.wait(compress) {
+        Ok(Response::Compressed { report, .. }) => report.ratio(),
+        Ok(other) => return fail(&format!("pipeline: expected Compressed, got {other:?}")),
+        Err(e) => return fail(&format!("pipeline wait compress: {e}")),
+    };
+    // Reverse order: the stash must hold every out-of-order reply.
+    for (handle, echo) in pings.into_iter().rev() {
+        match conn.wait(handle) {
+            Ok(Response::Pong { echo: got }) if got == echo => {}
+            Ok(other) => return fail(&format!("pipeline: mismatched pong, got {other:?}")),
+            Err(e) => return fail(&format!("pipeline wait ping: {e}")),
+        }
+    }
+    println!(
+        "pipeline OK: 1 compress (ratio {ratio:.2}x) + {n} pings in flight on one connection, \
+         all matched by request id"
+    );
+    0
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lrm_server::ServerConfig;
 
     #[test]
     fn model_names_parse() {
@@ -402,10 +458,12 @@ mod tests {
         .map(|s| s.to_string())
         .collect();
         let flags = Flags::parse(&args);
-        let client = client_for(&flags).expect("client");
-        assert_eq!(run_roundtrip(&client, &flags), 0);
+        let (mut conn, _) = connect(&flags).expect("connect");
+        assert_eq!(run_roundtrip(&mut conn, &flags), 0);
+        // The pipelined smoke runs over the same session.
+        assert_eq!(run_pipeline(&mut conn, &flags), 0);
 
-        client.shutdown().expect("shutdown");
+        conn.shutdown().expect("shutdown");
         handle.join().expect("join");
     }
 }

@@ -1,12 +1,31 @@
-//! Blocking client for the framed protocol.
+//! Session-based blocking client for the framed protocol.
 //!
-//! One connection per request (mirroring the server's
-//! connect-per-request model): each call dials, writes one request
-//! frame, reads one response frame, and closes. Server-side error
-//! frames surface as [`ClientError::Server`] with the typed
-//! [`ServerErrorKind`], so callers (and the loopback tests) can match
-//! on `Busy`/`TooLarge`/`Timeout` rather than string-compare messages.
+//! [`Connection`] holds one persistent TCP session speaking LRMP v2:
+//! [`Connection::send`] writes a request frame tagged with a fresh
+//! request id and returns a [`RequestHandle`]; [`Connection::wait`]
+//! reads response frames — stashing out-of-order arrivals — until the
+//! handle's response lands. Many requests can be in flight at once over
+//! the one socket (pipelining), and [`Connection::call`] is the
+//! blocking send-then-wait convenience. The chunk-streaming helpers
+//! ([`Connection::compress_streamed`], [`Connection::decompress_streamed`])
+//! ship a large field as `Begin`/`Chunk`/`End` sub-frames so the server
+//! starts compressing while bytes are still arriving.
+//!
+//! Server-side error frames surface as [`ClientError::Server`] with the
+//! typed [`ServerErrorKind`], so callers (and the loopback tests) can
+//! match on `Busy`/`TooLarge`/`Timeout` rather than string-compare
+//! messages.
+//!
+//! The old connect-per-request [`Client`] remains as a deprecated shim
+//! that opens one [`Connection`] per call, so existing code keeps
+//! compiling while it migrates.
+//!
+//! The response-reading path is decode-hardened (registered under
+//! `[decode]` in `lint.toml`): headers and payloads are parsed with the
+//! typed [`DecodeError`] machinery and nothing here panics on a hostile
+//! peer.
 
+use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -14,9 +33,15 @@ use std::time::Duration;
 use lrm_compress::{DecodeError, Shape};
 
 use crate::protocol::{
-    CompressRequest, FieldStatsReply, Frame, Request, Response, SelectReply, SelectRequest,
-    ServerErrorKind, WireReport, HEADER_LEN,
+    CompressRequest, CompressStreamMeta, FieldStatsReply, Frame, FrameHeader, Request, Response,
+    SelectReply, SelectRequest, ServerErrorKind, WireReport, HEADER_LEN, HEADER_V2_LEN,
+    PROTOCOL_V1,
 };
+
+/// Hard ceiling on a response payload the client will buffer; a header
+/// claiming more is treated as a protocol violation rather than an
+/// allocation request.
+const MAX_RESPONSE_PAYLOAD: u64 = 1 << 31;
 
 /// Why a client call failed.
 #[derive(Debug)]
@@ -72,22 +97,276 @@ impl From<DecodeError> for ClientError {
 /// Result alias for client calls.
 pub type ClientResult<T> = Result<T, ClientError>;
 
+/// A ticket for one in-flight request on a [`Connection`]; redeem it
+/// with [`Connection::wait`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RequestHandle {
+    id: u64,
+}
+
+impl RequestHandle {
+    /// The wire request id this handle tracks.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+/// One persistent LRMP v2 session: a socket, a request-id counter, and
+/// a stash for responses that arrived before anyone waited on them.
+#[derive(Debug)]
+pub struct Connection {
+    stream: TcpStream,
+    next_id: u64,
+    stash: HashMap<u64, Response>,
+}
+
+impl Connection {
+    /// Opens a session to `addr` with a 30 s socket timeout.
+    pub fn open(addr: impl ToSocketAddrs) -> ClientResult<Connection> {
+        Connection::open_with_timeout(addr, Duration::from_secs(30))
+    }
+
+    /// Opens a session with an explicit socket timeout (connect, read,
+    /// and write).
+    pub fn open_with_timeout(
+        addr: impl ToSocketAddrs,
+        timeout: Duration,
+    ) -> ClientResult<Connection> {
+        let addr = resolve(addr)?;
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        let _ = stream.set_nodelay(true);
+        Ok(Connection {
+            stream,
+            next_id: 1,
+            stash: HashMap::new(),
+        })
+    }
+
+    /// Writes one request frame under a fresh request id and returns
+    /// the handle to wait on. Does not block on the response, so many
+    /// requests can be pipelined before the first [`Connection::wait`].
+    pub fn send(&mut self, request: &Request) -> ClientResult<RequestHandle> {
+        let id = self.fresh_id();
+        self.stream.write_all(&request.to_frame_v2(id))?;
+        Ok(RequestHandle { id })
+    }
+
+    /// Blocks until the response for `handle` arrives, stashing any
+    /// other pipelined responses that land first. A typed server error
+    /// frame becomes [`ClientError::Server`].
+    pub fn wait(&mut self, handle: RequestHandle) -> ClientResult<Response> {
+        loop {
+            if let Some(response) = self.stash.remove(&handle.id) {
+                return surface(response);
+            }
+            let (header, payload) = read_frame(&mut self.stream)?;
+            let response = Response::decode(header.kind, &payload)?;
+            // A v1-framed response carries no id; the server only sends
+            // one when answering before it knows the request id (e.g. a
+            // Busy verdict at accept time), so it addresses whichever
+            // request is being waited on.
+            let id = if header.version == PROTOCOL_V1 {
+                handle.id
+            } else {
+                header.request_id
+            };
+            self.stash.insert(id, response);
+        }
+    }
+
+    /// Blocking convenience: send one request and wait for its
+    /// response.
+    pub fn call(&mut self, request: &Request) -> ClientResult<Response> {
+        let handle = self.send(request)?;
+        self.wait(handle)
+    }
+
+    /// Liveness probe; returns the echoed bytes.
+    pub fn ping(&mut self, echo: &[u8]) -> ClientResult<Vec<u8>> {
+        match self.call(&Request::Ping {
+            echo: echo.to_vec(),
+        })? {
+            Response::Pong { echo } => Ok(echo),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Compresses a field; returns the size report and artifact bytes.
+    pub fn compress(&mut self, request: CompressRequest) -> ClientResult<(WireReport, Vec<u8>)> {
+        match self.call(&Request::Compress(request))? {
+            Response::Compressed { report, artifact } => Ok((report, artifact)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Reconstructs a field from artifact bytes.
+    pub fn decompress(&mut self, artifact: &[u8]) -> ClientResult<(Shape, Vec<f64>)> {
+        match self.call(&Request::Decompress {
+            artifact: artifact.to_vec(),
+        })? {
+            Response::Decompressed { shape, data } => Ok((shape, data)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Summary statistics for a field.
+    pub fn field_stats(&mut self, shape: Shape, data: &[f64]) -> ClientResult<FieldStatsReply> {
+        match self.call(&Request::FieldStats {
+            shape,
+            data: data.to_vec(),
+        })? {
+            Response::Stats(reply) => Ok(reply),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Runs model selection on a field.
+    pub fn select_model(&mut self, request: SelectRequest) -> ClientResult<SelectReply> {
+        match self.call(&Request::SelectModel(request))? {
+            Response::Selected(reply) => Ok(reply),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Asks the server to drain and stop.
+    pub fn shutdown(&mut self) -> ClientResult<()> {
+        match self.call(&Request::Shutdown)? {
+            Response::ShutdownAck => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Compresses a field by streaming its samples in `chunk_bytes`
+    /// slices (`Begin`/`Chunk`/`End`), so the server overlaps compute
+    /// with the upload. Returns the size report and artifact bytes.
+    pub fn compress_streamed(
+        &mut self,
+        meta: CompressStreamMeta,
+        data: &[f64],
+        chunk_bytes: usize,
+    ) -> ClientResult<(WireReport, Vec<u8>)> {
+        let mut bytes = Vec::with_capacity(data.len() * 8);
+        for v in data {
+            bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        let handle =
+            self.stream_request(&Request::CompressStreamBegin(meta), &bytes, chunk_bytes)?;
+        match self.wait(handle)? {
+            Response::Compressed { report, artifact } => Ok((report, artifact)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Reconstructs a field by streaming the artifact bytes in
+    /// `chunk_bytes` slices.
+    pub fn decompress_streamed(
+        &mut self,
+        artifact: &[u8],
+        chunk_bytes: usize,
+    ) -> ClientResult<(Shape, Vec<f64>)> {
+        let handle = self.stream_request(&Request::DecompressStreamBegin, artifact, chunk_bytes)?;
+        match self.wait(handle)? {
+            Response::Decompressed { shape, data } => Ok((shape, data)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Opens a stream with `begin`, ships `bytes` as chunk frames under
+    /// the same request id, and closes it with `End`.
+    fn stream_request(
+        &mut self,
+        begin: &Request,
+        bytes: &[u8],
+        chunk_bytes: usize,
+    ) -> ClientResult<RequestHandle> {
+        let id = self.fresh_id();
+        self.stream.write_all(&begin.to_frame_v2(id))?;
+        for chunk in bytes.chunks(chunk_bytes.max(1)) {
+            let frame = Request::StreamChunk {
+                bytes: chunk.to_vec(),
+            }
+            .to_frame_v2(id);
+            self.stream.write_all(&frame)?;
+        }
+        self.stream.write_all(&Request::StreamEnd.to_frame_v2(id))?;
+        Ok(RequestHandle { id })
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1).max(1);
+        id
+    }
+}
+
+/// Reads one complete response frame (either header version) from the
+/// socket.
+fn read_frame(stream: &mut TcpStream) -> ClientResult<(FrameHeader, Vec<u8>)> {
+    let mut prefix = [0u8; HEADER_LEN];
+    stream.read_exact(&mut prefix)?;
+    let header = match Frame::parse_header_prefix(&prefix)? {
+        Some(h) => h,
+        None => {
+            // A v2 header: the request id is still on the wire.
+            let mut id = [0u8; HEADER_V2_LEN - HEADER_LEN];
+            stream.read_exact(&mut id)?;
+            let full: Vec<u8> = prefix.iter().chain(id.iter()).copied().collect();
+            Frame::parse_header(&full)?
+        }
+    };
+    if header.payload_len > MAX_RESPONSE_PAYLOAD {
+        return Err(ClientError::Decode(DecodeError::Corrupt {
+            what: "response length exceeds the client's buffer ceiling",
+        }));
+    }
+    let payload_len = usize::try_from(header.payload_len).map_err(|_| {
+        ClientError::Decode(DecodeError::Corrupt {
+            what: "response length exceeds address space",
+        })
+    })?;
+    let mut payload = vec![0u8; payload_len];
+    stream.read_exact(&mut payload)?;
+    Ok((header, payload))
+}
+
+/// Maps typed server error frames to `Err`, everything else to `Ok`.
+fn surface(response: Response) -> ClientResult<Response> {
+    if let Response::Error { kind, message } = response {
+        return Err(ClientError::Server { kind, message });
+    }
+    Ok(response)
+}
+
+fn resolve(addr: impl ToSocketAddrs) -> ClientResult<SocketAddr> {
+    addr.to_socket_addrs()?
+        .next()
+        .ok_or_else(|| ClientError::Io(std::io::Error::other("address resolved to nothing")))
+}
+
 /// A blocking protocol client bound to one server address.
+///
+/// Deprecated shim over [`Connection`]: every call opens a fresh
+/// session, issues one request, and closes — the old
+/// connect-per-request behavior. New code should hold a [`Connection`]
+/// and pipeline over it.
+#[deprecated(
+    since = "0.3.0",
+    note = "use `Connection` for persistent, pipelined sessions"
+)]
 #[derive(Debug, Clone)]
 pub struct Client {
     addr: SocketAddr,
     timeout: Duration,
 }
 
+#[allow(deprecated)]
 impl Client {
     /// Creates a client for `addr` with a 30 s per-call timeout.
     pub fn new(addr: impl ToSocketAddrs) -> ClientResult<Client> {
-        let addr = addr
-            .to_socket_addrs()?
-            .next()
-            .ok_or_else(|| ClientError::Io(std::io::Error::other("address resolved to nothing")))?;
         Ok(Client {
-            addr,
+            addr: resolve(addr)?,
             timeout: Duration::from_secs(30),
         })
     }
@@ -103,84 +382,44 @@ impl Client {
         self.addr
     }
 
-    /// Sends one request frame and reads the one response frame.
-    pub fn call(&self, request: &Request) -> ClientResult<Response> {
-        let mut stream = TcpStream::connect_timeout(&self.addr, self.timeout)?;
-        stream.set_read_timeout(Some(self.timeout))?;
-        stream.set_write_timeout(Some(self.timeout))?;
-        let _ = stream.set_nodelay(true);
-        stream.write_all(&request.to_frame())?;
+    fn session(&self) -> ClientResult<Connection> {
+        Connection::open_with_timeout(self.addr, self.timeout)
+    }
 
-        let mut header = [0u8; HEADER_LEN];
-        stream.read_exact(&mut header)?;
-        let (kind, payload_len) = Frame::parse_header(&header)?;
-        let payload_len = usize::try_from(payload_len).map_err(|_| {
-            ClientError::Decode(DecodeError::Corrupt {
-                what: "response length exceeds address space",
-            })
-        })?;
-        let mut payload = vec![0u8; payload_len];
-        stream.read_exact(&mut payload)?;
-        let response = Response::decode(kind, &payload)?;
-        if let Response::Error { kind, message } = response {
-            return Err(ClientError::Server { kind, message });
-        }
-        Ok(response)
+    /// Sends one request frame and reads the one response frame over a
+    /// fresh connection.
+    pub fn call(&self, request: &Request) -> ClientResult<Response> {
+        self.session()?.call(request)
     }
 
     /// Liveness probe; returns the echoed bytes.
     pub fn ping(&self, echo: &[u8]) -> ClientResult<Vec<u8>> {
-        match self.call(&Request::Ping {
-            echo: echo.to_vec(),
-        })? {
-            Response::Pong { echo } => Ok(echo),
-            other => Err(unexpected(&other)),
-        }
+        self.session()?.ping(echo)
     }
 
     /// Compresses a field; returns the size report and artifact bytes.
     pub fn compress(&self, request: CompressRequest) -> ClientResult<(WireReport, Vec<u8>)> {
-        match self.call(&Request::Compress(request))? {
-            Response::Compressed { report, artifact } => Ok((report, artifact)),
-            other => Err(unexpected(&other)),
-        }
+        self.session()?.compress(request)
     }
 
     /// Reconstructs a field from artifact bytes.
     pub fn decompress(&self, artifact: &[u8]) -> ClientResult<(Shape, Vec<f64>)> {
-        match self.call(&Request::Decompress {
-            artifact: artifact.to_vec(),
-        })? {
-            Response::Decompressed { shape, data } => Ok((shape, data)),
-            other => Err(unexpected(&other)),
-        }
+        self.session()?.decompress(artifact)
     }
 
     /// Summary statistics for a field.
     pub fn field_stats(&self, shape: Shape, data: &[f64]) -> ClientResult<FieldStatsReply> {
-        match self.call(&Request::FieldStats {
-            shape,
-            data: data.to_vec(),
-        })? {
-            Response::Stats(reply) => Ok(reply),
-            other => Err(unexpected(&other)),
-        }
+        self.session()?.field_stats(shape, data)
     }
 
     /// Runs model selection on a field.
     pub fn select_model(&self, request: SelectRequest) -> ClientResult<SelectReply> {
-        match self.call(&Request::SelectModel(request))? {
-            Response::Selected(reply) => Ok(reply),
-            other => Err(unexpected(&other)),
-        }
+        self.session()?.select_model(request)
     }
 
     /// Asks the server to drain and stop.
     pub fn shutdown(&self) -> ClientResult<()> {
-        match self.call(&Request::Shutdown)? {
-            Response::ShutdownAck => Ok(()),
-            other => Err(unexpected(&other)),
-        }
+        self.session()?.shutdown()
     }
 }
 
@@ -210,5 +449,19 @@ mod tests {
         assert!(msgs[1].contains("header"));
         assert!(msgs[2].contains("busy"));
         assert!(msgs[3].contains("0x42"));
+    }
+
+    #[test]
+    fn request_ids_are_fresh_and_nonzero() {
+        // `fresh_id` must never hand out 0 (the v1 implicit id) even
+        // after wrapping.
+        let mut next = u64::MAX;
+        let wrapped = {
+            let id = next;
+            next = next.wrapping_add(1).max(1);
+            (id, next)
+        };
+        assert_eq!(wrapped.0, u64::MAX);
+        assert_eq!(wrapped.1, 1);
     }
 }

@@ -1,19 +1,32 @@
 //! `lrm-server` — a concurrent compression service over `std::net`.
 //!
-//! The crate has three layers:
+//! The crate has four layers:
 //!
-//! * [`protocol`] — the framed wire protocol: a 16-byte header (magic,
-//!   version, kind, payload length) followed by a typed payload. The
-//!   decoder follows the workspace's hardened decode-path contract and
-//!   is registered in `lint.toml`.
-//! * [`server`] — a bounded TCP listener that dispatches accepted
-//!   connections onto the `lrm-parallel` [`WorkerPool`]
-//!   with explicit backpressure: max in-flight requests, max payload
-//!   size, and a per-request deadline, each mapped to a typed error
-//!   frame (`Busy`, `TooLarge`, `Timeout`). Shutdown drains in-flight
-//!   requests before the listener closes.
-//! * [`client`] — a blocking client used by `lrm-cli client`, the
-//!   loopback tests, and the `serve` bench row.
+//! * [`protocol`] — the framed wire protocol (LRMP), additively
+//!   versioned: v1 frames carry a 16-byte header (magic, version, kind,
+//!   payload length); v2 frames extend it to 24 bytes with a `u64`
+//!   request id so many requests can be in flight per connection and
+//!   responses may arrive out of order. v2 also adds chunk-streaming
+//!   kinds (`Begin`/`Chunk`/`End`) so a large field starts compressing
+//!   while its bytes are still arriving. The decoder follows the
+//!   workspace's hardened decode-path contract and is registered in
+//!   `lint.toml`.
+//! * [`poll`] — a zero-dependency readiness shim over the platform's
+//!   `poll(2)` used by the event loop.
+//! * [`server`] — a nonblocking readiness event loop owning every
+//!   socket, dispatching codec work onto the `lrm-parallel`
+//!   [`WorkerPool`] and marrying the two with a completion queue.
+//!   Connections persist across requests with explicit per-request
+//!   backpressure: max in-flight requests (global and per-connection),
+//!   max payload size, and a per-request deadline, each mapped to a
+//!   typed error frame (`Busy`, `TooLarge`, `Timeout`). Shutdown drains
+//!   in-flight requests — including open streams — before the listener
+//!   closes.
+//! * [`client`] — a session-based [`Connection`] holding one socket
+//!   across many requests (`send` → [`RequestHandle`] → `wait`, or a
+//!   blocking `call`), used by `lrm-cli client`, the loopback tests,
+//!   and the `serve` bench rows. The connect-per-request [`Client`]
+//!   remains as a deprecated shim.
 //!
 //! The server is a consumer of every workspace layer: `lrm-compress`
 //! codecs, the `lrm-core` pipeline and model selector, `lrm-io`
@@ -22,13 +35,16 @@
 //! [`WorkerPool`]: lrm_parallel::WorkerPool
 
 pub mod client;
+pub mod poll;
 pub mod protocol;
 pub mod server;
 
-pub use client::{Client, ClientError, ClientResult};
+#[allow(deprecated)]
+pub use client::Client;
+pub use client::{ClientError, ClientResult, Connection, RequestHandle};
 pub use lrm_compress::{DecodeError, DecodeResult, Shape};
 pub use protocol::{
-    CompressRequest, FieldStatsReply, Frame, Request, Response, SelectReply, SelectRequest,
-    ServerErrorKind, TrialReport, WireReport,
+    CompressRequest, CompressStreamMeta, FieldStatsReply, Frame, FrameHeader, Request, Response,
+    SelectReply, SelectRequest, ServerErrorKind, TrialReport, WireReport, PROTOCOL_V1, PROTOCOL_V2,
 };
-pub use server::{Server, ServerConfig, ServerStats};
+pub use server::{Server, ServerBuilder, ServerConfig, ServerStats};

@@ -1,19 +1,37 @@
-//! The framed wire protocol spoken by `lrm-server`.
+//! The framed wire protocol spoken by `lrm-server` (LRMP).
 //!
-//! Every message — request or response — travels as one **frame**:
+//! Every message — request or response — travels as one **frame**. Two
+//! header layouts are live; the version field at offset 4 selects one:
 //!
-//! | offset | size | field |
-//! |-------:|-----:|-------|
-//! | 0      | 4    | magic `"LRMP"` |
-//! | 4      | 2    | protocol version (`1`), `u16` LE |
-//! | 6      | 1    | message kind |
-//! | 7      | 1    | reserved (`0`) |
-//! | 8      | 8    | payload length, `u64` LE |
-//! | 16     | —    | payload |
+//! | offset | size | v1 field | v2 field |
+//! |-------:|-----:|----------|----------|
+//! | 0      | 4    | magic `"LRMP"` | magic `"LRMP"` |
+//! | 4      | 2    | version `1`, `u16` LE | version `2`, `u16` LE |
+//! | 6      | 1    | message kind | message kind |
+//! | 7      | 1    | reserved (`0`) | reserved (`0`) |
+//! | 8      | 8    | payload length, `u64` LE | payload length, `u64` LE |
+//! | 16     | 8    | — payload starts | request id, `u64` LE |
+//! | 24     | —    | | payload |
+//!
+//! v2 is a strict additive extension: the only layout change is the
+//! request id between the fixed header and the payload, and every v1
+//! payload decodes unchanged under v2 framing. The request id lets a
+//! client pipeline many requests over one persistent connection — the
+//! server tags each response frame with the id of the request it
+//! answers, and responses may arrive **out of order**. v1 frames carry
+//! an implicit id of `0` and keep their one-request-per-connection
+//! semantics (the server closes the connection after answering), so
+//! existing v1 tooling keeps working against a v2 server.
 //!
 //! Request kinds occupy `0x00..0x80`, success responses `0x80..0xE0`,
 //! and typed error responses `0xE0..`. The payload layout per kind is
-//! documented on [`Request`] and [`Response`].
+//! documented on [`Request`] and [`Response`]. The `0x06..0x0A` request
+//! kinds are the v2 chunk-streaming family: a `CompressStreamBegin` (or
+//! `DecompressStreamBegin`) frame opens a stream under its request id,
+//! any number of `StreamChunk` frames append bytes to it, and
+//! `StreamEnd` closes it; the server starts compressing completed
+//! z-slabs while later chunks are still arriving and answers with one
+//! ordinary `Compressed`/`Decompressed` response for the whole stream.
 //!
 //! The decoder follows the repo's hardened decode-path contract (see
 //! DESIGN.md, "Decode-path contract & lint rules"): every parse is
@@ -28,12 +46,20 @@ use lrm_core::{CompressionReport, LossyCodec, ReducedModelKind};
 /// Magic bytes opening every frame.
 pub const MAGIC: &[u8; 4] = b"LRMP";
 
-/// Current protocol version. Decoders reject other versions rather than
-/// guessing at the layout.
-pub const PROTOCOL_VERSION: u16 = 1;
+/// The original protocol version: 16-byte header, no request id, one
+/// request per connection.
+pub const PROTOCOL_V1: u16 = 1;
 
-/// Bytes before the payload starts.
+/// The pipelined protocol version: 24-byte header whose last 8 bytes
+/// are a `u64` LE request id. Decoders accept v1 and v2 and reject
+/// anything else rather than guessing at the layout.
+pub const PROTOCOL_V2: u16 = 2;
+
+/// Bytes before the payload starts in a v1 frame.
 pub const HEADER_LEN: usize = 16;
+
+/// Bytes before the payload starts in a v2 frame (v1 header + id).
+pub const HEADER_V2_LEN: usize = 24;
 
 /// Request kinds (`0x00..0x80`).
 pub const REQ_PING: u8 = 0x00;
@@ -47,6 +73,16 @@ pub const REQ_FIELD_STATS: u8 = 0x03;
 pub const REQ_SELECT_MODEL: u8 = 0x04;
 /// Drain in-flight requests and stop the server.
 pub const REQ_SHUTDOWN: u8 = 0x05;
+/// Open a chunk-streamed compress under this frame's request id; the
+/// payload is the compress metadata (no samples).
+pub const REQ_COMPRESS_STREAM_BEGIN: u8 = 0x06;
+/// Append raw bytes to the stream opened under this frame's request id.
+pub const REQ_STREAM_CHUNK: u8 = 0x07;
+/// Close the stream opened under this frame's request id.
+pub const REQ_STREAM_END: u8 = 0x08;
+/// Open a chunk-streamed decompress: artifact bytes follow in
+/// `StreamChunk` frames.
+pub const REQ_DECOMPRESS_STREAM_BEGIN: u8 = 0x09;
 
 /// Success response kinds (`0x80..0xE0`).
 pub const RESP_PONG: u8 = 0x80;
@@ -72,22 +108,51 @@ pub const RESP_ERR_MALFORMED: u8 = 0xE3;
 /// The request decoded but execution failed.
 pub const RESP_ERR_INTERNAL: u8 = 0xE4;
 
-/// One decoded frame: a message kind plus its raw payload.
+/// A parsed frame header, version-agnostic: v1 headers surface with
+/// `request_id == 0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// Wire version of the frame ([`PROTOCOL_V1`] or [`PROTOCOL_V2`]).
+    pub version: u16,
+    /// Message kind byte.
+    pub kind: u8,
+    /// Request id tagging the frame (implicit `0` for v1 frames).
+    pub request_id: u64,
+    /// Payload length in bytes.
+    pub payload_len: u64,
+}
+
+impl FrameHeader {
+    /// Header size in bytes for this frame's version.
+    pub fn header_len(&self) -> usize {
+        if self.version == PROTOCOL_V2 {
+            HEADER_V2_LEN
+        } else {
+            HEADER_LEN
+        }
+    }
+}
+
+/// One decoded frame: version, kind, request id, raw payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Frame {
+    /// Wire version the frame arrived under.
+    pub version: u16,
     /// Message kind byte (one of the `REQ_*`/`RESP_*` constants once
     /// interpreted; raw here).
     pub kind: u8,
+    /// Request id (implicit `0` for v1 frames).
+    pub request_id: u64,
     /// Payload bytes, exactly as framed.
     pub payload: Vec<u8>,
 }
 
 impl Frame {
-    /// Serializes a frame: header + payload.
+    /// Serializes a v1 frame: 16-byte header + payload.
     pub fn encode(kind: u8, payload: &[u8]) -> Vec<u8> {
         let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
         out.extend_from_slice(MAGIC);
-        out.extend_from_slice(&PROTOCOL_VERSION.to_le_bytes());
+        out.extend_from_slice(&PROTOCOL_V1.to_le_bytes());
         out.push(kind);
         out.push(0);
         out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
@@ -95,70 +160,127 @@ impl Frame {
         out
     }
 
-    /// Parses the fixed 16-byte header, returning `(kind, payload_len)`.
-    /// Shared by [`Frame::from_bytes`] and the streaming socket reader.
-    pub fn parse_header(b: &[u8]) -> DecodeResult<(u8, u64)> {
-        let header = b.get(..HEADER_LEN).ok_or(DecodeError::Truncated {
-            what: "frame header",
-        })?;
-        if header.get(..4) != Some(MAGIC.as_slice()) {
+    /// Serializes a v2 frame: 24-byte header (with request id) +
+    /// payload.
+    pub fn encode_v2(kind: u8, request_id: u64, payload: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_V2_LEN + payload.len());
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&PROTOCOL_V2.to_le_bytes());
+        out.push(kind);
+        out.push(0);
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&request_id.to_le_bytes());
+        out.extend_from_slice(payload);
+        out
+    }
+
+    /// Incremental header parse for the streaming socket reader:
+    /// `Ok(Some(header))` once the full (version-dependent) header is
+    /// present, `Ok(None)` when `b` is a consistent prefix that needs
+    /// more bytes, and a typed [`DecodeError`] the moment the bytes can
+    /// no longer open a valid frame. Validates eagerly, so garbage is
+    /// rejected after as few bytes as possible.
+    pub fn parse_header_prefix(b: &[u8]) -> DecodeResult<Option<FrameHeader>> {
+        let probe = b.len().min(4);
+        if b.get(..probe) != MAGIC.get(..probe) {
             return Err(DecodeError::Corrupt {
                 what: "frame magic",
             });
         }
-        let version = header
+        let Some(version) = b
             .get(4..6)
             .and_then(|s| s.try_into().ok())
             .map(u16::from_le_bytes)
-            .ok_or(DecodeError::Truncated {
-                what: "frame version",
-            })?;
-        if version != PROTOCOL_VERSION {
+        else {
+            return Ok(None);
+        };
+        if version != PROTOCOL_V1 && version != PROTOCOL_V2 {
             return Err(DecodeError::UnsupportedVersion {
                 found: version.min(u8::MAX as u16) as u8,
-                supported: PROTOCOL_VERSION as u8,
+                supported: PROTOCOL_V2 as u8,
             });
         }
-        let kind = *header
+        if let Some(reserved) = b.get(7) {
+            if *reserved != 0 {
+                return Err(DecodeError::Corrupt {
+                    what: "frame reserved byte",
+                });
+            }
+        }
+        let need = if version == PROTOCOL_V2 {
+            HEADER_V2_LEN
+        } else {
+            HEADER_LEN
+        };
+        if b.len() < need {
+            return Ok(None);
+        }
+        let kind = *b
             .get(6)
             .ok_or(DecodeError::Truncated { what: "frame kind" })?;
-        if header.get(7) != Some(&0) {
-            return Err(DecodeError::Corrupt {
-                what: "frame reserved byte",
-            });
-        }
-        let len = header
+        let payload_len = b
             .get(8..16)
             .and_then(|s| s.try_into().ok())
             .map(u64::from_le_bytes)
             .ok_or(DecodeError::Truncated {
                 what: "frame length",
             })?;
-        Ok((kind, len))
+        let request_id = if version == PROTOCOL_V2 {
+            b.get(16..24)
+                .and_then(|s| s.try_into().ok())
+                .map(u64::from_le_bytes)
+                .ok_or(DecodeError::Truncated {
+                    what: "frame request id",
+                })?
+        } else {
+            0
+        };
+        Ok(Some(FrameHeader {
+            version,
+            kind,
+            request_id,
+            payload_len,
+        }))
+    }
+
+    /// Parses the fixed header of an exact buffer, either version.
+    /// Truncation is a typed error (unlike [`Frame::parse_header_prefix`],
+    /// which reports it as "need more bytes").
+    pub fn parse_header(b: &[u8]) -> DecodeResult<FrameHeader> {
+        Frame::parse_header_prefix(b)?.ok_or(DecodeError::Truncated {
+            what: "frame header",
+        })
     }
 
     /// Parses one complete frame from an exact byte buffer: header,
     /// payload, and nothing after it. Every structural defect — bad
     /// magic, unknown version, truncation, trailing bytes — is a typed
-    /// [`DecodeError`]; this never panics.
+    /// [`DecodeError`]; this never panics. Accepts v1 and v2 framing.
     pub fn from_bytes(b: &[u8]) -> DecodeResult<Frame> {
-        let (kind, len) = Frame::parse_header(b)?;
-        let len = usize::try_from(len).map_err(|_| DecodeError::Corrupt {
+        let header = Frame::parse_header(b)?;
+        let len = usize::try_from(header.payload_len).map_err(|_| DecodeError::Corrupt {
             what: "frame length exceeds address space",
         })?;
-        let total = HEADER_LEN.checked_add(len).ok_or(DecodeError::Corrupt {
-            what: "frame length overflow",
-        })?;
-        let payload = b.get(HEADER_LEN..total).ok_or(DecodeError::Truncated {
-            what: "frame payload",
-        })?;
+        let total = header
+            .header_len()
+            .checked_add(len)
+            .ok_or(DecodeError::Corrupt {
+                what: "frame length overflow",
+            })?;
+        let payload = b
+            .get(header.header_len()..total)
+            .ok_or(DecodeError::Truncated {
+                what: "frame payload",
+            })?;
         if b.len() != total {
             return Err(DecodeError::Corrupt {
                 what: "frame trailing bytes",
             });
         }
         Ok(Frame {
-            kind,
+            version: header.version,
+            kind: header.kind,
+            request_id: header.request_id,
             payload: payload.to_vec(),
         })
     }
@@ -387,6 +509,29 @@ pub struct SelectRequest {
     pub data: Vec<f64>,
 }
 
+/// Metadata opening a chunk-streamed compress: everything a
+/// [`CompressRequest`] carries except the samples, which follow in
+/// [`Request::StreamChunk`] frames as raw LE `f64` bytes.
+///
+/// Payload layout: model tag `u8`, model param `u32`, orig codec (9 B),
+/// delta codec (9 B), `scan_1d` `u8`, chunk count `u16`, shape 3 ×
+/// `u32`. No samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompressStreamMeta {
+    /// The reduced model to precondition with.
+    pub model: ReducedModelKind,
+    /// Codec/bound for original data and reduced representations.
+    pub orig: LossyCodec,
+    /// Codec/bound for deltas.
+    pub delta: LossyCodec,
+    /// Compress the delta as a flat 1-D stream.
+    pub scan_1d: bool,
+    /// Requested z-slab chunk count (`0` = server default).
+    pub chunks: u16,
+    /// Field extents; chunk bytes must total `shape.len() * 8`.
+    pub shape: Shape,
+}
+
 /// A decoded client request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -414,6 +559,24 @@ pub enum Request {
     SelectModel(SelectRequest),
     /// Drain in-flight requests and stop the server. Empty payload.
     Shutdown,
+    /// Open a chunk-streamed compress under this frame's request id
+    /// (v2 only; see [`CompressStreamMeta`]).
+    CompressStreamBegin(CompressStreamMeta),
+    /// Append raw bytes to the open stream with this frame's request
+    /// id: field samples (LE `f64` bytes) for a compress stream,
+    /// artifact bytes for a decompress stream.
+    StreamChunk {
+        /// The chunk bytes, appended verbatim.
+        bytes: Vec<u8>,
+    },
+    /// Close the open stream with this frame's request id; the server
+    /// answers with one ordinary `Compressed`/`Decompressed` response.
+    /// Empty payload.
+    StreamEnd,
+    /// Open a chunk-streamed decompress under this frame's request id;
+    /// artifact bytes follow in [`Request::StreamChunk`] frames. Empty
+    /// payload.
+    DecompressStreamBegin,
 }
 
 impl Request {
@@ -426,6 +589,10 @@ impl Request {
             Request::FieldStats { .. } => REQ_FIELD_STATS,
             Request::SelectModel(_) => REQ_SELECT_MODEL,
             Request::Shutdown => REQ_SHUTDOWN,
+            Request::CompressStreamBegin(_) => REQ_COMPRESS_STREAM_BEGIN,
+            Request::StreamChunk { .. } => REQ_STREAM_CHUNK,
+            Request::StreamEnd => REQ_STREAM_END,
+            Request::DecompressStreamBegin => REQ_DECOMPRESS_STREAM_BEGIN,
         }
     }
 
@@ -458,13 +625,31 @@ impl Request {
                 encode_samples(&mut out, &s.data);
             }
             Request::Shutdown => {}
+            Request::CompressStreamBegin(m) => {
+                let (tag, param) = model_to_tag(m.model);
+                out.push(tag);
+                out.extend_from_slice(&param.to_le_bytes());
+                out.extend_from_slice(&m.orig.to_bytes());
+                out.extend_from_slice(&m.delta.to_bytes());
+                out.push(m.scan_1d as u8);
+                out.extend_from_slice(&m.chunks.to_le_bytes());
+                encode_shape(&mut out, m.shape);
+            }
+            Request::StreamChunk { bytes } => out.extend_from_slice(bytes),
+            Request::StreamEnd => {}
+            Request::DecompressStreamBegin => {}
         }
         out
     }
 
-    /// Serializes into one complete frame.
+    /// Serializes into one complete v1 frame (implicit request id 0).
     pub fn to_frame(&self) -> Vec<u8> {
         Frame::encode(self.kind(), &self.encode_payload())
+    }
+
+    /// Serializes into one complete v2 frame tagged with `request_id`.
+    pub fn to_frame_v2(&self, request_id: u64) -> Vec<u8> {
+        Frame::encode_v2(self.kind(), request_id, &self.encode_payload())
     }
 
     /// Decodes a request from a frame's kind byte and payload. Every
@@ -524,6 +709,36 @@ impl Request {
             REQ_SHUTDOWN => {
                 r.finish("shutdown trailing bytes")?;
                 Ok(Request::Shutdown)
+            }
+            REQ_COMPRESS_STREAM_BEGIN => {
+                let tag = r.u8("stream model tag")?;
+                let param = r.u32("stream model param")?;
+                let model = model_from_tag(tag, param)?;
+                let orig = LossyCodec::from_bytes(r.take(9, "stream orig codec")?)?;
+                let delta = LossyCodec::from_bytes(r.take(9, "stream delta codec")?)?;
+                let scan_1d = r.u8("stream scan_1d flag")? != 0;
+                let chunks = r.u16("stream chunk count")?;
+                let shape = decode_shape(&mut r)?;
+                r.finish("stream-begin trailing bytes")?;
+                Ok(Request::CompressStreamBegin(CompressStreamMeta {
+                    model,
+                    orig,
+                    delta,
+                    scan_1d,
+                    chunks,
+                    shape,
+                }))
+            }
+            REQ_STREAM_CHUNK => Ok(Request::StreamChunk {
+                bytes: r.rest().to_vec(),
+            }),
+            REQ_STREAM_END => {
+                r.finish("stream-end trailing bytes")?;
+                Ok(Request::StreamEnd)
+            }
+            REQ_DECOMPRESS_STREAM_BEGIN => {
+                r.finish("decompress-stream-begin trailing bytes")?;
+                Ok(Request::DecompressStreamBegin)
             }
             tag => Err(DecodeError::UnknownTag {
                 what: "request kind",
@@ -746,9 +961,14 @@ impl Response {
         out
     }
 
-    /// Serializes into one complete frame.
+    /// Serializes into one complete v1 frame (implicit request id 0).
     pub fn to_frame(&self) -> Vec<u8> {
         Frame::encode(self.kind(), &self.encode_payload())
+    }
+
+    /// Serializes into one complete v2 frame tagged with `request_id`.
+    pub fn to_frame_v2(&self, request_id: u64) -> Vec<u8> {
+        Frame::encode_v2(self.kind(), request_id, &self.encode_payload())
     }
 
     /// Decodes a response from a frame's kind byte and payload. Every
@@ -858,8 +1078,59 @@ mod tests {
     fn frame_roundtrips() {
         let bytes = Frame::encode(REQ_PING, b"hello");
         let f = Frame::from_bytes(&bytes).expect("frame");
+        assert_eq!(f.version, PROTOCOL_V1);
         assert_eq!(f.kind, REQ_PING);
+        assert_eq!(f.request_id, 0);
         assert_eq!(f.payload, b"hello");
+    }
+
+    #[test]
+    fn v2_frame_roundtrips_with_request_id() {
+        let bytes = Frame::encode_v2(REQ_PING, 0xDEAD_BEEF_0042, b"hello");
+        let f = Frame::from_bytes(&bytes).expect("frame");
+        assert_eq!(f.version, PROTOCOL_V2);
+        assert_eq!(f.kind, REQ_PING);
+        assert_eq!(f.request_id, 0xDEAD_BEEF_0042);
+        assert_eq!(f.payload, b"hello");
+    }
+
+    #[test]
+    fn header_prefix_parses_incrementally() {
+        let bytes = Frame::encode_v2(REQ_STREAM_CHUNK, 7, &[1, 2, 3]);
+        // Consistent prefixes ask for more bytes rather than erroring.
+        for cut in 0..HEADER_V2_LEN {
+            assert_eq!(
+                Frame::parse_header_prefix(&bytes[..cut]).expect("prefix"),
+                None,
+                "cut {cut}"
+            );
+        }
+        let header = Frame::parse_header_prefix(&bytes[..HEADER_V2_LEN])
+            .expect("header")
+            .expect("complete");
+        assert_eq!(header.version, PROTOCOL_V2);
+        assert_eq!(header.kind, REQ_STREAM_CHUNK);
+        assert_eq!(header.request_id, 7);
+        assert_eq!(header.payload_len, 3);
+        assert_eq!(header.header_len(), HEADER_V2_LEN);
+
+        // A v1 header completes at 16 bytes with the implicit id.
+        let v1 = Frame::encode(REQ_PING, b"x");
+        let header = Frame::parse_header_prefix(&v1[..HEADER_LEN])
+            .expect("header")
+            .expect("complete");
+        assert_eq!(header.version, PROTOCOL_V1);
+        assert_eq!(header.request_id, 0);
+        assert_eq!(header.header_len(), HEADER_LEN);
+
+        // Bad magic is rejected from the very first divergent byte.
+        assert!(Frame::parse_header_prefix(b"X").is_err());
+        assert!(Frame::parse_header_prefix(b"LRMX").is_err());
+        // An unknown version is rejected as soon as it is visible.
+        assert!(matches!(
+            Frame::parse_header_prefix(&[b'L', b'R', b'M', b'P', 9, 0]),
+            Err(DecodeError::UnsupportedVersion { .. })
+        ));
     }
 
     #[test]
@@ -884,9 +1155,28 @@ mod tests {
                 data: vec![0.5; 6],
             }),
             Request::Shutdown,
+            Request::CompressStreamBegin(CompressStreamMeta {
+                model: ReducedModelKind::MultiBase(2),
+                orig: LossyCodec::SzRel(1e-5),
+                delta: LossyCodec::SzRel(1e-3),
+                scan_1d: false,
+                chunks: 3,
+                shape: Shape::d3(4, 4, 6),
+            }),
+            Request::StreamChunk {
+                bytes: vec![0xAB; 17],
+            },
+            Request::StreamEnd,
+            Request::DecompressStreamBegin,
         ];
         for req in requests {
+            // v1 framing (implicit id 0)…
             let frame = Frame::from_bytes(&req.to_frame()).expect("frame");
+            let back = Request::decode(frame.kind, &frame.payload).expect("request");
+            assert_eq!(req, back);
+            // …and v2 framing with a pipelined request id.
+            let frame = Frame::from_bytes(&req.to_frame_v2(31)).expect("v2 frame");
+            assert_eq!(frame.request_id, 31);
             let back = Request::decode(frame.kind, &frame.payload).expect("request");
             assert_eq!(req, back);
         }
@@ -940,6 +1230,10 @@ mod tests {
         ];
         for resp in responses {
             let frame = Frame::from_bytes(&resp.to_frame()).expect("frame");
+            let back = Response::decode(frame.kind, &frame.payload).expect("response");
+            assert_eq!(resp, back);
+            let frame = Frame::from_bytes(&resp.to_frame_v2(99)).expect("v2 frame");
+            assert_eq!(frame.request_id, 99);
             let back = Response::decode(frame.kind, &frame.payload).expect("response");
             assert_eq!(resp, back);
         }
@@ -999,6 +1293,17 @@ mod tests {
         for cut in 0..good.len() {
             assert!(Frame::from_bytes(&good[..cut]).is_err(), "cut {cut}");
         }
+        // The same holds under v2 framing.
+        let good = sample_compress().to_frame_v2(5);
+        for cut in 0..good.len() {
+            assert!(Frame::from_bytes(&good[..cut]).is_err(), "v2 cut {cut}");
+        }
+        let mut bad = good.clone();
+        bad[7] = 0x40;
+        assert!(matches!(
+            Frame::from_bytes(&bad),
+            Err(DecodeError::Corrupt { .. })
+        ));
     }
 
     #[test]

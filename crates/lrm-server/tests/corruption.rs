@@ -9,8 +9,8 @@
 use lrm_core::{LossyCodec, ReducedModelKind};
 use lrm_rng::Rng64;
 use lrm_server::protocol::{
-    CompressRequest, FieldStatsReply, Frame, Request, Response, SelectReply, SelectRequest,
-    ServerErrorKind, TrialReport, WireReport,
+    CompressRequest, CompressStreamMeta, FieldStatsReply, Frame, Request, Response, SelectReply,
+    SelectRequest, ServerErrorKind, TrialReport, WireReport,
 };
 use lrm_server::Shape;
 
@@ -48,6 +48,20 @@ fn sample_requests(rng: &mut Rng64) -> Vec<Request> {
             data,
         }),
         Request::Shutdown,
+        // The v2 chunk-streaming kinds.
+        Request::CompressStreamBegin(CompressStreamMeta {
+            model: ReducedModelKind::OneBase,
+            orig: LossyCodec::SzRel(1e-5),
+            delta: LossyCodec::SzRel(1e-3),
+            scan_1d: false,
+            chunks: 3,
+            shape,
+        }),
+        Request::StreamChunk {
+            bytes: rng.vec_u8(96),
+        },
+        Request::StreamEnd,
+        Request::DecompressStreamBegin,
     ]
 }
 
@@ -100,6 +114,10 @@ fn sample_responses(rng: &mut Rng64) -> Vec<Response> {
     ]
 }
 
+fn rng_id(rng: &mut Rng64) -> u64 {
+    rng.next_u64()
+}
+
 fn flip_bytes(rng: &mut Rng64, stream: &mut [u8]) {
     if stream.is_empty() {
         return;
@@ -124,28 +142,32 @@ fn decode_fully(bytes: &[u8]) {
 fn frame_prefix_truncation_is_always_an_error() {
     let mut rng = Rng64::new(21);
     for req in sample_requests(&mut rng) {
-        let bytes = req.to_frame();
-        for cut in 0..bytes.len() {
-            assert!(
-                Frame::from_bytes(&bytes[..cut]).is_err(),
-                "{:?}: frame prefix of {cut}/{} bytes decoded Ok",
-                req.kind(),
-                bytes.len()
-            );
+        // Both framings of every kind: v1 (16-byte header) and v2
+        // (24-byte header with a request id).
+        for bytes in [req.to_frame(), req.to_frame_v2(0x1122_3344_5566_7788)] {
+            for cut in 0..bytes.len() {
+                assert!(
+                    Frame::from_bytes(&bytes[..cut]).is_err(),
+                    "{:?}: frame prefix of {cut}/{} bytes decoded Ok",
+                    req.kind(),
+                    bytes.len()
+                );
+            }
+            assert!(Frame::from_bytes(&bytes).is_ok());
         }
-        assert!(Frame::from_bytes(&bytes).is_ok());
     }
     for resp in sample_responses(&mut rng) {
-        let bytes = resp.to_frame();
-        for cut in 0..bytes.len() {
-            assert!(
-                Frame::from_bytes(&bytes[..cut]).is_err(),
-                "{:?}: frame prefix of {cut}/{} bytes decoded Ok",
-                resp.kind(),
-                bytes.len()
-            );
+        for bytes in [resp.to_frame(), resp.to_frame_v2(u64::MAX)] {
+            for cut in 0..bytes.len() {
+                assert!(
+                    Frame::from_bytes(&bytes[..cut]).is_err(),
+                    "{:?}: frame prefix of {cut}/{} bytes decoded Ok",
+                    resp.kind(),
+                    bytes.len()
+                );
+            }
+            assert!(Frame::from_bytes(&bytes).is_ok());
         }
-        assert!(Frame::from_bytes(&bytes).is_ok());
     }
 }
 
@@ -158,9 +180,13 @@ fn payload_prefix_truncation_never_panics_and_structured_kinds_error() {
         let payload = req.encode_payload();
         for cut in 0..payload.len() {
             let result = Request::decode(req.kind(), &payload[..cut]);
-            // Ping/Decompress accept any byte tail by design; the
-            // structured kinds must reject every strict prefix.
-            if !matches!(req, Request::Ping { .. } | Request::Decompress { .. }) {
+            // Ping/Decompress/StreamChunk accept any byte tail by
+            // design; the structured kinds must reject every strict
+            // prefix.
+            if !matches!(
+                req,
+                Request::Ping { .. } | Request::Decompress { .. } | Request::StreamChunk { .. }
+            ) {
                 assert!(
                     result.is_err(),
                     "kind {:#04x}: payload prefix {cut}/{} decoded Ok",
@@ -177,7 +203,7 @@ fn request_byte_flips_never_panic() {
     let mut rng = Rng64::new(23);
     let frames: Vec<Vec<u8>> = sample_requests(&mut rng)
         .iter()
-        .map(Request::to_frame)
+        .flat_map(|r| [r.to_frame(), r.to_frame_v2(rng_id(&mut rng))])
         .collect();
     let mut trials = 0;
     while trials < FLIP_TRIALS {
@@ -195,7 +221,7 @@ fn response_byte_flips_never_panic() {
     let mut rng = Rng64::new(24);
     let frames: Vec<Vec<u8>> = sample_responses(&mut rng)
         .iter()
-        .map(Response::to_frame)
+        .flat_map(|r| [r.to_frame(), r.to_frame_v2(rng_id(&mut rng))])
         .collect();
     let mut trials = 0;
     while trials < FLIP_TRIALS {
@@ -224,6 +250,10 @@ fn garbage_streams_never_panic() {
     }
     // Valid header claiming a huge payload over a short buffer.
     let mut huge = Frame::encode(0x01, &[]);
+    huge[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+    assert!(Frame::from_bytes(&huge).is_err());
+    // The same attack under a v2 header.
+    let mut huge = Frame::encode_v2(0x06, u64::MAX, &[]);
     huge[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
     assert!(Frame::from_bytes(&huge).is_err());
 }

@@ -6,6 +6,11 @@
 //! exceeded (not a hang or a drop), a `Timeout` frame when the deadline
 //! elapses mid-request, a `TooLarge` frame for oversized payloads, and
 //! shutdown draining in-flight requests before `serve()` returns.
+//!
+//! The PR 5 era tests deliberately keep driving the deprecated
+//! connect-per-request `Client` shim: they double as the backwards
+//! compatibility suite for it, alongside the raw v1-frame test.
+#![allow(deprecated)]
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -13,10 +18,10 @@ use std::time::Duration;
 
 use lrm_core::{LossyCodec, PipelineConfig, ReducedModelKind};
 use lrm_datasets::{generate, DatasetKind, SizeClass};
-use lrm_server::protocol::{RESP_ERR_MALFORMED, RESP_ERR_TIMEOUT, RESP_PONG};
+use lrm_server::protocol::{RESP_COMPRESSED, RESP_ERR_MALFORMED, RESP_ERR_TIMEOUT, RESP_PONG};
 use lrm_server::{
-    Client, ClientError, CompressRequest, Frame, Request, SelectRequest, Server, ServerConfig,
-    ServerErrorKind, ServerStats,
+    Client, ClientError, CompressRequest, CompressStreamMeta, Connection, Frame, Request, Response,
+    SelectRequest, Server, ServerConfig, ServerErrorKind, ServerStats, PROTOCOL_V1, PROTOCOL_V2,
 };
 
 fn start(config: ServerConfig) -> (SocketAddr, std::thread::JoinHandle<ServerStats>) {
@@ -305,4 +310,264 @@ fn hostile_bytes_get_typed_malformed_frame() {
     let client = Client::new(addr).expect("client");
     client.shutdown().expect("shutdown");
     handle.join().expect("join");
+}
+
+#[test]
+fn pipelined_responses_match_request_ids_out_of_order() {
+    let (addr, handle) = start(ServerConfig {
+        threads: 2,
+        max_inflight: 16,
+        ..ServerConfig::default()
+    });
+    let field = generate(DatasetKind::Heat3d, SizeClass::Tiny).full;
+
+    // One connection, many in-flight requests: a slow compress queued
+    // first, then a burst of fast pings. The pongs complete (and are
+    // written) before the compress does, so waiting on the compress
+    // handle first forces wait() to stash out-of-order responses and
+    // match them by request id.
+    let mut conn = Connection::open(addr).expect("open");
+    let slow = conn
+        .send(&Request::Compress(compress_request(
+            &field,
+            ReducedModelKind::OneBase,
+        )))
+        .expect("send compress");
+    let pings: Vec<_> = (0u8..8)
+        .map(|i| {
+            let echo = vec![i; 8];
+            let handle = conn
+                .send(&Request::Ping { echo: echo.clone() })
+                .expect("send ping");
+            (handle, echo)
+        })
+        .collect();
+
+    match conn.wait(slow).expect("wait compress") {
+        Response::Compressed { report, .. } => {
+            assert_eq!(report.raw_bytes as usize, field.len() * 8);
+        }
+        other => panic!("expected Compressed, got {other:?}"),
+    }
+    // Collect the pongs in reverse submission order: every reply must
+    // land on its own handle regardless of arrival order.
+    for (ping, echo) in pings.into_iter().rev() {
+        match conn.wait(ping).expect("wait ping") {
+            Response::Pong { echo: got } => assert_eq!(got, echo),
+            other => panic!("expected Pong, got {other:?}"),
+        }
+    }
+
+    conn.shutdown().expect("shutdown");
+    let stats = handle.join().expect("join");
+    // 1 compress + 8 pings + 1 shutdown, all on one connection.
+    assert_eq!(stats.served, 10);
+    assert_eq!(stats.connections, 1);
+}
+
+#[test]
+fn v1_frames_still_roundtrip_on_v2_server() {
+    let (addr, handle) = start(ServerConfig {
+        threads: 1,
+        ..ServerConfig::default()
+    });
+
+    // A legacy v1 client: 16-byte headers, no request id, one request
+    // per connection. The v2 server must answer with a v1 frame and
+    // close after the response.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let ping = Request::Ping {
+        echo: b"legacy".to_vec(),
+    };
+    stream.write_all(&ping.to_frame()).expect("write v1 ping");
+    let mut bytes = Vec::new();
+    stream.read_to_end(&mut bytes).expect("read to close");
+    let frame = Frame::from_bytes(&bytes).expect("exactly one v1 frame");
+    assert_eq!(frame.version, PROTOCOL_V1);
+    assert_eq!(frame.request_id, 0);
+    assert_eq!(frame.kind, RESP_PONG);
+    match Response::decode(frame.kind, &frame.payload).expect("decode pong") {
+        Response::Pong { echo } => assert_eq!(echo, b"legacy"),
+        other => panic!("expected Pong, got {other:?}"),
+    }
+
+    // A structured v1 request (compress) round-trips the same way.
+    let field = generate(DatasetKind::Laplace, SizeClass::Tiny).full;
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let req = Request::Compress(compress_request(&field, ReducedModelKind::Direct));
+    stream
+        .write_all(&req.to_frame())
+        .expect("write v1 compress");
+    let mut bytes = Vec::new();
+    stream.read_to_end(&mut bytes).expect("read to close");
+    let frame = Frame::from_bytes(&bytes).expect("exactly one v1 frame");
+    assert_eq!(frame.version, PROTOCOL_V1);
+    assert_eq!(frame.kind, RESP_COMPRESSED);
+
+    let client = Client::new(addr).expect("client");
+    client.shutdown().expect("shutdown");
+    handle.join().expect("join");
+}
+
+#[test]
+fn shutdown_drains_inflight_streaming_request() {
+    let (addr, handle) = start(ServerConfig {
+        threads: 1,
+        deadline: Duration::from_secs(20),
+        ..ServerConfig::default()
+    });
+    let field = generate(DatasetKind::Heat3d, SizeClass::Tiny).full;
+    let meta = CompressStreamMeta {
+        model: ReducedModelKind::OneBase,
+        orig: LossyCodec::SzRel(1e-5),
+        delta: LossyCodec::SzRel(1e-3),
+        scan_1d: true,
+        chunks: 2,
+        shape: field.shape,
+    };
+    let mut bytes = Vec::with_capacity(field.len() * 8);
+    for v in &field.data {
+        bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    // Open a chunk stream and ship only part of the field...
+    let id = 7u64;
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    stream
+        .write_all(&Request::CompressStreamBegin(meta).to_frame_v2(id))
+        .expect("begin");
+    let split = bytes.len() / 3;
+    stream
+        .write_all(
+            &Request::StreamChunk {
+                bytes: bytes[..split].to_vec(),
+            }
+            .to_frame_v2(id),
+        )
+        .expect("first chunk");
+    std::thread::sleep(Duration::from_millis(300));
+
+    // ...let a shutdown land mid-stream...
+    let client = Client::new(addr).expect("client");
+    client.shutdown().expect("shutdown ack");
+
+    // ...then finish the upload. The drain must keep accepting the
+    // stream's remaining frames and answer before serve() returns.
+    stream
+        .write_all(
+            &Request::StreamChunk {
+                bytes: bytes[split..].to_vec(),
+            }
+            .to_frame_v2(id),
+        )
+        .expect("second chunk");
+    stream
+        .write_all(&Request::StreamEnd.to_frame_v2(id))
+        .expect("end");
+    let mut reply = Vec::new();
+    stream.read_to_end(&mut reply).expect("read to close");
+    let frame = Frame::from_bytes(&reply).expect("one v2 response frame");
+    assert_eq!(frame.version, PROTOCOL_V2);
+    assert_eq!(frame.request_id, id);
+    assert_eq!(frame.kind, RESP_COMPRESSED);
+
+    let stats = handle.join().expect("join");
+    // The streamed compress + the shutdown.
+    assert_eq!(stats.served, 2);
+}
+
+#[test]
+fn streamed_compress_matches_unary_artifact() {
+    let (addr, handle) = start(ServerConfig {
+        threads: 2,
+        ..ServerConfig::default()
+    });
+    let field = generate(DatasetKind::Heat3d, SizeClass::Tiny).full;
+    let mut conn = Connection::open(addr).expect("open");
+
+    let mut unary = compress_request(&field, ReducedModelKind::MultiBase(2));
+    unary.chunks = 2;
+    let (unary_report, unary_artifact) = conn.compress(unary).expect("unary compress");
+
+    let meta = CompressStreamMeta {
+        model: ReducedModelKind::MultiBase(2),
+        orig: LossyCodec::SzRel(1e-5),
+        delta: LossyCodec::SzRel(1e-3),
+        scan_1d: true,
+        chunks: 2,
+        shape: field.shape,
+    };
+    let (streamed_report, streamed_artifact) = conn
+        .compress_streamed(meta, &field.data, 4096)
+        .expect("streamed compress");
+
+    // Chunk streaming is a transport optimization: the artifact must be
+    // byte-identical to the unary chunked path.
+    assert_eq!(streamed_artifact, unary_artifact);
+    assert_eq!(streamed_report.raw_bytes, unary_report.raw_bytes);
+    assert_eq!(streamed_report.rep_bytes, unary_report.rep_bytes);
+    assert_eq!(streamed_report.delta_bytes, unary_report.delta_bytes);
+
+    // And a streamed decompress reconstructs it.
+    let (shape, data) = conn
+        .decompress_streamed(&streamed_artifact, 1024)
+        .expect("streamed decompress");
+    assert_eq!(shape, field.shape);
+    assert_eq!(data.len(), field.len());
+
+    conn.shutdown().expect("shutdown");
+    handle.join().expect("join");
+}
+
+#[test]
+fn pipeline_depth_overrun_gets_busy_and_connection_survives() {
+    let (addr, handle) = start(ServerConfig {
+        threads: 1,
+        max_inflight: 32,
+        max_pipeline_depth: 2,
+        ..ServerConfig::default()
+    });
+    let field = generate(DatasetKind::Heat3d, SizeClass::Tiny).full;
+
+    let mut conn = Connection::open(addr).expect("open");
+    // Two slow compresses fill the pipeline; the third request must get
+    // a per-request Busy while the connection itself stays usable.
+    let first = conn
+        .send(&Request::Compress(compress_request(
+            &field,
+            ReducedModelKind::OneBase,
+        )))
+        .expect("send 1");
+    let second = conn
+        .send(&Request::Compress(compress_request(
+            &field,
+            ReducedModelKind::MultiBase(2),
+        )))
+        .expect("send 2");
+    let third = conn.send(&Request::Ping { echo: vec![9] }).expect("send 3");
+    match conn.wait(third) {
+        Err(ClientError::Server {
+            kind: ServerErrorKind::Busy,
+            ..
+        }) => {}
+        other => panic!("expected Busy, got {other:?}"),
+    }
+    assert!(matches!(
+        conn.wait(first).expect("wait 1"),
+        Response::Compressed { .. }
+    ));
+    assert!(matches!(
+        conn.wait(second).expect("wait 2"),
+        Response::Compressed { .. }
+    ));
+    // The same connection accepts new requests after the Busy.
+    assert_eq!(conn.ping(b"still here").expect("ping"), b"still here");
+
+    conn.shutdown().expect("shutdown");
+    let stats = handle.join().expect("join");
+    assert!(stats.rejected_busy >= 1);
+    assert_eq!(stats.connections, 1);
 }
