@@ -6,6 +6,12 @@
 
 use super::varint::{decode_uvarint, encode_uvarint};
 
+/// Hard ceiling on the symbol count a stream may declare: 2^27 symbols
+/// is a 1 GiB `u64` buffer, far beyond any matrix this workspace
+/// produces. A corrupt or hostile varint cannot commit the decoder to
+/// more than this, no matter what the header claims.
+const MAX_DECODED_SYMBOLS: usize = 1 << 27;
+
 /// Encodes a `u64` symbol stream as alternating (zero-run-length,
 /// literal-run) segments, each varint-prefixed.
 ///
@@ -34,10 +40,14 @@ pub fn rle_encode_zeros(symbols: &[u64]) -> Vec<u8> {
     out
 }
 
-/// Inverse of [`rle_encode_zeros`]. Returns `None` on corrupt input.
+/// Inverse of [`rle_encode_zeros`]. Returns `None` on corrupt input,
+/// including a declared symbol count above [`MAX_DECODED_SYMBOLS`].
 pub fn rle_decode_zeros(data: &[u8]) -> Option<Vec<u64>> {
     let mut pos = 0;
     let total = decode_uvarint(data, &mut pos)? as usize;
+    if total > MAX_DECODED_SYMBOLS {
+        return None;
+    }
     let mut out = Vec::with_capacity(total);
     while out.len() < total {
         let zrun = decode_uvarint(data, &mut pos)? as usize;
@@ -92,6 +102,17 @@ mod tests {
         // Claims 10 symbols but provides none.
         let mut buf = Vec::new();
         encode_uvarint(10, &mut buf);
+        assert_eq!(rle_decode_zeros(&buf), None);
+    }
+
+    #[test]
+    fn absurd_declared_total_is_rejected_before_allocating() {
+        // A few bytes claiming u64::MAX symbols must fail fast, not
+        // commit the decoder to a giant buffer.
+        let mut buf = Vec::new();
+        encode_uvarint(u64::MAX, &mut buf);
+        encode_uvarint(u64::MAX, &mut buf); // zrun
+        encode_uvarint(0, &mut buf); // nlit
         assert_eq!(rle_decode_zeros(&buf), None);
     }
 

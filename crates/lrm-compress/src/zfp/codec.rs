@@ -13,6 +13,9 @@ use crate::error::{DecodeError, DecodeResult};
 
 /// Bits in the integer representation.
 pub const INT_PREC: u32 = 64;
+/// Highest supported block dimensionality: 4^3 = 64 coefficients fills
+/// the fixed scratch arrays exactly.
+pub const MAX_BLOCK_NDIMS: usize = 3;
 /// Negabinary conversion mask (alternating bits).
 const NBMASK: u64 = 0xaaaa_aaaa_aaaa_aaaa;
 /// Bias applied to the per-block exponent before storage.
@@ -173,6 +176,11 @@ pub fn decode_block(
     input: &mut BitReader<'_>,
     block: &mut [f64],
 ) -> DecodeResult<()> {
+    if ndims == 0 || ndims > MAX_BLOCK_NDIMS {
+        return Err(DecodeError::Corrupt {
+            what: "zfp block dimensionality",
+        });
+    }
     let n = 1usize << (2 * ndims);
     debug_assert_eq!(block.len(), n);
     let mut scratch = BlockScratch::new();
@@ -191,6 +199,14 @@ pub fn decode_block_scratch(
     maxprec: u32,
     input: &mut BitReader<'_>,
 ) -> DecodeResult<()> {
+    // Callers derive ndims from artifact metadata, so treat it as
+    // untrusted: out of range it would shift n past the 64-entry
+    // scratch arrays below.
+    if ndims == 0 || ndims > MAX_BLOCK_NDIMS {
+        return Err(DecodeError::Corrupt {
+            what: "zfp block dimensionality",
+        });
+    }
     let n = 1usize << (2 * ndims);
     debug_assert!(n <= 64);
     if input.read_bit() == 0 {

@@ -36,6 +36,7 @@ pub mod pipeline;
 pub mod projection;
 pub mod selection;
 pub mod temporal;
+pub(crate) mod wire_meta;
 
 pub use codec::{fpc_paper, fpc_paper_codec, sz_paper_bounds, zfp_paper_bounds, LossyCodec};
 pub use engine::{ChunkReport, ChunkedCompression, Pipeline, PipelineBuilder};

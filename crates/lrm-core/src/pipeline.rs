@@ -24,6 +24,7 @@ use crate::projection::{
     duo_model_precondition, duo_model_reconstruct, multi_base_precondition, multi_base_reconstruct,
     one_base_precondition, one_base_reconstruct,
 };
+use crate::wire_meta::{decode_meta, encode_meta};
 use lrm_compress::{DecodeError, DecodeResult, Shape};
 use lrm_datasets::Field;
 use lrm_io::Artifact;
@@ -185,73 +186,6 @@ pub(crate) fn model_tag(model: ReducedModelKind) -> (u8, u32) {
         ReducedModelKind::SvdBlocked(b) => (8, b as u32),
         ReducedModelKind::SvdRandomized => (9, 0),
     }
-}
-
-fn encode_meta(
-    model: ReducedModelKind,
-    orig: &LossyCodec,
-    delta: &LossyCodec,
-    shape: Shape,
-    aux_shape: Shape,
-    scan_1d: bool,
-) -> Vec<u8> {
-    let (tag, param) = model_tag(model);
-    let mut out = Vec::with_capacity(49);
-    out.push(tag);
-    out.extend_from_slice(&param.to_le_bytes());
-    out.extend_from_slice(&orig.to_bytes());
-    out.extend_from_slice(&delta.to_bytes());
-    for d in shape.dims {
-        out.extend_from_slice(&(d as u32).to_le_bytes());
-    }
-    for d in aux_shape.dims {
-        out.extend_from_slice(&(d as u32).to_le_bytes());
-    }
-    out.push(scan_1d as u8);
-    out
-}
-
-struct Meta {
-    tag: u8,
-    param: u32,
-    orig: LossyCodec,
-    delta: LossyCodec,
-    shape: Shape,
-    aux_shape: Shape,
-    scan_1d: bool,
-}
-
-fn decode_meta(b: &[u8]) -> DecodeResult<Meta> {
-    if b.len() < 1 + 4 + 9 + 9 + 24 + 1 {
-        return Err(DecodeError::Truncated {
-            what: "pipeline meta",
-        });
-    }
-    let tag = b[0];
-    let param = u32::from_le_bytes([b[1], b[2], b[3], b[4]]);
-    let orig = LossyCodec::from_bytes(&b[5..14])?;
-    let delta = LossyCodec::from_bytes(&b[14..23])?;
-    let dim = |i: usize| -> usize {
-        u32::from_le_bytes([b[23 + 4 * i], b[24 + 4 * i], b[25 + 4 * i], b[26 + 4 * i]]) as usize
-    };
-    let checked_shape = |dims: [usize; 3], what: &'static str| -> DecodeResult<Shape> {
-        // Shape::len multiplies the extents; a corrupt header must not
-        // make that overflow (or commit the decoder to absurd buffers).
-        dims[0]
-            .checked_mul(dims[1].max(1))
-            .and_then(|p| p.checked_mul(dims[2].max(1)))
-            .ok_or(DecodeError::Corrupt { what })?;
-        Ok(Shape { dims })
-    };
-    Ok(Meta {
-        tag,
-        param,
-        orig,
-        delta,
-        shape: checked_shape([dim(0), dim(1), dim(2)], "pipeline meta shape overflow")?,
-        aux_shape: checked_shape([dim(3), dim(4), dim(5)], "pipeline meta aux shape overflow")?,
-        scan_1d: b[47] != 0,
-    })
 }
 
 /// Preconditions and compresses `field` (Fig. 5's reduction phase).

@@ -45,6 +45,11 @@ pub const FORMAT_VERSION: u16 = 1;
 
 /// Bytes per chunk-directory entry.
 const ENTRY_LEN: usize = 25;
+/// Hard ceiling on the directory's declared chunk count. 2^20 chunks
+/// is a 25 MiB directory — orders of magnitude past any real grid
+/// partition — so a corrupt count field fails typed instead of sizing
+/// buffers from hostile bytes.
+pub const MAX_CHUNK_COUNT: usize = 1 << 20;
 
 /// Bytes before the chunk directory starts.
 const HEADER_LEN: usize = 22;
@@ -191,9 +196,14 @@ impl ChunkedArtifact {
         }
         let global_dims = [u32_at(6)?, u32_at(10)?, u32_at(14)?];
         let count = u32_at(18)? as usize;
+        if count > MAX_CHUNK_COUNT {
+            return Err(DecodeError::Corrupt {
+                what: "chunked chunk count",
+            });
+        }
 
-        // The whole directory must fit before anything is allocated, so a
-        // corrupt count cannot trigger a huge up-front allocation.
+        // The whole directory must also fit before anything is allocated,
+        // so a corrupt count cannot trigger a huge up-front allocation.
         let dir_len = count
             .checked_mul(ENTRY_LEN)
             .and_then(|d| d.checked_add(HEADER_LEN))
@@ -291,6 +301,19 @@ mod tests {
         assert_eq!(parts[1].0.z_offset, 8);
         assert_eq!(parts[0].1, &[1, 2, 3, 4, 5]);
         assert_eq!(parts[1].1, &[9, 9]);
+    }
+
+    #[test]
+    fn absurd_chunk_count_is_rejected_before_allocating() {
+        // A header claiming u32::MAX chunks (a ~100 GiB directory) must
+        // fail typed at the MAX_CHUNK_COUNT ceiling, not size buffers
+        // from a hostile count field.
+        let mut bytes = sample().to_bytes();
+        bytes[18..22].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            ChunkedArtifact::from_bytes(&bytes),
+            Err(DecodeError::Corrupt { .. })
+        ));
     }
 
     #[test]

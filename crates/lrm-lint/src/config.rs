@@ -14,6 +14,12 @@
 //!
 //! [wire]
 //! paths = ["crates/lrm-io/src/artifact.rs"]
+//!
+//! [lockorder]
+//! paths = ["crates/lrm-server/src/server.rs"]
+//! # Event-loop dispatch roots for `blocking-in-event-loop`, as
+//! # `path::fn_name` (or a bare fn name matching anywhere).
+//! roots = ["crates/lrm-server/src/server.rs::run"]
 //! ```
 
 use crate::rules::FileKind;
@@ -30,6 +36,13 @@ pub struct Config {
     pub numerics: Vec<String>,
     /// Parallel-runtime modules: the concurrency pack applies.
     pub concurrency: Vec<String>,
+    /// Wire-facing modules: the interprocedural taint pack applies.
+    pub taint: Vec<String>,
+    /// Lock-holding modules: the lock-order / event-loop pack applies.
+    pub lockorder: Vec<String>,
+    /// Event-loop dispatch roots (`path::fn` or bare `fn`) for
+    /// `blocking-in-event-loop` reachability.
+    pub lockorder_roots: Vec<String>,
 }
 
 impl Config {
@@ -50,6 +63,34 @@ impl Config {
             wire: matches(&self.wire),
             numerics: matches(&self.numerics),
             concurrency: matches(&self.concurrency),
+            taint: matches(&self.taint),
+            lockorder: matches(&self.lockorder),
+        }
+    }
+}
+
+/// Where a `paths` / `roots` array's strings land.
+#[derive(Clone, Copy, PartialEq)]
+enum Dest {
+    Decode,
+    Wire,
+    Numerics,
+    Concurrency,
+    Taint,
+    Lockorder,
+    LockorderRoots,
+}
+
+impl Dest {
+    fn vec(self, cfg: &mut Config) -> &mut Vec<String> {
+        match self {
+            Dest::Decode => &mut cfg.decode,
+            Dest::Wire => &mut cfg.wire,
+            Dest::Numerics => &mut cfg.numerics,
+            Dest::Concurrency => &mut cfg.concurrency,
+            Dest::Taint => &mut cfg.taint,
+            Dest::Lockorder => &mut cfg.lockorder,
+            Dest::LockorderRoots => &mut cfg.lockorder_roots,
         }
     }
 }
@@ -60,7 +101,7 @@ impl Config {
 pub fn parse(text: &str) -> Result<Config, String> {
     let mut cfg = Config::default();
     let mut section = String::new();
-    let mut in_array = false;
+    let mut in_array: Option<Dest> = None;
 
     for (idx, raw) in text.lines().enumerate() {
         let ln = idx + 1;
@@ -69,45 +110,66 @@ pub fn parse(text: &str) -> Result<Config, String> {
             continue;
         }
 
-        if in_array {
-            in_array = !collect_strings(&line, &section, &mut cfg, ln)?;
+        if let Some(dest) = in_array {
+            if collect_strings(&line, dest.vec(&mut cfg), ln)? {
+                in_array = None;
+            }
             continue;
         }
 
         if let Some(name) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
             section = name.trim().to_owned();
             match section.as_str() {
-                "decode" | "wire" | "numerics" | "concurrency" => {}
+                "decode" | "wire" | "numerics" | "concurrency" | "taint" | "lockorder" => {}
                 other => return Err(format!("lint.toml:{ln}: unknown section [{other}]")),
             }
             continue;
         }
 
-        if let Some(rest) = line.strip_prefix("paths") {
-            let rest = rest.trim_start();
-            let rest = rest
-                .strip_prefix('=')
-                .ok_or_else(|| format!("lint.toml:{ln}: expected `paths = [...]`"))?
-                .trim_start();
-            let rest = rest
-                .strip_prefix('[')
-                .ok_or_else(|| format!("lint.toml:{ln}: expected `[` after `paths =`"))?;
-            in_array = !collect_strings(rest, &section, &mut cfg, ln)?;
-            continue;
-        }
+        let (key, dest) = if line.starts_with("paths") {
+            let dest = match section.as_str() {
+                "decode" => Dest::Decode,
+                "wire" => Dest::Wire,
+                "numerics" => Dest::Numerics,
+                "concurrency" => Dest::Concurrency,
+                "taint" => Dest::Taint,
+                "lockorder" => Dest::Lockorder,
+                _ => return Err(format!("lint.toml:{ln}: paths outside a section")),
+            };
+            ("paths", dest)
+        } else if line.starts_with("roots") {
+            if section != "lockorder" {
+                return Err(format!(
+                    "lint.toml:{ln}: `roots` is only valid in [lockorder]"
+                ));
+            }
+            ("roots", Dest::LockorderRoots)
+        } else {
+            return Err(format!("lint.toml:{ln}: unsupported syntax: {line}"));
+        };
 
-        return Err(format!("lint.toml:{ln}: unsupported syntax: {line}"));
+        let rest = line[key.len()..].trim_start();
+        let rest = rest
+            .strip_prefix('=')
+            .ok_or_else(|| format!("lint.toml:{ln}: expected `{key} = [...]`"))?
+            .trim_start();
+        let rest = rest
+            .strip_prefix('[')
+            .ok_or_else(|| format!("lint.toml:{ln}: expected `[` after `{key} =`"))?;
+        if !collect_strings(rest, dest.vec(&mut cfg), ln)? {
+            in_array = Some(dest);
+        }
     }
 
-    if in_array {
-        return Err("lint.toml: unterminated paths array".to_owned());
+    if in_array.is_some() {
+        return Err("lint.toml: unterminated array".to_owned());
     }
     Ok(cfg)
 }
 
-/// Pulls quoted strings out of one line of an array body. Returns
-/// `Ok(true)` when the closing `]` was seen.
-fn collect_strings(line: &str, section: &str, cfg: &mut Config, ln: usize) -> Result<bool, String> {
+/// Pulls quoted strings out of one line of an array body into `out`.
+/// Returns `Ok(true)` when the closing `]` was seen.
+fn collect_strings(line: &str, out: &mut Vec<String>, ln: usize) -> Result<bool, String> {
     let mut rest = line;
     loop {
         rest = rest.trim_start_matches([',', ' ', '\t']);
@@ -126,14 +188,7 @@ fn collect_strings(line: &str, section: &str, cfg: &mut Config, ln: usize) -> Re
         let end = body
             .find('"')
             .ok_or_else(|| format!("lint.toml:{ln}: unterminated string"))?;
-        let path = &body[..end];
-        match section {
-            "decode" => cfg.decode.push(path.to_owned()),
-            "wire" => cfg.wire.push(path.to_owned()),
-            "numerics" => cfg.numerics.push(path.to_owned()),
-            "concurrency" => cfg.concurrency.push(path.to_owned()),
-            _ => return Err(format!("lint.toml:{ln}: paths outside a section")),
-        }
+        out.push(body[..end].to_owned());
         rest = &body[end + 1..];
     }
 }
@@ -196,6 +251,25 @@ paths = ["crates/b/src/w.rs"]
         assert!(cfg.kind_of("crates/n/src/error.rs").numerics);
         assert!(!cfg.kind_of("crates/n/src/error.rs").concurrency);
         assert!(cfg.kind_of("crates/c/src/pool.rs").concurrency);
+    }
+
+    #[test]
+    fn taint_and_lockorder_sections_parse_with_roots() {
+        let cfg = parse(
+            "[taint]\npaths = [\"crates/s/src\"]\n\
+             [lockorder]\npaths = [\"crates/s/src/server.rs\"]\n\
+             roots = [\"crates/s/src/server.rs::run\"]\n",
+        )
+        .expect("parse");
+        assert!(cfg.kind_of("crates/s/src/server.rs").taint);
+        assert!(cfg.kind_of("crates/s/src/server.rs").lockorder);
+        assert!(!cfg.kind_of("crates/s/src/other.rs").lockorder);
+        assert_eq!(cfg.lockorder_roots, vec!["crates/s/src/server.rs::run"]);
+    }
+
+    #[test]
+    fn roots_outside_lockorder_is_an_error() {
+        assert!(parse("[decode]\nroots = [\"a.rs::f\"]\n").is_err());
     }
 
     #[test]

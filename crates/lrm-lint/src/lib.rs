@@ -16,26 +16,38 @@
 //!   function scopes, signatures, callback parameters, test regions —
 //!   that the rule packs share.
 //! * [`config`] reads `lint.toml`, the registry of decode-reachable,
-//!   wire-format, numerics, and concurrency modules at the repository
-//!   root.
-//! * [`rules`] applies the decode/wire rule set and dispatches the
-//!   [`numerics`] and [`concurrency`] packs.
+//!   wire-format, numerics, concurrency, taint, and lock-order modules
+//!   at the repository root.
+//! * [`workspace`] loads every registered file once and drives the
+//!   phase pipeline shared by all packs.
+//! * [`rules`] applies the decode/wire rule set; [`numerics`] and
+//!   [`concurrency`] are the per-file packs.
+//! * [`callgraph`] builds the workspace call graph (and the
+//!   `unregistered-decode-path` registry-drift check); [`taint`] runs
+//!   wire-taint dataflow over it (`wire-alloc-unclamped`); [`lockorder`]
+//!   checks lock ordering and event-loop blocking (`lock-order-cycle`,
+//!   `blocking-in-event-loop`).
 //! * [`baseline`] implements the `--baseline` ratchet (fail only on
 //!   findings not present in a committed baseline).
-//! * [`report`] renders the findings table.
+//! * [`report`] renders the findings table, per-pack counts, and the
+//!   `--json` findings dump.
 //!
 //! Run it as `cargo run -p lrm-lint`; CI treats a non-zero exit as a
 //! build failure. Suppress a single proven-safe site with
 //! `// lint:allow(<rule>): <reason>` — the reason is mandatory.
 
 pub mod baseline;
+pub mod callgraph;
 pub mod concurrency;
 pub mod config;
+pub mod lockorder;
 pub mod mask;
 pub mod numerics;
 pub mod report;
 pub mod rules;
+pub mod taint;
 pub mod tokens;
+pub mod workspace;
 
 pub use config::Config;
 pub use rules::{lint_source, FileKind, Finding};

@@ -1,0 +1,567 @@
+//! Lock-order and event-loop blocking analysis: `lock-order-cycle` and
+//! `blocking-in-event-loop`.
+//!
+//! **Lock order.** Within each fn of a `[lockorder]` file the pack
+//! tracks held mutex guards lexically: a `.lock(` acquisition bound by
+//! a strict `let [mut] name = ...` holds until its scope closes or an
+//! explicit `drop(name)`; an unbound acquisition is a temporary that
+//! releases at the end of its statement. Every acquisition made while
+//! other guards are held records an ordered pair *(held, acquired)*.
+//! Pairs are also closed over the call graph: calling `g()` while
+//! holding `L` pairs `L` with everything `g` (transitively) acquires.
+//! Two locks acquired in opposite orders anywhere in the workspace —
+//! a cycle in the pair graph — is a deadlock waiting for the right
+//! interleaving, and each acquisition site on the cycle is flagged.
+//!
+//! Locks are identified by the *name* of the field or binding the
+//! guard came from (`state.jobs.lock()` → `jobs`). Same-named fields
+//! on different types merge into one node; DESIGN.md documents that
+//! limitation (the workspace keeps lock field names distinct).
+//!
+//! **Event loop.** `[lockorder]`'s `roots` name the event-loop
+//! dispatch fns. Anything reachable from a root through the call graph
+//! runs on the loop thread, so a blocking primitive there — condvar
+//! waits, blocking channel `recv`, `join`, sleeps, or synchronous
+//! socket I/O like `write_all` — stalls every connection, not one.
+//! Intentional blocking points (e.g. a best-effort reject write) carry
+//! a `lint:allow(blocking-in-event-loop): reason`.
+
+use crate::callgraph::{calls_on_line, resolvable, CallGraph, FnRef};
+use crate::rules::{snippet_of, Finding};
+use crate::workspace::{SourceFile, Workspace};
+use std::collections::{HashMap, HashSet};
+
+/// Blocking primitives that must not run on the event-loop thread.
+/// `.recv()` requires the closing paren so `.recv_timeout(` and
+/// `try_recv()` don't alias it.
+const BLOCKING: &[&str] = &[
+    ".wait(",
+    ".wait_timeout(",
+    ".wait_while(",
+    ".recv()",
+    ".recv_timeout(",
+    ".join()",
+    "thread::sleep",
+    ".write_all(",
+    ".read_exact(",
+    ".read_to_end(",
+    ".read_to_string(",
+];
+
+/// Runs the pack over the workspace.
+pub fn apply(ws: &Workspace, graph: &CallGraph, roots: &[String], findings: &mut Vec<Finding>) {
+    // Local lexical scan of every non-test fn (lock pairs and call
+    // sites only matter in [lockorder] files, but `acquires` feeds the
+    // cross-file closure, so scan everything).
+    let mut scans: HashMap<FnRef, LocalScan> = HashMap::new();
+    for (fi, sf) in ws.files.iter().enumerate() {
+        for (xi, f) in sf.map.fns.iter().enumerate() {
+            if f.is_test {
+                continue;
+            }
+            scans.insert((fi, xi), scan_fn(sf, f.body_start, f.body_end));
+        }
+    }
+
+    // Transitive acquire sets: star(f) = local(f) ∪ ⋃ star(callees).
+    let mut star: HashMap<FnRef, HashSet<String>> = scans
+        .iter()
+        .map(|(&r, s)| (r, s.acquires.clone()))
+        .collect();
+    loop {
+        let mut changed = false;
+        for (&caller, callees) in &graph.edges {
+            let mut add: Vec<String> = Vec::new();
+            {
+                let own = star.get(&caller);
+                for callee in callees {
+                    for lock in star.get(callee).into_iter().flatten() {
+                        if !own.is_some_and(|s| s.contains(lock)) {
+                            add.push(lock.clone());
+                        }
+                    }
+                }
+            }
+            if !add.is_empty() {
+                let own = star.entry(caller).or_default();
+                let before = own.len();
+                own.extend(add);
+                changed |= own.len() > before;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // All ordered pairs, each with its first acquisition site.
+    struct Pair {
+        held: String,
+        acquired: String,
+        fi: usize,
+        line: usize,
+    }
+    let mut pairs: Vec<Pair> = Vec::new();
+    for (&(fi, _), scan) in &scans {
+        if !ws.files[fi].kind.lockorder {
+            continue;
+        }
+        for (held, acquired, line) in &scan.pairs {
+            pairs.push(Pair {
+                held: held.clone(),
+                acquired: acquired.clone(),
+                fi,
+                line: *line,
+            });
+        }
+        for (callee, held_locks, line) in &scan.calls {
+            for target in graph.by_name.get(callee).into_iter().flatten() {
+                for acquired in star.get(target).into_iter().flatten() {
+                    for held in held_locks {
+                        pairs.push(Pair {
+                            held: held.clone(),
+                            acquired: acquired.clone(),
+                            fi,
+                            line: *line,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // Cycle check over the pair graph.
+    pairs.sort_by_key(|a| (a.fi, a.line));
+    let mut adj: HashMap<&str, HashSet<&str>> = HashMap::new();
+    for p in &pairs {
+        adj.entry(p.held.as_str())
+            .or_default()
+            .insert(p.acquired.as_str());
+    }
+    let reaches = |from: &str, to: &str| -> bool {
+        let mut seen: HashSet<&str> = HashSet::new();
+        let mut stack = vec![from];
+        while let Some(cur) = stack.pop() {
+            for &next in adj.get(cur).into_iter().flatten() {
+                if next == to {
+                    return true;
+                }
+                if seen.insert(next) {
+                    stack.push(next);
+                }
+            }
+        }
+        false
+    };
+    let mut reported: HashSet<(String, String)> = HashSet::new();
+    for p in &pairs {
+        if !reaches(&p.acquired, &p.held) {
+            continue;
+        }
+        if !reported.insert((p.held.clone(), p.acquired.clone())) {
+            continue;
+        }
+        let sf = &ws.files[p.fi];
+        let originals = sf.originals();
+        let message = if p.held == p.acquired {
+            format!(
+                "`{}` is acquired while a `{}` guard is already held — \
+                 self-deadlock on a non-reentrant Mutex",
+                p.acquired, p.held
+            )
+        } else {
+            format!(
+                "acquires `{}` while holding `{}`, but the opposite order also \
+                 exists in the workspace — pick one global lock order",
+                p.acquired, p.held
+            )
+        };
+        findings.push(Finding {
+            rule: "lock-order-cycle",
+            file: sf.rel.clone(),
+            line: p.line,
+            snippet: snippet_of(&originals, p.line),
+            message,
+        });
+    }
+
+    // Event-loop blocking: everything reachable from the configured
+    // roots runs on the loop thread.
+    let mut root_refs: Vec<FnRef> = Vec::new();
+    for root in roots {
+        let (path, name) = match root.rsplit_once("::") {
+            Some((p, n)) => (Some(p), n),
+            None => (None, root.as_str()),
+        };
+        for (fi, sf) in ws.files.iter().enumerate() {
+            if path.is_some_and(|p| p != sf.rel) {
+                continue;
+            }
+            for (xi, f) in sf.map.fns.iter().enumerate() {
+                if f.name == name {
+                    root_refs.push((fi, xi));
+                }
+            }
+        }
+    }
+    if root_refs.is_empty() {
+        return;
+    }
+    let root_list = roots.join(", ");
+    for (fi, xi) in graph.reachable(&root_refs) {
+        let sf = &ws.files[fi];
+        if !sf.kind.lockorder {
+            continue;
+        }
+        let f = &sf.map.fns[xi];
+        if f.is_test {
+            continue;
+        }
+        let originals = sf.originals();
+        for ln in f.body_start..=f.body_end.min(sf.masked.lines.len()) {
+            let line = &sf.masked.lines[ln - 1];
+            for tok in BLOCKING {
+                if !line.contains(tok) {
+                    continue;
+                }
+                findings.push(Finding {
+                    rule: "blocking-in-event-loop",
+                    file: sf.rel.clone(),
+                    line: ln,
+                    snippet: snippet_of(&originals, ln),
+                    message: format!(
+                        "`{}` in `{}` is reachable from event-loop root {root_list} — \
+                         blocking here stalls every connection",
+                        tok.trim_matches(['.', '(']),
+                        f.name
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// What one fn body does with locks, lexically.
+struct LocalScan {
+    /// Every lock name acquired anywhere in the body.
+    acquires: HashSet<String>,
+    /// (held, acquired, line) for acquisitions under a held guard.
+    pairs: Vec<(String, String, usize)>,
+    /// (callee, held lock names, line) for resolvable calls made while
+    /// at least one guard is held.
+    calls: Vec<(String, Vec<String>, usize)>,
+}
+
+fn scan_fn(sf: &SourceFile, body_start: usize, body_end: usize) -> LocalScan {
+    let mut scan = LocalScan {
+        acquires: HashSet::new(),
+        pairs: Vec::new(),
+        calls: Vec::new(),
+    };
+    // (lock name, binding name, brace depth at acquisition)
+    let mut guards: Vec<(String, String, i32)> = Vec::new();
+    let mut depth = 0i32;
+    let mut pending_let: Option<String> = None;
+
+    for ln in body_start..=body_end.min(sf.masked.lines.len()) {
+        let line = &sf.masked.lines[ln - 1];
+        if let Some(name) = strict_let_name(line.trim_start()) {
+            pending_let = Some(name);
+        }
+
+        let mut from = 0usize;
+        while let Some(pos) = line[from..].find(".lock(") {
+            let at = from + pos;
+            from = at + ".lock(".len();
+            let lock = last_ident_before(line, at)
+                .or_else(|| prev_line_expr(sf, body_start, ln))
+                .unwrap_or_else(|| "<lock>".to_owned());
+            for (held, _, _) in &guards {
+                scan.pairs.push((held.clone(), lock.clone(), ln));
+            }
+            scan.acquires.insert(lock.clone());
+            if let Some(binding) = pending_let.clone() {
+                guards.push((lock, binding, depth));
+            }
+        }
+
+        // `drop(guard)` releases early.
+        let mut from = 0usize;
+        while let Some(pos) = line[from..].find("drop(") {
+            let at = from + pos;
+            from = at + "drop(".len();
+            let inner = line[at + "drop(".len()..]
+                .split(')')
+                .next()
+                .unwrap_or("")
+                .trim();
+            guards.retain(|(_, binding, _)| binding != inner);
+        }
+
+        if !guards.is_empty() {
+            let held: Vec<String> = guards.iter().map(|(l, _, _)| l.clone()).collect();
+            for site in calls_on_line(line) {
+                if resolvable(&site) {
+                    scan.calls.push((site.name, held.clone(), ln));
+                }
+            }
+        }
+
+        for b in line.bytes() {
+            match b {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    guards.retain(|&(_, _, d)| d <= depth);
+                }
+                _ => {}
+            }
+        }
+        if line.contains(';') {
+            pending_let = None;
+        }
+    }
+    scan
+}
+
+/// `let [mut] name =` / `let [mut] name:` at the start of a statement.
+/// Patterns (`let Ok(g) = ...`) are temporaries, not held guards.
+fn strict_let_name(trimmed: &str) -> Option<String> {
+    let rest = trimmed.strip_prefix("let")?;
+    if !rest.starts_with([' ', '\t']) {
+        return None;
+    }
+    let rest = rest.trim_start();
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+    let end = rest
+        .bytes()
+        .position(|b| !(b.is_ascii_alphanumeric() || b == b'_'))
+        .unwrap_or(rest.len());
+    let name = &rest[..end];
+    if name.is_empty() || name.starts_with(char::is_uppercase) {
+        return None;
+    }
+    match rest[end..].trim_start().bytes().next() {
+        Some(b'=') | Some(b':') => Some(name.to_owned()),
+        _ => None,
+    }
+}
+
+/// The last identifier of the expression ending at byte `end`, after
+/// stripping trailing `(..)` / `[..]` groups: `state.queues[i]` →
+/// `queues`, `get_map()` → `get_map`.
+fn last_ident_before(line: &str, end: usize) -> Option<String> {
+    let bytes = line.as_bytes();
+    let mut end = end;
+    loop {
+        while end > 0 && bytes[end - 1] == b' ' {
+            end -= 1;
+        }
+        match end.checked_sub(1).map(|i| bytes[i]) {
+            Some(b')') | Some(b']') => {
+                let close = bytes[end - 1];
+                let open = if close == b')' { b'(' } else { b'[' };
+                let mut depth = 0i32;
+                let mut i = end;
+                while i > 0 {
+                    i -= 1;
+                    if bytes[i] == close {
+                        depth += 1;
+                    } else if bytes[i] == open {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                }
+                if depth != 0 {
+                    return None; // unbalanced: expression starts off-line
+                }
+                end = i;
+            }
+            _ => break,
+        }
+    }
+    let stop = end;
+    let mut start = stop;
+    while start > 0 && (bytes[start - 1].is_ascii_alphanumeric() || bytes[start - 1] == b'_') {
+        start -= 1;
+    }
+    if start == stop {
+        return None;
+    }
+    Some(line[start..stop].to_owned())
+}
+
+/// Fallback for a line starting with `.lock(`: the trailing expression
+/// of the previous non-empty line in the same body.
+fn prev_line_expr(sf: &SourceFile, body_start: usize, ln: usize) -> Option<String> {
+    for prev in (body_start..ln).rev() {
+        let line = sf.masked.lines[prev - 1].trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        return last_ident_before(line, line.len());
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::FileKind;
+
+    fn lock_kind() -> FileKind {
+        FileKind {
+            lockorder: true,
+            ..FileKind::default()
+        }
+    }
+
+    fn run(src: &str, roots: &[&str]) -> Vec<Finding> {
+        let ws = Workspace {
+            files: vec![SourceFile::new("l.rs".into(), src.into(), lock_kind())],
+        };
+        let graph = CallGraph::build(&ws);
+        let mut findings = Vec::new();
+        let roots: Vec<String> = roots.iter().map(|s| (*s).to_owned()).collect();
+        apply(&ws, &graph, &roots, &mut findings);
+        findings
+    }
+
+    #[test]
+    fn opposite_order_acquisitions_cycle() {
+        let f = run(
+            "fn forward(s: &S) {\n\
+             \x20   let a = s.jobs.lock().unwrap();\n\
+             \x20   let b = s.results.lock().unwrap();\n\
+             \x20   drop(b); drop(a);\n\
+             }\n\
+             fn backward(s: &S) {\n\
+             \x20   let b = s.results.lock().unwrap();\n\
+             \x20   let a = s.jobs.lock().unwrap();\n\
+             \x20   drop(a); drop(b);\n\
+             }\n",
+            &[],
+        );
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|x| x.rule == "lock-order-cycle"));
+        let lines: Vec<usize> = f.iter().map(|x| x.line).collect();
+        assert_eq!(lines, [3, 8]);
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let f = run(
+            "fn one(s: &S) {\n\
+             \x20   let a = s.jobs.lock().unwrap();\n\
+             \x20   let b = s.results.lock().unwrap();\n\
+             \x20   drop(b); drop(a);\n\
+             }\n\
+             fn two(s: &S) {\n\
+             \x20   let a = s.jobs.lock().unwrap();\n\
+             \x20   let b = s.results.lock().unwrap();\n\
+             \x20   drop(b); drop(a);\n\
+             }\n",
+            &[],
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn cycle_through_a_callee_is_found() {
+        let f = run(
+            "fn outer(s: &S) {\n\
+             \x20   let a = s.jobs.lock().unwrap();\n\
+             \x20   helper(s);\n\
+             \x20   drop(a);\n\
+             }\n\
+             fn helper(s: &S) {\n\
+             \x20   let b = s.results.lock().unwrap();\n\
+             \x20   drop(b);\n\
+             }\n\
+             fn backward(s: &S) {\n\
+             \x20   let b = s.results.lock().unwrap();\n\
+             \x20   let a = s.jobs.lock().unwrap();\n\
+             \x20   drop(a); drop(b);\n\
+             }\n",
+            &[],
+        );
+        assert_eq!(f.len(), 2, "{f:?}");
+    }
+
+    #[test]
+    fn scope_exit_releases_guards() {
+        let f = run(
+            "fn one(s: &S) {\n\
+             \x20   {\n\
+             \x20       let a = s.jobs.lock().unwrap();\n\
+             \x20       let _ = *a;\n\
+             \x20   }\n\
+             \x20   let b = s.results.lock().unwrap();\n\
+             \x20   drop(b);\n\
+             }\n\
+             fn two(s: &S) {\n\
+             \x20   let b = s.results.lock().unwrap();\n\
+             \x20   let a = s.jobs.lock().unwrap();\n\
+             \x20   drop(a); drop(b);\n\
+             }\n",
+            &[],
+        );
+        // `one` holds nothing when it takes `results`, so the only pair
+        // is (results, jobs) in `two` — no cycle.
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn blocking_reachable_from_root_flags() {
+        let f = run(
+            "fn event_loop(s: &S) {\n\
+             \x20   dispatch(s);\n\
+             }\n\
+             fn dispatch(s: &S) {\n\
+             \x20   s.cond.wait_timeout(guard, t);\n\
+             }\n\
+             fn offline(s: &S) {\n\
+             \x20   s.chan.recv();\n\
+             }\n",
+            &["event_loop"],
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "blocking-in-event-loop");
+        assert_eq!(f[0].line, 5);
+    }
+
+    #[test]
+    fn try_recv_is_not_blocking() {
+        let f = run(
+            "fn event_loop(s: &S) {\n\
+             \x20   while let Ok(x) = s.chan.try_recv() {\n\
+             \x20       handle(x);\n\
+             \x20   }\n\
+             }\n",
+            &["event_loop"],
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn temporary_lock_is_not_held() {
+        let f = run(
+            "fn one(s: &S) {\n\
+             \x20   s.jobs.lock().unwrap().push(1);\n\
+             \x20   let b = s.results.lock().unwrap();\n\
+             \x20   drop(b);\n\
+             }\n\
+             fn two(s: &S) {\n\
+             \x20   let b = s.results.lock().unwrap();\n\
+             \x20   s.jobs.lock().unwrap().push(1);\n\
+             \x20   drop(b);\n\
+             }\n",
+            &[],
+        );
+        // `one` records no (jobs, results) pair, so `two`'s
+        // (results, jobs) has no opposite edge.
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

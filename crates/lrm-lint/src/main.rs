@@ -7,15 +7,21 @@
 //! cargo run -p lrm-lint -- --baseline lint-baseline.txt
 //! cargo run -p lrm-lint -- --write-baseline lint-baseline.txt
 //! cargo run -p lrm-lint -- --fix-safety-stubs
+//! cargo run -p lrm-lint -- --dump-callgraph  # debug the resolver
+//! cargo run -p lrm-lint -- --timings         # per-phase wall clock
+//! cargo run -p lrm-lint -- --json findings.json
 //! ```
 //!
 //! Exit status: 0 when the tree is clean, 1 on findings, 2 on usage or
 //! I/O errors (missing `lint.toml`, unreadable files).
 
+use lrm_lint::callgraph::CallGraph;
 use lrm_lint::rules::Finding;
-use lrm_lint::{baseline, config, report, rules};
+use lrm_lint::workspace::{analyze, AnalyzeOptions, SourceFile, Workspace};
+use lrm_lint::{baseline, config, report};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Instant;
 
 const SAFETY_STUB: &str = "// SAFETY: TODO(lint): document why this unsafe block is sound.";
 
@@ -24,6 +30,9 @@ fn main() -> ExitCode {
     let mut fix_stubs = false;
     let mut baseline_path: Option<PathBuf> = None;
     let mut write_baseline: Option<PathBuf> = None;
+    let mut dump_callgraph = false;
+    let mut timings_flag = false;
+    let mut json_path: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -43,16 +52,28 @@ fn main() -> ExitCode {
                 None => return usage_error("--write-baseline needs a file argument"),
             },
             "--fix-safety-stubs" => fix_stubs = true,
+            "--dump-callgraph" => dump_callgraph = true,
+            "--timings" => timings_flag = true,
+            "--json" => match args.next() {
+                Some(p) => json_path = Some(PathBuf::from(p)),
+                None => return usage_error("--json needs a file argument"),
+            },
             "--help" | "-h" => {
                 println!(
-                    "lrm-lint: decode-path, numerics & concurrency static analysis\n\n\
+                    "lrm-lint: decode-path, numerics, concurrency & interprocedural\n\
+                     static analysis\n\n\
                      USAGE: lrm-lint [--all] [--root <dir>] [--baseline <file>]\n\
-                            [--write-baseline <file>] [--fix-safety-stubs]\n\n\
+                            [--write-baseline <file>] [--fix-safety-stubs]\n\
+                            [--dump-callgraph] [--timings] [--json <file>]\n\n\
                      Reads lint.toml at the repository root; see DESIGN.md\n\
                      (\"Decode-path contract\", \"Numerics & concurrency lint\n\
-                     rules\") for the rules. --baseline fails only on findings\n\
-                     beyond the recorded per-(rule, file) counts; --write-baseline\n\
-                     records the current findings and exits 0."
+                     rules\", \"Interprocedural lint\") for the rules.\n\
+                     --baseline fails only on findings beyond the recorded\n\
+                     per-(rule, file) counts; --write-baseline records the\n\
+                     current findings and exits 0. --dump-callgraph prints the\n\
+                     resolved workspace call graph and exits. --timings prints\n\
+                     per-phase wall clock; --json writes the post-baseline\n\
+                     findings as a JSON array."
                 );
                 return ExitCode::SUCCESS;
             }
@@ -74,17 +95,27 @@ fn main() -> ExitCode {
     };
 
     let files = collect_rust_files(&root);
-    let mut scanned = 0usize;
-    let mut findings: Vec<Finding> = Vec::new();
-    for path in &files {
-        let rel = rel_path(&root, path);
-        let src = match std::fs::read_to_string(path) {
-            Ok(src) => src,
-            Err(e) => return io_error(&format!("reading {}: {e}", path.display())),
-        };
-        scanned += 1;
-        findings.extend(rules::lint_source(&rel, &src, cfg.kind_of(&rel)));
+    let opts = AnalyzeOptions {
+        roots: cfg.lockorder_roots.clone(),
+    };
+
+    // Each file is read, masked, and tokenized exactly once per run;
+    // every pack shares the workspace views.
+    let load_start = Instant::now();
+    let ws = match load_workspace(&root, &files, &cfg) {
+        Ok(ws) => ws,
+        Err(e) => return io_error(&e),
+    };
+    let load_time = load_start.elapsed();
+    let scanned = ws.files.len();
+
+    if dump_callgraph {
+        print!("{}", CallGraph::build(&ws).dump(&ws));
+        return ExitCode::SUCCESS;
     }
+
+    let (mut findings, mut timings) = analyze(&ws, &opts);
+    timings.phases.insert(0, ("load", load_time));
 
     if fix_stubs {
         let stubbed = insert_safety_stubs(&root, &findings);
@@ -93,14 +124,11 @@ fn main() -> ExitCode {
             // Re-lint so the report reflects the tree on disk: the
             // stubbed sites downgrade to `safety-todo`, which still
             // fails the gate until a human writes the justification.
-            findings.clear();
-            for path in &files {
-                let rel = rel_path(&root, path);
-                match std::fs::read_to_string(path) {
-                    Ok(src) => findings.extend(rules::lint_source(&rel, &src, cfg.kind_of(&rel))),
-                    Err(e) => return io_error(&format!("re-reading {}: {e}", path.display())),
-                }
-            }
+            let ws = match load_workspace(&root, &files, &cfg) {
+                Ok(ws) => ws,
+                Err(e) => return io_error(&e),
+            };
+            findings = analyze(&ws, &opts).0;
         }
     }
 
@@ -132,7 +160,17 @@ fn main() -> ExitCode {
         suppressed = ratchet.suppressed;
     }
 
+    if let Some(path) = json_path {
+        if let Err(e) = std::fs::write(&path, report::render_json(&findings)) {
+            return io_error(&format!("writing {}: {e}", path.display()));
+        }
+    }
+
     print!("{}", report::render_table(&findings));
+    print!("{}", report::render_pack_counts(&findings));
+    if timings_flag {
+        print!("{}", timings.render());
+    }
     let note = if suppressed > 0 {
         format!(" ({suppressed} baseline finding(s) suppressed)")
     } else {
@@ -148,6 +186,23 @@ fn main() -> ExitCode {
         );
         ExitCode::from(1)
     }
+}
+
+/// Reads every collected file into a [`Workspace`].
+fn load_workspace(
+    root: &Path,
+    files: &[PathBuf],
+    cfg: &config::Config,
+) -> Result<Workspace, String> {
+    let mut ws = Workspace::default();
+    for path in files {
+        let rel = rel_path(root, path);
+        let src = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        let kind = cfg.kind_of(&rel);
+        ws.files.push(SourceFile::new(rel, src, kind));
+    }
+    Ok(ws)
 }
 
 fn usage_error(msg: &str) -> ExitCode {

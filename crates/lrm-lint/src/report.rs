@@ -1,6 +1,93 @@
-//! Plain-text findings table for terminals and CI logs.
+//! Plain-text findings table, per-pack counts, and the `--json` dump
+//! for terminals and CI logs.
 
 use crate::rules::Finding;
+
+/// Rule-pack names in display order, with the rules each one owns.
+/// Every entry of [`crate::rules::RULE_NAMES`] belongs to exactly one
+/// pack (checked by a test below).
+pub const PACKS: &[(&str, &[&str])] = &[
+    (
+        "decode",
+        &["no-unwrap", "no-panic", "no-index", "range-add"],
+    ),
+    ("safety", &["unsafe-safety", "safety-todo"]),
+    ("wire", &["wire-usize", "wire-hashmap"]),
+    (
+        "numerics",
+        &[
+            "float-total-cmp",
+            "nan-guard",
+            "float-cast-bounds",
+            "div-abs",
+        ],
+    ),
+    (
+        "concurrency",
+        &[
+            "lock-across-call",
+            "no-unscoped-spawn",
+            "result-slot-discipline",
+        ],
+    ),
+    ("taint", &["wire-alloc-unclamped"]),
+    ("lockorder", &["lock-order-cycle", "blocking-in-event-loop"]),
+    ("registry", &["unregistered-decode-path"]),
+    ("allow", &["allow-no-reason", "allow-unknown"]),
+];
+
+/// One `pack: N` line per pack (zeros included), for the CI job
+/// summary.
+pub fn render_pack_counts(findings: &[Finding]) -> String {
+    let mut out = String::from("findings by pack:\n");
+    for (pack, rules) in PACKS {
+        let n = findings.iter().filter(|f| rules.contains(&f.rule)).count();
+        out.push_str(&format!("  {pack:12} {n}\n"));
+    }
+    out
+}
+
+/// The findings as a JSON array (hand-rolled: the workspace has no
+/// serde). Stable field order, one object per line.
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"rule\": {}, \"file\": {}, \"line\": {}, \"snippet\": {}, \"message\": {}}}",
+            json_str(f.rule),
+            json_str(&f.file),
+            f.line,
+            json_str(&f.snippet),
+            json_str(&f.message)
+        ));
+    }
+    if !findings.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
 
 /// Renders the findings as an aligned three-column table
 /// (rule, file:line, snippet) followed by a one-line-per-rule legend.
@@ -60,6 +147,57 @@ mod tests {
     #[test]
     fn empty_findings_render_nothing() {
         assert_eq!(render_table(&[]), "");
+    }
+
+    #[test]
+    fn packs_partition_the_rule_set() {
+        let mut covered: Vec<&str> = Vec::new();
+        for (_, rules) in PACKS {
+            for r in *rules {
+                assert!(!covered.contains(r), "{r} is in two packs");
+                covered.push(r);
+            }
+        }
+        for r in crate::rules::RULE_NAMES {
+            assert!(covered.contains(r), "{r} belongs to no pack");
+        }
+        assert_eq!(covered.len(), crate::rules::RULE_NAMES.len());
+    }
+
+    #[test]
+    fn pack_counts_include_zeros() {
+        let f = Finding {
+            rule: "wire-alloc-unclamped",
+            file: "a.rs".to_owned(),
+            line: 3,
+            snippet: "x".to_owned(),
+            message: "m".to_owned(),
+        };
+        let out = render_pack_counts(&[f]);
+        assert!(out.contains("taint"));
+        assert!(out.contains("lockorder"));
+        assert!(out
+            .lines()
+            .any(|l| l.trim_start().starts_with("taint") && l.trim_end().ends_with('1')));
+        assert!(out
+            .lines()
+            .any(|l| l.trim_start().starts_with("decode") && l.trim_end().ends_with('0')));
+    }
+
+    #[test]
+    fn json_escapes_and_round_trips_shape() {
+        let f = Finding {
+            rule: "no-unwrap",
+            file: "a.rs".to_owned(),
+            line: 3,
+            snippet: "let s = \"q\\\"uote\";".to_owned(),
+            message: "m".to_owned(),
+        };
+        let out = render_json(&[f]);
+        assert!(out.starts_with('['));
+        assert!(out.trim_end().ends_with(']'));
+        assert!(out.contains("\\\"q\\\\\\\"uote\\\""));
+        assert_eq!(render_json(&[]), "[]\n");
     }
 
     #[test]

@@ -27,7 +27,7 @@
 //! without a reason (`allow-no-reason`) or naming an unknown rule
 //! (`allow-unknown`) is itself a finding and cannot be suppressed.
 
-use crate::mask::{mask, Masked};
+use crate::mask::Masked;
 use crate::tokens::{self, has_word};
 use std::collections::{HashMap, HashSet};
 
@@ -48,6 +48,10 @@ pub const RULE_NAMES: &[&str] = &[
     "lock-across-call",
     "no-unscoped-spawn",
     "result-slot-discipline",
+    "wire-alloc-unclamped",
+    "lock-order-cycle",
+    "blocking-in-event-loop",
+    "unregistered-decode-path",
     "allow-no-reason",
     "allow-unknown",
 ];
@@ -63,6 +67,10 @@ pub struct FileKind {
     pub numerics: bool,
     /// Registered in `lint.toml [concurrency]`.
     pub concurrency: bool,
+    /// Registered in `lint.toml [taint]` (see [`crate::taint`]).
+    pub taint: bool,
+    /// Registered in `lint.toml [lockorder]` (see [`crate::lockorder`]).
+    pub lockorder: bool,
 }
 
 /// One rule violation.
@@ -78,17 +86,31 @@ pub struct Finding {
 }
 
 /// Lints one file's source text. `file` is used only for reporting.
+///
+/// This is the single-file entry point (used by the fixture harness and
+/// unit tests): it builds a one-file [`crate::workspace::Workspace`] so
+/// the interprocedural packs run with the same semantics as a full
+/// repository scan. Lock-order roots default to any fn named
+/// `event_loop`, the fixture convention.
 pub fn lint_source(file: &str, src: &str, kind: FileKind) -> Vec<Finding> {
-    let masked = mask(src);
-    let originals: Vec<&str> = src.split('\n').collect();
-    let map = tokens::build(&masked);
-    let (allows, mut findings) = parse_allows(file, &masked, &originals);
+    crate::workspace::lint_single(file, src, kind)
+}
 
+/// The per-line decode / wire / unsafe pass over one masked file.
+/// Allow-filtering and sorting happen in the workspace driver.
+pub(crate) fn base_pass(
+    file: &str,
+    masked: &Masked,
+    originals: &[&str],
+    map: &tokens::SourceMap,
+    kind: FileKind,
+    findings: &mut Vec<Finding>,
+) {
     for (idx, line) in masked.lines.iter().enumerate() {
         let ln = idx + 1;
         let in_test = map.is_test_line(ln);
         let in_decode = map.decode_lines.contains(&ln);
-        let snippet = || snippet_of(&originals, ln);
+        let snippet = || snippet_of(originals, ln);
         let mut push = |rule: &'static str, message: String| {
             findings.push(Finding {
                 rule,
@@ -164,7 +186,7 @@ pub fn lint_source(file: &str, src: &str, kind: FileKind) -> Vec<Finding> {
         }
 
         if has_word(line, "unsafe") {
-            match safety_comment_for(&masked, ln) {
+            match safety_comment_for(masked, ln) {
                 Safety::Documented => {}
                 Safety::Todo => push(
                     "safety-todo",
@@ -177,24 +199,6 @@ pub fn lint_source(file: &str, src: &str, kind: FileKind) -> Vec<Finding> {
             }
         }
     }
-
-    if kind.numerics {
-        crate::numerics::apply(file, &masked, &originals, &map, &mut findings);
-    }
-    if kind.concurrency {
-        crate::concurrency::apply(file, &masked, &originals, &map, &mut findings);
-    }
-
-    findings.retain(|f| {
-        !matches!(
-            allows.get(f.rule),
-            Some(lines) if lines.contains(&f.line)
-                && f.rule != "allow-no-reason"
-                && f.rule != "allow-unknown"
-        )
-    });
-    findings.sort_by(|a, b| a.line.cmp(&b.line).then(a.rule.cmp(b.rule)));
-    findings
 }
 
 // ---------------------------------------------------------------------------
@@ -299,12 +303,16 @@ fn safety_comment_for(masked: &Masked, ln: usize) -> Safety {
 // Suppressions.
 // ---------------------------------------------------------------------------
 
-type AllowMap = HashMap<&'static str, HashSet<usize>>;
+pub(crate) type AllowMap = HashMap<&'static str, HashSet<usize>>;
 
 /// Parses every `lint:allow(...)` comment. Returns the suppression map
 /// (rule -> lines it silences: the comment's line and the next) plus
 /// findings for malformed allows.
-fn parse_allows(file: &str, masked: &Masked, originals: &[&str]) -> (AllowMap, Vec<Finding>) {
+pub(crate) fn parse_allows(
+    file: &str,
+    masked: &Masked,
+    originals: &[&str],
+) -> (AllowMap, Vec<Finding>) {
     let mut allows: AllowMap = HashMap::new();
     let mut findings = Vec::new();
     for &(ln, ref text) in &masked.comments {
@@ -376,23 +384,21 @@ pub(crate) fn snippet_of(originals: &[&str], ln: usize) -> String {
 mod tests {
     use super::*;
 
-    const DECODE: FileKind = FileKind {
-        decode: true,
-        wire: false,
-        numerics: false,
-        concurrency: false,
-    };
-    const WIRE: FileKind = FileKind {
-        decode: false,
-        wire: true,
-        numerics: false,
-        concurrency: false,
-    };
     const PLAIN: FileKind = FileKind {
         decode: false,
         wire: false,
         numerics: false,
         concurrency: false,
+        taint: false,
+        lockorder: false,
+    };
+    const DECODE: FileKind = FileKind {
+        decode: true,
+        ..PLAIN
+    };
+    const WIRE: FileKind = FileKind {
+        wire: true,
+        ..PLAIN
     };
 
     fn rules_of(findings: &[Finding]) -> Vec<&'static str> {

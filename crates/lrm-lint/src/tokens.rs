@@ -300,7 +300,7 @@ fn callback_params(sig: &str) -> Vec<String> {
 /// The parameter list of a masked signature: the first paren group at
 /// angle-bracket depth 0, so `Fn(..)` bounds inside `<...>` generics
 /// are not mistaken for it.
-fn param_list(sig: &str) -> &str {
+pub(crate) fn param_list(sig: &str) -> &str {
     let bytes = sig.as_bytes();
     let mut angle = 0i32;
     let mut open = None;
@@ -338,7 +338,7 @@ fn param_list(sig: &str) -> &str {
 }
 
 /// Splits a parameter list on commas at paren/bracket/angle depth 0.
-fn split_top_level(s: &str) -> Vec<&str> {
+pub(crate) fn split_top_level(s: &str) -> Vec<&str> {
     let mut out = Vec::new();
     let mut depth = 0i32;
     let mut start = 0usize;

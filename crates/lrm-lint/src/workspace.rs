@@ -1,0 +1,257 @@
+//! The workspace view: every file parsed once, all packs share it.
+//!
+//! v2 linted one file at a time, masking and tokenizing inside each
+//! pack's entry point. The interprocedural packs ([`crate::callgraph`],
+//! [`crate::taint`], [`crate::lockorder`]) need to see every registered
+//! file at once, so this module loads the whole tree into a
+//! [`Workspace`] — each file masked and scope-mapped exactly once — and
+//! runs the analysis as an explicit phase pipeline:
+//!
+//! 1. per-file passes (base decode/wire/unsafe, numerics, concurrency),
+//! 2. the workspace call graph,
+//! 3. wire-taint dataflow (`wire-alloc-unclamped`),
+//! 4. lock order and event-loop blocking (`lock-order-cycle`,
+//!    `blocking-in-event-loop`),
+//! 5. registry drift (`unregistered-decode-path`),
+//! 6. `lint:allow` filtering and a deterministic global sort.
+//!
+//! Allow-filtering runs *last* so interprocedural findings honor the
+//! same per-site suppressions as the lexical rules. Each phase is timed
+//! for the `--timings` flag.
+
+use crate::mask::{mask, Masked};
+use crate::rules::{self, FileKind, Finding};
+use crate::tokens::{self, SourceMap};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// One file of the workspace: source text plus the shared masked /
+/// scope-mapped views every pack reads.
+pub struct SourceFile {
+    /// Repo-root-relative path with `/` separators (or a bare name for
+    /// single-file runs).
+    pub rel: String,
+    /// The raw source text.
+    pub src: String,
+    /// Comment- and string-masked lines (see [`crate::mask`]).
+    pub masked: Masked,
+    /// Function scopes, test regions, decode regions.
+    pub map: SourceMap,
+    /// Which rule families `lint.toml` registers this file for.
+    pub kind: FileKind,
+}
+
+impl SourceFile {
+    /// Masks and tokenizes `src` once.
+    pub fn new(rel: String, src: String, kind: FileKind) -> SourceFile {
+        let masked = mask(&src);
+        let map = tokens::build(&masked);
+        SourceFile {
+            rel,
+            src,
+            masked,
+            map,
+            kind,
+        }
+    }
+
+    /// The unmasked source lines, for snippets.
+    pub(crate) fn originals(&self) -> Vec<&str> {
+        self.src.split('\n').collect()
+    }
+}
+
+/// Every file the linter will look at, parsed once.
+#[derive(Default)]
+pub struct Workspace {
+    pub files: Vec<SourceFile>,
+}
+
+/// Knobs the CLI passes into [`analyze`].
+#[derive(Default, Clone)]
+pub struct AnalyzeOptions {
+    /// Event-loop dispatch roots for `blocking-in-event-loop`
+    /// (`path::fn` or a bare fn name).
+    pub roots: Vec<String>,
+}
+
+/// Wall-clock per analysis phase, for `--timings`.
+#[derive(Default)]
+pub struct Timings {
+    pub phases: Vec<(&'static str, Duration)>,
+}
+
+impl Timings {
+    fn time<T>(&mut self, name: &'static str, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.phases.push((name, start.elapsed()));
+        out
+    }
+
+    /// Aligned `phase  time` table plus a total.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let width = self
+            .phases
+            .iter()
+            .map(|(n, _)| n.len())
+            .max()
+            .unwrap_or(0)
+            .max("total".len());
+        let mut total = Duration::ZERO;
+        for (name, d) in &self.phases {
+            total += *d;
+            out.push_str(&format!(
+                "{name:width$}  {:>9.3}ms\n",
+                d.as_secs_f64() * 1e3
+            ));
+        }
+        out.push_str(&format!(
+            "{:width$}  {:>9.3}ms\n",
+            "total",
+            total.as_secs_f64() * 1e3
+        ));
+        out
+    }
+}
+
+/// Runs every pack over the workspace. Returns the filtered, sorted
+/// findings and the per-phase timings.
+pub fn analyze(ws: &Workspace, opts: &AnalyzeOptions) -> (Vec<Finding>, Timings) {
+    let mut timings = Timings::default();
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut allows: Vec<rules::AllowMap> = Vec::with_capacity(ws.files.len());
+
+    timings.time("base", || {
+        for sf in &ws.files {
+            let originals = sf.originals();
+            let (allow_map, mut malformed) = rules::parse_allows(&sf.rel, &sf.masked, &originals);
+            allows.push(allow_map);
+            findings.append(&mut malformed);
+            rules::base_pass(
+                &sf.rel,
+                &sf.masked,
+                &originals,
+                &sf.map,
+                sf.kind,
+                &mut findings,
+            );
+        }
+    });
+
+    timings.time("numerics", || {
+        for sf in ws.files.iter().filter(|sf| sf.kind.numerics) {
+            let originals = sf.originals();
+            crate::numerics::apply(&sf.rel, &sf.masked, &originals, &sf.map, &mut findings);
+        }
+    });
+
+    timings.time("concurrency", || {
+        for sf in ws.files.iter().filter(|sf| sf.kind.concurrency) {
+            let originals = sf.originals();
+            crate::concurrency::apply(&sf.rel, &sf.masked, &originals, &sf.map, &mut findings);
+        }
+    });
+
+    let graph = timings.time("callgraph", || crate::callgraph::CallGraph::build(ws));
+
+    timings.time("taint", || {
+        crate::taint::apply(ws, &graph, &mut findings);
+    });
+
+    timings.time("lockorder", || {
+        crate::lockorder::apply(ws, &graph, &opts.roots, &mut findings);
+    });
+
+    timings.time("registry", || {
+        crate::callgraph::registry_drift(ws, &mut findings);
+    });
+
+    // `lint:allow` filtering happens after every pack — including the
+    // interprocedural ones — so a suppression works the same wherever
+    // the finding came from.
+    let allow_of: HashMap<&str, &rules::AllowMap> = ws
+        .files
+        .iter()
+        .zip(allows.iter())
+        .map(|(sf, a)| (sf.rel.as_str(), a))
+        .collect();
+    findings.retain(|f| {
+        !matches!(
+            allow_of.get(f.file.as_str()).and_then(|a| a.get(f.rule)),
+            Some(lines) if lines.contains(&f.line)
+                && f.rule != "allow-no-reason"
+                && f.rule != "allow-unknown"
+        )
+    });
+
+    findings.sort_by(|a, b| {
+        a.file
+            .cmp(&b.file)
+            .then(a.line.cmp(&b.line))
+            .then(a.rule.cmp(b.rule))
+    });
+    findings.dedup_by(|a, b| a.rule == b.rule && a.file == b.file && a.line == b.line);
+    (findings, timings)
+}
+
+/// Single-file entry point backing [`rules::lint_source`]: a one-file
+/// workspace with the fixture convention's implicit `event_loop` root.
+pub(crate) fn lint_single(file: &str, src: &str, kind: FileKind) -> Vec<Finding> {
+    let ws = Workspace {
+        files: vec![SourceFile::new(file.to_owned(), src.to_owned(), kind)],
+    };
+    let opts = AnalyzeOptions {
+        roots: vec!["event_loop".to_owned()],
+    };
+    analyze(&ws, &opts).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timings_cover_every_phase() {
+        let ws = Workspace {
+            files: vec![SourceFile::new(
+                "a.rs".into(),
+                "fn f() {}\n".into(),
+                FileKind::default(),
+            )],
+        };
+        let (findings, timings) = analyze(&ws, &AnalyzeOptions::default());
+        assert!(findings.is_empty());
+        let names: Vec<&str> = timings.phases.iter().map(|(n, _)| *n).collect();
+        assert_eq!(
+            names,
+            [
+                "base",
+                "numerics",
+                "concurrency",
+                "callgraph",
+                "taint",
+                "lockorder",
+                "registry"
+            ]
+        );
+        assert!(timings.render().contains("total"));
+    }
+
+    #[test]
+    fn findings_sort_by_file_then_line() {
+        let mk =
+            |rel: &str, src: &str| SourceFile::new(rel.into(), src.into(), FileKind::default());
+        let ws = Workspace {
+            files: vec![
+                mk("b.rs", "fn f(p: *const u8) -> u8 { unsafe { *p } }\n"),
+                mk("a.rs", "fn g(p: *const u8) -> u8 { unsafe { *p } }\n"),
+            ],
+        };
+        let (findings, _) = analyze(&ws, &AnalyzeOptions::default());
+        assert_eq!(findings.len(), 2);
+        assert_eq!(findings[0].file, "a.rs");
+        assert_eq!(findings[1].file, "b.rs");
+    }
+}

@@ -37,6 +37,11 @@ fn kind_for(prefix: &str) -> FileKind {
         "wire" => kind.wire = true,
         "numerics" => kind.numerics = true,
         "concurrency" => kind.concurrency = true,
+        "taint" => kind.taint = true,
+        "lockorder" => kind.lockorder = true,
+        // Registry drift is the *absence* of a registration: the
+        // fixture runs with no rule families at all.
+        "drift" => {}
         "plain" => {}
         other => panic!("fixture prefix {other:?} does not name a rule family"),
     }
@@ -106,6 +111,10 @@ fn every_new_rule_fires_somewhere_in_the_corpus() {
         "lock-across-call",
         "no-unscoped-spawn",
         "result-slot-discipline",
+        "wire-alloc-unclamped",
+        "lock-order-cycle",
+        "blocking-in-event-loop",
+        "unregistered-decode-path",
     ] {
         assert!(fired.contains(rule), "no fixture exercises rule {rule}");
     }

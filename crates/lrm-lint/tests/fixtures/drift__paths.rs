@@ -1,0 +1,37 @@
+//! Fixture: a byte-slice decoder in a file that is not registered
+//! under `[decode]` in lint.toml (`unregistered-decode-path`). The
+//! fixture runs with no registrations at all, standing in for a new
+//! wire-format module someone forgot to add to the registry.
+
+// Bad: a decoder signature outside the [decode] registry.
+fn decode_record(b: &[u8]) -> Option<Record> { //~ unregistered-decode-path
+    Record::from_parts(b)
+}
+
+// Bad: `read_*` and `parse*` count as decoder names too.
+fn read_header(bytes: &[u8]) -> Header { //~ unregistered-decode-path
+    Header { len: bytes.len() }
+}
+
+fn parse_frame(buf: &[u8]) -> Frame { //~ unregistered-decode-path
+    Frame { len: buf.len() }
+}
+
+// Good: a decoder-named helper that does not take raw bytes.
+fn decode_flag(word: u32) -> bool {
+    word & 1 != 0
+}
+
+// Good: a byte-slice helper without a decoder name.
+fn checksum(b: &[u8]) -> u32 {
+    b.iter().map(|&x| x as u32).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    // Good: test scaffolding is exempt even with a decoder shape.
+    #[test]
+    fn decode_record_roundtrip() {
+        assert!(super::decode_record(&[1, 2, 3]).is_none());
+    }
+}

@@ -1,0 +1,42 @@
+//! Fixture: two mutexes taken in opposite orders anywhere in the
+//! workspace is a deadlock waiting for the right interleaving
+//! (`lock-order-cycle`).
+
+// Bad: `forward` takes jobs → results...
+fn forward(s: &Shared) {
+    let jobs = s.jobs.lock().unwrap();
+    let results = s.results.lock().unwrap(); //~ lock-order-cycle
+    drop(results);
+    drop(jobs);
+}
+
+// ...while `backward` takes results → jobs.
+fn backward(s: &Shared) {
+    let results = s.results.lock().unwrap();
+    let jobs = s.jobs.lock().unwrap(); //~ lock-order-cycle
+    drop(jobs);
+    drop(results);
+}
+
+// Good: a consistent global order never cycles.
+fn drain(s: &Shared) {
+    let queue = s.queue.lock().unwrap();
+    let done = s.done.lock().unwrap();
+    drop(done);
+    drop(queue);
+}
+
+fn publish(s: &Shared) {
+    let queue = s.queue.lock().unwrap();
+    let done = s.done.lock().unwrap();
+    drop(done);
+    drop(queue);
+}
+
+// Good: a temporary `.lock()` (no `let`) releases at the end of its
+// statement, so no (done, queue) pair is recorded here.
+fn tally(s: &Shared) {
+    s.done.lock().unwrap().push(1);
+    let queue = s.queue.lock().unwrap();
+    drop(queue);
+}

@@ -1,0 +1,37 @@
+//! Fixture: anything reachable from the `event_loop` root runs on the
+//! dispatch thread and must not block (`blocking-in-event-loop`).
+//! Single-file runs treat any fn named `event_loop` as the root.
+
+fn event_loop(s: &Shared) {
+    loop {
+        poll_ready(s);
+        dispatch(s);
+    }
+}
+
+// Good: non-blocking polling belongs on the loop.
+fn poll_ready(s: &Shared) {
+    while let Ok(job) = s.jobs.try_recv() {
+        s.queue.push(job);
+    }
+}
+
+// Bad: a condvar wait on the loop thread stalls every connection.
+fn dispatch(s: &Shared) {
+    let guard = s.state.lock().unwrap();
+    let _ = s.cond.wait_timeout(guard, TICK); //~ blocking-in-event-loop
+    reject(s);
+}
+
+// Intentional blocking points carry an allow with a reason.
+fn reject(s: &Shared) {
+    // lint:allow(blocking-in-event-loop): best-effort reject write on a socket about to close
+    let _ = s.stream.write_all(s.busy_frame());
+}
+
+// Good: blocking off the loop thread — `worker` is not reachable from
+// the root.
+fn worker(s: &Shared) {
+    let job = s.jobs.recv().unwrap();
+    s.results.send(job).unwrap();
+}

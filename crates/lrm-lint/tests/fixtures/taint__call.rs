@@ -1,0 +1,27 @@
+//! Fixture: one-level interprocedural taint — passing an unclamped
+//! wire length to a helper that sizes an allocation from it
+//! (`wire-alloc-unclamped` at the call site).
+
+const MAX_ENTRIES: usize = 1 << 16;
+
+// The helper alone is not flagged: its caller may clamp.
+fn alloc_entries(n: usize) -> Vec<u64> {
+    Vec::with_capacity(n)
+}
+
+// Bad: the wire count reaches `alloc_entries`' capacity unclamped.
+fn decode_directory(count: u32) -> Vec<u64> {
+    let n = count as usize;
+    alloc_entries(n) //~ wire-alloc-unclamped
+}
+
+// Good: clamped before the call.
+fn decode_directory_clamped(count: u32) -> Vec<u64> {
+    let n = (count as usize).min(MAX_ENTRIES);
+    alloc_entries(n)
+}
+
+// Good: the clamp can sit in the argument itself.
+fn decode_directory_inline(count: u32) -> Vec<u64> {
+    alloc_entries((count as usize).min(MAX_ENTRIES))
+}

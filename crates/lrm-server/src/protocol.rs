@@ -392,7 +392,10 @@ fn decode_samples(r: &mut Reader<'_>, shape: Shape) -> DecodeResult<Vec<f64>> {
         what: "sample count overflow",
     })?;
     let raw = r.take(nbytes, "field samples")?;
-    let mut data = Vec::with_capacity(count);
+    // Sized from bytes already in memory, not from the claimed count:
+    // `take` has bounds-checked `raw` against the real payload, so a
+    // hostile shape cannot commit the decoder to a larger buffer.
+    let mut data = Vec::with_capacity(raw.len() / 8);
     for c in raw.chunks_exact(8) {
         let bits = c
             .try_into()

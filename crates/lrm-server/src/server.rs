@@ -1654,6 +1654,7 @@ fn reject_connection(mut stream: TcpStream, config: &ServerConfig) {
         kind: ServerErrorKind::Busy,
         message: format!("server at max connections ({})", config.max_connections),
     };
+    // lint:allow(blocking-in-event-loop): best-effort Busy reply on a socket being closed; bounded by the 1s write timeout above
     let _ = stream.write_all(&response.to_frame());
     let _ = stream.shutdown(NetShutdown::Write);
     let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
